@@ -1,0 +1,468 @@
+// Command xbench is the command-line front end of the XBench benchmark
+// reproduction: it generates benchmark databases, prints the class schemas
+// (the paper's Figures 1-4), loads engines, runs individual workload
+// queries, and regenerates the paper's Tables 1-9.
+//
+// Usage:
+//
+//	xbench generate  --class=dcmd --size=small [--dir=out] [--seed=N]
+//	xbench schema    --class=tcsd [--dtd|--xsd]
+//	xbench tables    [--table=N]           (static Tables 1-3)
+//	xbench bench     [--table=N] [--sizes=small,normal,large] [--repeat=N] [--scale=N] [--csv]
+//	xbench ablation  [--q=N] [--size=S]    (indexed vs sequential scan)
+//	xbench analyze   --class=tcmd --size=small
+//	xbench verify    --class=dcmd --size=small
+//	xbench load      --engine=x-hive --class=dcmd --size=small
+//	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
+//	xbench workload  --engine=x-hive --class=dcmd --size=small
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xbench/internal/analyze"
+	"xbench/internal/bench"
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/workload"
+	"xbench/internal/xmldom"
+	"xbench/internal/xmlschema"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "schema":
+		err = cmdSchema(args)
+	case "tables":
+		err = cmdTables(args)
+	case "bench":
+		err = cmdBench(args)
+	case "ablation":
+		err = cmdAblation(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "report":
+		err = cmdReport(args)
+	case "load":
+		err = cmdLoad(args)
+	case "query":
+		err = cmdQuery(args)
+	case "workload":
+		err = cmdWorkload(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "xbench: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xbench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `xbench — XBench XML DBMS benchmark (ICDE 2004) reproduction
+
+commands:
+  generate   generate a benchmark database to a directory
+  schema     print a class schema diagram (Figures 1-4), DTD or XSD
+  tables     print the static tables (Tables 1-3)
+  bench      run the experiment grid and print Tables 4-9
+  ablation   compare indexed vs sequential-scan query times
+  analyze    statistical analysis of a generated database (paper 2.1.1)
+  verify     cross-check every engine's answers against the native engine
+  report     machine-checked paper-vs-measured shape comparison
+  load       bulk-load one engine and report load statistics
+  query      run one workload query on one engine
+  workload   run every defined query of a class on one engine
+
+engines: x-hive | xcolumn | xcollection | sql-server
+classes: tcsd | tcmd | dcsd | dcmd
+sizes:   small | normal | large`)
+}
+
+func classFlag(fs *flag.FlagSet) *string { return fs.String("class", "dcmd", "database class") }
+func sizeFlag(fs *flag.FlagSet) *string  { return fs.String("size", "small", "database size") }
+
+func parseClassSize(classStr, sizeStr string) (core.Class, core.Size, error) {
+	class, err := core.ParseClass(classStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	size, err := core.ParseSize(sizeStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return class, size, nil
+}
+
+func engineByFlag(name string) (core.Engine, error) {
+	switch strings.ToLower(strings.NewReplacer("-", "", "_", "", " ", "").Replace(name)) {
+	case "xhive", "native":
+		return bench.NewEngine("X-Hive"), nil
+	case "xcolumn":
+		return bench.NewEngine("Xcolumn"), nil
+	case "xcollection":
+		return bench.NewEngine("Xcollection"), nil
+	case "sqlserver":
+		return bench.NewEngine("SQL Server"), nil
+	}
+	return nil, fmt.Errorf("unknown engine %q", name)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	dir := fs.String("dir", "xbench-data", "output directory")
+	seed := fs.Uint64("seed", 0, "generation seed")
+	scale := fs.Int("scale", 1, "extra size multiplier (25 approximates the paper's absolute sizes)")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	cfg := gen.Config{Seed: *seed, SizeMultiplier: *scale}
+	db, err := cfg.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	out := filepath.Join(*dir, db.Instance())
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for _, d := range db.Docs {
+		if err := os.WriteFile(filepath.Join(out, d.Name), d.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("generated %s: %d document(s), %d bytes -> %s\n",
+		db.Instance(), len(db.Docs), db.Bytes(), out)
+	return nil
+}
+
+func cmdSchema(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	classStr := classFlag(fs)
+	dtd := fs.Bool("dtd", false, "emit a DTD instead of the diagram")
+	xsd := fs.Bool("xsd", false, "emit a W3C XML Schema instead of the diagram")
+	fs.Parse(args)
+	class, err := core.ParseClass(*classStr)
+	if err != nil {
+		return err
+	}
+	s := xmlschema.For(class)
+	switch {
+	case *dtd:
+		fmt.Print(s.DTD())
+	case *xsd:
+		fmt.Print(s.XSD())
+	default:
+		fmt.Print(s.Diagram())
+	}
+	return nil
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	table := fs.Int("table", 0, "table number (1-3); 0 = all static tables")
+	fs.Parse(args)
+	switch *table {
+	case 0:
+		bench.PrintTable1(os.Stdout)
+		bench.PrintTable2(os.Stdout)
+		bench.PrintTable3(os.Stdout)
+	case 1:
+		bench.PrintTable1(os.Stdout)
+	case 2:
+		bench.PrintTable2(os.Stdout)
+	case 3:
+		bench.PrintTable3(os.Stdout)
+	default:
+		return fmt.Errorf("static tables are 1-3; use 'xbench bench --table=%d' for measured tables", *table)
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	table := fs.Int("table", 0, "table number (4-9); 0 = all")
+	sizesStr := fs.String("sizes", "small,normal,large", "comma-separated sizes")
+	repeat := fs.Int("repeat", 3, "cold runs averaged per query cell")
+	scale := fs.Int("scale", 1, "extra size multiplier over the library defaults")
+	seed := fs.Uint64("seed", 0, "generation seed")
+	csv := fs.Bool("csv", false, "emit CSV rows (table,engine,class,size,ms)")
+	fs.Parse(args)
+	var sizes []core.Size
+	for _, part := range strings.Split(*sizesStr, ",") {
+		s, err := core.ParseSize(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		sizes = append(sizes, s)
+	}
+	cfg := gen.Config{Seed: *seed, SizeMultiplier: *scale}
+	r := bench.NewRunner(cfg, sizes, os.Stdout)
+	r.Repeat = *repeat
+	r.CSV = *csv
+	switch {
+	case *table == 0:
+		return r.AllTables()
+	case *table == 4:
+		return r.Table4()
+	case *table >= 5 && *table <= 9:
+		if err := r.Table4(); err != nil { // loads feed the query tables
+			return err
+		}
+		return r.QueryTable(*table)
+	default:
+		return fmt.Errorf("measured tables are 4-9")
+	}
+}
+
+func cmdAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	sizeStr := sizeFlag(fs)
+	qNum := fs.Int("q", 5, "query number")
+	repeat := fs.Int("repeat", 3, "cold runs averaged per cell")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	fs.Parse(args)
+	size, err := core.ParseSize(*sizeStr)
+	if err != nil {
+		return err
+	}
+	r := bench.NewRunner(gen.Config{SizeMultiplier: *scale}, []core.Size{size}, os.Stdout)
+	r.Repeat = *repeat
+	return r.IndexAblation(core.QueryID(*qNum), size)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	seed := fs.Uint64("seed", 0, "generation seed")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	db, err := gen.Config{Seed: *seed}.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	r := analyze.New()
+	for _, d := range db.Docs {
+		doc, err := xmldom.Parse(d.Data)
+		if err != nil {
+			return err
+		}
+		r.AddDocument(doc)
+	}
+	r.Finish()
+	_, err = r.WriteTo(os.Stdout)
+	return err
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	seed := fs.Uint64("seed", 0, "generation seed")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	db, err := gen.Config{Seed: *seed}.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	oracle, err := engineByFlag("x-hive")
+	if err != nil {
+		return err
+	}
+	if _, _, err := workload.LoadAndIndex(oracle, db); err != nil {
+		return err
+	}
+	fmt.Printf("verifying %s against %s\n", db.Instance(), oracle.Name())
+	failures := 0
+	for _, name := range []string{"xcolumn", "xcollection", "sql-server"} {
+		e, err := engineByFlag(name)
+		if err != nil {
+			return err
+		}
+		if e.Supports(class, size) != nil {
+			fmt.Printf("%-12s unsupported for %s %s (blank cells in the paper)\n",
+				e.Name(), class, size)
+			continue
+		}
+		if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+			return err
+		}
+		for _, q := range workload.QueryIDs(class) {
+			want := workload.RunCold(oracle, class, q)
+			if want.Err != nil {
+				return fmt.Errorf("native %s: %w", q, want.Err)
+			}
+			got := workload.RunCold(e, class, q)
+			if errors.Is(got.Err, core.ErrNoQuery) {
+				continue // not hand-translated for this engine
+			}
+			if got.Err != nil {
+				fmt.Printf("%-12s %-4s ERROR: %v\n", e.Name(), q, got.Err)
+				failures++
+				continue
+			}
+			mode := workload.ModeFor(class, q, e.Name())
+			if err := workload.Check(mode, want.Result, got.Result); err != nil {
+				fmt.Printf("%-12s %-4s MISMATCH (%s): %v\n", e.Name(), q, mode, err)
+				failures++
+				continue
+			}
+			fmt.Printf("%-12s %-4s ok (%d items, checked %s)\n",
+				e.Name(), q, got.Result.Count(), mode)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d verification failure(s)", failures)
+	}
+	fmt.Println("all checks passed")
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	sizesStr := fs.String("sizes", "small,normal,large", "comma-separated sizes")
+	repeat := fs.Int("repeat", 2, "cold runs averaged per cell")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	fs.Parse(args)
+	var sizes []core.Size
+	for _, part := range strings.Split(*sizesStr, ",") {
+		s, err := core.ParseSize(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		sizes = append(sizes, s)
+	}
+	r := bench.NewRunner(gen.Config{SizeMultiplier: *scale}, sizes, os.Stdout)
+	r.Repeat = *repeat
+	return r.ShapeReport()
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "x-hive", "engine name")
+	seed := fs.Uint64("seed", 0, "generation seed")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	e, err := engineByFlag(*engineStr)
+	if err != nil {
+		return err
+	}
+	db, err := gen.Config{Seed: *seed}.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	st, dur, err := workload.LoadAndIndex(e, db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s loaded %s (%d docs, %d bytes) in %v\n",
+		e.Name(), db.Instance(), st.Documents, st.Bytes, dur)
+	fmt.Printf("  rows=%d nodes=%d pageIO=%d skippedMixed=%d\n",
+		st.Rows, st.Nodes, st.PageIO, st.SkippedMixed)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "x-hive", "engine name")
+	qNum := fs.Int("q", 5, "query number (1-20)")
+	show := fs.Bool("show", false, "print result items")
+	seed := fs.Uint64("seed", 0, "generation seed")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	e, err := engineByFlag(*engineStr)
+	if err != nil {
+		return err
+	}
+	db, err := gen.Config{Seed: *seed}.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		return err
+	}
+	m := workload.RunCold(e, class, core.QueryID(*qNum))
+	if m.Err != nil {
+		return m.Err
+	}
+	fmt.Printf("%s %s/%s: %d item(s) in %v (cold), pageIO=%d order=%v mixedLost=%v\n",
+		e.Name(), class, m.Query, m.Result.Count(), m.Elapsed,
+		m.Result.PageIO, m.Result.OrderGuaranteed, m.Result.MixedContentLost)
+	if *show {
+		for i, item := range m.Result.Items {
+			fmt.Printf("  [%d] %s\n", i+1, item)
+		}
+	}
+	return nil
+}
+
+func cmdWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "x-hive", "engine name")
+	seed := fs.Uint64("seed", 0, "generation seed")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	e, err := engineByFlag(*engineStr)
+	if err != nil {
+		return err
+	}
+	db, err := gen.Config{Seed: *seed}.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%d docs, %d bytes)\n", e.Name(), db.Instance(), len(db.Docs), db.Bytes())
+	for _, q := range workload.QueryIDs(class) {
+		m := workload.RunCold(e, class, q)
+		if m.Err == core.ErrNoQuery {
+			continue
+		}
+		if m.Err != nil {
+			fmt.Printf("  %-4s %-34s error: %v\n", q, q.FunctionGroup(), m.Err)
+			continue
+		}
+		fmt.Printf("  %-4s %-34s %6d item(s) %10v pageIO=%d\n",
+			q, q.FunctionGroup(), m.Result.Count(), m.Elapsed, m.Result.PageIO)
+	}
+	return nil
+}

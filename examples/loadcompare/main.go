@@ -1,0 +1,89 @@
+// Loadcompare: reproduce the paper's Experiment 1 (complexity of mapping
+// and bulk loading, Table 4) on one class: load the same DC/MD database
+// into all four engines, report load time, simulated page I/O, rows
+// produced by shredding, and what each mapping lost.
+//
+// Run with:
+//
+//	go run ./examples/loadcompare [-class dcmd] [-size small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"xbench"
+)
+
+func main() {
+	classFlag := flag.String("class", "dcmd", "database class (tcsd|tcmd|dcsd|dcmd)")
+	sizeFlag := flag.String("size", "small", "database size (small|normal|large)")
+	flag.Parse()
+
+	class, err := xbench.ParseClass(*classFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := xbench.ParseSize(*sizeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := xbench.Generate(class, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk loading %s: %d document(s), %d bytes\n\n",
+		db.Instance(), len(db.Docs), db.Bytes())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "engine\tload\tpageIO\trows\tnodes\tmixed lost\tnote")
+	for _, e := range xbench.Engines() {
+		if err := e.Supports(class, size); err != nil {
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\t-\tunsupported (blank cell in the paper)\n", e.Name())
+			continue
+		}
+		m, err := timeLoad(e, db)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name(), err)
+		}
+		note := ""
+		switch {
+		case e.Name() == "Xcolumn":
+			note = "intact CLOBs + side tables"
+		case m.stats.Nodes > 0:
+			note = "stored intact as XML"
+		case m.stats.SkippedMixed > 0:
+			note = "shredded; mixed content dropped"
+		case m.stats.Rows > 0:
+			note = "shredded into tables"
+		}
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%d\t%s\n",
+			e.Name(), m.elapsedRounded(), m.stats.PageIO, m.stats.Rows,
+			m.stats.Nodes, m.stats.SkippedMixed, note)
+	}
+	w.Flush()
+
+	fmt.Println("\nAs in the paper's Table 4: the native store loads fastest (no")
+	fmt.Println("shredding), the relational engines pay for decomposition and key")
+	fmt.Println("indexes, and multi-document databases cost per-file I/O.")
+}
+
+type loadMeasure struct {
+	stats   xbench.LoadStats
+	elapsed time.Duration
+}
+
+func timeLoad(e xbench.Engine, db *xbench.Database) (loadMeasure, error) {
+	start := time.Now()
+	stats, err := xbench.LoadAndIndex(e, db)
+	return loadMeasure{stats: stats, elapsed: time.Since(start)}, err
+}
+
+func (m loadMeasure) elapsedRounded() string {
+	return fmt.Sprintf("%.1fms", float64(m.elapsed.Microseconds())/1000)
+}

@@ -1,0 +1,62 @@
+// Quickstart: generate a small XBench catalog database, load it into the
+// native XML engine, build the paper's indexes, and run a few workload
+// queries plus an ad-hoc XQuery.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xbench"
+)
+
+func main() {
+	// 1. Generate the DC/SD database (one catalog.xml mapped from TPC-W).
+	db, err := xbench.Generate(xbench.DCSD, xbench.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s: %d document(s), %d bytes\n",
+		db.Instance(), len(db.Docs), db.Bytes())
+
+	// 2. Load it into the native XML engine and build Table 3's indexes.
+	engine := xbench.NewNativeEngine(0)
+	stats, err := xbench.LoadAndIndex(engine, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded by %s: %d nodes, %d page I/Os\n",
+		engine.Name(), stats.Nodes, stats.PageIO)
+
+	// 3. Run benchmark queries cold (caches dropped first, as in the paper).
+	for _, q := range []xbench.QueryID{xbench.Q1, xbench.Q5, xbench.Q14, xbench.Q20} {
+		m := xbench.RunCold(engine, xbench.DCSD, q)
+		if m.Err != nil {
+			log.Fatalf("%s: %v", q, m.Err)
+		}
+		fmt.Printf("%-4s %-22s %3d item(s) in %8v (pageIO=%d)\n",
+			q, q.FunctionGroup(), m.Result.Count(), m.Elapsed, m.Result.PageIO)
+	}
+
+	// 4. Ad-hoc XQuery over the generated documents.
+	items, err := xbench.EvalXQuery(
+		`for $i in //item[number(attributes/number_of_pages) > 900]
+		 order by $i/title
+		 return concat(string($i/title), " (", string($i/attributes/number_of_pages), " pages)")`,
+		db.Docs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d books over 900 pages:\n", len(items))
+	for i, it := range items {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println("  " + it)
+	}
+}

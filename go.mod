@@ -1,0 +1,3 @@
+module xbench
+
+go 1.22

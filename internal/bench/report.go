@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/workload"
+)
+
+// ShapeReport mechanically compares this reproduction's measurements with
+// the paper's published numbers, checking the two properties that transfer
+// across hardware generations:
+//
+//  1. the winner of each (table, class, size) column — which architecture
+//     is fastest — and
+//  2. the growth factor of each engine across the 10x size steps.
+//
+// It prints one line per check with agree/disagree, plus a summary. This
+// is the machine-checkable core of EXPERIMENTS.md.
+func (r *Runner) ShapeReport() error {
+	if len(r.Sizes) < 2 {
+		return fmt.Errorf("bench: shape report needs at least two sizes")
+	}
+	agree, disagree := 0, 0
+	note := func(ok bool, format string, args ...any) {
+		mark := "agree   "
+		if !ok {
+			mark = "DIVERGES"
+			disagree++
+		} else {
+			agree++
+		}
+		fmt.Fprintf(r.Out, "  %s %s\n", mark, fmt.Sprintf(format, args...))
+	}
+
+	for table := 4; table <= 9; table++ {
+		fmt.Fprintf(r.Out, "\nTable %d shape checks:\n", table)
+		// Winner per (class, size) column. The paper prints times at 5-10 ms
+		// granularity, so engines within 30% of the column minimum count as
+		// co-winners; the check passes when the co-winner sets intersect.
+		for _, class := range columnClasses {
+			for _, size := range r.Sizes {
+				paperVals := map[string]float64{}
+				measuredVals := map[string]float64{}
+				for _, engine := range EngineNames {
+					pv, ok := PaperValue(PaperCell{table, engine, class, size})
+					if !ok || pv == Blank {
+						continue
+					}
+					mv, have := r.measuredCell(table, engine, class, size)
+					if !have {
+						continue
+					}
+					paperVals[engine] = pv
+					measuredVals[engine] = mv
+				}
+				if len(paperVals) == 0 {
+					continue
+				}
+				paperWin := coWinners(paperVals)
+				measuredWin := coWinners(measuredVals)
+				ok := false
+				for e := range paperWin {
+					if measuredWin[e] {
+						ok = true
+					}
+				}
+				note(ok, "%s %s fastest: paper=%s measured=%s",
+					class, size, setString(paperWin), setString(measuredWin))
+			}
+		}
+		// Growth direction per engine/class across the size span: does the
+		// engine scale roughly linearly (factor near the 10x data growth)
+		// or super-linearly (well beyond it)? Agreement means both the
+		// paper and the measurement fall in the same regime.
+		span := float64((r.Sizes[len(r.Sizes)-1].Factor()) / r.Sizes[0].Factor())
+		for _, engine := range EngineNames {
+			for _, class := range columnClasses {
+				pLo, ok1 := PaperValue(PaperCell{table, engine, class, r.Sizes[0]})
+				pHi, ok2 := PaperValue(PaperCell{table, engine, class, r.Sizes[len(r.Sizes)-1]})
+				if !ok1 || !ok2 || pLo <= 0 || pHi <= 0 {
+					continue
+				}
+				mLo, have1 := r.measuredCell(table, engine, class, r.Sizes[0])
+				mHi, have2 := r.measuredCell(table, engine, class, r.Sizes[len(r.Sizes)-1])
+				if !have1 || !have2 || mLo <= 0 {
+					continue
+				}
+				paperSuper := pHi/pLo > 2*span
+				measuredSuper := mHi/mLo > 2*span
+				note(paperSuper == measuredSuper,
+					"%s %s growth x%.0f (paper x%.0f) over %.0fx data",
+					engine, class, mHi/mLo, pHi/pLo, span)
+			}
+		}
+	}
+	fmt.Fprintf(r.Out, "\nshape checks: %d agree, %d diverge (see EXPERIMENTS.md for the analysis of divergences)\n",
+		agree, disagree)
+	return nil
+}
+
+// coWinners returns the engines within 30% of the column minimum.
+func coWinners(vals map[string]float64) map[string]bool {
+	min := 0.0
+	first := true
+	for _, v := range vals {
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	out := map[string]bool{}
+	for e, v := range vals {
+		if v <= min*1.3 {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// setString renders a winner set deterministically (paper row order).
+func setString(set map[string]bool) string {
+	s := ""
+	for _, e := range EngineNames {
+		if set[e] {
+			if s != "" {
+				s += "+"
+			}
+			s += e
+		}
+	}
+	return s
+}
+
+// measuredCell returns the effective milliseconds for a cell, running the
+// measurement if needed. have is false for unsupported combinations.
+func (r *Runner) measuredCell(table int, engine string, class core.Class, size core.Size) (ms float64, have bool) {
+	e, cell := r.Engine(engine, class, size)
+	if cell.err != nil || e == nil {
+		return 0, false
+	}
+	if table == 4 {
+		eff := cell.dur + time.Duration(cell.stats.PageIO)*r.IOCost
+		return float64(eff.Microseconds()) / 1000, true
+	}
+	q := TableQueries[table]
+	n := max(r.Repeat, 1)
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		m := workload.RunCold(e, class, q)
+		if m.Err != nil {
+			return 0, false
+		}
+		total += m.Elapsed + time.Duration(m.Result.PageIO)*r.IOCost
+	}
+	avg := total / time.Duration(n)
+	return float64(avg.Microseconds()) / 1000, true
+}

@@ -1,0 +1,298 @@
+// Package btree implements a disk-oriented B+tree over the simulated pager:
+// fixed-size node pages, variable-length string keys, duplicate keys
+// allowed, uint64 values (heap RIDs). It backs both the value indexes of
+// paper Table 3 and the primary/foreign-key indexes the relational engines
+// create during bulk loading.
+//
+// The benchmark workload is load-then-query, so the tree supports Insert
+// and lookups but not deletion, matching XBench 1.0's query-only scope.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xbench/internal/pager"
+)
+
+// MaxKey is the maximum indexed key length; longer keys are truncated
+// (DB2 and SQL Server impose similar index key limits, see paper §3.2.2 on
+// why long text columns cannot be indexed).
+const MaxKey = 512
+
+// Tree is a B+tree handle.
+type Tree struct {
+	p    *pager.Pager
+	fid  pager.FileID
+	root uint32
+	n    int
+}
+
+type node struct {
+	leaf bool
+	next uint32 // leaf chain; 0 = none (page 0 is a reserved header page)
+	keys []string
+	vals []uint64 // leaf only, parallel to keys
+	kids []uint32 // internal only, len(keys)+1
+}
+
+// New creates an empty tree in a fresh pager file. Page 0 is reserved as a
+// header page so that page number 0 can serve as the nil sentinel in the
+// leaf chain.
+func New(p *pager.Pager, name string) (*Tree, error) {
+	t := &Tree{p: p, fid: p.Create(name)}
+	if _, err := p.Append(t.fid); err != nil { // reserved page 0
+		return nil, err
+	}
+	no, err := p.Append(t.fid)
+	if err != nil {
+		return nil, err
+	}
+	t.root = no
+	if err := t.writeNode(no, &node{leaf: true}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.n }
+
+func trunc(key string) string {
+	if len(key) > MaxKey {
+		return key[:MaxKey]
+	}
+	return key
+}
+
+// Insert adds (key, val). Duplicate keys are allowed.
+func (t *Tree) Insert(key string, val uint64) error {
+	key = trunc(key)
+	sepKey, newChild, split, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if split {
+		// Grow a new root.
+		no, err := t.p.Append(t.fid)
+		if err != nil {
+			return err
+		}
+		root := &node{keys: []string{sepKey}, kids: []uint32{t.root, newChild}}
+		if err := t.writeNode(no, root); err != nil {
+			return err
+		}
+		t.root = no
+	}
+	t.n++
+	return nil
+}
+
+func (t *Tree) insert(pageNo uint32, key string, val uint64) (string, uint32, bool, error) {
+	nd, err := t.readNode(pageNo)
+	if err != nil {
+		return "", 0, false, err
+	}
+	if nd.leaf {
+		// Insert after the last equal key (stable for duplicates).
+		i := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] > key })
+		nd.keys = append(nd.keys, "")
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = key
+		nd.vals = append(nd.vals, 0)
+		copy(nd.vals[i+1:], nd.vals[i:])
+		nd.vals[i] = val
+		return t.finishInsert(pageNo, nd)
+	}
+	ci := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] > key })
+	sep, newChild, split, err := t.insert(nd.kids[ci], key, val)
+	if err != nil {
+		return "", 0, false, err
+	}
+	if !split {
+		return "", 0, false, nil
+	}
+	nd.keys = append(nd.keys, "")
+	copy(nd.keys[ci+1:], nd.keys[ci:])
+	nd.keys[ci] = sep
+	nd.kids = append(nd.kids, 0)
+	copy(nd.kids[ci+2:], nd.kids[ci+1:])
+	nd.kids[ci+1] = newChild
+	return t.finishInsert(pageNo, nd)
+}
+
+// finishInsert writes nd back, splitting it first if it no longer fits.
+func (t *Tree) finishInsert(pageNo uint32, nd *node) (string, uint32, bool, error) {
+	if nd.size() <= pager.PageSize {
+		return "", 0, false, t.writeNode(pageNo, nd)
+	}
+	mid := len(nd.keys) / 2
+	right := &node{leaf: nd.leaf}
+	var sep string
+	if nd.leaf {
+		right.keys = append(right.keys, nd.keys[mid:]...)
+		right.vals = append(right.vals, nd.vals[mid:]...)
+		nd.keys = nd.keys[:mid]
+		nd.vals = nd.vals[:mid]
+		sep = right.keys[0]
+		right.next = nd.next
+	} else {
+		sep = nd.keys[mid]
+		right.keys = append(right.keys, nd.keys[mid+1:]...)
+		right.kids = append(right.kids, nd.kids[mid+1:]...)
+		nd.keys = nd.keys[:mid]
+		nd.kids = nd.kids[:mid+1]
+	}
+	rightNo, err := t.p.Append(t.fid)
+	if err != nil {
+		return "", 0, false, err
+	}
+	if nd.leaf {
+		nd.next = rightNo
+	}
+	if err := t.writeNode(rightNo, right); err != nil {
+		return "", 0, false, err
+	}
+	if err := t.writeNode(pageNo, nd); err != nil {
+		return "", 0, false, err
+	}
+	return sep, rightNo, true, nil
+}
+
+// Search returns all values stored under key, in insertion order.
+func (t *Tree) Search(key string) ([]uint64, error) {
+	key = trunc(key)
+	var out []uint64
+	err := t.Range(key, key, func(_ string, v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out, err
+}
+
+// Range visits entries with lo <= key <= hi in key order. Returning false
+// stops the scan.
+func (t *Tree) Range(lo, hi string, fn func(key string, val uint64) bool) error {
+	lo, hi = trunc(lo), trunc(hi)
+	pageNo := t.root
+	for {
+		nd, err := t.readNode(pageNo)
+		if err != nil {
+			return err
+		}
+		if nd.leaf {
+			break
+		}
+		// Descend to the leftmost leaf that can contain lo. Duplicates of a
+		// promoted separator may remain in the left sibling, so on an equal
+		// separator we go left and rely on the leaf chain to walk forward.
+		ci := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] >= lo })
+		pageNo = nd.kids[ci]
+	}
+	for pageNo != 0 {
+		nd, err := t.readNode(pageNo)
+		if err != nil {
+			return err
+		}
+		for i, k := range nd.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return nil
+			}
+			if !fn(k, nd.vals[i]) {
+				return nil
+			}
+		}
+		pageNo = nd.next
+	}
+	return nil
+}
+
+// node serialization:
+//
+//	[1]type [4]next [2]nkeys
+//	leaf:     nkeys * ([2]klen [klen]key [8]val)
+//	internal: [4]kid0 then nkeys * ([2]klen [klen]key [4]kid)
+func (n *node) size() int {
+	s := 1 + 4 + 2
+	if n.leaf {
+		for _, k := range n.keys {
+			s += 2 + len(k) + 8
+		}
+	} else {
+		s += 4
+		for _, k := range n.keys {
+			s += 2 + len(k) + 4
+		}
+	}
+	return s
+}
+
+func (t *Tree) writeNode(pageNo uint32, n *node) error {
+	buf := make([]byte, 0, n.size())
+	if n.leaf {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, n.next)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(n.keys)))
+	if n.leaf {
+		for i, k := range n.keys {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+			buf = append(buf, k...)
+			buf = binary.BigEndian.AppendUint64(buf, n.vals[i])
+		}
+	} else {
+		buf = binary.BigEndian.AppendUint32(buf, n.kids[0])
+		for i, k := range n.keys {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+			buf = append(buf, k...)
+			buf = binary.BigEndian.AppendUint32(buf, n.kids[i+1])
+		}
+	}
+	if len(buf) > pager.PageSize {
+		return fmt.Errorf("btree: node overflow: %d bytes", len(buf))
+	}
+	return t.p.Write(t.fid, pageNo, buf)
+}
+
+func (t *Tree) readNode(pageNo uint32) (*node, error) {
+	pg, err := t.p.Read(t.fid, pageNo)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{leaf: pg[0] == 0}
+	n.next = binary.BigEndian.Uint32(pg[1:5])
+	nk := int(binary.BigEndian.Uint16(pg[5:7]))
+	off := 7
+	if n.leaf {
+		n.keys = make([]string, nk)
+		n.vals = make([]uint64, nk)
+		for i := 0; i < nk; i++ {
+			kl := int(binary.BigEndian.Uint16(pg[off : off+2]))
+			off += 2
+			n.keys[i] = string(pg[off : off+kl])
+			off += kl
+			n.vals[i] = binary.BigEndian.Uint64(pg[off : off+8])
+			off += 8
+		}
+		return n, nil
+	}
+	n.kids = make([]uint32, 1, nk+1)
+	n.kids[0] = binary.BigEndian.Uint32(pg[off : off+4])
+	off += 4
+	n.keys = make([]string, nk)
+	for i := 0; i < nk; i++ {
+		kl := int(binary.BigEndian.Uint16(pg[off : off+2]))
+		off += 2
+		n.keys[i] = string(pg[off : off+kl])
+		off += kl
+		n.kids = append(n.kids, binary.BigEndian.Uint32(pg[off:off+4]))
+		off += 4
+	}
+	return n, nil
+}

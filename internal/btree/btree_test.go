@@ -1,0 +1,224 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xbench/internal/pager"
+	"xbench/internal/stats"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(pager.New(256), "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := newTree(t)
+	pairs := map[string]uint64{"b": 2, "a": 1, "c": 3}
+	for k, v := range pairs {
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range pairs {
+		got, err := tr.Search(k)
+		if err != nil || len(got) != 1 || got[0] != v {
+			t.Fatalf("Search(%q) = %v, %v", k, got, err)
+		}
+	}
+	if got, _ := tr.Search("zzz"); len(got) != 0 {
+		t.Fatal("Search miss returned values")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyKeysForceSplits(t *testing.T) {
+	tr := newTree(t)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(fmt.Sprintf("key%08d", i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{0, 1, 777, n / 2, n - 1} {
+		got, err := tr.Search(fmt.Sprintf("key%08d", i))
+		if err != nil || len(got) != 1 || got[0] != uint64(i) {
+			t.Fatalf("Search key%08d = %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestRandomOrderInsert(t *testing.T) {
+	tr := newTree(t)
+	r := stats.NewRNG(5)
+	perm := r.Perm(5000)
+	for _, i := range perm {
+		if err := tr.Insert(fmt.Sprintf("k%06d", i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full range scan must return every key in sorted order.
+	var keys []string
+	err := tr.Range("", "\xff", func(k string, v uint64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5000 {
+		t.Fatalf("range returned %d keys", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("range scan not in key order")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t)
+	// Enough duplicates to force splits through runs of equal keys.
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("dup%d", i%7)
+		if err := tr.Insert(key, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < 7; d++ {
+		got, err := tr.Search(fmt.Sprintf("dup%d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3000 / 7
+		if d < 3000%7 {
+			want++
+		}
+		if len(got) != want {
+			t.Fatalf("dup%d: %d values, want %d", d, len(got), want)
+		}
+		seen := map[uint64]bool{}
+		for _, v := range got {
+			if int(v)%7 != d || seen[v] {
+				t.Fatalf("dup%d: wrong/duplicated value %d", d, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("%03d", i), uint64(i))
+	}
+	var got []uint64
+	tr.Range("010", "020", func(_ string, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("Range[010,020] = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range("000", "099", func(string, uint64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Empty range.
+	n := 0
+	tr.Range("500", "600", func(string, uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("empty range returned entries")
+	}
+}
+
+func TestLongKeysTruncated(t *testing.T) {
+	tr := newTree(t)
+	long := strings.Repeat("x", MaxKey+100)
+	if err := tr.Insert(long, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Search(long)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("truncated key lookup failed: %v, %v", got, err)
+	}
+	// A different key sharing the first MaxKey bytes collides by design.
+	other := long + "different"
+	got, _ = tr.Search(other)
+	if len(got) != 1 {
+		t.Fatal("prefix-identical key should hit the truncated entry")
+	}
+}
+
+func TestEmptyKey(t *testing.T) {
+	tr := newTree(t)
+	tr.Insert("", 42)
+	tr.Insert("a", 1)
+	got, err := tr.Search("")
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("empty key lookup = %v, %v", got, err)
+	}
+}
+
+func TestPropertyMatchesMap(t *testing.T) {
+	tr := newTree(t)
+	model := map[string][]uint64{}
+	i := uint64(0)
+	f := func(key string) bool {
+		if len(key) > MaxKey {
+			key = key[:MaxKey]
+		}
+		i++
+		if err := tr.Insert(key, i); err != nil {
+			return false
+		}
+		model[key] = append(model[key], i)
+		got, err := tr.Search(key)
+		if err != nil || len(got) != len(model[key]) {
+			return false
+		}
+		gotSet := map[uint64]bool{}
+		for _, v := range got {
+			gotSet[v] = true
+		}
+		for _, v := range model[key] {
+			if !gotSet[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColdLookupSurvivesReset(t *testing.T) {
+	p := pager.New(64)
+	tr, _ := New(p, "idx")
+	for i := 0; i < 2000; i++ {
+		tr.Insert(fmt.Sprintf("k%05d", i), uint64(i))
+	}
+	p.ColdReset()
+	p.ResetStats()
+	got, err := tr.Search("k01234")
+	if err != nil || len(got) != 1 || got[0] != 1234 {
+		t.Fatalf("cold search = %v, %v", got, err)
+	}
+	if s := p.Stats(); s.Reads == 0 {
+		t.Fatal("cold lookup performed no disk reads")
+	}
+}

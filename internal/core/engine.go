@@ -1,0 +1,52 @@
+package core
+
+import "errors"
+
+// ErrUnsupported is returned by engines that cannot host a class/size
+// combination, mirroring the blank cells of the paper's result tables
+// (Xcolumn cannot store SD classes; Xcollection rejects Normal/Large SD
+// databases due to its 1024-row decomposition limit).
+var ErrUnsupported = errors.New("core: class/size combination not supported by this engine")
+
+// ErrNoQuery is returned when a workload query is not defined for the
+// engine's class (each class instantiates only a subset of Q1..Q20).
+var ErrNoQuery = errors.New("core: query not defined for this class")
+
+// Engine is a system under test. The four implementations model the four
+// storage strategies of the paper: native (X-Hive), xcolumn (DB2 XML
+// Extender XML column), xcollection (DB2 XML Extender XML collection), and
+// sqlserver (SQL Server 2000 + SQLXML bulk load).
+type Engine interface {
+	// Name returns the row label used in the paper's tables,
+	// e.g. "Xcolumn", "Xcollection", "SQL Server", "X-Hive".
+	Name() string
+
+	// Supports reports whether the engine can host the combination; it
+	// returns nil or ErrUnsupported (possibly wrapped with a reason).
+	Supports(c Class, s Size) error
+
+	// Load bulk-loads a generated database, replacing any prior contents.
+	// Validation against a schema is off, as in the paper's experiments.
+	Load(db *Database) (LoadStats, error)
+
+	// BuildIndexes creates the value indexes of paper Table 3 relevant to
+	// the loaded class. Called after Load, exactly like the paper ("all
+	// arbitrary indexes are created separately after bulk loading").
+	BuildIndexes(specs []IndexSpec) error
+
+	// Execute runs one workload query with bound parameters. Engines that
+	// are not native XML stores run their own hand-translated relational
+	// plans, as the paper's authors translated XQuery to SQL by hand.
+	Execute(q QueryID, p Params) (Result, error)
+
+	// ColdReset drops all cached pages so the next query is a cold run
+	// ("from the time when a user submits a request ... to prevent caching
+	// effects").
+	ColdReset()
+
+	// PageIO returns cumulative page I/O performed by the engine.
+	PageIO() int64
+
+	// Close releases resources.
+	Close() error
+}

@@ -1,0 +1,355 @@
+package native
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/queries"
+	"xbench/internal/textgen"
+)
+
+func loadTiny(t *testing.T, class core.Class) (*Engine, *core.Database) {
+	t.Helper()
+	cfg := gen.Config{DictEntries: 30, Articles: 5, Items: 20, Orders: 150}
+	db, err := cfg.Generate(class, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(0)
+	if _, err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	return e, db
+}
+
+func TestLoadCountsDocuments(t *testing.T) {
+	e, db := loadTiny(t, core.DCMD)
+	if e.DocumentCount() != len(db.Docs) {
+		t.Fatalf("catalog has %d docs, want %d", e.DocumentCount(), len(db.Docs))
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	e := New(0)
+	db := &core.Database{Class: core.TCMD, Size: core.Small, Docs: []core.Doc{
+		{Name: "bad.xml", Data: []byte("<a><b></a>")},
+	}}
+	if _, err := e.Load(db); err == nil {
+		t.Fatal("malformed document loaded")
+	}
+}
+
+func TestExecuteSequentialScan(t *testing.T) {
+	e, _ := loadTiny(t, core.DCSD)
+	// No indexes built: Q1 must still work via sequential scan.
+	res, err := e.Execute(core.Q1, core.Params{"X": "I1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.Contains(res.Items[0], `id="I1"`) {
+		t.Fatalf("Q1 = %v", res.Items)
+	}
+	if !res.OrderGuaranteed {
+		t.Fatal("native results are always order-guaranteed")
+	}
+}
+
+func TestIndexSelectsSubset(t *testing.T) {
+	e, _ := loadTiny(t, core.DCMD)
+	if err := e.BuildIndexes(queries.Indexes(core.DCMD)); err != nil {
+		t.Fatal(err)
+	}
+	e.ColdReset()
+	res, err := e.Execute(core.Q1, core.Params{"X": "O3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("Q1 via index = %v", res.Items)
+	}
+	indexedIO := res.PageIO
+
+	// Without indexes the same query scans everything.
+	e2, _ := loadTiny(t, core.DCMD)
+	e2.ColdReset()
+	res2, err := e2.Execute(core.Q1, core.Params{"X": "O3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Items[0] != res.Items[0] {
+		t.Fatal("indexed and scan answers differ")
+	}
+	if indexedIO >= res2.PageIO {
+		t.Fatalf("index should reduce I/O: %d vs %d", indexedIO, res2.PageIO)
+	}
+}
+
+func TestDocLookupByName(t *testing.T) {
+	e, db := loadTiny(t, core.DCMD)
+	res, err := e.Execute(core.Q16, core.Params{"DOC": "order1.xml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("Q16 = %d items", len(res.Items))
+	}
+	// The returned document must be byte-equivalent to the loaded one
+	// modulo the XML declaration.
+	var orig string
+	for _, d := range db.Docs {
+		if d.Name == "order1.xml" {
+			orig = string(d.Data)
+		}
+	}
+	if !strings.Contains(orig, res.Items[0][:100]) && !strings.Contains(res.Items[0], `id="O1"`) {
+		t.Fatalf("Q16 returned a different document: %.120s", res.Items[0])
+	}
+
+	if _, err := e.Execute(core.Q16, core.Params{"DOC": "missing.xml"}); err == nil {
+		t.Fatal("missing document lookup succeeded")
+	}
+}
+
+func TestUndefinedQuery(t *testing.T) {
+	e, _ := loadTiny(t, core.DCSD)
+	if _, err := e.Execute(core.Q19, nil); err != core.ErrNoQuery {
+		t.Fatalf("want ErrNoQuery, got %v", err)
+	}
+}
+
+func TestBuildIndexIdempotent(t *testing.T) {
+	e, _ := loadTiny(t, core.TCSD)
+	specs := queries.Indexes(core.TCSD)
+	if err := e.BuildIndexes(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildIndexes(specs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceAndDeleteDocument(t *testing.T) {
+	e, _ := loadTiny(t, core.DCMD)
+	before := e.DocumentCount()
+
+	// Replace order1 with a version whose total is recognizable.
+	newDoc := []byte(`<order id="O1"><customer_id>C1</customer_id>
+		<order_date>2000-01-01</order_date><sub_total>1</sub_total>
+		<tax>0</tax><total>42.42</total><ship_type>AIR</ship_type>
+		<ship_date>2000-01-02</ship_date><ship_addr_id>A1</ship_addr_id>
+		<order_status>NEW</order_status>
+		<cc_xacts><cc_type>VISA</cc_type><cc_number>1</cc_number>
+		<cc_name>x</cc_name><cc_expiry>2001-01-01</cc_expiry>
+		<cc_auth_id>1</cc_auth_id><total_amount>42.42</total_amount></cc_xacts>
+		<order_lines><order_line><item_id>I1</item_id><qty>1</qty>
+		<discount>0</discount></order_line></order_lines></order>`)
+	if err := e.ReplaceDocument("order1.xml", newDoc); err != nil {
+		t.Fatal(err)
+	}
+	if e.DocumentCount() != before {
+		t.Fatalf("replace changed document count: %d -> %d", before, e.DocumentCount())
+	}
+	res, err := e.Execute(core.Q1, core.Params{"X": "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.Contains(res.Items[0], "42.42") {
+		t.Fatalf("Q1 after replace = %v", res.Items)
+	}
+
+	// Delete it and confirm it is gone.
+	if err := e.DeleteDocument("order1.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if e.DocumentCount() != before-1 {
+		t.Fatalf("delete did not shrink catalog: %d", e.DocumentCount())
+	}
+	res, err = e.Execute(core.Q1, core.Params{"X": "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Fatalf("deleted order still queryable: %v", res.Items)
+	}
+	if err := e.DeleteDocument("order1.xml"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if err := e.ReplaceDocument("bad.xml", []byte("<a><b></a>")); err == nil {
+		t.Fatal("replace accepted malformed XML")
+	}
+}
+
+func TestReplaceUpsertsNewDocument(t *testing.T) {
+	e, _ := loadTiny(t, core.TCMD)
+	before := e.DocumentCount()
+	doc := []byte(`<article id="a999"><prolog><title>Fresh</title>
+		<authors><author><name>N</name></author></authors></prolog>
+		<body><sec id="s1"><p>x</p></sec></body></article>`)
+	if err := e.ReplaceDocument("article999.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	if e.DocumentCount() != before+1 {
+		t.Fatal("upsert did not add a document")
+	}
+	res, err := e.Execute(core.Q1, core.Params{"X": "a999"})
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("new document not queryable: %v %v", res.Items, err)
+	}
+}
+
+func TestIndexesRebuildAfterUpdate(t *testing.T) {
+	e, _ := loadTiny(t, core.DCMD)
+	if err := e.BuildIndexes(queries.Indexes(core.DCMD)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeleteDocument("order2.xml"); err != nil {
+		t.Fatal(err)
+	}
+	// Indexes were dropped; scan still answers, then rebuild works.
+	res, err := e.Execute(core.Q1, core.Params{"X": "O3"})
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("post-update scan: %v %v", res.Items, err)
+	}
+	if err := e.BuildIndexes(queries.Indexes(core.DCMD)); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.Execute(core.Q1, core.Params{"X": "O3"})
+	if err != nil || len(res2.Items) != 1 || res2.Items[0] != res.Items[0] {
+		t.Fatalf("post-rebuild answer differs: %v %v", res2.Items, err)
+	}
+}
+
+func TestConcurrentReadOnlyQueries(t *testing.T) {
+	// Warm queries (no ColdReset) from many goroutines must be safe: the
+	// pager is the only shared mutable state and is mutex-guarded.
+	e, _ := loadTiny(t, core.DCMD)
+	if err := e.BuildIndexes(queries.Indexes(core.DCMD)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				id := fmt.Sprintf("O%d", 1+(g*8+i)%20)
+				res, err := e.Execute(core.Q1, core.Params{"X": id})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Items) != 1 {
+					errs <- fmt.Errorf("%s: %d items", id, len(res.Items))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func loadSegmented(t *testing.T, class core.Class) *Engine {
+	t.Helper()
+	cfg := gen.Config{DictEntries: 60, Articles: 5, Items: 40, Orders: 60}
+	db, err := cfg.Generate(class, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewWithOptions(0, Options{Format: FormatDOM, Segmented: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSegmentedMatchesDocumentGranular(t *testing.T) {
+	// Segmented and whole-document storage must give identical answers for
+	// the entire workload of the single-document classes, where
+	// segmentation actually kicks in.
+	for _, class := range []core.Class{core.DCSD, core.TCSD} {
+		seg := loadSegmented(t, class)
+		cfg := gen.Config{DictEntries: 60, Articles: 5, Items: 40, Orders: 60}
+		db, _ := cfg.Generate(class, core.Small)
+		whole := New(0)
+		if _, err := whole.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		if err := whole.BuildIndexes(queries.Indexes(class)); err != nil {
+			t.Fatal(err)
+		}
+		params := map[core.Class]core.Params{
+			core.DCSD: {"X": "I7", "LO": "1997-01-01", "HI": "2001-12-30",
+				"Z": "Canada", "N": "900", "W2": "system", "Y": "Adams", "PHRASE": "of the"},
+			core.TCSD: {"W": textgenHeadword(3), "W2": "system", "Y": "x",
+				"L": "London", "LO": "1997-01-01", "PHRASE": "of the"},
+		}[class]
+		for q := core.Q1; q <= core.Q20; q++ {
+			a, errA := seg.Execute(q, params)
+			b, errB := whole.Execute(q, params)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s/%s: error mismatch %v vs %v", class, q, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if len(a.Items) != len(b.Items) {
+				t.Fatalf("%s/%s: %d vs %d items", class, q, len(a.Items), len(b.Items))
+			}
+			for i := range a.Items {
+				if a.Items[i] != b.Items[i] {
+					t.Fatalf("%s/%s: item %d differs", class, q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentedReducesPointQueryIO(t *testing.T) {
+	seg := loadSegmented(t, core.DCSD)
+	cfg := gen.Config{DictEntries: 60, Articles: 5, Items: 40, Orders: 60}
+	db, _ := cfg.Generate(core.DCSD, core.Small)
+	whole := New(0)
+	if _, err := whole.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.BuildIndexes(queries.Indexes(core.DCSD)); err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{"X": "I7"}
+	seg.ColdReset()
+	a, err := seg.Execute(core.Q8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole.ColdReset()
+	b, err := whole.Execute(core.Q8, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PageIO >= b.PageIO {
+		t.Fatalf("segmented point query should read fewer pages: %d vs %d", a.PageIO, b.PageIO)
+	}
+}
+
+func TestSegmentedRequiresDOMFormat(t *testing.T) {
+	if _, err := NewWithOptions(0, Options{Format: FormatXML, Segmented: true}); err == nil {
+		t.Fatal("segmented raw-XML storage accepted")
+	}
+}
+
+func textgenHeadword(i int) string { return textgen.Headword(i) }

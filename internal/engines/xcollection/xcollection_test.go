@@ -1,0 +1,109 @@
+package xcollection
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/queries"
+)
+
+func loadTiny(t *testing.T, class core.Class) *Engine {
+	t.Helper()
+	cfg := gen.Config{DictEntries: 30, Articles: 5, Items: 20, Orders: 30}
+	db, err := cfg.Generate(class, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(0, 0)
+	if _, err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSupportMatrix(t *testing.T) {
+	e := New(0, 0)
+	if err := e.Supports(core.TCSD, core.Normal); !errors.Is(err, core.ErrUnsupported) {
+		t.Fatal("TC/SD Normal should exceed the decomposition row limit")
+	}
+	if err := e.Supports(core.DCMD, core.Large); err != nil {
+		t.Fatalf("DC/MD Large should load: %v", err)
+	}
+}
+
+func TestLoadRejectsUnsupported(t *testing.T) {
+	cfg := gen.Config{DictEntries: 10}
+	db, err := cfg.Generate(core.TCSD, core.Normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(0, 0)
+	if _, err := e.Load(db); !errors.Is(err, core.ErrUnsupported) {
+		t.Fatalf("Load accepted unsupported combination: %v", err)
+	}
+}
+
+func TestAutoKeyIndexesBuilt(t *testing.T) {
+	e := loadTiny(t, core.DCMD)
+	for _, tc := range []struct{ table, col string }{
+		{"order_tab", "id"},
+		{"order_line_tab", "order_id"},
+		{"customer_tab", "id"},
+	} {
+		if !e.Store().DB.Table(tc.table).HasIndex(tc.col) {
+			t.Errorf("%s.%s not auto-indexed during bulk load", tc.table, tc.col)
+		}
+	}
+}
+
+func TestExecuteBeforeLoadFails(t *testing.T) {
+	e := New(0, 0)
+	if _, err := e.Execute(core.Q5, nil); err == nil {
+		t.Fatal("Execute before Load succeeded")
+	}
+	if err := e.BuildIndexes(nil); err == nil {
+		t.Fatal("BuildIndexes before Load succeeded")
+	}
+}
+
+func TestTargetColumnMapping(t *testing.T) {
+	cases := []struct {
+		class  core.Class
+		target string
+		table  string
+		ok     bool
+	}{
+		{core.TCSD, "hw", "entry_tab", true},
+		{core.TCMD, "article/@id", "article_tab", true},
+		{core.DCSD, "item/@id", "item_tab", true},
+		{core.DCSD, "date_of_release", "item_tab", true},
+		{core.DCMD, "order/@id", "order_tab", true},
+		{core.DCMD, "bogus", "", false},
+	}
+	for _, c := range cases {
+		table, _, ok := TargetColumn(c.class, c.target)
+		if ok != c.ok || table != c.table {
+			t.Errorf("TargetColumn(%s, %s) = %s, %v", c.class, c.target, table, ok)
+		}
+	}
+}
+
+func TestQ5FlagsOrder(t *testing.T) {
+	e := loadTiny(t, core.DCMD)
+	res, err := e.Execute(core.Q5, core.Params{"X": "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.HasPrefix(res.Items[0], "<order_line>") {
+		t.Fatalf("Q5 = %v", res.Items)
+	}
+	if res.OrderGuaranteed {
+		t.Fatal("shredded Q5 must not guarantee order")
+	}
+}

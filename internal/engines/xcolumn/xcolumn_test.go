@@ -1,0 +1,114 @@
+package xcolumn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/queries"
+)
+
+func loadTiny(t *testing.T, class core.Class) *Engine {
+	t.Helper()
+	cfg := gen.Config{Articles: 5, Orders: 30, Items: 20}
+	db, err := cfg.Generate(class, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(0)
+	if _, err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRejectsSingleDocumentClasses(t *testing.T) {
+	e := New(0)
+	for _, class := range []core.Class{core.TCSD, core.DCSD} {
+		if err := e.Supports(class, core.Small); !errors.Is(err, core.ErrUnsupported) {
+			t.Errorf("Supports(%s) = %v, want ErrUnsupported", class, err)
+		}
+		db := &core.Database{Class: class, Size: core.Small}
+		if _, err := e.Load(db); !errors.Is(err, core.ErrUnsupported) {
+			t.Errorf("Load(%s) = %v, want ErrUnsupported", class, err)
+		}
+	}
+}
+
+func TestQ12ReturnsIntactFragment(t *testing.T) {
+	e := loadTiny(t, core.DCMD)
+	res, err := e.Execute(core.Q12, core.Params{"X": "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.HasPrefix(res.Items[0], "<cc_xacts>") {
+		t.Fatalf("Q12 = %v", res.Items)
+	}
+	if !res.OrderGuaranteed {
+		t.Fatal("Xcolumn preserves order via dxx_seqno and intact CLOBs")
+	}
+}
+
+func TestQ5UsesDocumentOrder(t *testing.T) {
+	e := loadTiny(t, core.DCMD)
+	res, err := e.Execute(core.Q5, core.Params{"X": "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.HasPrefix(res.Items[0], "<order_line>") {
+		t.Fatalf("Q5 = %v", res.Items)
+	}
+}
+
+func TestQ16ReturnsWholeDocument(t *testing.T) {
+	e := loadTiny(t, core.DCMD)
+	res, err := e.Execute(core.Q16, core.Params{"X": "O1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.HasPrefix(res.Items[0], `<order id="O1">`) {
+		t.Fatalf("Q16 = %.80s", res.Items[0])
+	}
+}
+
+func TestTCMDQueries(t *testing.T) {
+	e := loadTiny(t, core.TCMD)
+	res, err := e.Execute(core.Q1, core.Params{"X": "a2"})
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("Q1: %v %v", res.Items, err)
+	}
+	res, err = e.Execute(core.Q8, core.Params{"X": "a2"})
+	if err != nil || len(res.Items) == 0 {
+		t.Fatalf("Q8: %v %v", res.Items, err)
+	}
+	for _, it := range res.Items {
+		if !strings.HasPrefix(it, "<heading>") {
+			t.Fatalf("Q8 item %q", it)
+		}
+	}
+}
+
+func TestQ17ScansAllCLOBs(t *testing.T) {
+	e := loadTiny(t, core.TCMD)
+	e.ColdReset()
+	res, err := e.Execute(core.Q17, core.Params{"W2": "system"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scanning every CLOB must read essentially the whole database.
+	if res.PageIO == 0 {
+		t.Fatal("CLOB scan performed no I/O")
+	}
+}
+
+func TestUndefinedQuery(t *testing.T) {
+	e := loadTiny(t, core.DCMD)
+	if _, err := e.Execute(core.Q20, nil); !errors.Is(err, core.ErrNoQuery) {
+		t.Fatalf("want ErrNoQuery, got %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"strconv"
+
+	"xbench/internal/core"
+	"xbench/internal/tpcw"
+	"xbench/internal/xmldom"
+)
+
+// genCatalog produces the DC/SD database: a single catalog.xml mapped from
+// the TPC-W population with ITEM as the base table, joined recursively with
+// AUTHOR, AUTHOR_2, PUBLISHER, ADDRESS and COUNTRY (paper §2.1.2): matching
+// tuples of each joined table become sub-elements, adding depth.
+func (c Config) genCatalog(size core.Size, itemNum int) (*core.Database, error) {
+	data := tpcw.Generate(c.Seed^0xDC5D, tpcw.Counts{Items: itemNum})
+	e := xmldom.NewEncoder()
+	e.Begin("catalog")
+	for i := range data.Items {
+		emitCatalogItem(e, data, &data.Items[i])
+	}
+	e.End()
+	b, err := e.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Database{
+		Class: core.DCSD,
+		Size:  size,
+		Docs:  []core.Doc{{Name: "catalog.xml", Data: b}},
+	}, nil
+}
+
+func emitCatalogItem(e *xmldom.Encoder, d *tpcw.Data, it *tpcw.Item) {
+	e.Begin("item", "id", it.ID)
+	e.Leaf("title", it.Title)
+	e.Leaf("date_of_release", it.PubDate)
+	e.Leaf("subject", it.Subject)
+	if it.Desc != "" {
+		e.Leaf("description", it.Desc)
+	}
+	e.Begin("attributes")
+	e.Leaf("srp", it.SRP)
+	e.Leaf("cost", it.Cost)
+	e.Leaf("avail", it.Avail)
+	e.Leaf("isbn", it.ISBN)
+	e.Leaf("number_of_pages", strconv.Itoa(it.Pages))
+	e.Leaf("backing", it.Backing)
+	e.Begin("dimensions")
+	e.Leaf("length", it.Length)
+	e.Leaf("width", it.Width)
+	e.Leaf("height", it.Height)
+	e.End() // dimensions
+	e.End() // attributes
+	e.Begin("authors")
+	for _, aid := range it.AuthorIDs {
+		emitCatalogAuthor(e, d, aid)
+	}
+	e.End() // authors
+	if pub, ok := d.PublisherByID(it.PubID); ok {
+		e.Begin("publisher")
+		e.Leaf("name", pub.Name)
+		if pub.Fax != "" {
+			e.Leaf("FAX_number", pub.Fax)
+		}
+		e.Leaf("phone_number", pub.Phone)
+		e.Leaf("email_address", pub.Email)
+		e.End()
+	}
+	e.End() // item
+}
+
+func emitCatalogAuthor(e *xmldom.Encoder, d *tpcw.Data, authorID string) {
+	a, a2, ok := d.AuthorByID(authorID)
+	if !ok {
+		return
+	}
+	e.Begin("author")
+	e.Begin("name")
+	e.Leaf("first_name", a.FName)
+	if a.MName != "" {
+		e.Leaf("middle_name", a.MName)
+	}
+	e.Leaf("last_name", a.LName)
+	e.End() // name
+	e.Leaf("date_of_birth", a.DOB)
+	e.Leaf("biography", a.Bio)
+	e.Begin("contact_information")
+	if addr, ok := d.AddressByID(a2.AddrID); ok {
+		e.Begin("mailing_address")
+		e.Leaf("street_address1", addr.Street1)
+		if addr.Street2 != "" {
+			e.Leaf("street_address2", addr.Street2)
+		}
+		e.Leaf("city", addr.City)
+		if addr.State != "" {
+			e.Leaf("state", addr.State)
+		}
+		e.Leaf("zip_code", addr.Zip)
+		if co, ok := d.CountryByID(addr.CountryID); ok {
+			e.Leaf("name_of_country", co.Name)
+		}
+		e.End() // mailing_address
+	}
+	if a2.Phone != "" {
+		e.Leaf("phone_number", a2.Phone)
+	}
+	if a2.Email != "" {
+		e.Leaf("email_address", a2.Email)
+	}
+	e.End() // contact_information
+	e.End() // author
+}

@@ -1,0 +1,198 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RID identifies a record in a Heap: the byte offset where its length
+// prefix begins.
+type RID uint64
+
+// Heap is an append-only record file over a paged file. Records are
+// length-prefixed and may span pages, so whole XML documents and shredded
+// rows use the same storage primitive. Inserts are buffered one page at a
+// time and flushed as pages fill, modeling bulk-load I/O; call Flush to
+// persist a partial tail page.
+type Heap struct {
+	p   *Pager
+	fid FileID
+
+	end       uint64 // next insert offset
+	flushed   uint64 // offsets below this are on disk
+	tail      []byte // in-memory image of the tail page
+	tailNo    uint32
+	hasTail   bool
+	tailDirty bool // tail differs from its on-disk image
+	count     int
+}
+
+// NewHeap creates an empty heap in a fresh file.
+func NewHeap(p *Pager, name string) *Heap {
+	return &Heap{p: p, fid: p.Create(name)}
+}
+
+// Count returns the number of records inserted.
+func (h *Heap) Count() int { return h.count }
+
+// Bytes returns the total size of record data including prefixes.
+func (h *Heap) Bytes() uint64 { return h.end }
+
+// Insert appends a record and returns its RID.
+func (h *Heap) Insert(rec []byte) (RID, error) {
+	rid := RID(h.end)
+	var pfx [4]byte
+	binary.BigEndian.PutUint32(pfx[:], uint32(len(rec)))
+	if err := h.write(pfx[:]); err != nil {
+		return 0, err
+	}
+	if err := h.write(rec); err != nil {
+		return 0, err
+	}
+	h.count++
+	return rid, nil
+}
+
+// write appends raw bytes across page boundaries.
+func (h *Heap) write(b []byte) error {
+	for len(b) > 0 {
+		off := int(h.end % PageSize)
+		if !h.hasTail {
+			no, err := h.p.Append(h.fid)
+			if err != nil {
+				return err
+			}
+			h.tailNo = no
+			h.tail = make([]byte, PageSize)
+			h.hasTail = true
+		}
+		n := copy(h.tail[off:], b)
+		b = b[n:]
+		h.end += uint64(n)
+		h.tailDirty = true
+		if h.end%PageSize == 0 {
+			if err := h.flushTail(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Heap) flushTail() error {
+	if !h.hasTail {
+		return nil
+	}
+	if err := h.p.Write(h.fid, h.tailNo, h.tail); err != nil {
+		return err
+	}
+	h.flushed = (uint64(h.tailNo) + 1) * PageSize
+	h.hasTail = false
+	return nil
+}
+
+// Flush persists any buffered tail page.
+func (h *Heap) Flush() error {
+	if !h.hasTail {
+		return nil
+	}
+	if err := h.p.Write(h.fid, h.tailNo, h.tail); err != nil {
+		return err
+	}
+	h.flushed = h.end
+	h.tailDirty = false
+	// Keep the tail image so further inserts continue filling the page.
+	return nil
+}
+
+// Sync flushes the tail page and forces every dirty page of the heap's
+// file to disk (the per-file fsync of a multi-document load).
+func (h *Heap) Sync() error {
+	if err := h.Flush(); err != nil {
+		return err
+	}
+	h.p.Sync(h.fid)
+	return nil
+}
+
+// readAt fills buf from the heap starting at offset, going through the
+// buffer pool (and the in-memory tail when needed).
+func (h *Heap) readAt(buf []byte, off uint64) error {
+	for len(buf) > 0 {
+		pageNo := uint32(off / PageSize)
+		pageOff := int(off % PageSize)
+		var src []byte
+		if h.hasTail && pageNo == h.tailNo && h.tailDirty {
+			// Unflushed data is only available in memory; once flushed,
+			// reads go through the buffer pool like any other page so
+			// cold-run I/O is fully accounted.
+			src = h.tail
+		} else {
+			pg, err := h.p.Read(h.fid, pageNo)
+			if err != nil {
+				return err
+			}
+			src = pg
+		}
+		n := copy(buf, src[pageOff:])
+		if n == 0 {
+			return fmt.Errorf("pager: heap read stalled at offset %d", off)
+		}
+		buf = buf[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// Get returns the record stored at rid. The result is a fresh copy.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	off := uint64(rid)
+	if off+4 > h.end {
+		return nil, fmt.Errorf("pager: rid %d beyond heap end %d", rid, h.end)
+	}
+	var pfx [4]byte
+	if err := h.readAt(pfx[:], off); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if off+4+uint64(n) > h.end {
+		return nil, fmt.Errorf("pager: rid %d has corrupt length %d", rid, n)
+	}
+	rec := make([]byte, n)
+	if err := h.readAt(rec, off+4); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Scan visits every record in insertion order. Returning false stops the
+// scan early.
+func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
+	off := uint64(0)
+	for off < h.end {
+		rec, err := h.Get(RID(off))
+		if err != nil {
+			return err
+		}
+		if !fn(RID(off), rec) {
+			return nil
+		}
+		off += 4 + uint64(len(rec))
+	}
+	return nil
+}
+
+// Reset truncates the heap to empty so it can be rebuilt (used when a
+// catalog is rewritten after document updates).
+func (h *Heap) Reset() error {
+	if err := h.p.Truncate(h.fid); err != nil {
+		return err
+	}
+	h.end = 0
+	h.flushed = 0
+	h.tail = nil
+	h.hasTail = false
+	h.tailDirty = false
+	h.count = 0
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package pager simulates the disk subsystem beneath every storage engine:
+// page-addressed files, a write-back CLOCK buffer pool, and I/O accounting.
+//
+// The paper measures cold-run times on a 2 GHz / 1 GB Windows XP machine.
+// We cannot reproduce 2004 hardware, so the engines run over this shared
+// pager and the benchmark reports wall-clock time plus page I/O counts
+// (the harness converts I/O to time with an explicit seek-cost model).
+//
+// The pool is write-back: Write dirties a frame without disk I/O; a disk
+// write is counted when a dirty frame is evicted, synced (the fsync
+// analog used for per-file durability during multi-document loads) or
+// flushed by ColdReset. Repeated updates to a hot page — B+tree leaves
+// during index builds — are therefore absorbed, as on a real DBMS.
+// ColdReset flushes and drops the pool, reproducing the paper's "cold
+// run ... to prevent caching effects" methodology.
+package pager
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 8192
+
+// FileID identifies a paged file within a Pager.
+type FileID uint32
+
+// Stats accumulates simulated I/O counters.
+type Stats struct {
+	// Reads counts page reads that missed the buffer pool (disk reads).
+	Reads int64
+	// Writes counts page writes to disk (eviction, sync, cold flush).
+	Writes int64
+	// Hits counts page reads served from the buffer pool.
+	Hits int64
+}
+
+// IO returns total disk operations (reads + writes).
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+// Pager owns a set of simulated files and a shared buffer pool.
+// It is safe for concurrent use.
+type Pager struct {
+	mu    sync.Mutex
+	files map[FileID]*file
+	next  FileID
+	stats Stats
+
+	// buffer pool (CLOCK replacement, write-back)
+	capacity int
+	frames   []frame
+	table    map[pageKey]int // pageKey -> frame index
+	hand     int
+}
+
+type pageKey struct {
+	fid FileID
+	no  uint32
+}
+
+type frame struct {
+	key   pageKey
+	data  []byte
+	used  bool // CLOCK reference bit
+	dirty bool
+	valid bool
+}
+
+type file struct {
+	name  string
+	pages [][]byte // the "disk"; nil entries were never written back
+}
+
+// DefaultPoolPages is the default buffer pool capacity (4 MB of pages),
+// deliberately small relative to the Large databases so cold scans are
+// disk-bound, as they were on the paper's 1 GB machine.
+const DefaultPoolPages = 512
+
+// New returns a pager with the given buffer pool capacity in pages
+// (<= 0 selects DefaultPoolPages).
+func New(poolPages int) *Pager {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	return &Pager{
+		files:    make(map[FileID]*file),
+		capacity: poolPages,
+		frames:   make([]frame, poolPages),
+		table:    make(map[pageKey]int, poolPages),
+	}
+}
+
+// Create makes a new empty file and returns its id.
+func (p *Pager) Create(name string) FileID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	p.files[id] = &file{name: name}
+	return id
+}
+
+// Truncate discards all pages of a file, including cached ones.
+func (p *Pager) Truncate(fid FileID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.files[fid]
+	if !ok {
+		return fmt.Errorf("pager: unknown file %d", fid)
+	}
+	f.pages = nil
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].key.fid == fid {
+			delete(p.table, p.frames[i].key)
+			p.frames[i] = frame{}
+		}
+	}
+	return nil
+}
+
+// NumPages returns the page count of a file.
+func (p *Pager) NumPages(fid FileID) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.files[fid]; ok {
+		return uint32(len(f.pages))
+	}
+	return 0
+}
+
+// Append adds a new zeroed page to the file and returns its number. The
+// page starts life dirty in the pool; its disk write is counted when it
+// is evicted or synced.
+func (p *Pager) Append(fid FileID) (uint32, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.files[fid]
+	if !ok {
+		return 0, fmt.Errorf("pager: unknown file %d", fid)
+	}
+	no := uint32(len(f.pages))
+	f.pages = append(f.pages, nil) // reserve the slot; data arrives on write-back
+	p.install(pageKey{fid, no}, make([]byte, PageSize), true)
+	return no, nil
+}
+
+// Read returns the content of a page. The returned slice aliases the
+// buffer-pool copy; callers must treat it as read-only and use Write to
+// mutate pages.
+func (p *Pager) Read(fid FileID, no uint32) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := pageKey{fid, no}
+	if i, ok := p.table[key]; ok {
+		p.frames[i].used = true
+		p.stats.Hits++
+		return p.frames[i].data, nil
+	}
+	f, ok := p.files[fid]
+	if !ok || no >= uint32(len(f.pages)) {
+		return nil, fmt.Errorf("pager: read beyond end of file %d page %d", fid, no)
+	}
+	p.stats.Reads++
+	data := make([]byte, PageSize)
+	copy(data, f.pages[no])
+	p.install(key, data, false)
+	return data, nil
+}
+
+// Write replaces the content of an existing page in the pool, marking it
+// dirty (write-back: no disk write is counted yet). data longer than
+// PageSize is an error; shorter data is zero-padded.
+func (p *Pager) Write(fid FileID, no uint32, data []byte) error {
+	if len(data) > PageSize {
+		return fmt.Errorf("pager: write of %d bytes exceeds page size", len(data))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.files[fid]
+	if !ok || no >= uint32(len(f.pages)) {
+		return fmt.Errorf("pager: write beyond end of file %d page %d", fid, no)
+	}
+	pg := make([]byte, PageSize)
+	copy(pg, data)
+	p.install(pageKey{fid, no}, pg, true)
+	return nil
+}
+
+// install places a page into the buffer pool, evicting with CLOCK and
+// writing back the victim if dirty.
+func (p *Pager) install(key pageKey, data []byte, dirty bool) {
+	if i, ok := p.table[key]; ok {
+		p.frames[i].data = data
+		p.frames[i].used = true
+		p.frames[i].dirty = p.frames[i].dirty || dirty
+		return
+	}
+	for {
+		fr := &p.frames[p.hand]
+		if !fr.valid {
+			break
+		}
+		if fr.used {
+			fr.used = false
+			p.hand = (p.hand + 1) % p.capacity
+			continue
+		}
+		if fr.dirty {
+			p.writeBack(fr)
+		}
+		delete(p.table, fr.key)
+		break
+	}
+	p.frames[p.hand] = frame{key: key, data: data, used: true, dirty: dirty, valid: true}
+	p.table[key] = p.hand
+	p.hand = (p.hand + 1) % p.capacity
+}
+
+// writeBack persists one dirty frame, counting a disk write.
+func (p *Pager) writeBack(fr *frame) {
+	f := p.files[fr.key.fid]
+	if f == nil || fr.key.no >= uint32(len(f.pages)) {
+		return // file truncated underneath the frame
+	}
+	f.pages[fr.key.no] = fr.data
+	fr.dirty = false
+	p.stats.Writes++
+}
+
+// Sync writes back every dirty page of one file (the fsync analog: one
+// disk write per dirty page). Loading a database of many small files
+// syncs per file, which is exactly the per-document I/O that dominates
+// DC/MD bulk loading in the paper.
+func (p *Pager) Sync(fid FileID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].dirty && p.frames[i].key.fid == fid {
+			p.writeBack(&p.frames[i])
+		}
+	}
+}
+
+// SyncAll writes back every dirty page of every file.
+func (p *Pager) SyncAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].dirty {
+			p.writeBack(&p.frames[i])
+		}
+	}
+}
+
+// ColdReset flushes dirty pages and empties the buffer pool (the paper's
+// cold-run methodology). Disk contents and I/O statistics are preserved.
+func (p *Pager) ColdReset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].dirty {
+			p.writeBack(&p.frames[i])
+		}
+		p.frames[i] = frame{}
+	}
+	p.table = make(map[pageKey]int, p.capacity)
+	p.hand = 0
+}
+
+// Stats returns the accumulated I/O counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters (e.g. between benchmark phases).
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}

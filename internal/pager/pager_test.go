@@ -1,0 +1,240 @@
+package pager
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAppendReadWrite(t *testing.T) {
+	p := New(4)
+	f := p.Create("t")
+	no, err := p.Append(f)
+	if err != nil || no != 0 {
+		t.Fatalf("Append = %d, %v", no, err)
+	}
+	data := bytes.Repeat([]byte("x"), 100)
+	if err := p.Write(f, no, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(f, no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:100], data) {
+		t.Fatal("read-back mismatch")
+	}
+	if len(got) != PageSize {
+		t.Fatalf("page size %d", len(got))
+	}
+}
+
+func TestReadWriteErrors(t *testing.T) {
+	p := New(4)
+	f := p.Create("t")
+	if _, err := p.Read(f, 0); err == nil {
+		t.Fatal("read beyond EOF succeeded")
+	}
+	if err := p.Write(f, 5, nil); err == nil {
+		t.Fatal("write beyond EOF succeeded")
+	}
+	if err := p.Write(f, 0, make([]byte, PageSize+1)); err == nil {
+		t.Fatal("oversized write succeeded")
+	}
+	if _, err := p.Append(FileID(99)); err == nil {
+		t.Fatal("append to unknown file succeeded")
+	}
+	if _, err := p.Read(FileID(99), 0); err == nil {
+		t.Fatal("read of unknown file succeeded")
+	}
+}
+
+func TestBufferPoolHitsAndEviction(t *testing.T) {
+	p := New(2) // tiny pool
+	f := p.Create("t")
+	for i := 0; i < 4; i++ {
+		no, _ := p.Append(f)
+		p.Write(f, no, []byte{byte(i)})
+	}
+	p.ColdReset()
+	p.ResetStats()
+
+	p.Read(f, 0) // miss
+	p.Read(f, 0) // hit
+	s := p.Stats()
+	if s.Reads != 1 || s.Hits != 1 {
+		t.Fatalf("reads=%d hits=%d", s.Reads, s.Hits)
+	}
+	// Touch enough pages to evict page 0 from the 2-frame pool.
+	p.Read(f, 1)
+	p.Read(f, 2)
+	p.Read(f, 3)
+	p.ResetStats()
+	p.Read(f, 0)
+	if got := p.Stats(); got.Reads != 1 {
+		t.Fatalf("page 0 should have been evicted; reads=%d hits=%d", got.Reads, got.Hits)
+	}
+}
+
+func TestColdResetForcesMisses(t *testing.T) {
+	p := New(8)
+	f := p.Create("t")
+	no, _ := p.Append(f)
+	p.Write(f, no, []byte("hello"))
+	p.Read(f, no)
+	p.ResetStats()
+	p.Read(f, no) // warm: hit
+	if s := p.Stats(); s.Hits != 1 || s.Reads != 0 {
+		t.Fatalf("warm read: %+v", s)
+	}
+	p.ColdReset()
+	p.ResetStats()
+	got, _ := p.Read(f, no) // cold: miss
+	if s := p.Stats(); s.Reads != 1 || s.Hits != 0 {
+		t.Fatalf("cold read: %+v", s)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatal("data lost across ColdReset")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := New(4)
+	f := p.Create("t")
+	p.Append(f)
+	p.Append(f)
+	if p.NumPages(f) != 2 {
+		t.Fatal("NumPages before truncate")
+	}
+	if err := p.Truncate(f); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages(f) != 0 {
+		t.Fatal("NumPages after truncate")
+	}
+	if _, err := p.Read(f, 0); err == nil {
+		t.Fatal("stale cached page served after truncate")
+	}
+	if err := p.Truncate(FileID(99)); err == nil {
+		t.Fatal("truncate of unknown file succeeded")
+	}
+}
+
+func TestHeapRoundTrip(t *testing.T) {
+	p := New(16)
+	h := NewHeap(p, "heap")
+	recs := [][]byte{
+		[]byte("first"),
+		[]byte(""),
+		bytes.Repeat([]byte("big"), 10000), // spans multiple pages
+		[]byte("last"),
+	}
+	var rids []RID
+	for _, r := range recs {
+		rid, err := h.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if h.Count() != len(recs) {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", rid, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("record %d mismatch: %d vs %d bytes", i, len(got), len(recs[i]))
+		}
+	}
+}
+
+func TestHeapScanOrderAndEarlyStop(t *testing.T) {
+	p := New(16)
+	h := NewHeap(p, "heap")
+	for i := 0; i < 10; i++ {
+		h.Insert([]byte(fmt.Sprintf("rec%d", i)))
+	}
+	var seen []string
+	h.Scan(func(_ RID, rec []byte) bool {
+		seen = append(seen, string(rec))
+		return len(seen) < 4
+	})
+	if len(seen) != 4 || seen[0] != "rec0" || seen[3] != "rec3" {
+		t.Fatalf("scan = %v", seen)
+	}
+}
+
+func TestHeapFlushAndColdRead(t *testing.T) {
+	p := New(16)
+	h := NewHeap(p, "heap")
+	rid, _ := h.Insert([]byte("buffered"))
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.ColdReset()
+	got, err := h.Get(rid)
+	if err != nil || string(got) != "buffered" {
+		t.Fatalf("Get after flush+cold = %q, %v", got, err)
+	}
+	// Continue inserting into the same tail page after Flush.
+	rid2, _ := h.Insert([]byte("more"))
+	got2, err := h.Get(rid2)
+	if err != nil || string(got2) != "more" {
+		t.Fatalf("Get of post-flush record = %q, %v", got2, err)
+	}
+}
+
+func TestHeapGetErrors(t *testing.T) {
+	p := New(16)
+	h := NewHeap(p, "heap")
+	h.Insert([]byte("x"))
+	if _, err := h.Get(RID(1 << 40)); err == nil {
+		t.Fatal("Get far beyond end succeeded")
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	p := New(64)
+	h := NewHeap(p, "heap")
+	type entry struct {
+		rid RID
+		val []byte
+	}
+	var entries []entry
+	f := func(data []byte) bool {
+		rid, err := h.Insert(data)
+		if err != nil {
+			return false
+		}
+		entries = append(entries, entry{rid, append([]byte(nil), data...)})
+		// Every previously inserted record must still read back intact.
+		for _, e := range entries {
+			got, err := h.Get(e.rid)
+			if err != nil || !bytes.Equal(got, e.val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsIO(t *testing.T) {
+	s := Stats{Reads: 3, Writes: 4, Hits: 9}
+	if s.IO() != 7 {
+		t.Fatalf("IO = %d", s.IO())
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	p := New(0)
+	if p.capacity != DefaultPoolPages {
+		t.Fatalf("default capacity = %d", p.capacity)
+	}
+}

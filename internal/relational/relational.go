@@ -1,0 +1,315 @@
+// Package relational is the miniature relational engine underneath the
+// three XML-via-relational storage strategies of the paper (DB2 Xcolumn,
+// DB2 Xcollection, SQL Server). It provides heap tables over the simulated
+// pager, B+tree indexes with equality and range lookups, sequential scans,
+// and the small set of physical operators the hand-translated workload
+// queries need.
+package relational
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"xbench/internal/btree"
+	"xbench/internal/pager"
+)
+
+// Null is the sentinel stored for SQL NULL. It is distinct from the empty
+// string, which represents a present-but-empty XML element — the
+// distinction Q14 (missing element) vs Q15 (empty value) relies on.
+const Null = "\x00NULL"
+
+// IsNull reports whether a value is the NULL sentinel.
+func IsNull(v string) bool { return v == Null }
+
+// Row is one tuple; values are strings (XML's native value type), with
+// Null marking SQL NULL.
+type Row []string
+
+// DB is a collection of tables sharing one pager.
+type DB struct {
+	Pager  *pager.Pager
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database over p.
+func NewDB(p *pager.Pager) *DB {
+	return &DB{Pager: p, tables: map[string]*Table{}}
+}
+
+// Table is a heap table with optional B+tree indexes.
+type Table struct {
+	Name string
+	Cols []string
+
+	db      *DB
+	colIdx  map[string]int
+	heap    *pager.Heap
+	indexes map[string]*btree.Tree
+	rids    []pager.RID // insertion order, for stable scans
+}
+
+// Create makes a new empty table. It panics if the name is taken (schema
+// definition bugs should fail loudly).
+func (db *DB) Create(name string, cols ...string) *Table {
+	if _, dup := db.tables[name]; dup {
+		panic(fmt.Sprintf("relational: table %q already exists", name))
+	}
+	t := &Table{
+		Name:    name,
+		Cols:    cols,
+		db:      db,
+		colIdx:  make(map[string]int, len(cols)),
+		heap:    pager.NewHeap(db.Pager, name),
+		indexes: map[string]*btree.Tree{},
+	}
+	for i, c := range cols {
+		t.colIdx[c] = i
+	}
+	db.tables[name] = t
+	return t
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Col returns the index of a column. It panics on unknown columns —
+// these are static query-plan bugs, not runtime conditions.
+func (t *Table) Col(name string) int {
+	i, ok := t.colIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("relational: table %s has no column %q", t.Name, name))
+	}
+	return i
+}
+
+// Count returns the number of rows.
+func (t *Table) Count() int { return t.heap.Count() }
+
+// Insert appends a row and maintains any existing indexes.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("relational: %s: row has %d values, want %d", t.Name, len(row), len(t.Cols))
+	}
+	rid, err := t.heap.Insert(encodeRow(row))
+	if err != nil {
+		return err
+	}
+	t.rids = append(t.rids, rid)
+	for col, ix := range t.indexes {
+		v := row[t.Col(col)]
+		if IsNull(v) {
+			continue // NULLs are not indexed
+		}
+		if err := ix.Insert(v, uint64(rid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush persists buffered heap pages (end of bulk load).
+func (t *Table) Flush() error { return t.heap.Flush() }
+
+// CreateIndex builds a B+tree on col over existing rows. Creating the same
+// index twice is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	ci := t.Col(col)
+	ix, err := btree.New(t.db.Pager, t.Name+"."+col+".idx")
+	if err != nil {
+		return err
+	}
+	err = t.heap.Scan(func(rid pager.RID, rec []byte) bool {
+		row := decodeRow(rec)
+		if !IsNull(row[ci]) {
+			if e := ix.Insert(row[ci], uint64(rid)); e != nil {
+				err = e
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.indexes[col] = ix
+	return nil
+}
+
+// HasIndex reports whether col is indexed.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// Scan visits all rows in insertion order (a full table scan: every heap
+// page is read). Returning false stops early.
+func (t *Table) Scan(fn func(Row) bool) error {
+	return t.heap.Scan(func(_ pager.RID, rec []byte) bool {
+		return fn(decodeRow(rec))
+	})
+}
+
+// Get fetches one row by RID.
+func (t *Table) Get(rid pager.RID) (Row, error) {
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRow(rec), nil
+}
+
+// LookupEq returns rows where col == val, using an index when available
+// and falling back to a sequential scan otherwise.
+func (t *Table) LookupEq(col, val string) ([]Row, error) {
+	if ix, ok := t.indexes[col]; ok {
+		rids, err := ix.Search(val)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]Row, 0, len(rids))
+		for _, r := range rids {
+			row, err := t.Get(pager.RID(r))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+	ci := t.Col(col)
+	var rows []Row
+	err := t.Scan(func(r Row) bool {
+		if r[ci] == val {
+			rows = append(rows, r)
+		}
+		return true
+	})
+	return rows, err
+}
+
+// LookupRange returns rows with lo <= col <= hi (string comparison, which
+// matches ISO dates), via index when available.
+func (t *Table) LookupRange(col, lo, hi string) ([]Row, error) {
+	if ix, ok := t.indexes[col]; ok {
+		var rows []Row
+		var inner error
+		err := ix.Range(lo, hi, func(_ string, v uint64) bool {
+			row, e := t.Get(pager.RID(v))
+			if e != nil {
+				inner = e
+				return false
+			}
+			rows = append(rows, row)
+			return true
+		})
+		if inner != nil {
+			return nil, inner
+		}
+		return rows, err
+	}
+	ci := t.Col(col)
+	var rows []Row
+	err := t.Scan(func(r Row) bool {
+		if !IsNull(r[ci]) && r[ci] >= lo && r[ci] <= hi {
+			rows = append(rows, r)
+		}
+		return true
+	})
+	return rows, err
+}
+
+// encodeRow serializes values as length-prefixed strings.
+func encodeRow(row Row) []byte {
+	n := 2
+	for _, v := range row {
+		n += 4 + len(v)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(row)))
+	for _, v := range row {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func decodeRow(rec []byte) Row {
+	n := int(binary.BigEndian.Uint16(rec[:2]))
+	row := make(Row, n)
+	off := 2
+	for i := 0; i < n; i++ {
+		l := int(binary.BigEndian.Uint32(rec[off : off+4]))
+		off += 4
+		row[i] = string(rec[off : off+l])
+		off += l
+	}
+	return row
+}
+
+// SortRows orders rows by the given column index. When numeric is true the
+// values are compared as floats (Q11/Q20 datatype casting); otherwise as
+// strings. NULLs sort last.
+func SortRows(rows []Row, col int, numeric, asc bool) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i][col], rows[j][col]
+		an, bn := IsNull(a), IsNull(b)
+		if an || bn {
+			return !an && bn // non-null first
+		}
+		var less bool
+		if numeric {
+			af, _ := strconv.ParseFloat(a, 64)
+			bf, _ := strconv.ParseFloat(b, 64)
+			less = af < bf
+		} else {
+			less = a < b
+		}
+		if asc {
+			return less
+		}
+		return !less
+	})
+}
+
+// HashJoin joins left and right on equality of the given column indexes,
+// returning concatenated rows (left columns then right columns). NULL keys
+// never match, per SQL semantics.
+func HashJoin(left, right []Row, lcol, rcol int) []Row {
+	idx := make(map[string][]Row, len(right))
+	for _, r := range right {
+		k := r[rcol]
+		if IsNull(k) {
+			continue
+		}
+		idx[k] = append(idx[k], r)
+	}
+	var out []Row
+	for _, l := range left {
+		if IsNull(l[lcol]) {
+			continue
+		}
+		for _, r := range idx[l[lcol]] {
+			joined := make(Row, 0, len(l)+len(r))
+			joined = append(joined, l...)
+			joined = append(joined, r...)
+			out = append(out, joined)
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package relational
+
+import (
+	"fmt"
+	"testing"
+
+	"xbench/internal/pager"
+)
+
+func newDB() *DB { return NewDB(pager.New(256)) }
+
+func TestCreateInsertScan(t *testing.T) {
+	db := newDB()
+	tb := db.Create("item", "id", "title", "cost")
+	for i := 0; i < 10; i++ {
+		if err := tb.Insert(Row{fmt.Sprintf("I%d", i), fmt.Sprintf("Title %d", i), "9.99"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Count() != 10 {
+		t.Fatalf("Count = %d", tb.Count())
+	}
+	var ids []string
+	tb.Scan(func(r Row) bool {
+		ids = append(ids, r[tb.Col("id")])
+		return true
+	})
+	if len(ids) != 10 || ids[0] != "I0" || ids[9] != "I9" {
+		t.Fatalf("scan ids = %v", ids)
+	}
+}
+
+func TestInsertArityError(t *testing.T) {
+	db := newDB()
+	tb := db.Create("t", "a", "b")
+	if err := tb.Insert(Row{"only-one"}); err == nil {
+		t.Fatal("arity violation accepted")
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	db := newDB()
+	db.Create("t", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Create did not panic")
+		}
+	}()
+	db.Create("t", "a")
+}
+
+func TestUnknownColumnPanics(t *testing.T) {
+	db := newDB()
+	tb := db.Create("t", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown column did not panic")
+		}
+	}()
+	tb.Col("nope")
+}
+
+func TestLookupEqWithAndWithoutIndex(t *testing.T) {
+	db := newDB()
+	tb := db.Create("t", "k", "v")
+	for i := 0; i < 500; i++ {
+		tb.Insert(Row{fmt.Sprintf("k%03d", i%100), fmt.Sprintf("v%d", i)})
+	}
+	// Without an index: sequential scan.
+	rows, err := tb.LookupEq("k", "k042")
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("scan lookup = %d rows, %v", len(rows), err)
+	}
+	// With an index: same answer.
+	if err := tb.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.HasIndex("k") {
+		t.Fatal("HasIndex false after CreateIndex")
+	}
+	rows2, err := tb.LookupEq("k", "k042")
+	if err != nil || len(rows2) != 5 {
+		t.Fatalf("indexed lookup = %d rows, %v", len(rows2), err)
+	}
+	// Index must also cover rows inserted after creation.
+	tb.Insert(Row{"k042", "late"})
+	rows3, _ := tb.LookupEq("k", "k042")
+	if len(rows3) != 6 {
+		t.Fatalf("index not maintained on insert: %d rows", len(rows3))
+	}
+	// Re-creating is a no-op.
+	if err := tb.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	db := newDB()
+	tb := db.Create("t", "date", "x")
+	for i := 0; i < 100; i++ {
+		tb.Insert(Row{fmt.Sprintf("2000-01-%02d", i%30+1), "y"})
+	}
+	scan, err := tb.LookupRange("date", "2000-01-10", "2000-01-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.CreateIndex("date")
+	indexed, err := tb.LookupRange("date", "2000-01-10", "2000-01-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan) == 0 || len(scan) != len(indexed) {
+		t.Fatalf("range results differ: scan=%d indexed=%d", len(scan), len(indexed))
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	db := newDB()
+	tb := db.Create("pub", "name", "fax")
+	tb.Insert(Row{"P1", "555-0000"})
+	tb.Insert(Row{"P2", Null})
+	tb.Insert(Row{"P3", ""}) // empty is NOT null
+	tb.CreateIndex("fax")
+
+	// NULLs are not indexed and never equal anything.
+	rows, _ := tb.LookupEq("fax", Null)
+	if len(rows) != 0 {
+		t.Fatal("NULL matched in index lookup")
+	}
+	rows, _ = tb.LookupEq("fax", "")
+	if len(rows) != 1 || rows[0][0] != "P3" {
+		t.Fatalf("empty-string lookup = %v", rows)
+	}
+	// A scan-side NULL check still finds the missing-fax publisher.
+	var missing []string
+	tb.Scan(func(r Row) bool {
+		if IsNull(r[tb.Col("fax")]) {
+			missing = append(missing, r[0])
+		}
+		return true
+	})
+	if len(missing) != 1 || missing[0] != "P2" {
+		t.Fatalf("missing-fax scan = %v", missing)
+	}
+	// Range scans skip NULLs.
+	got, _ := tb.LookupRange("name", "P1", "P9")
+	if len(got) != 3 {
+		t.Fatalf("range over names = %d", len(got))
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []Row{{"b", "10"}, {"a", "9"}, {"c", "100"}, {Null, "1"}}
+	SortRows(rows, 0, false, true)
+	if rows[0][0] != "a" || rows[2][0] != "c" || !IsNull(rows[3][0]) {
+		t.Fatalf("string sort wrong: %v", rows)
+	}
+	SortRows(rows, 1, true, true)
+	if rows[0][1] != "1" || rows[1][1] != "9" || rows[2][1] != "10" || rows[3][1] != "100" {
+		t.Fatalf("numeric sort wrong: %v", rows)
+	}
+	SortRows(rows, 1, true, false)
+	if rows[0][1] != "100" {
+		t.Fatalf("descending sort wrong: %v", rows)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	orders := []Row{{"O1", "C1"}, {"O2", "C2"}, {"O3", "C1"}, {"O4", Null}}
+	custs := []Row{{"C1", "Ada"}, {"C2", "Bob"}, {"C3", "Eve"}, {Null, "Ghost"}}
+	joined := HashJoin(orders, custs, 1, 0)
+	if len(joined) != 3 {
+		t.Fatalf("join produced %d rows", len(joined))
+	}
+	for _, r := range joined {
+		if len(r) != 4 || r[1] != r[2] {
+			t.Fatalf("bad joined row %v", r)
+		}
+	}
+}
+
+func TestGetAndRoundTripSpecialValues(t *testing.T) {
+	db := newDB()
+	tb := db.Create("t", "v")
+	vals := []string{"", Null, "with \x00 byte", "ünïcødé", "<xml>&stuff</xml>"}
+	for _, v := range vals {
+		tb.Insert(Row{v})
+	}
+	i := 0
+	tb.Scan(func(r Row) bool {
+		if r[0] != vals[i] {
+			t.Fatalf("value %d mangled: %q vs %q", i, r[0], vals[i])
+		}
+		i++
+		return true
+	})
+	if i != len(vals) {
+		t.Fatalf("scanned %d rows", i)
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	db := newDB()
+	db.Create("b", "x")
+	db.Create("a", "x")
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if db.Table("a") == nil || db.Table("zzz") != nil {
+		t.Fatal("Table lookup wrong")
+	}
+}
+
+func TestFlushThenColdScan(t *testing.T) {
+	p := pager.New(64)
+	db := NewDB(p)
+	tb := db.Create("t", "v")
+	for i := 0; i < 1000; i++ {
+		tb.Insert(Row{fmt.Sprintf("row%d", i)})
+	}
+	if err := tb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.ColdReset()
+	p.ResetStats()
+	n := 0
+	tb.Scan(func(Row) bool { n++; return true })
+	if n != 1000 {
+		t.Fatalf("cold scan saw %d rows", n)
+	}
+	if s := p.Stats(); s.Reads == 0 {
+		t.Fatal("cold scan did no disk reads")
+	}
+}

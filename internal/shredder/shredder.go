@@ -1,0 +1,458 @@
+// Package shredder implements the DAD-style XML-to-relational mapping used
+// by the shredding engines (DB2 Xcollection and SQL Server in the paper).
+// Each XBench class has a fixed decomposition into tables, mirroring the
+// annotated schemas the paper's authors wrote by hand (§3.1.1, §3.1.2).
+//
+// The mapping reproduces the documented problems of shredding (§3.1.3):
+//
+//   - Document order is not represented (no order columns), so ordered
+//     access and reconstruction are only accidentally correct.
+//   - Mixed-content elements cannot be mapped; with Options.DropMixed
+//     (SQL Server) their text is lost entirely, otherwise (Xcollection)
+//     only the flattened text survives, losing inline markup.
+//   - Chain relationships rely on the unique ids the generators add to
+//     ambiguous elements (sec/@id), per the paper's fix.
+//   - A decomposition row limit per document (DB2's 1024-row limit,
+//     scaled to this reproduction's database sizes) rejects large
+//     single-document databases.
+package shredder
+
+import (
+	"fmt"
+
+	"xbench/internal/core"
+	"xbench/internal/relational"
+	"xbench/internal/xmldom"
+)
+
+// Options control the engine-specific mapping behavior.
+type Options struct {
+	// DropMixed discards the character data of mixed-content elements
+	// (SQL Server, paper §3.1.3 item 3). When false the flattened text is
+	// stored (structure is still lost).
+	DropMixed bool
+	// RowLimitPerDoc rejects any document that decomposes into more rows
+	// (DB2 Xcollection's 1024-row limit, §3.1.3 item 5). 0 disables.
+	RowLimitPerDoc int
+	// FlushPerDocument flushes and syncs every table after each document
+	// (per-document transaction commits: both DB2's decomposition and the
+	// SQLXML bulk loader work document-at-a-time), instead of once at the
+	// end of the load.
+	FlushPerDocument bool
+}
+
+// Store holds the shredded representation of one database.
+type Store struct {
+	Class core.Class
+	DB    *relational.DB
+	Opts  Options
+	// Rows is the total number of rows inserted.
+	Rows int
+	// SkippedMixed counts mixed-content elements whose text was dropped.
+	SkippedMixed int
+}
+
+// NewStore creates the per-class table schema in db.
+func NewStore(class core.Class, db *relational.DB, opts Options) *Store {
+	s := &Store{Class: class, DB: db, Opts: opts}
+	switch class {
+	case core.DCSD:
+		db.Create("item_tab", "id", "title", "date_of_release", "subject",
+			"description", "srp", "cost", "avail", "isbn", "number_of_pages",
+			"backing", "length", "width", "height")
+		db.Create("item_author_tab", "item_id", "first_name", "middle_name",
+			"last_name", "date_of_birth", "biography", "street_address1",
+			"street_address2", "city", "state", "zip_code", "country",
+			"phone_number", "email_address")
+		db.Create("item_publisher_tab", "item_id", "name", "fax_number",
+			"phone_number", "email_address")
+	case core.DCMD:
+		// The paper maps all orderXXX.xml documents into two tables
+		// (order_tab and order_line_tab); CC_XACTS is 1:1 and folded in.
+		db.Create("order_tab", "id", "customer_id", "order_date", "sub_total",
+			"tax", "total", "ship_type", "ship_date", "ship_addr_id",
+			"order_status", "cc_type", "cc_number", "cc_name", "cc_expiry",
+			"cc_auth_id", "total_amount", "ship_country")
+		db.Create("order_line_tab", "order_id", "item_id", "qty", "discount", "comment")
+		db.Create("customer_tab", "id", "c_uname", "c_fname", "c_lname",
+			"c_phone", "c_email", "c_since", "c_discount", "c_addr_id")
+		db.Create("flat_item_tab", "id", "i_title", "i_a_id", "i_pub_date",
+			"i_publisher", "i_subject", "i_cost", "i_isbn", "i_page")
+		db.Create("flat_author_tab", "id", "a_fname", "a_lname", "a_mname",
+			"a_dob", "a_bio")
+		db.Create("address_tab", "id", "addr_street1", "addr_street2",
+			"addr_city", "addr_state", "addr_zip", "addr_co_id")
+		db.Create("country_tab", "id", "co_name", "co_exchange", "co_currency")
+	case core.TCSD:
+		db.Create("entry_tab", "id", "hw", "pr", "pos", "etym")
+		db.Create("sense_tab", "entry_id", "sense_no", "def")
+		db.Create("quote_tab", "entry_id", "sense_no", "qd", "a", "loc", "qt")
+		db.Create("cr_tab", "entry_id", "target", "text")
+	case core.TCMD:
+		db.Create("article_tab", "id", "doc", "title", "genre", "date",
+			"country", "has_abstract")
+		db.Create("abs_para_tab", "article_id", "text")
+		db.Create("art_author_tab", "article_id", "name", "affiliation",
+			"contact", "bio")
+		db.Create("sec_tab", "id", "article_id", "parent_sec", "heading")
+		db.Create("para_tab", "sec_id", "article_id", "text")
+		db.Create("kw_tab", "article_id", "kw")
+		db.Create("ref_tab", "article_id", "target")
+	}
+	return s
+}
+
+// text returns the string value of the named child, or NULL when absent.
+func text(n *xmldom.Node, name string) string {
+	c := n.FirstChild(name)
+	if c == nil {
+		return relational.Null
+	}
+	return c.Text()
+}
+
+// attr returns an attribute value or NULL.
+func attr(n *xmldom.Node, name string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return relational.Null
+}
+
+// mixedText returns the flattened text of a mixed-content element,
+// honoring DropMixed, and reports whether content was dropped.
+func (s *Store) mixedText(n *xmldom.Node) (string, bool) {
+	if n == nil {
+		return relational.Null, false
+	}
+	if n.HasMixedContent() && s.Opts.DropMixed {
+		// The element's text cannot be mapped (paper §3.1.3 item 3); its
+		// presence survives as an empty value, its content is lost.
+		s.SkippedMixed++
+		return "", true
+	}
+	return n.Text(), false
+}
+
+// ShredDocument decomposes one parsed document into rows. It returns the
+// number of rows produced, enforcing Options.RowLimitPerDoc.
+func (s *Store) ShredDocument(name string, doc *xmldom.Node) (int, error) {
+	before := s.Rows
+	root := doc.Root()
+	if root == nil {
+		return 0, fmt.Errorf("shredder: %s has no root element", name)
+	}
+	var err error
+	switch s.Class {
+	case core.DCSD:
+		err = s.shredCatalog(root)
+	case core.DCMD:
+		err = s.shredDCMD(name, root)
+	case core.TCSD:
+		err = s.shredDictionary(root)
+	case core.TCMD:
+		err = s.shredArticle(name, root)
+	default:
+		err = fmt.Errorf("shredder: unsupported class %v", s.Class)
+	}
+	if err != nil {
+		return 0, err
+	}
+	produced := s.Rows - before
+	if s.Opts.RowLimitPerDoc > 0 && produced > s.Opts.RowLimitPerDoc {
+		return produced, fmt.Errorf("shredder: document %s decomposed into %d rows, exceeding the %d-row limit: %w",
+			name, produced, s.Opts.RowLimitPerDoc, core.ErrUnsupported)
+	}
+	if s.Opts.FlushPerDocument {
+		if err := s.Sync(); err != nil {
+			return produced, err
+		}
+	}
+	return produced, nil
+}
+
+func (s *Store) insert(table string, row relational.Row) error {
+	if err := s.DB.Table(table).Insert(row); err != nil {
+		return err
+	}
+	s.Rows++
+	return nil
+}
+
+// Flush persists all table heaps.
+func (s *Store) Flush() error {
+	for _, name := range s.DB.TableNames() {
+		if err := s.DB.Table(name).Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes all tables and forces dirty pages to disk (the end of a
+// per-document transaction).
+func (s *Store) Sync() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.DB.Pager.SyncAll()
+	return nil
+}
+
+func (s *Store) shredCatalog(root *xmldom.Node) error {
+	for _, item := range root.ChildElements("item") {
+		id := attr(item, "id")
+		attrs := item.FirstChild("attributes")
+		dims := attrs.FirstChild("dimensions")
+		if err := s.insert("item_tab", relational.Row{
+			id, text(item, "title"), text(item, "date_of_release"),
+			text(item, "subject"), text(item, "description"),
+			text(attrs, "srp"), text(attrs, "cost"), text(attrs, "avail"),
+			text(attrs, "isbn"), text(attrs, "number_of_pages"),
+			text(attrs, "backing"), text(dims, "length"),
+			text(dims, "width"), text(dims, "height"),
+		}); err != nil {
+			return err
+		}
+		for _, a := range item.FirstChild("authors").ChildElements("author") {
+			name := a.FirstChild("name")
+			ci := a.FirstChild("contact_information")
+			var addr *xmldom.Node
+			phone, email := relational.Null, relational.Null
+			if ci != nil {
+				addr = ci.FirstChild("mailing_address")
+				phone = text(ci, "phone_number")
+				email = text(ci, "email_address")
+			}
+			country := relational.Null
+			if addr != nil {
+				if co := addr.FirstChild("name_of_country"); co != nil {
+					country = co.Text()
+				}
+			}
+			if err := s.insert("item_author_tab", relational.Row{
+				id, text(name, "first_name"), text(name, "middle_name"),
+				text(name, "last_name"), text(a, "date_of_birth"),
+				text(a, "biography"), text(addr, "street_address1"),
+				text(addr, "street_address2"), text(addr, "city"),
+				text(addr, "state"), text(addr, "zip_code"), country,
+				phone, email,
+			}); err != nil {
+				return err
+			}
+		}
+		if pub := item.FirstChild("publisher"); pub != nil {
+			if err := s.insert("item_publisher_tab", relational.Row{
+				id, text(pub, "name"), text(pub, "FAX_number"),
+				text(pub, "phone_number"), text(pub, "email_address"),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) shredDCMD(name string, root *xmldom.Node) error {
+	switch root.Name {
+	case "order":
+		cc := root.FirstChild("cc_xacts")
+		if err := s.insert("order_tab", relational.Row{
+			attr(root, "id"), text(root, "customer_id"), text(root, "order_date"),
+			text(root, "sub_total"), text(root, "tax"), text(root, "total"),
+			text(root, "ship_type"), text(root, "ship_date"),
+			text(root, "ship_addr_id"), text(root, "order_status"),
+			text(cc, "cc_type"), text(cc, "cc_number"), text(cc, "cc_name"),
+			text(cc, "cc_expiry"), text(cc, "cc_auth_id"),
+			text(cc, "total_amount"), text(cc, "ship_country"),
+		}); err != nil {
+			return err
+		}
+		oid, _ := root.Attr("id")
+		for _, ol := range root.FirstChild("order_lines").ChildElements("order_line") {
+			if err := s.insert("order_line_tab", relational.Row{
+				oid, text(ol, "item_id"), text(ol, "qty"),
+				text(ol, "discount"), text(ol, "comment"),
+			}); err != nil {
+				return err
+			}
+		}
+	case "customers":
+		for _, c := range root.ChildElements("customer") {
+			if err := s.insert("customer_tab", relational.Row{
+				attr(c, "id"), text(c, "c_uname"), text(c, "c_fname"),
+				text(c, "c_lname"), text(c, "c_phone"), text(c, "c_email"),
+				text(c, "c_since"), text(c, "c_discount"), text(c, "c_addr_id"),
+			}); err != nil {
+				return err
+			}
+		}
+	case "items":
+		for _, it := range root.ChildElements("flat_item") {
+			if err := s.insert("flat_item_tab", relational.Row{
+				attr(it, "id"), text(it, "i_title"), text(it, "i_a_id"),
+				text(it, "i_pub_date"), text(it, "i_publisher"),
+				text(it, "i_subject"), text(it, "i_cost"), text(it, "i_isbn"),
+				text(it, "i_page"),
+			}); err != nil {
+				return err
+			}
+		}
+	case "authors":
+		for _, a := range root.ChildElements("flat_author") {
+			if err := s.insert("flat_author_tab", relational.Row{
+				attr(a, "id"), text(a, "a_fname"), text(a, "a_lname"),
+				text(a, "a_mname"), text(a, "a_dob"), text(a, "a_bio"),
+			}); err != nil {
+				return err
+			}
+		}
+	case "addresses":
+		for _, a := range root.ChildElements("address") {
+			if err := s.insert("address_tab", relational.Row{
+				attr(a, "id"), text(a, "addr_street1"), text(a, "addr_street2"),
+				text(a, "addr_city"), text(a, "addr_state"), text(a, "addr_zip"),
+				text(a, "addr_co_id"),
+			}); err != nil {
+				return err
+			}
+		}
+	case "countries":
+		for _, c := range root.ChildElements("country") {
+			if err := s.insert("country_tab", relational.Row{
+				attr(c, "id"), text(c, "co_name"), text(c, "co_exchange"),
+				text(c, "co_currency"),
+			}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("shredder: unexpected DC/MD root <%s> in %s", root.Name, name)
+	}
+	return nil
+}
+
+func (s *Store) shredDictionary(root *xmldom.Node) error {
+	for _, e := range root.ChildElements("entry") {
+		id := attr(e, "id")
+		etym, _ := s.mixedText(e.FirstChild("etym"))
+		if err := s.insert("entry_tab", relational.Row{
+			id, text(e, "hw"), text(e, "pr"), text(e, "pos"), etym,
+		}); err != nil {
+			return err
+		}
+		if et := e.FirstChild("etym"); et != nil {
+			for _, cr := range et.ChildElements("cr") {
+				if err := s.insert("cr_tab", relational.Row{
+					id, attr(cr, "target"), cr.Text(),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		for si, sense := range e.ChildElements("sense") {
+			senseNo := fmt.Sprint(si + 1)
+			if err := s.insert("sense_tab", relational.Row{
+				id, senseNo, text(sense, "def"),
+			}); err != nil {
+				return err
+			}
+			for _, cr := range sense.ChildElements("cr") {
+				if err := s.insert("cr_tab", relational.Row{
+					id, attr(cr, "target"), cr.Text(),
+				}); err != nil {
+					return err
+				}
+			}
+			for _, qp := range sense.ChildElements("qp") {
+				for _, q := range qp.ChildElements("q") {
+					qt, _ := s.mixedText(q.FirstChild("qt"))
+					if err := s.insert("quote_tab", relational.Row{
+						id, senseNo, text(q, "qd"), text(q, "a"),
+						text(q, "loc"), qt,
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) shredArticle(name string, root *xmldom.Node) error {
+	id := attr(root, "id")
+	prolog := root.FirstChild("prolog")
+	date, country := relational.Null, relational.Null
+	if dl := prolog.FirstChild("dateline"); dl != nil {
+		date = text(dl, "date")
+		country = text(dl, "country")
+	}
+	hasAbstract := relational.Null
+	if prolog.FirstChild("abstract") != nil {
+		hasAbstract = "1"
+	}
+	if err := s.insert("article_tab", relational.Row{
+		id, name, text(prolog, "title"), text(prolog, "genre"),
+		date, country, hasAbstract,
+	}); err != nil {
+		return err
+	}
+	if ab := prolog.FirstChild("abstract"); ab != nil {
+		for _, para := range ab.ChildElements("p") {
+			if err := s.insert("abs_para_tab", relational.Row{id, para.Text()}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range prolog.FirstChild("authors").ChildElements("author") {
+		if err := s.insert("art_author_tab", relational.Row{
+			id, text(a, "name"), text(a, "affiliation"),
+			text(a, "contact"), text(a, "bio"),
+		}); err != nil {
+			return err
+		}
+	}
+	if kws := prolog.FirstChild("keywords"); kws != nil {
+		for _, kw := range kws.ChildElements("kw") {
+			if err := s.insert("kw_tab", relational.Row{id, kw.Text()}); err != nil {
+				return err
+			}
+		}
+	}
+	var shredSec func(sec *xmldom.Node, parent string) error
+	shredSec = func(sec *xmldom.Node, parent string) error {
+		sid := attr(sec, "id")
+		if err := s.insert("sec_tab", relational.Row{
+			sid, id, parent, text(sec, "heading"),
+		}); err != nil {
+			return err
+		}
+		for _, p := range sec.ChildElements("p") {
+			if err := s.insert("para_tab", relational.Row{sid, id, p.Text()}); err != nil {
+				return err
+			}
+		}
+		for _, sub := range sec.ChildElements("sec") {
+			if err := shredSec(sub, sid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, sec := range root.FirstChild("body").ChildElements("sec") {
+		if err := shredSec(sec, relational.Null); err != nil {
+			return err
+		}
+	}
+	if ep := root.FirstChild("epilog"); ep != nil {
+		if refs := ep.FirstChild("references"); refs != nil {
+			for _, r := range refs.ChildElements("a_id") {
+				if err := s.insert("ref_tab", relational.Row{id, attr(r, "target")}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

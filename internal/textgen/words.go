@@ -1,0 +1,100 @@
+// Package textgen produces the synthetic English prose, names, dates and
+// identifiers that populate XBench documents. Word choice is Zipf-skewed to
+// mimic natural-language frequency, which gives the text-search queries
+// (Q17/Q18) realistic selectivities.
+package textgen
+
+// wordPool is the base vocabulary. Ordered roughly by descending natural
+// frequency so a Zipf draw over indexes yields natural-looking prose.
+var wordPool = []string{
+	"the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+	"as", "was", "with", "be", "by", "on", "not", "he", "this", "are",
+	"or", "his", "from", "at", "which", "but", "have", "an", "had", "they",
+	"you", "were", "their", "one", "all", "we", "can", "her", "has", "there",
+	"been", "if", "more", "when", "will", "would", "who", "so", "no", "said",
+	"system", "data", "time", "document", "value", "result", "model", "form",
+	"number", "part", "study", "case", "work", "group", "problem", "fact",
+	"element", "order", "point", "world", "house", "area", "water", "word",
+	"place", "money", "story", "issue", "side", "kind", "head", "service",
+	"friend", "father", "power", "hour", "game", "line", "member", "country",
+	"language", "structure", "process", "method", "theory", "analysis",
+	"approach", "research", "science", "nature", "history", "measure",
+	"market", "policy", "price", "growth", "trade", "industry", "product",
+	"network", "signal", "energy", "field", "force", "matter", "light",
+	"space", "earth", "ocean", "river", "mountain", "forest", "stone",
+	"voice", "music", "color", "paper", "letter", "book", "page", "table",
+	"figure", "image", "note", "term", "phrase", "sense", "meaning", "usage",
+	"origin", "root", "branch", "leaf", "seed", "fruit", "flower", "grain",
+	"animal", "bird", "fish", "horse", "cattle", "sheep", "wolf", "bear",
+	"city", "town", "village", "street", "road", "bridge", "tower", "wall",
+	"garden", "window", "door", "floor", "roof", "chamber", "court", "hall",
+	"king", "queen", "prince", "lord", "lady", "knight", "soldier", "guard",
+	"battle", "war", "peace", "treaty", "council", "law", "right", "duty",
+	"church", "temple", "priest", "faith", "spirit", "soul", "heaven",
+	"season", "spring", "summer", "autumn", "winter", "morning", "evening",
+	"night", "shadow", "silence", "sound", "storm", "wind", "rain", "snow",
+	"fire", "flame", "smoke", "ash", "iron", "gold", "silver", "copper",
+	"glass", "cloth", "silk", "wool", "leather", "timber", "marble", "clay",
+	"bread", "wine", "salt", "honey", "butter", "cheese", "meat", "milk",
+	"journey", "voyage", "passage", "path", "track", "course", "distance",
+	"motion", "speed", "weight", "length", "height", "depth", "breadth",
+	"ancient", "modern", "common", "general", "special", "single", "double",
+	"simple", "complex", "narrow", "broad", "gentle", "rough", "smooth",
+	"bright", "dark", "heavy", "hollow", "solid", "liquid", "frozen",
+	"quiet", "rapid", "steady", "sudden", "constant", "frequent", "rare",
+	"noble", "humble", "famous", "obscure", "sacred", "profane", "mortal",
+	"write", "read", "speak", "listen", "observe", "record", "compare",
+	"divide", "combine", "extend", "reduce", "increase", "maintain",
+	"develop", "produce", "consume", "deliver", "receive", "obtain",
+	"contain", "include", "exclude", "require", "provide", "support",
+	"describe", "explain", "define", "derive", "denote", "signify",
+	"appear", "remain", "become", "happen", "follow", "precede", "consist",
+	"carry", "bring", "raise", "lower", "gather", "scatter", "bind",
+	"query", "index", "schema", "engine", "archive", "corpus", "entry",
+	"article", "section", "chapter", "volume", "edition", "preface",
+	"abstract", "citation", "reference", "appendix", "glossary", "margin",
+}
+
+// PoolSize returns the vocabulary size.
+func PoolSize() int { return len(wordPool) }
+
+// WordAt returns the i-th vocabulary word (wrapping).
+func WordAt(i int) string {
+	if i < 0 {
+		i = -i
+	}
+	return wordPool[i%len(wordPool)]
+}
+
+// syllables used to mint unique headwords, product titles, and names.
+var sylOnset = []string{"b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr",
+	"h", "k", "l", "m", "n", "p", "pr", "qu", "r", "s", "st", "t", "tr", "v", "w"}
+var sylNucleus = []string{"a", "e", "i", "o", "u", "ae", "ea", "io", "ou"}
+var sylCoda = []string{"", "n", "r", "s", "l", "m", "t", "nd", "rd", "st"}
+
+// Syllable returns the i-th syllable of the deterministic syllable space.
+func Syllable(i int) string {
+	if i < 0 {
+		i = -i
+	}
+	o := sylOnset[i%len(sylOnset)]
+	i /= len(sylOnset)
+	n := sylNucleus[i%len(sylNucleus)]
+	i /= len(sylNucleus)
+	c := sylCoda[i%len(sylCoda)]
+	return o + n + c
+}
+
+// Headword mints the dictionary headword for entry i. Headwords are
+// deterministic so workload parameters can be bound without scanning the
+// database ("word_1" in the paper's Q8 corresponds to Headword(1)).
+func Headword(i int) string {
+	if i < 0 {
+		i = -i
+	}
+	s := Syllable(i%2250) + Syllable((i/2250)%2250)
+	if i >= 2250*2250 {
+		s += Syllable(i / (2250 * 2250))
+	}
+	return s
+}

@@ -1,0 +1,251 @@
+package toxgene
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xbench/internal/stats"
+	"xbench/internal/xmldom"
+)
+
+func TestDocumentBasic(t *testing.T) {
+	tmpl := &Tmpl{
+		Name:  "root",
+		Attrs: []AttrTmpl{{Name: "v", Value: Const("1")}},
+		Children: []*Tmpl{
+			{Name: "leaf", Content: Const("text")},
+		},
+	}
+	b, err := Document(tmpl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmldom.Parse(b)
+	if err != nil {
+		t.Fatalf("output unparseable: %v", err)
+	}
+	root := doc.Root()
+	if root.Name != "root" {
+		t.Fatalf("root = %s", root.Name)
+	}
+	if v, _ := root.Attr("v"); v != "1" {
+		t.Fatal("attr missing")
+	}
+	if root.FirstChild("leaf").Text() != "text" {
+		t.Fatal("leaf content missing")
+	}
+}
+
+func TestDocumentDeterministic(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Children: []*Tmpl{{
+			Name:  "c",
+			Count: stats.Uniform{Lo: 1, Hi: 9},
+			Content: func(ctx *Ctx) string {
+				return strings.Repeat("x", 1+ctx.R.Intn(5))
+			},
+		}},
+	}
+	a, _ := Document(tmpl, 7)
+	b, _ := Document(tmpl, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different documents")
+	}
+	c, _ := Document(tmpl, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestCountDistribution(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Children: []*Tmpl{{
+			Name:    "c",
+			Count:   stats.Uniform{Lo: 3, Hi: 3},
+			Content: Const("x"),
+		}},
+	}
+	b, _ := Document(tmpl, 1)
+	doc := xmldom.MustParse(string(b))
+	if n := len(doc.Root().ChildElements("c")); n != 3 {
+		t.Fatalf("expected exactly 3 children, got %d", n)
+	}
+}
+
+func TestOptionalProbability(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Children: []*Tmpl{
+			{Name: "always", Content: Const("x")},
+			{Name: "sometimes", Prob: 0.5, Content: Const("y")},
+		},
+	}
+	present, absent := 0, 0
+	for seed := uint64(0); seed < 60; seed++ {
+		b, _ := Document(tmpl, seed)
+		doc := xmldom.MustParse(string(b))
+		if doc.Root().FirstChild("always") == nil {
+			t.Fatal("mandatory child missing")
+		}
+		if doc.Root().FirstChild("sometimes") != nil {
+			present++
+		} else {
+			absent++
+		}
+	}
+	if present == 0 || absent == 0 {
+		t.Fatalf("Prob=0.5 not probabilistic: present=%d absent=%d", present, absent)
+	}
+}
+
+func TestAttrProbability(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Attrs: []AttrTmpl{
+			{Name: "always", Value: Const("a")},
+			{Name: "maybe", Value: Const("b"), Prob: 0.5},
+		},
+	}
+	with, without := 0, 0
+	for seed := uint64(0); seed < 60; seed++ {
+		b, _ := Document(tmpl, seed)
+		doc := xmldom.MustParse(string(b))
+		if _, ok := doc.Root().Attr("always"); !ok {
+			t.Fatal("mandatory attribute missing")
+		}
+		if _, ok := doc.Root().Attr("maybe"); ok {
+			with++
+		} else {
+			without++
+		}
+	}
+	if with == 0 || without == 0 {
+		t.Fatalf("attr Prob=0.5 not probabilistic: with=%d without=%d", with, without)
+	}
+}
+
+func TestSeqAndIndex(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Children: []*Tmpl{{
+			Name:  "item",
+			Count: stats.Uniform{Lo: 4, Hi: 4},
+			Attrs: []AttrTmpl{{Name: "id", Value: Seq("I")}},
+		}},
+	}
+	b, _ := Document(tmpl, 1)
+	doc := xmldom.MustParse(string(b))
+	items := doc.Root().ChildElements("item")
+	for i, it := range items {
+		want := "I" + string(rune('1'+i))
+		if v, _ := it.Attr("id"); v != want {
+			t.Fatalf("item %d id = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	tmpl := &Tmpl{
+		Name:    "qt",
+		Content: Const("before "),
+		Children: []*Tmpl{
+			{Name: "i", Content: Const("inline")},
+		},
+		Tail: Const(" after"),
+	}
+	b, _ := Document(tmpl, 1)
+	doc := xmldom.MustParse(string(b))
+	if !doc.Root().HasMixedContent() {
+		t.Fatalf("no mixed content in %s", b)
+	}
+	if got := doc.Root().Text(); got != "before inline after" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestBeforeHookAndVars(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Before: func(ctx *Ctx) {
+			ctx.Vars["word"] = "shared"
+		},
+		Children: []*Tmpl{{
+			Name: "c",
+			Content: func(ctx *Ctx) string {
+				return ctx.Vars["word"].(string)
+			},
+		}},
+	}
+	b, _ := Document(tmpl, 1)
+	doc := xmldom.MustParse(string(b))
+	if doc.Root().FirstChild("c").Text() != "shared" {
+		t.Fatal("Vars not shared from Before hook")
+	}
+}
+
+func TestNestedPathIndexes(t *testing.T) {
+	tmpl := &Tmpl{
+		Name: "r",
+		Children: []*Tmpl{{
+			Name:  "outer",
+			Count: stats.Uniform{Lo: 2, Hi: 2},
+			Children: []*Tmpl{{
+				Name:  "inner",
+				Count: stats.Uniform{Lo: 2, Hi: 2},
+				Content: func(ctx *Ctx) string {
+					return string(rune('a'+ctx.IndexAt(1))) + string(rune('0'+ctx.Index()))
+				},
+			}},
+		}},
+	}
+	b, _ := Document(tmpl, 1)
+	doc := xmldom.MustParse(string(b))
+	var got []string
+	for _, o := range doc.Root().ChildElements("outer") {
+		for _, in := range o.ChildElements("inner") {
+			got = append(got, in.Text())
+		}
+	}
+	want := []string{"a0", "a1", "b0", "b1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path indexes wrong: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSiblingInsensitivity(t *testing.T) {
+	// Instance i's content must depend only on its own split stream, not on
+	// how many earlier siblings were drawn: with a fixed count, instance
+	// content should be identical across two generations.
+	child := &Tmpl{
+		Name:  "c",
+		Count: stats.Uniform{Lo: 5, Hi: 5},
+		Content: func(ctx *Ctx) string {
+			return strings.Repeat("z", 1+ctx.R.Intn(9))
+		},
+	}
+	tmpl := &Tmpl{Name: "r", Children: []*Tmpl{child}}
+	a, _ := Document(tmpl, 3)
+	b, _ := Document(tmpl, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("sibling streams not deterministic")
+	}
+}
+
+func TestIndexAtOutOfRange(t *testing.T) {
+	c := &Ctx{Path: []int{4}}
+	if c.IndexAt(-1) != 0 || c.IndexAt(5) != 0 {
+		t.Fatal("out-of-range IndexAt should return 0")
+	}
+	if c.Index() != 4 {
+		t.Fatal("Index wrong")
+	}
+	empty := &Ctx{}
+	if empty.Index() != 0 {
+		t.Fatal("empty ctx Index should be 0")
+	}
+}

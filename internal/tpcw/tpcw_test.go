@@ -1,0 +1,185 @@
+package tpcw
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func small() *Data {
+	return Generate(1, Counts{Items: 40, Orders: 60})
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := small(), small()
+	if !reflect.DeepEqual(a.Items, b.Items) || !reflect.DeepEqual(a.Orders, b.Orders) ||
+		!reflect.DeepEqual(a.OrderLines, b.OrderLines) {
+		t.Fatal("same seed produced different populations")
+	}
+	c := Generate(2, Counts{Items: 40, Orders: 60})
+	if reflect.DeepEqual(a.Items, c.Items) {
+		t.Fatal("different seeds produced identical items")
+	}
+}
+
+func TestCountsAndDefaults(t *testing.T) {
+	d := small()
+	if len(d.Items) != 40 || len(d.Orders) != 60 {
+		t.Fatalf("items=%d orders=%d", len(d.Items), len(d.Orders))
+	}
+	if len(d.Authors) == 0 || len(d.Publishers) == 0 || len(d.Customers) == 0 {
+		t.Fatal("defaulted tables empty")
+	}
+	if len(d.Author2s) != len(d.Authors) {
+		t.Fatal("AUTHOR_2 not aligned with AUTHOR")
+	}
+	if len(d.CCXacts) != len(d.Orders) {
+		t.Fatal("CC_XACTS not 1:1 with ORDERS")
+	}
+	if len(d.Addresses) != len(d.Authors)+len(d.Customers) {
+		t.Fatal("address count mismatch")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	d := small()
+	for _, it := range d.Items {
+		if len(it.AuthorIDs) == 0 {
+			t.Fatalf("item %s has no authors", it.ID)
+		}
+		for _, aid := range it.AuthorIDs {
+			if _, _, ok := d.AuthorByID(aid); !ok {
+				t.Fatalf("item %s references unknown author %s", it.ID, aid)
+			}
+		}
+		if _, ok := d.PublisherByID(it.PubID); !ok {
+			t.Fatalf("item %s references unknown publisher %s", it.ID, it.PubID)
+		}
+	}
+	for i, a2 := range d.Author2s {
+		if a2.AuthorID != d.Authors[i].ID {
+			t.Fatalf("AUTHOR_2[%d] misaligned", i)
+		}
+		if _, ok := d.AddressByID(a2.AddrID); !ok {
+			t.Fatalf("author %s has unknown address %s", a2.AuthorID, a2.AddrID)
+		}
+	}
+	for _, a := range d.Addresses {
+		if _, ok := d.CountryByID(a.CountryID); !ok {
+			t.Fatalf("address %s has unknown country %s", a.ID, a.CountryID)
+		}
+	}
+	custIDs := map[string]bool{}
+	for _, c := range d.Customers {
+		custIDs[c.ID] = true
+		if _, ok := d.AddressByID(c.AddrID); !ok {
+			t.Fatalf("customer %s has unknown address", c.ID)
+		}
+	}
+	itemIDs := map[string]bool{}
+	for _, it := range d.Items {
+		itemIDs[it.ID] = true
+	}
+	for i, o := range d.Orders {
+		if !custIDs[o.CustomerID] {
+			t.Fatalf("order %s has unknown customer %s", o.ID, o.CustomerID)
+		}
+		if d.CCXacts[i].OrderID != o.ID {
+			t.Fatalf("CC_XACTS[%d] not aligned with order %s", i, o.ID)
+		}
+		lines := d.LinesOf(o.ID)
+		if len(lines) == 0 {
+			t.Fatalf("order %s has no order lines", o.ID)
+		}
+		for j, ol := range lines {
+			if ol.Seq != j+1 {
+				t.Fatalf("order %s line seq %d at position %d", o.ID, ol.Seq, j)
+			}
+			if !itemIDs[ol.ItemID] {
+				t.Fatalf("order line references unknown item %s", ol.ItemID)
+			}
+		}
+	}
+}
+
+func TestIDsAreUniqueAndStable(t *testing.T) {
+	d := small()
+	if d.Items[0].ID != "I1" || d.Orders[0].ID != "O1" ||
+		d.Authors[0].ID != "A1" || d.Customers[0].ID != "C1" {
+		t.Fatal("first-row ids not stable (workload parameter binding depends on them)")
+	}
+	seen := map[string]bool{}
+	for _, it := range d.Items {
+		if seen[it.ID] {
+			t.Fatalf("duplicate item id %s", it.ID)
+		}
+		seen[it.ID] = true
+	}
+}
+
+func TestIrregularities(t *testing.T) {
+	d := Generate(1, Counts{Items: 200, Orders: 300})
+	noFax, withFax := 0, 0
+	for _, p := range d.Publishers {
+		if p.Fax == "" {
+			noFax++
+		} else {
+			withFax++
+		}
+	}
+	if noFax == 0 || withFax == 0 {
+		t.Fatalf("Q14 needs both fax-less (%d) and fax-having (%d) publishers", noFax, withFax)
+	}
+	emptyStatus := 0
+	for _, o := range d.Orders {
+		if o.Status == "" {
+			emptyStatus++
+		}
+	}
+	if emptyStatus == 0 {
+		t.Fatal("no orders with empty status (irregular data missing)")
+	}
+}
+
+func TestMonetaryConsistency(t *testing.T) {
+	d := small()
+	for i, o := range d.Orders {
+		if !strings.Contains(o.Total, ".") {
+			t.Fatalf("order %s total %q not monetary", o.ID, o.Total)
+		}
+		if d.CCXacts[i].Amount != o.Total {
+			t.Fatalf("order %s cc amount %s != total %s", o.ID, d.CCXacts[i].Amount, o.Total)
+		}
+	}
+}
+
+func TestDatesInWindow(t *testing.T) {
+	d := small()
+	for _, o := range d.Orders {
+		if o.Date < "1995-01-01" || o.Date > "2003-12-30" {
+			t.Fatalf("order date %s outside window", o.Date)
+		}
+		if o.ShipDate < o.Date {
+			t.Fatalf("order %s shipped (%s) before ordered (%s)", o.ID, o.ShipDate, o.Date)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	d := small()
+	if _, _, ok := d.AuthorByID("nope"); ok {
+		t.Fatal("AuthorByID hit on bogus id")
+	}
+	if _, ok := d.PublisherByID("nope"); ok {
+		t.Fatal("PublisherByID hit on bogus id")
+	}
+	if _, ok := d.AddressByID("nope"); ok {
+		t.Fatal("AddressByID hit on bogus id")
+	}
+	if _, ok := d.CountryByID("nope"); ok {
+		t.Fatal("CountryByID hit on bogus id")
+	}
+	if lines := d.LinesOf("nope"); len(lines) != 0 {
+		t.Fatal("LinesOf returned rows for bogus order")
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/engines/native"
+	"xbench/internal/xmldom"
+)
+
+// The paper lists update workloads as planned future work for XBench
+// ("(2) update workloads"). This file defines a small document-granularity
+// update workload — the unit a native XML store actually manages — for the
+// multi-document classes, runnable against the native engine:
+//
+//	U1: insert a new document
+//	U2: replace an existing document
+//	U3: delete a document
+//
+// Each operation is followed by a verification query so the measurement
+// covers a durable, observable update.
+
+// UpdateOp identifies one update workload operation.
+type UpdateOp int
+
+const (
+	// U1 inserts a fresh document.
+	U1 UpdateOp = iota + 1
+	// U2 replaces an existing document with new content.
+	U2
+	// U3 deletes a document.
+	U3
+)
+
+func (u UpdateOp) String() string { return fmt.Sprintf("U%d", int(u)) }
+
+// UpdateMeasurement reports one update execution.
+type UpdateMeasurement struct {
+	Op      UpdateOp
+	Elapsed time.Duration
+	Err     error
+}
+
+// RunUpdate executes one update operation against a native engine loaded
+// with a class database, using deterministic synthetic content, and
+// verifies the effect with a follow-up query. seq distinguishes repeated
+// runs (documents are named after it).
+func RunUpdate(e *native.Engine, class core.Class, op UpdateOp, seq int) UpdateMeasurement {
+	m := UpdateMeasurement{Op: op}
+	if class.SingleDocument() {
+		m.Err = fmt.Errorf("workload: update workload is defined for multi-document classes, not %s", class)
+		return m
+	}
+	name, doc := updateDocument(class, seq)
+	start := time.Now()
+	switch op {
+	case U1, U2:
+		// U2 on a fresh name behaves as an upsert; callers measuring pure
+		// replacement should run U1 first with the same seq.
+		m.Err = e.ReplaceDocument(name, doc)
+	case U3:
+		if err := e.ReplaceDocument(name, doc); err != nil { // ensure it exists
+			m.Err = err
+			break
+		}
+		m.Err = e.DeleteDocument(name)
+	default:
+		m.Err = fmt.Errorf("workload: unknown update op %d", int(op))
+	}
+	m.Elapsed = time.Since(start)
+	if m.Err != nil {
+		return m
+	}
+	// Verify observability.
+	id := updateID(class, seq)
+	res, err := e.Execute(core.Q1, core.Params{"X": id})
+	if err != nil {
+		m.Err = err
+		return m
+	}
+	switch op {
+	case U1, U2:
+		if len(res.Items) == 0 {
+			m.Err = fmt.Errorf("workload: %s not visible after %s", id, op)
+		}
+	case U3:
+		if len(res.Items) != 0 {
+			m.Err = fmt.Errorf("workload: %s still visible after delete", id)
+		}
+	}
+	return m
+}
+
+func updateID(class core.Class, seq int) string {
+	if class == core.DCMD {
+		return "OU" + strconv.Itoa(seq)
+	}
+	return "aU" + strconv.Itoa(seq)
+}
+
+// updateDocument builds a deterministic, schema-conforming document for
+// the update workload.
+func updateDocument(class core.Class, seq int) (string, []byte) {
+	id := updateID(class, seq)
+	e := xmldom.NewEncoder()
+	if class == core.DCMD {
+		e.Begin("order", "id", id)
+		e.Leaf("customer_id", "C1")
+		e.Leaf("order_date", "2002-06-15")
+		e.Leaf("sub_total", "10.00")
+		e.Leaf("tax", "0.80")
+		e.Leaf("total", "10.80")
+		e.Leaf("ship_type", "AIR")
+		e.Leaf("ship_date", "2002-06-17")
+		e.Leaf("ship_addr_id", "ADDR1")
+		e.Leaf("order_status", "PENDING")
+		e.Begin("cc_xacts")
+		e.Leaf("cc_type", "VISA")
+		e.Leaf("cc_number", "4000000000000000")
+		e.Leaf("cc_name", "Update Workload")
+		e.Leaf("cc_expiry", "2003-06-15")
+		e.Leaf("cc_auth_id", "AUTH000001")
+		e.Leaf("total_amount", "10.80")
+		e.End()
+		e.Begin("order_lines")
+		e.Begin("order_line")
+		e.Leaf("item_id", "I1")
+		e.Leaf("qty", strconv.Itoa(1+seq%5))
+		e.Leaf("discount", "0")
+		e.End()
+		e.End()
+		e.End()
+		b, _ := e.Bytes()
+		return "order-update-" + strconv.Itoa(seq) + ".xml", b
+	}
+	e.Begin("article", "id", id)
+	e.Begin("prolog")
+	e.Leaf("title", "Update Workload Article "+strconv.Itoa(seq))
+	e.Begin("authors")
+	e.Begin("author")
+	e.Leaf("name", "Update Author")
+	e.End()
+	e.End()
+	e.End()
+	e.Begin("body")
+	e.Begin("sec", "id", id+"-s1")
+	e.Leaf("heading", "Introduction")
+	e.Leaf("p", "Inserted by the update workload.")
+	e.End()
+	e.End()
+	e.End()
+	b, _ := e.Bytes()
+	return "article-update-" + strconv.Itoa(seq) + ".xml", b
+}

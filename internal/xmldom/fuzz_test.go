@@ -1,0 +1,55 @@
+package xmldom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, and that any document it
+// accepts survives a serialize-reparse round trip (the invariant the
+// storage engines rely on).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a x="1"><b>t</b><!-- c --><![CDATA[raw]]></a>`,
+		`<?xml version="1.0"?><r>&amp;&#65;</r>`,
+		`<a><a><a/></a></a>`,
+		`<qt>mix <i>in</i> ed</qt>`,
+		`<a x='s'/>`,
+		`<!DOCTYPE a [<!ELEMENT a ANY>]><a/>`,
+		`<a`, `</a>`, `<a>&bogus;</a>`, `<<>>`, "",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := doc.XMLBytes()
+		doc2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted document failed reparse: %v\ninput: %q\nserialized: %q", err, data, out)
+		}
+		if !Equal(doc, doc2) {
+			t.Fatalf("round trip changed tree for %q", data)
+		}
+		if !bytes.Equal(out, doc2.XMLBytes()) {
+			t.Fatalf("serialization not a fixpoint for %q", data)
+		}
+	})
+}
+
+// FuzzDecodeBinary checks the binary DOM decoder never panics on
+// arbitrary input.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add([]byte("XDM1"))
+	f.Add(EncodeBinary(MustParse(`<a x="1"><b>t</b></a>`)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeBinary(data)
+		if err == nil && n == nil {
+			t.Fatal("nil node with nil error")
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package xmldom
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports a well-formedness violation with a byte offset.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xmldom: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses a complete XML document and returns its document node with
+// document order assigned. Insignificant whitespace between elements is
+// kept as text nodes only when it is adjacent to non-whitespace content;
+// pure inter-element whitespace is dropped, which matches how the
+// benchmark's data generators emit documents (no indentation).
+func Parse(data []byte) (*Node, error) {
+	p := &parser{data: data}
+	doc, err := p.parseDocument()
+	if err != nil {
+		return nil, err
+	}
+	doc.Renumber()
+	return doc, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(data string) *Node {
+	doc, err := Parse([]byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+var (
+	cdataEnd   = []byte("]]>")
+	commentEnd = []byte("-->")
+	piEnd      = []byte("?>")
+)
+
+type parser struct {
+	data []byte
+	pos  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.data) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.data[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(s string) error {
+	if p.pos+len(s) > len(p.data) || string(p.data[p.pos:p.pos+len(s)]) != s {
+		return p.errf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return p.pos+len(s) <= len(p.data) && string(p.data[p.pos:p.pos+len(s)]) == s
+}
+
+func (p *parser) parseDocument() (*Node, error) {
+	doc := NewDocument()
+	sawRoot := false
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.hasPrefix("<?"):
+			pi, err := p.parsePI()
+			if err != nil {
+				return nil, err
+			}
+			if pi.Name != "xml" { // drop the XML declaration itself
+				doc.Append(pi)
+			}
+		case p.hasPrefix("<!--"):
+			c, err := p.parseComment()
+			if err != nil {
+				return nil, err
+			}
+			doc.Append(c)
+		case p.hasPrefix("<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return nil, err
+			}
+		case p.peek() == '<':
+			if sawRoot {
+				return nil, p.errf("multiple root elements")
+			}
+			el, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			doc.Append(el)
+			sawRoot = true
+		default:
+			return nil, p.errf("unexpected content %q outside root element", p.peek())
+		}
+	}
+	if !sawRoot {
+		return nil, p.errf("document has no root element")
+	}
+	return doc, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(p.data[p.pos]) {
+		return "", p.errf("expected name")
+	}
+	p.pos++
+	for !p.eof() && isNameChar(p.data[p.pos]) {
+		p.pos++
+	}
+	return string(p.data[start:p.pos]), nil
+}
+
+func (p *parser) parseElement() (*Node, error) {
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	el := NewElement(name)
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errf("unterminated start tag <%s", name)
+		}
+		c := p.peek()
+		if c == '>' || c == '/' {
+			break
+		}
+		aname, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		aval, err := p.parseAttValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := el.Attr(aname); dup {
+			return nil, p.errf("duplicate attribute %q on <%s>", aname, name)
+		}
+		el.Attrs = append(el.Attrs, Attr{aname, aval})
+	}
+	if p.peek() == '/' {
+		p.pos++
+		if err := p.expect(">"); err != nil {
+			return nil, err
+		}
+		return el, nil
+	}
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	if err := p.parseContent(el); err != nil {
+		return nil, err
+	}
+	// parseContent consumed "</"; now the name and ">".
+	ename, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if ename != name {
+		return nil, p.errf("mismatched end tag </%s> for <%s>", ename, name)
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// parseContent parses element content up to and including the "</" of the
+// element's end tag.
+func (p *parser) parseContent(el *Node) error {
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			s := text.String()
+			text.Reset()
+			if strings.TrimSpace(s) == "" {
+				return // drop pure inter-element whitespace
+			}
+			el.Append(NewText(s))
+		}
+	}
+	for {
+		if p.eof() {
+			return p.errf("unterminated element <%s>", el.Name)
+		}
+		c := p.data[p.pos]
+		if c == '<' {
+			switch {
+			case p.hasPrefix("</"):
+				flush()
+				p.pos += 2
+				return nil
+			case p.hasPrefix("<!--"):
+				flush()
+				cm, err := p.parseComment()
+				if err != nil {
+					return err
+				}
+				el.Append(cm)
+			case p.hasPrefix("<![CDATA["):
+				p.pos += len("<![CDATA[")
+				end := bytes.Index(p.data[p.pos:], cdataEnd)
+				if end < 0 {
+					return p.errf("unterminated CDATA section")
+				}
+				text.Write(p.data[p.pos : p.pos+end])
+				p.pos += end + 3
+			case p.hasPrefix("<?"):
+				flush()
+				pi, err := p.parsePI()
+				if err != nil {
+					return err
+				}
+				el.Append(pi)
+			default:
+				flush()
+				child, err := p.parseElement()
+				if err != nil {
+					return err
+				}
+				el.Append(child)
+			}
+			continue
+		}
+		if c == '&' {
+			r, err := p.parseReference()
+			if err != nil {
+				return err
+			}
+			text.WriteString(r)
+			continue
+		}
+		text.WriteByte(c)
+		p.pos++
+	}
+}
+
+func (p *parser) parseAttValue() (string, error) {
+	if p.eof() || (p.peek() != '"' && p.peek() != '\'') {
+		return "", p.errf("attribute value must be quoted")
+	}
+	quote := p.data[p.pos]
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated attribute value")
+		}
+		c := p.data[p.pos]
+		switch c {
+		case quote:
+			p.pos++
+			return b.String(), nil
+		case '<':
+			return "", p.errf("'<' in attribute value")
+		case '&':
+			r, err := p.parseReference()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) parseReference() (string, error) {
+	// caller guarantees p.data[p.pos] == '&'
+	semi := -1
+	for i := p.pos + 1; i < len(p.data) && i < p.pos+12; i++ {
+		if p.data[i] == ';' {
+			semi = i
+			break
+		}
+	}
+	if semi < 0 {
+		return "", p.errf("unterminated entity reference")
+	}
+	ref := string(p.data[p.pos+1 : semi])
+	p.pos = semi + 1
+	switch ref {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "quot":
+		return `"`, nil
+	case "apos":
+		return "'", nil
+	}
+	if strings.HasPrefix(ref, "#") {
+		body := ref[1:]
+		base := 10
+		if strings.HasPrefix(body, "x") || strings.HasPrefix(body, "X") {
+			body, base = body[1:], 16
+		}
+		n, err := strconv.ParseUint(body, base, 32)
+		if err != nil {
+			return "", p.errf("bad character reference &%s;", ref)
+		}
+		return string(rune(n)), nil
+	}
+	return "", p.errf("unknown entity &%s;", ref)
+}
+
+func (p *parser) parseComment() (*Node, error) {
+	if err := p.expect("<!--"); err != nil {
+		return nil, err
+	}
+	end := bytes.Index(p.data[p.pos:], commentEnd)
+	if end < 0 {
+		return nil, p.errf("unterminated comment")
+	}
+	n := &Node{Kind: CommentKind, Data: string(p.data[p.pos : p.pos+end])}
+	p.pos += end + 3
+	return n, nil
+}
+
+func (p *parser) parsePI() (*Node, error) {
+	if err := p.expect("<?"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	end := bytes.Index(p.data[p.pos:], piEnd)
+	if end < 0 {
+		return nil, p.errf("unterminated processing instruction")
+	}
+	n := &Node{Kind: PIKind, Name: target, Data: strings.TrimSpace(string(p.data[p.pos : p.pos+end]))}
+	p.pos += end + 2
+	return n, nil
+}
+
+func (p *parser) skipDoctype() error {
+	if err := p.expect("<!DOCTYPE"); err != nil {
+		return err
+	}
+	depth := 1
+	for !p.eof() {
+		switch p.data[p.pos] {
+		case '<':
+			depth++
+		case '>':
+			depth--
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		}
+		p.pos++
+	}
+	return p.errf("unterminated DOCTYPE")
+}

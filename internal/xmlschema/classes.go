@@ -1,0 +1,228 @@
+package xmlschema
+
+import "xbench/internal/core"
+
+// dictionarySchema is the TC/SD class (paper Figure 1): one big
+// dictionary.xml with numerous word entries, deep nesting and references
+// between entries. The qt (quotation text) element carries mixed content.
+var dictionarySchema = &Schema{
+	Class:   core.TCSD,
+	DocName: "dictionary.xml",
+	Root: El("dictionary", One,
+		El("entry", Many,
+			TextEl("hw", One),  // headword — indexed per Table 3
+			TextEl("pr", Opt),  // pronunciation
+			TextEl("pos", One), // part of speech
+			El("etym", Opt, // etymology with optional cross references
+				TextEl("lang", Opt),
+				TextEl("cr", Any).WithAttrs("target"),
+			).WithMixed(),
+			El("sense", Many,
+				TextEl("def", One),
+				TextEl("cr", Any).WithAttrs("target"),
+				El("qp", Any, // quotation paragraph
+					El("q", Many,
+						TextEl("qd", One),  // quotation date
+						TextEl("a", One),   // quotation author
+						TextEl("loc", One), // quotation location
+						El("qt", One, // quotation text, mixed content
+							TextEl("i", Any),
+							TextEl("b", Any),
+						).WithMixed(),
+					),
+				),
+			),
+		).WithAttrs("id"),
+	),
+}
+
+// articleSchema is the TC/MD class (paper Figure 2): numerous relatively
+// small text-centric articleXXX.xml documents with loose schemas, optional
+// parts everywhere, recursive sections and references between documents.
+var articleSchema = &Schema{
+	Class:   core.TCMD,
+	DocName: "articleXXX.xml",
+	Root: El("article", One,
+		El("prolog", One,
+			TextEl("title", One),
+			TextEl("genre", Opt),
+			El("dateline", Opt,
+				TextEl("date", One),
+				TextEl("country", Opt),
+			),
+			El("authors", One,
+				El("author", Many,
+					TextEl("name", One),
+					TextEl("affiliation", Opt),
+					TextEl("contact", Opt), // may be empty — exercised by Q15
+					TextEl("bio", Opt),
+				),
+			),
+			El("abstract", Opt,
+				TextEl("p", Many),
+			),
+			El("keywords", Opt,
+				TextEl("kw", Many),
+			),
+		),
+		El("body", One,
+			El("sec", Many,
+				TextEl("heading", Opt),
+				TextEl("p", Any),
+			).WithRecursive().WithAttrs("id"),
+		),
+		El("epilog", Opt,
+			El("references", Opt,
+				TextEl("a_id", Many).WithAttrs("target"),
+			),
+		),
+	).WithAttrs("id"), // article/@id — indexed per Table 3
+}
+
+// catalogSchema is the DC/SD class (paper Figure 3): one catalog.xml built
+// by recursively joining the TPC-W tables ITEM (base), AUTHOR, AUTHOR_2,
+// PUBLISHER, ADDRESS and COUNTRY, which adds depth to the document.
+var catalogSchema = &Schema{
+	Class:   core.DCSD,
+	DocName: "catalog.xml",
+	Root: El("catalog", One,
+		El("item", Many,
+			TextEl("title", One),
+			TextEl("date_of_release", One), // indexed per Table 3
+			TextEl("subject", One),
+			TextEl("description", Opt),
+			El("attributes", One,
+				TextEl("srp", One), // suggested retail price
+				TextEl("cost", One),
+				TextEl("avail", One),
+				TextEl("isbn", One),
+				TextEl("number_of_pages", One), // cast target of Q20
+				TextEl("backing", One),
+				El("dimensions", One,
+					TextEl("length", One),
+					TextEl("width", One),
+					TextEl("height", One),
+				),
+			),
+			El("authors", One,
+				El("author", Many, // ITEM ⋈ AUTHOR ⋈ AUTHOR_2
+					El("name", One,
+						TextEl("first_name", One),
+						TextEl("middle_name", Opt),
+						TextEl("last_name", One),
+					),
+					TextEl("date_of_birth", Opt),
+					TextEl("biography", Opt),
+					El("contact_information", One, // from AUTHOR_2
+						El("mailing_address", One, // AUTHOR_2 ⋈ ADDRESS ⋈ COUNTRY
+							TextEl("street_address1", One),
+							TextEl("street_address2", Opt),
+							TextEl("city", One),
+							TextEl("state", Opt),
+							TextEl("zip_code", One),
+							El("name_of_country", One), // from COUNTRY
+						),
+						TextEl("phone_number", Opt),
+						TextEl("email_address", Opt),
+					),
+				),
+			),
+			El("publisher", One, // from PUBLISHER
+				TextEl("name", One),
+				TextEl("FAX_number", Opt), // missing-element target of Q14
+				TextEl("phone_number", One),
+				TextEl("email_address", One),
+			),
+		).WithAttrs("id"), // item/@id — indexed per Table 3
+	),
+}
+
+// orderSchema is the DC/MD class (paper Figure 4): one orderXXX.xml per
+// order, joining ORDERS ⋈ ORDER_LINE (1:n) ⋈ CC_XACTS (1:1); plus the five
+// flat-translation (FT) documents Customer, Item, Author, Address, Country
+// where each tuple becomes an element instance and every column a
+// sub-element.
+var orderSchema = &Schema{
+	Class:   core.DCMD,
+	DocName: "orderXXX.xml",
+	Root: El("order", One,
+		TextEl("customer_id", One),
+		TextEl("order_date", One),
+		TextEl("sub_total", One),
+		TextEl("tax", One),
+		TextEl("total", One),
+		TextEl("ship_type", One),
+		TextEl("ship_date", One),
+		TextEl("ship_addr_id", One),
+		El("order_status", One), // empty-able status element; Q9 target
+		El("cc_xacts", One, // ORDERS 1:1 CC_XACTS
+			TextEl("cc_type", One),
+			TextEl("cc_number", One),
+			TextEl("cc_name", One),
+			TextEl("cc_expiry", One),
+			TextEl("cc_auth_id", One),
+			TextEl("total_amount", One),
+			TextEl("ship_country", Opt),
+		),
+		El("order_lines", One, // ORDERS 1:n ORDER_LINE
+			El("order_line", Many,
+				TextEl("item_id", One),
+				TextEl("qty", One),
+				TextEl("discount", One),
+				TextEl("comment", Opt),
+			),
+		),
+	).WithAttrs("id"), // order/@id — indexed per Table 3
+	ExtraRoots: []*Elem{
+		El("customers", One,
+			El("customer", Many,
+				TextEl("c_uname", One),
+				TextEl("c_fname", One),
+				TextEl("c_lname", One),
+				TextEl("c_phone", One),
+				TextEl("c_email", One),
+				TextEl("c_since", One),
+				TextEl("c_discount", One),
+				TextEl("c_addr_id", One),
+			).WithAttrs("id"),
+		),
+		El("items", One,
+			El("flat_item", Many,
+				TextEl("i_title", One),
+				TextEl("i_a_id", One),
+				TextEl("i_pub_date", One),
+				TextEl("i_publisher", One),
+				TextEl("i_subject", One),
+				TextEl("i_cost", One),
+				TextEl("i_isbn", One),
+				TextEl("i_page", One),
+			).WithAttrs("id"),
+		),
+		El("authors", One,
+			El("flat_author", Many,
+				TextEl("a_fname", One),
+				TextEl("a_lname", One),
+				TextEl("a_mname", Opt),
+				TextEl("a_dob", One),
+				TextEl("a_bio", One),
+			).WithAttrs("id"),
+		),
+		El("addresses", One,
+			El("address", Many,
+				TextEl("addr_street1", One),
+				TextEl("addr_street2", Opt),
+				TextEl("addr_city", One),
+				TextEl("addr_state", One),
+				TextEl("addr_zip", One),
+				TextEl("addr_co_id", One),
+			).WithAttrs("id"),
+		),
+		El("countries", One,
+			El("country", Many,
+				TextEl("co_name", One),
+				TextEl("co_exchange", One),
+				TextEl("co_currency", One),
+			).WithAttrs("id"),
+		),
+	},
+}

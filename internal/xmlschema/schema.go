@@ -1,0 +1,297 @@
+// Package xmlschema describes the document structure of the four XBench
+// database classes — the information conveyed by Figures 1–4 of the paper —
+// and can emit it as a DTD or as an ASCII schema diagram. The generators in
+// internal/gen emit documents conforming to these schemas, and a validator
+// here lets tests check that claim.
+package xmlschema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xbench/internal/core"
+	"xbench/internal/xmldom"
+)
+
+// Occurs is an element's occurrence constraint within its parent.
+type Occurs int
+
+const (
+	// One means exactly one occurrence (solid rectangle in the figures).
+	One Occurs = iota
+	// Opt means zero or one (dotted rectangle).
+	Opt
+	// Many means one or more.
+	Many
+	// Any means zero or more.
+	Any
+)
+
+func (o Occurs) dtdSuffix() string {
+	switch o {
+	case Opt:
+		return "?"
+	case Many:
+		return "+"
+	case Any:
+		return "*"
+	}
+	return ""
+}
+
+// Elem is one element type in a class schema.
+type Elem struct {
+	Name     string
+	Occurs   Occurs   // occurrence within the parent
+	Attrs    []string // attribute names; "@id"-style without the '@'
+	Children []*Elem
+	// Text marks elements whose content is character data (leaf #PCDATA).
+	Text bool
+	// Mixed marks mixed-content elements (text interleaved with children),
+	// e.g. qt in dictionary.xml — the content model relational mappings
+	// cannot represent (paper §3.1.3 item 3).
+	Mixed bool
+	// Recursive marks elements that may contain themselves (sec in
+	// articles), depicted as a back edge in Figure 2.
+	Recursive bool
+}
+
+// El is a builder shorthand used by the class schema literals.
+func El(name string, occurs Occurs, children ...*Elem) *Elem {
+	return &Elem{Name: name, Occurs: occurs, Children: children}
+}
+
+// TextEl builds a #PCDATA leaf.
+func TextEl(name string, occurs Occurs) *Elem {
+	return &Elem{Name: name, Occurs: occurs, Text: true}
+}
+
+// WithAttrs attaches attribute declarations and returns e.
+func (e *Elem) WithAttrs(names ...string) *Elem {
+	e.Attrs = append(e.Attrs, names...)
+	return e
+}
+
+// WithMixed marks e as mixed content and returns e.
+func (e *Elem) WithMixed() *Elem { e.Mixed = true; return e }
+
+// WithRecursive marks e as allowing itself as a child and returns e.
+func (e *Elem) WithRecursive() *Elem { e.Recursive = true; return e }
+
+// Schema is the document structure of one class.
+type Schema struct {
+	Class core.Class
+	// DocName is the document naming pattern, e.g. "dictionary.xml" or
+	// "articleXXX.xml".
+	DocName string
+	Root    *Elem
+	// ExtraRoots lists the additional flat-translation documents of DC/MD
+	// (Customer, Item, Author, Address, Country).
+	ExtraRoots []*Elem
+}
+
+// For returns the schema of a class.
+func For(c core.Class) *Schema {
+	switch c {
+	case core.TCSD:
+		return dictionarySchema
+	case core.TCMD:
+		return articleSchema
+	case core.DCSD:
+		return catalogSchema
+	case core.DCMD:
+		return orderSchema
+	}
+	panic("xmlschema: unknown class")
+}
+
+// DTD renders the schema as a Document Type Definition.
+func (s *Schema) DTD() string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var emit func(e *Elem)
+	emit = func(e *Elem) {
+		if seen[e.Name] {
+			return
+		}
+		seen[e.Name] = true
+		switch {
+		case e.Mixed:
+			names := make([]string, 0, len(e.Children))
+			for _, c := range e.Children {
+				names = append(names, c.Name)
+			}
+			fmt.Fprintf(&b, "<!ELEMENT %s (#PCDATA | %s)*>\n", e.Name, strings.Join(names, " | "))
+		case e.Text || len(e.Children) == 0:
+			fmt.Fprintf(&b, "<!ELEMENT %s (#PCDATA)>\n", e.Name)
+		default:
+			parts := make([]string, 0, len(e.Children)+1)
+			for _, c := range e.Children {
+				parts = append(parts, c.Name+c.Occurs.dtdSuffix())
+			}
+			if e.Recursive {
+				parts = append(parts, e.Name+"*")
+			}
+			fmt.Fprintf(&b, "<!ELEMENT %s (%s)>\n", e.Name, strings.Join(parts, ", "))
+		}
+		if len(e.Attrs) > 0 {
+			fmt.Fprintf(&b, "<!ATTLIST %s", e.Name)
+			for _, a := range e.Attrs {
+				kind := "CDATA #IMPLIED"
+				if a == "id" {
+					kind = "ID #REQUIRED"
+				}
+				fmt.Fprintf(&b, "\n  %s %s", a, kind)
+			}
+			b.WriteString(">\n")
+		}
+		for _, c := range e.Children {
+			emit(c)
+		}
+	}
+	emit(s.Root)
+	for _, r := range s.ExtraRoots {
+		emit(r)
+	}
+	return b.String()
+}
+
+// Diagram renders the ASCII schema tree that stands in for the paper's
+// figure. Dotted boxes (optional elements) render with a '?' marker,
+// repetition with '*'/'+', mixed content with '(mixed)'.
+func (s *Schema) Diagram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Schema of %s (%s)\n", s.Class, s.DocName)
+	drawElem(&b, s.Root, "", true, true)
+	for _, r := range s.ExtraRoots {
+		b.WriteString("\n")
+		drawElem(&b, r, "", true, true)
+	}
+	return b.String()
+}
+
+func drawElem(b *strings.Builder, e *Elem, prefix string, last, root bool) {
+	connector := "├── "
+	childPrefix := prefix + "│   "
+	if last {
+		connector = "└── "
+		childPrefix = prefix + "    "
+	}
+	if root {
+		connector = ""
+		childPrefix = ""
+	}
+	label := e.Name
+	switch e.Occurs {
+	case Opt:
+		label += "?"
+	case Many:
+		label += "+"
+	case Any:
+		label += "*"
+	}
+	var notes []string
+	for _, a := range e.Attrs {
+		notes = append(notes, "@"+a)
+	}
+	if e.Mixed {
+		notes = append(notes, "mixed")
+	}
+	if e.Recursive {
+		notes = append(notes, "recursive")
+	}
+	if len(notes) > 0 {
+		label += " (" + strings.Join(notes, ", ") + ")"
+	}
+	fmt.Fprintf(b, "%s%s%s\n", prefix, connector, label)
+	for i, c := range e.Children {
+		drawElem(b, c, childPrefix, i == len(e.Children)-1, false)
+	}
+}
+
+// ElementNames returns the sorted set of element type names in the schema.
+func (s *Schema) ElementNames() []string {
+	set := map[string]bool{}
+	var walk func(e *Elem)
+	walk = func(e *Elem) {
+		set[e.Name] = true
+		for _, c := range e.Children {
+			walk(c)
+		}
+	}
+	walk(s.Root)
+	for _, r := range s.ExtraRoots {
+		walk(r)
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks a document against the schema: every element must be a
+// declared child of its parent (or the element itself when recursive), with
+// declared attributes only. It returns the first violation found.
+func (s *Schema) Validate(doc *xmldom.Node) error {
+	root := doc.Root()
+	if root == nil {
+		return fmt.Errorf("xmlschema: document has no root element")
+	}
+	decl := s.findRoot(root.Name)
+	if decl == nil {
+		return fmt.Errorf("xmlschema: unknown root element <%s> for class %s", root.Name, s.Class)
+	}
+	return validateElem(root, decl)
+}
+
+func (s *Schema) findRoot(name string) *Elem {
+	if s.Root.Name == name {
+		return s.Root
+	}
+	for _, r := range s.ExtraRoots {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func validateElem(n *xmldom.Node, decl *Elem) error {
+	declared := map[string]*Elem{}
+	for _, c := range decl.Children {
+		declared[c.Name] = c
+	}
+	if decl.Recursive {
+		declared[decl.Name] = decl
+	}
+	attrOK := map[string]bool{}
+	for _, a := range decl.Attrs {
+		attrOK[a] = true
+	}
+	for _, a := range n.Attrs {
+		if !attrOK[a.Name] {
+			return fmt.Errorf("xmlschema: undeclared attribute %q on <%s>", a.Name, n.Name)
+		}
+	}
+	for _, c := range n.Children {
+		switch c.Kind {
+		case xmldom.ElementKind:
+			child, ok := declared[c.Name]
+			if !ok {
+				return fmt.Errorf("xmlschema: <%s> is not a declared child of <%s>", c.Name, n.Name)
+			}
+			if err := validateElem(c, child); err != nil {
+				return err
+			}
+		case xmldom.TextKind:
+			if !decl.Text && !decl.Mixed && len(decl.Children) > 0 &&
+				strings.TrimSpace(c.Data) != "" {
+				return fmt.Errorf("xmlschema: unexpected text content in <%s>", n.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package xquery
+
+// expr is an AST node.
+type expr interface{ exprNode() }
+
+// literal is a string or numeric constant.
+type literal struct {
+	str   string
+	num   float64
+	isNum bool
+}
+
+// varRef references $name.
+type varRef struct{ name string }
+
+// contextItem is '.'.
+type contextItem struct{}
+
+// seqExpr is a comma sequence (e1, e2, ...).
+type seqExpr struct{ items []expr }
+
+// axis of a path step.
+type axis int
+
+const (
+	axisChild axis = iota
+	axisDescendant
+	axisAttribute
+	axisSelf
+	axisParent
+	axisFollowingSibling
+	axisPrecedingSibling
+)
+
+// step is one path step: axis::test[pred]...
+type step struct {
+	axis axis
+	name string // element/attribute name; "*" is a wildcard
+	// deep marks an attribute step reached via '//' (descendant-or-self
+	// attribute lookup, e.g. //@id).
+	deep  bool
+	preds []expr
+}
+
+// pathExpr applies steps to an input expression. A nil input means the
+// path is rooted at the collection (leading '/' or '//').
+type pathExpr struct {
+	input    expr
+	fromRoot bool
+	steps    []step
+	// preds are predicates applied to the primary input itself,
+	// e.g. (expr)[3].
+	preds []expr
+}
+
+// binary covers arithmetic, comparison and logical operators.
+type binary struct {
+	op   string
+	l, r expr
+}
+
+// unary negation.
+type unary struct{ operand expr }
+
+// call is a function call.
+type call struct {
+	name string
+	args []expr
+}
+
+// flwor is for/let/where/order by/return.
+type flwor struct {
+	clauses []flworClause
+	where   expr
+	orderBy []orderSpec
+	ret     expr
+}
+
+type flworClause struct {
+	isLet   bool
+	varName string
+	// posVar is the "at $i" positional variable of a for clause ("" = none).
+	posVar string
+	src    expr
+}
+
+type orderSpec struct {
+	key  expr
+	desc bool
+}
+
+// quantified is some/every $v in src satisfies cond.
+type quantified struct {
+	every   bool
+	varName string
+	src     expr
+	cond    expr
+}
+
+// ifExpr is if (cond) then a else b.
+type ifExpr struct {
+	cond, then, els expr
+}
+
+// elemCtor is a direct element constructor. Content parts are either raw
+// text (string) or enclosed expressions (expr).
+type elemCtor struct {
+	name    string
+	attrs   []attrCtor
+	content []any // string | expr
+}
+
+type attrCtor struct {
+	name  string
+	parts []any // string | expr
+}
+
+func (literal) exprNode()     {}
+func (varRef) exprNode()      {}
+func (contextItem) exprNode() {}
+func (seqExpr) exprNode()     {}
+func (pathExpr) exprNode()    {}
+func (binary) exprNode()      {}
+func (unary) exprNode()       {}
+func (call) exprNode()        {}
+func (flwor) exprNode()       {}
+func (quantified) exprNode()  {}
+func (ifExpr) exprNode()      {}
+func (elemCtor) exprNode()    {}

@@ -1,0 +1,614 @@
+package xquery
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xbench/internal/xmldom"
+)
+
+// Item is one value in a sequence: *xmldom.Node, string, float64 or bool.
+type Item any
+
+// Seq is an ordered sequence of items (the XQuery data model).
+type Seq []Item
+
+// Collection is the document set a query runs against.
+type Collection struct {
+	names  []string
+	docs   []*xmldom.Node // document nodes, parallel to names
+	byName map[string]*xmldom.Node
+	order  map[*xmldom.Node]int // document node -> collection position
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{
+		byName: map[string]*xmldom.Node{},
+		order:  map[*xmldom.Node]int{},
+	}
+}
+
+// Add registers a parsed document under a name (e.g. its file name).
+func (c *Collection) Add(name string, doc *xmldom.Node) {
+	c.names = append(c.names, name)
+	c.docs = append(c.docs, doc)
+	c.byName[name] = doc
+	c.order[doc] = len(c.docs) - 1
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int { return len(c.docs) }
+
+// Doc returns a document by name, or nil.
+func (c *Collection) Doc(name string) *xmldom.Node { return c.byName[name] }
+
+// Names returns document names in collection order.
+func (c *Collection) Names() []string { return append([]string(nil), c.names...) }
+
+// Query is a compiled XQuery expression.
+type Query struct {
+	Source string
+	root   expr
+}
+
+// Eval runs the query against a collection.
+func (q *Query) Eval(coll *Collection) (Seq, error) {
+	return q.EvalWithVars(coll, nil)
+}
+
+// EvalWithVars runs the query with externally bound variables (the
+// workload binds query parameters like $X this way).
+func (q *Query) EvalWithVars(coll *Collection, vars map[string]Seq) (Seq, error) {
+	ctx := &evalCtx{coll: coll, vars: map[string]Seq{}}
+	for k, v := range vars {
+		ctx.vars[k] = v
+	}
+	return evalExpr(ctx, q.root)
+}
+
+type evalCtx struct {
+	coll *Collection
+	vars map[string]Seq
+	item Item // context item ('.')
+	pos  int  // 1-based position()
+	size int  // last()
+}
+
+func (c *evalCtx) clone() *evalCtx {
+	vars := make(map[string]Seq, len(c.vars))
+	for k, v := range c.vars {
+		vars[k] = v
+	}
+	return &evalCtx{coll: c.coll, vars: vars, item: c.item, pos: c.pos, size: c.size}
+}
+
+func evalExpr(ctx *evalCtx, e expr) (Seq, error) {
+	switch t := e.(type) {
+	case literal:
+		if t.isNum {
+			return Seq{t.num}, nil
+		}
+		return Seq{t.str}, nil
+	case varRef:
+		v, ok := ctx.vars[t.name]
+		if !ok {
+			return nil, &Error{Msg: fmt.Sprintf("undefined variable $%s", t.name)}
+		}
+		return v, nil
+	case contextItem:
+		if ctx.item == nil {
+			return nil, &Error{Msg: "context item is undefined"}
+		}
+		return Seq{ctx.item}, nil
+	case seqExpr:
+		var out Seq
+		for _, it := range t.items {
+			s, err := evalExpr(ctx, it)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	case unary:
+		s, err := evalExpr(ctx, t.operand)
+		if err != nil {
+			return nil, err
+		}
+		n, err := seqNumber(s)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{-n}, nil
+	case binary:
+		return evalBinary(ctx, t)
+	case call:
+		return evalCall(ctx, t)
+	case pathExpr:
+		return evalPath(ctx, t)
+	case flwor:
+		return evalFLWOR(ctx, t)
+	case quantified:
+		return evalQuantified(ctx, t)
+	case ifExpr:
+		cond, err := evalExpr(ctx, t.cond)
+		if err != nil {
+			return nil, err
+		}
+		if ebv(cond) {
+			return evalExpr(ctx, t.then)
+		}
+		return evalExpr(ctx, t.els)
+	case elemCtor:
+		n, err := evalCtor(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{n}, nil
+	case stepWrap:
+		// A bare step outside a pathExpr (shouldn't normally occur).
+		return evalPath(ctx, pathExpr{steps: []step{t.s}})
+	}
+	return nil, &Error{Msg: fmt.Sprintf("unhandled expression %T", e)}
+}
+
+func evalBinary(ctx *evalCtx, b binary) (Seq, error) {
+	switch b.op {
+	case "and":
+		l, err := evalExpr(ctx, b.l)
+		if err != nil {
+			return nil, err
+		}
+		if !ebv(l) {
+			return Seq{false}, nil
+		}
+		r, err := evalExpr(ctx, b.r)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{ebv(r)}, nil
+	case "or":
+		l, err := evalExpr(ctx, b.l)
+		if err != nil {
+			return nil, err
+		}
+		if ebv(l) {
+			return Seq{true}, nil
+		}
+		r, err := evalExpr(ctx, b.r)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{ebv(r)}, nil
+	}
+	l, err := evalExpr(ctx, b.l)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(ctx, b.r)
+	if err != nil {
+		return nil, err
+	}
+	switch b.op {
+	case "|":
+		return unionSeqs(ctx, l, r), nil
+	case "+", "-", "*", "div", "idiv", "mod":
+		ln, err := seqNumber(l)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := seqNumber(r)
+		if err != nil {
+			return nil, err
+		}
+		switch b.op {
+		case "+":
+			return Seq{ln + rn}, nil
+		case "-":
+			return Seq{ln - rn}, nil
+		case "*":
+			return Seq{ln * rn}, nil
+		case "div":
+			return Seq{ln / rn}, nil
+		case "idiv":
+			if int64(rn) == 0 {
+				return nil, &Error{Msg: "integer division by zero"}
+			}
+			return Seq{float64(int64(ln) / int64(rn))}, nil
+		case "mod":
+			if int64(rn) == 0 {
+				return nil, &Error{Msg: "modulo by zero"}
+			}
+			return Seq{float64(int64(ln) % int64(rn))}, nil
+		}
+	case "to":
+		ln, err := seqNumber(l)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := seqNumber(r)
+		if err != nil {
+			return nil, err
+		}
+		var out Seq
+		for i := int(ln); i <= int(rn); i++ {
+			out = append(out, float64(i))
+		}
+		return out, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		// General comparison: existential over both sequences.
+		for _, li := range l {
+			for _, ri := range r {
+				if compareItems(li, ri, b.op) {
+					return Seq{true}, nil
+				}
+			}
+		}
+		return Seq{false}, nil
+	}
+	return nil, &Error{Msg: fmt.Sprintf("unhandled operator %q", b.op)}
+}
+
+// unionSeqs merges two sequences: nodes are deduplicated and the merged
+// node set is returned in document order; atomic items keep encounter
+// order after the nodes (ad-hoc but total).
+func unionSeqs(ctx *evalCtx, l, r Seq) Seq {
+	seen := map[*xmldom.Node]bool{}
+	var out Seq
+	allNodes := true
+	for _, s := range []Seq{l, r} {
+		for _, item := range s {
+			if n, ok := item.(*xmldom.Node); ok {
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+			} else {
+				allNodes = false
+			}
+			out = append(out, item)
+		}
+	}
+	if allNodes && len(out) > 1 {
+		sortDocOrder(ctx, out)
+	}
+	return out
+}
+
+// compareItems applies op to two atomized items. If both atomize to
+// numbers the comparison is numeric, otherwise lexicographic — which is
+// correct for the benchmark's ISO dates.
+func compareItems(a, b Item, op string) bool {
+	as, bs := atomize(a), atomize(b)
+	af, aok := toNumber(a)
+	bf, bok := toNumber(b)
+	if aok && bok {
+		switch op {
+		case "=":
+			return af == bf
+		case "!=":
+			return af != bf
+		case "<":
+			return af < bf
+		case "<=":
+			return af <= bf
+		case ">":
+			return af > bf
+		case ">=":
+			return af >= bf
+		}
+	}
+	switch op {
+	case "=":
+		return as == bs
+	case "!=":
+		return as != bs
+	case "<":
+		return as < bs
+	case "<=":
+		return as <= bs
+	case ">":
+		return as > bs
+	case ">=":
+		return as >= bs
+	}
+	return false
+}
+
+func evalFLWOR(ctx *evalCtx, f flwor) (Seq, error) {
+	tuples := []*evalCtx{ctx.clone()}
+	for _, cl := range f.clauses {
+		var next []*evalCtx
+		for _, tu := range tuples {
+			src, err := evalExpr(tu, cl.src)
+			if err != nil {
+				return nil, err
+			}
+			if cl.isLet {
+				nt := tu.clone()
+				nt.vars[cl.varName] = src
+				next = append(next, nt)
+				continue
+			}
+			for i, item := range src {
+				nt := tu.clone()
+				nt.vars[cl.varName] = Seq{item}
+				if cl.posVar != "" {
+					nt.vars[cl.posVar] = Seq{float64(i + 1)}
+				}
+				next = append(next, nt)
+			}
+		}
+		tuples = next
+	}
+	if f.where != nil {
+		var kept []*evalCtx
+		for _, tu := range tuples {
+			w, err := evalExpr(tu, f.where)
+			if err != nil {
+				return nil, err
+			}
+			if ebv(w) {
+				kept = append(kept, tu)
+			}
+		}
+		tuples = kept
+	}
+	if len(f.orderBy) > 0 {
+		type keyed struct {
+			tu   *evalCtx
+			keys []Item
+		}
+		ks := make([]keyed, len(tuples))
+		for i, tu := range tuples {
+			ks[i].tu = tu
+			for _, spec := range f.orderBy {
+				kv, err := evalExpr(tu, spec.key)
+				if err != nil {
+					return nil, err
+				}
+				var k Item
+				if len(kv) > 0 {
+					k = kv[0]
+				}
+				ks[i].keys = append(ks[i].keys, k)
+			}
+		}
+		sort.SliceStable(ks, func(i, j int) bool {
+			for s, spec := range f.orderBy {
+				a, b := ks[i].keys[s], ks[j].keys[s]
+				cmp := compareKeys(a, b)
+				if cmp == 0 {
+					continue
+				}
+				if spec.desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		for i := range ks {
+			tuples[i] = ks[i].tu
+		}
+	}
+	var out Seq
+	for _, tu := range tuples {
+		r, err := evalExpr(tu, f.ret)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// compareKeys orders two order-by keys: nil (empty) first, numeric when
+// both are numbers, string otherwise.
+func compareKeys(a, b Item) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	af, aok := toNumber(a)
+	bf, bok := toNumber(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, bs := atomize(a), atomize(b)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func evalQuantified(ctx *evalCtx, q quantified) (Seq, error) {
+	src, err := evalExpr(ctx, q.src)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range src {
+		nt := ctx.clone()
+		nt.vars[q.varName] = Seq{item}
+		c, err := evalExpr(nt, q.cond)
+		if err != nil {
+			return nil, err
+		}
+		if q.every {
+			if !ebv(c) {
+				return Seq{false}, nil
+			}
+		} else if ebv(c) {
+			return Seq{true}, nil
+		}
+	}
+	return Seq{q.every}, nil
+}
+
+func evalCtor(ctx *evalCtx, c elemCtor) (*xmldom.Node, error) {
+	el := xmldom.NewElement(c.name)
+	for _, a := range c.attrs {
+		var b strings.Builder
+		for _, part := range a.parts {
+			switch pt := part.(type) {
+			case string:
+				b.WriteString(pt)
+			case expr:
+				s, err := evalExpr(ctx, pt)
+				if err != nil {
+					return nil, err
+				}
+				for i, item := range s {
+					if i > 0 {
+						b.WriteByte(' ')
+					}
+					b.WriteString(atomize(item))
+				}
+			}
+		}
+		el.SetAttr(a.name, b.String())
+	}
+	for _, part := range c.content {
+		switch pt := part.(type) {
+		case string:
+			el.AddText(pt)
+		case expr:
+			s, err := evalExpr(ctx, pt)
+			if err != nil {
+				return nil, err
+			}
+			prevAtomic := false
+			for _, item := range s {
+				if n, ok := item.(*xmldom.Node); ok {
+					el.Append(n.Clone())
+					prevAtomic = false
+					continue
+				}
+				if prevAtomic {
+					el.AddText(" ")
+				}
+				el.AddText(atomize(item))
+				prevAtomic = true
+			}
+		}
+	}
+	return el, nil
+}
+
+// ebv computes the effective boolean value of a sequence.
+func ebv(s Seq) bool {
+	if len(s) == 0 {
+		return false
+	}
+	if _, isNode := s[0].(*xmldom.Node); isNode {
+		return true
+	}
+	if len(s) > 1 {
+		return true
+	}
+	switch v := s[0].(type) {
+	case bool:
+		return v
+	case float64:
+		return v != 0
+	case string:
+		return v != ""
+	}
+	return true
+}
+
+// atomize returns the string value of an item.
+func atomize(it Item) string {
+	switch v := it.(type) {
+	case nil:
+		return ""
+	case *xmldom.Node:
+		return v.Text()
+	case string:
+		return v
+	case float64:
+		return FormatNumber(v)
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprint(it)
+}
+
+// FormatNumber renders a number the way atomization does; the relational
+// engines use it so aggregate results compare byte-for-byte with the
+// native engine's.
+func FormatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// toNumber attempts numeric atomization.
+func toNumber(it Item) (float64, bool) {
+	switch v := it.(type) {
+	case float64:
+		return v, true
+	case bool:
+		if v {
+			return 1, true
+		}
+		return 0, true
+	default:
+		s := strings.TrimSpace(atomize(it))
+		if s == "" {
+			return 0, false
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		return f, err == nil
+	}
+}
+
+func seqNumber(s Seq) (float64, error) {
+	if len(s) == 0 {
+		return 0, &Error{Msg: "empty sequence where a number is required"}
+	}
+	n, ok := toNumber(s[0])
+	if !ok {
+		return 0, &Error{Msg: fmt.Sprintf("cannot cast %q to a number", atomize(s[0]))}
+	}
+	return n, nil
+}
+
+// SerializeSeq renders a result sequence as strings, one per item: nodes
+// as XML, atomics as their string value. This is what engines put into
+// core.Result.Items.
+func SerializeSeq(s Seq) []string {
+	out := make([]string, len(s))
+	for i, item := range s {
+		if n, ok := item.(*xmldom.Node); ok {
+			out[i] = n.XML()
+		} else {
+			out[i] = atomize(item)
+		}
+	}
+	return out
+}

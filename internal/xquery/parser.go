@@ -1,0 +1,734 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles an XQuery string into an executable Query.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, p.errf("unexpected %s after query", p.cur)
+	}
+	return &Query{Source: src, root: e}, nil
+}
+
+// MustParse is Parse that panics on error; for static workload queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lx  *lexer
+	cur token
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// accept consumes the current token if it is the given symbol/keyword.
+func (p *parser) accept(kind tokKind, text string) (bool, error) {
+	if p.cur.kind == kind && p.cur.text == text {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	ok, err := p.accept(kind, text)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return p.errf("expected %q, found %s", text, p.cur)
+	}
+	return nil
+}
+
+// parseExpr parses a comma-separated sequence expression.
+func (p *parser) parseExpr() (expr, error) {
+	first, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	items := []expr{first}
+	for {
+		ok, err := p.accept(tokSymbol, ",")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+	}
+	if len(items) == 1 {
+		return first, nil
+	}
+	return seqExpr{items: items}, nil
+}
+
+func (p *parser) parseExprSingle() (expr, error) {
+	if p.cur.kind == tokName {
+		switch p.cur.text {
+		case "for", "let":
+			return p.parseFLWOR()
+		case "some", "every":
+			return p.parseQuantified()
+		case "if":
+			// Only a conditional when followed by '('.
+			save := *p.lx
+			saveTok := p.cur
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.cur.kind == tokSymbol && p.cur.text == "(" {
+				return p.parseIf()
+			}
+			*p.lx = save
+			p.cur = saveTok
+		}
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseFLWOR() (expr, error) {
+	var f flwor
+	for p.cur.kind == tokName && (p.cur.text == "for" || p.cur.text == "let") {
+		isLet := p.cur.text == "let"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			if p.cur.kind != tokVar {
+				return nil, p.errf("expected variable in %s clause, found %s",
+					map[bool]string{true: "let", false: "for"}[isLet], p.cur)
+			}
+			name := p.cur.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			posVar := ""
+			if !isLet {
+				if ok, err := p.accept(tokName, "at"); err != nil {
+					return nil, err
+				} else if ok {
+					if p.cur.kind != tokVar {
+						return nil, p.errf("expected positional variable after 'at'")
+					}
+					posVar = p.cur.text
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+				if err := p.expect(tokName, "in"); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := p.expect(tokSymbol, ":="); err != nil {
+					return nil, err
+				}
+			}
+			src, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			f.clauses = append(f.clauses, flworClause{
+				isLet: isLet, varName: name, posVar: posVar, src: src,
+			})
+			ok, err := p.accept(tokSymbol, ",")
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.accept(tokName, "where"); err != nil {
+		return nil, err
+	} else if ok {
+		w, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		f.where = w
+	}
+	if p.cur.kind == tokName && p.cur.text == "order" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokName, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			key, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			spec := orderSpec{key: key}
+			if ok, err := p.accept(tokName, "descending"); err != nil {
+				return nil, err
+			} else if ok {
+				spec.desc = true
+			} else if _, err := p.accept(tokName, "ascending"); err != nil {
+				return nil, err
+			}
+			f.orderBy = append(f.orderBy, spec)
+			ok, err := p.accept(tokSymbol, ",")
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if err := p.expect(tokName, "return"); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.ret = ret
+	if len(f.clauses) == 0 {
+		return nil, p.errf("FLWOR without for/let clause")
+	}
+	return f, nil
+}
+
+func (p *parser) parseQuantified() (expr, error) {
+	every := p.cur.text == "every"
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokVar {
+		return nil, p.errf("expected variable after some/every")
+	}
+	name := p.cur.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokName, "in"); err != nil {
+		return nil, err
+	}
+	src, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokName, "satisfies"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return quantified{every: every, varName: name, src: src, cond: cond}, nil
+}
+
+func (p *parser) parseIf() (expr, error) {
+	// 'if' consumed; current token is '('.
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokName, "then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokName, "else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return ifExpr{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.accept(tokName, "or")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "or", l: l, r: r}
+	}
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.accept(tokName, "and")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "and", l: l, r: r}
+	}
+}
+
+var cmpOps = map[string]string{
+	"=": "=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+	"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+
+func (p *parser) parseComparison() (expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	if p.cur.kind == tokSymbol {
+		if o, ok := cmpOps[p.cur.text]; ok {
+			op = o
+		}
+	} else if p.cur.kind == tokName {
+		// Value comparison keywords only count when a right operand follows.
+		if o, ok := cmpOps[p.cur.text]; ok {
+			op = o
+		}
+	}
+	if op == "" {
+		return l, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return binary{op: op, l: l, r: r}, nil
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokSymbol && (p.cur.text == "+" || p.cur.text == "-") ||
+		p.cur.kind == tokName && p.cur.text == "to" {
+		op := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (expr, error) {
+	l, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur.kind == tokSymbol && p.cur.text == "*") ||
+		(p.cur.kind == tokName && (p.cur.text == "div" || p.cur.text == "idiv" || p.cur.text == "mod")) {
+		// '*' here is multiplication only when a value precedes it; the
+		// wildcard case is consumed inside path steps, so reaching this
+		// point with '*' means multiplication.
+		op := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+// parseUnion handles node-sequence union: a | b ("union" keyword included).
+func (p *parser) parseUnion() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur.kind == tokSymbol && p.cur.text == "|") ||
+		(p.cur.kind == tokName && p.cur.text == "union") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "|", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.cur.kind == tokSymbol && p.cur.text == "-" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unary{operand: e}, nil
+	}
+	return p.parsePath()
+}
+
+// parsePath parses a relative or absolute path expression.
+func (p *parser) parsePath() (expr, error) {
+	var pe pathExpr
+	switch {
+	case p.cur.kind == tokSymbol && p.cur.text == "//":
+		pe.fromRoot = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st, err := p.parseStep(axisDescendant)
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = append(pe.steps, st)
+	case p.cur.kind == tokSymbol && p.cur.text == "/":
+		pe.fromRoot = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st, err := p.parseStep(axisChild)
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = append(pe.steps, st)
+	default:
+		prim, preds, isStep, err := p.parsePrimaryOrStep()
+		if err != nil {
+			return nil, err
+		}
+		if isStep {
+			pe.steps = append(pe.steps, prim.(stepWrap).s)
+		} else {
+			pe.input = prim
+			pe.preds = preds
+		}
+	}
+	for p.cur.kind == tokSymbol && (p.cur.text == "/" || p.cur.text == "//") {
+		ax := axisChild
+		if p.cur.text == "//" {
+			ax = axisDescendant
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st, err := p.parseStep(ax)
+		if err != nil {
+			return nil, err
+		}
+		pe.steps = append(pe.steps, st)
+	}
+	// Collapse a bare primary with no steps back to the primary itself.
+	if pe.input != nil && len(pe.steps) == 0 && len(pe.preds) == 0 {
+		return pe.input, nil
+	}
+	return pe, nil
+}
+
+// stepWrap lets parsePrimaryOrStep return a step through the expr return
+// slot.
+type stepWrap struct{ s step }
+
+func (stepWrap) exprNode() {}
+
+// parsePrimaryOrStep distinguishes a primary expression (literal, var,
+// parenthesized, function call, constructor, '.') from a name-test step
+// starting a relative path.
+func (p *parser) parsePrimaryOrStep() (expr, []expr, bool, error) {
+	switch p.cur.kind {
+	case tokString:
+		e := literal{str: p.cur.text}
+		if err := p.advance(); err != nil {
+			return nil, nil, false, err
+		}
+		return e, nil, false, nil
+	case tokNumber:
+		n, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, nil, false, p.errf("bad number %q", p.cur.text)
+		}
+		e := literal{num: n, isNum: true}
+		if err := p.advance(); err != nil {
+			return nil, nil, false, err
+		}
+		return e, nil, false, nil
+	case tokVar:
+		e := varRef{name: p.cur.text}
+		if err := p.advance(); err != nil {
+			return nil, nil, false, err
+		}
+		preds, err := p.parsePredicates()
+		return e, preds, false, err
+	case tokTagOpen:
+		e, err := p.parseElemCtor()
+		return e, nil, false, err
+	case tokSymbol:
+		switch p.cur.text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, nil, false, err
+			}
+			// Empty sequence "()".
+			if p.cur.kind == tokSymbol && p.cur.text == ")" {
+				if err := p.advance(); err != nil {
+					return nil, nil, false, err
+				}
+				return seqExpr{}, nil, false, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, nil, false, err
+			}
+			preds, err := p.parsePredicates()
+			return e, preds, false, err
+		case ".":
+			if err := p.advance(); err != nil {
+				return nil, nil, false, err
+			}
+			return contextItem{}, nil, false, nil
+		case "..":
+			if err := p.advance(); err != nil {
+				return nil, nil, false, err
+			}
+			st := step{axis: axisParent, name: "*"}
+			return stepWrap{st}, nil, true, nil
+		case "@", "*":
+			st, err := p.parseStep(axisChild)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return stepWrap{st}, nil, true, nil
+		}
+	case tokName:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, nil, false, err
+		}
+		if p.cur.kind == tokSymbol && p.cur.text == "(" {
+			// Function call.
+			if err := p.advance(); err != nil {
+				return nil, nil, false, err
+			}
+			var args []expr
+			if !(p.cur.kind == tokSymbol && p.cur.text == ")") {
+				for {
+					a, err := p.parseExprSingle()
+					if err != nil {
+						return nil, nil, false, err
+					}
+					args = append(args, a)
+					ok, err := p.accept(tokSymbol, ",")
+					if err != nil {
+						return nil, nil, false, err
+					}
+					if !ok {
+						break
+					}
+				}
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, nil, false, err
+			}
+			preds, err := p.parsePredicates()
+			return call{name: name, args: args}, preds, false, err
+		}
+		// Axis step with explicit axis (name::...)?
+		if p.cur.kind == tokSymbol && p.cur.text == ":" {
+			// lexer splits "::" into two ':' symbols
+			if err := p.advance(); err != nil {
+				return nil, nil, false, err
+			}
+			if err := p.expect(tokSymbol, ":"); err != nil {
+				return nil, nil, false, err
+			}
+			ax, ok := axisByName(name)
+			if !ok {
+				return nil, nil, false, p.errf("unknown axis %q", name)
+			}
+			st, err := p.parseStep(ax)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			return stepWrap{st}, nil, true, nil
+		}
+		// Plain name test starting a relative path.
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return stepWrap{step{axis: axisChild, name: name, preds: preds}}, nil, true, nil
+	}
+	return nil, nil, false, p.errf("unexpected %s", p.cur)
+}
+
+func axisByName(name string) (axis, bool) {
+	switch name {
+	case "child":
+		return axisChild, true
+	case "descendant":
+		return axisDescendant, true
+	case "attribute":
+		return axisAttribute, true
+	case "self":
+		return axisSelf, true
+	case "parent":
+		return axisParent, true
+	case "following-sibling":
+		return axisFollowingSibling, true
+	case "preceding-sibling":
+		return axisPrecedingSibling, true
+	}
+	return 0, false
+}
+
+// parseStep parses one step after '/', '//' or an axis prefix.
+func (p *parser) parseStep(defaultAxis axis) (step, error) {
+	st := step{axis: defaultAxis}
+	if p.cur.kind == tokSymbol && p.cur.text == "@" {
+		st.deep = defaultAxis == axisDescendant
+		st.axis = axisAttribute
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+	}
+	switch {
+	case p.cur.kind == tokSymbol && p.cur.text == "*":
+		st.name = "*"
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+	case p.cur.kind == tokSymbol && p.cur.text == "..":
+		st.axis = axisParent
+		st.name = "*"
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+	case p.cur.kind == tokName:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+		// Explicit axis: name::test
+		if p.cur.kind == tokSymbol && p.cur.text == ":" {
+			if err := p.advance(); err != nil {
+				return st, err
+			}
+			if err := p.expect(tokSymbol, ":"); err != nil {
+				return st, err
+			}
+			ax, ok := axisByName(name)
+			if !ok {
+				return st, p.errf("unknown axis %q", name)
+			}
+			return p.parseStep(ax)
+		}
+		// node test functions: text(), node()
+		if p.cur.kind == tokSymbol && p.cur.text == "(" && (name == "text" || name == "node") {
+			if err := p.advance(); err != nil {
+				return st, err
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return st, err
+			}
+			st.name = name + "()"
+		} else {
+			st.name = name
+		}
+	default:
+		return st, p.errf("expected name test, found %s", p.cur)
+	}
+	preds, err := p.parsePredicates()
+	if err != nil {
+		return st, err
+	}
+	st.preds = preds
+	return st, nil
+}
+
+func (p *parser) parsePredicates() ([]expr, error) {
+	var preds []expr
+	for p.cur.kind == tokSymbol && p.cur.text == "[" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		preds = append(preds, e)
+	}
+	return preds, nil
+}

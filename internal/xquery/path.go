@@ -1,0 +1,255 @@
+package xquery
+
+import (
+	"sort"
+
+	"xbench/internal/xmldom"
+)
+
+func evalPath(ctx *evalCtx, pe pathExpr) (Seq, error) {
+	var cur Seq
+	switch {
+	case pe.fromRoot:
+		for _, d := range ctx.coll.docs {
+			cur = append(cur, d)
+		}
+	case pe.input != nil:
+		s, err := evalExpr(ctx, pe.input)
+		if err != nil {
+			return nil, err
+		}
+		cur = s
+		if len(pe.preds) > 0 {
+			cur, err = applyPredicates(ctx, cur, pe.preds)
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		if ctx.item == nil {
+			return nil, &Error{Msg: "relative path with undefined context item"}
+		}
+		cur = Seq{ctx.item}
+	}
+	for _, st := range pe.steps {
+		next, err := applyStep(ctx, cur, st)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// applyStep evaluates one step for every node in the input sequence,
+// applying the step's predicates per context node (XPath position
+// semantics), then merges results in document order with duplicates
+// removed.
+func applyStep(ctx *evalCtx, input Seq, st step) (Seq, error) {
+	var merged Seq
+	seen := map[*xmldom.Node]bool{}
+	allNodes := true
+	for _, item := range input {
+		n, ok := item.(*xmldom.Node)
+		if !ok {
+			continue // axis steps apply to nodes only
+		}
+		cands := candidates(n, st)
+		filtered, err := applyPredicates(ctx, cands, st.preds)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range filtered {
+			if fn, ok := f.(*xmldom.Node); ok {
+				if seen[fn] {
+					continue
+				}
+				seen[fn] = true
+			} else {
+				allNodes = false
+			}
+			merged = append(merged, f)
+		}
+	}
+	if allNodes && len(merged) > 1 {
+		sortDocOrder(ctx, merged)
+	}
+	return merged, nil
+}
+
+// candidates returns the raw axis results for one context node.
+func candidates(n *xmldom.Node, st step) Seq {
+	var out Seq
+	switch st.axis {
+	case axisChild:
+		switch st.name {
+		case "text()":
+			for _, c := range n.Children {
+				if c.Kind == xmldom.TextKind {
+					out = append(out, c.Data)
+				}
+			}
+		case "node()":
+			for _, c := range n.Children {
+				if c.Kind == xmldom.TextKind {
+					out = append(out, c.Data)
+				} else {
+					out = append(out, c)
+				}
+			}
+		default:
+			for _, c := range n.Children {
+				if c.Kind == xmldom.ElementKind && (st.name == "*" || c.Name == st.name) {
+					out = append(out, c)
+				}
+			}
+		}
+	case axisDescendant:
+		// descendant (not -or-self), element name test.
+		for _, c := range n.Children {
+			c.Walk(func(d *xmldom.Node) bool {
+				if d.Kind == xmldom.ElementKind && (st.name == "*" || d.Name == st.name) {
+					out = append(out, d)
+				}
+				return true
+			})
+		}
+	case axisAttribute:
+		if st.deep {
+			// //@name: attributes of descendant-or-self elements.
+			n.Walk(func(d *xmldom.Node) bool {
+				out = append(out, attrValues(d, st.name)...)
+				return true
+			})
+		} else {
+			out = attrValues(n, st.name)
+		}
+	case axisSelf:
+		if n.Kind == xmldom.ElementKind && (st.name == "*" || n.Name == st.name) {
+			out = append(out, n)
+		}
+	case axisParent:
+		if p := n.Parent; p != nil && p.Kind == xmldom.ElementKind &&
+			(st.name == "*" || p.Name == st.name) {
+			out = append(out, p)
+		}
+	case axisFollowingSibling, axisPrecedingSibling:
+		p := n.Parent
+		if p == nil {
+			return nil
+		}
+		idx := -1
+		for i, c := range p.Children {
+			if c == n {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		if st.axis == axisFollowingSibling {
+			for _, c := range p.Children[idx+1:] {
+				if c.Kind == xmldom.ElementKind && (st.name == "*" || c.Name == st.name) {
+					out = append(out, c)
+				}
+			}
+		} else {
+			// preceding-sibling in reverse document order (XPath semantics:
+			// positions count backwards from the context node).
+			for i := idx - 1; i >= 0; i-- {
+				c := p.Children[i]
+				if c.Kind == xmldom.ElementKind && (st.name == "*" || c.Name == st.name) {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func attrValues(n *xmldom.Node, name string) Seq {
+	if n.Kind != xmldom.ElementKind {
+		return nil
+	}
+	var out Seq
+	if name == "*" {
+		for _, a := range n.Attrs {
+			out = append(out, a.Value)
+		}
+		return out
+	}
+	if v, ok := n.Attr(name); ok {
+		out = append(out, v)
+	}
+	return out
+}
+
+// applyPredicates filters a candidate list, giving each predicate
+// expression access to the context item, position() and last().
+func applyPredicates(ctx *evalCtx, items Seq, preds []expr) (Seq, error) {
+	cur := items
+	for _, pred := range preds {
+		var kept Seq
+		size := len(cur)
+		for i, item := range cur {
+			sub := ctx.clone()
+			sub.item = item
+			sub.pos = i + 1
+			sub.size = size
+			v, err := evalExpr(sub, pred)
+			if err != nil {
+				return nil, err
+			}
+			// A single numeric predicate value is a position test.
+			if len(v) == 1 {
+				if f, ok := v[0].(float64); ok {
+					if int(f) == i+1 {
+						kept = append(kept, item)
+					}
+					continue
+				}
+			}
+			if ebv(v) {
+				kept = append(kept, item)
+			}
+		}
+		cur = kept
+	}
+	return cur, nil
+}
+
+// sortDocOrder sorts nodes by (collection position of their document,
+// node order within the document). Constructed nodes (no document) keep
+// their relative order after all document nodes.
+func sortDocOrder(ctx *evalCtx, items Seq) {
+	type ranked struct {
+		item Item
+		doc  int
+		ord  int32
+	}
+	rs := make([]ranked, len(items))
+	for i, it := range items {
+		rs[i] = ranked{item: it, doc: 1 << 30, ord: int32(i)}
+		if n, ok := it.(*xmldom.Node); ok {
+			root := n
+			for root.Parent != nil {
+				root = root.Parent
+			}
+			if d, ok := ctx.coll.order[root]; ok {
+				rs[i].doc = d
+				rs[i].ord = n.Ord
+			}
+		}
+	}
+	// Stable sort keeps constructed nodes in encounter order.
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].doc != rs[j].doc {
+			return rs[i].doc < rs[j].doc
+		}
+		return rs[i].ord < rs[j].ord
+	})
+	for i := range rs {
+		items[i] = rs[i].item
+	}
+}

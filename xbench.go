@@ -1,0 +1,227 @@
+// Package xbench is an open-source reproduction of the XBench family of
+// XML database benchmarks (Yao, Özsu, Khandelwal: "XBench Benchmark and
+// Performance Testing of XML DBMSs", ICDE 2004).
+//
+// It provides, entirely in Go with no dependencies outside the standard
+// library:
+//
+//   - Deterministic generators for the four XBench database classes
+//     (TC/SD dictionary, TC/MD article corpus, DC/SD catalog, DC/MD
+//     orders + flat documents), driven by a ToXgene-style template engine
+//     and a TPC-W-derived relational population.
+//   - The Q1-Q20 workload instantiated per class, with the Table 3 value
+//     indexes and deterministic parameter bindings.
+//   - Four storage engines reproducing the architectures the paper
+//     evaluates: a native XML store (X-Hive analog), CLOB-plus-side-tables
+//     (DB2 Xcolumn analog) and two shredding engines (DB2 Xcollection and
+//     SQL Server analogs), all running over a simulated pager with a
+//     buffer pool so cold-run costs are observable.
+//   - An XQuery subset engine that the native store executes directly.
+//   - A benchmark harness that regenerates the paper's Tables 1-9 and the
+//     schema diagrams of Figures 1-4.
+//
+// This file is the public facade: it re-exports the types and
+// constructors a downstream user needs, so the internal packages stay
+// free to evolve.
+package xbench
+
+import (
+	"io"
+
+	"xbench/internal/bench"
+	"xbench/internal/core"
+	"xbench/internal/engines/native"
+	"xbench/internal/engines/sqlserver"
+	"xbench/internal/engines/xcollection"
+	"xbench/internal/engines/xcolumn"
+	"xbench/internal/gen"
+	"xbench/internal/workload"
+	"xbench/internal/xmldom"
+	"xbench/internal/xmlschema"
+	"xbench/internal/xquery"
+)
+
+// Core vocabulary.
+type (
+	// Class is one of the four benchmark database classes.
+	Class = core.Class
+	// Size is a database scale step (Small/Normal/Large/Huge, 10x apart).
+	Size = core.Size
+	// QueryID identifies one of the 20 abstract workload queries.
+	QueryID = core.QueryID
+	// Params binds the external variables of a query.
+	Params = core.Params
+	// Result is a query execution outcome.
+	Result = core.Result
+	// Database is a generated document set.
+	Database = core.Database
+	// Doc is one serialized document.
+	Doc = core.Doc
+	// Engine is a system under test.
+	Engine = core.Engine
+	// LoadStats reports what a bulk load did.
+	LoadStats = core.LoadStats
+	// IndexSpec is a Table 3 value index definition.
+	IndexSpec = core.IndexSpec
+	// GenConfig controls database generation scale and seed.
+	GenConfig = gen.Config
+	// Measurement is one cold query measurement.
+	Measurement = workload.Measurement
+)
+
+// The four classes (paper Table 1).
+const (
+	TCSD = core.TCSD
+	TCMD = core.TCMD
+	DCSD = core.DCSD
+	DCMD = core.DCMD
+)
+
+// The scale steps.
+const (
+	Small  = core.Small
+	Normal = core.Normal
+	Large  = core.Large
+	Huge   = core.Huge
+)
+
+// Workload query ids (the paper's 20 abstract query types).
+const (
+	Q1  = core.Q1
+	Q2  = core.Q2
+	Q3  = core.Q3
+	Q4  = core.Q4
+	Q5  = core.Q5
+	Q6  = core.Q6
+	Q7  = core.Q7
+	Q8  = core.Q8
+	Q9  = core.Q9
+	Q10 = core.Q10
+	Q11 = core.Q11
+	Q12 = core.Q12
+	Q13 = core.Q13
+	Q14 = core.Q14
+	Q15 = core.Q15
+	Q16 = core.Q16
+	Q17 = core.Q17
+	Q18 = core.Q18
+	Q19 = core.Q19
+	Q20 = core.Q20
+)
+
+// ErrUnsupported marks class/size combinations an engine cannot host.
+var ErrUnsupported = core.ErrUnsupported
+
+// ErrNoQuery marks workload queries a class does not instantiate.
+var ErrNoQuery = core.ErrNoQuery
+
+// Classes lists all four classes in the paper's table order.
+var Classes = core.Classes
+
+// Sizes lists the three sizes the paper reports (Small, Normal, Large).
+var Sizes = core.Sizes
+
+// Generate builds the benchmark database for a class at a size with the
+// default configuration (deterministic; ~0.4 MB at Small, 10x per step).
+func Generate(class Class, size Size) (*Database, error) {
+	return gen.Generate(class, size)
+}
+
+// ParseClass converts "tcsd", "TC/SD", ... to a Class.
+func ParseClass(s string) (Class, error) { return core.ParseClass(s) }
+
+// ParseSize converts "small", "normal", ... to a Size.
+func ParseSize(s string) (Size, error) { return core.ParseSize(s) }
+
+// NewNativeEngine returns the native XML store (X-Hive analog).
+// poolPages sizes the buffer pool; <= 0 selects the default.
+func NewNativeEngine(poolPages int) Engine { return native.New(poolPages) }
+
+// NewXcolumnEngine returns the DB2 XML Extender Xcolumn analog
+// (intact CLOBs + side tables; multi-document classes only).
+func NewXcolumnEngine(poolPages int) Engine { return xcolumn.New(poolPages) }
+
+// NewXcollectionEngine returns the DB2 XML Extender Xcollection analog
+// (shredding with a per-document decomposition row limit; rowLimit <= 0
+// selects the default).
+func NewXcollectionEngine(poolPages, rowLimit int) Engine {
+	return xcollection.New(poolPages, rowLimit)
+}
+
+// NewSQLServerEngine returns the SQL Server 2000 + SQLXML analog
+// (shredding; mixed-content text is dropped).
+func NewSQLServerEngine(poolPages int) Engine { return sqlserver.New(poolPages) }
+
+// Engines returns one fresh instance of each of the four systems, in the
+// paper's row order (Xcolumn, Xcollection, SQL Server, X-Hive).
+func Engines() []Engine {
+	out := make([]Engine, 0, len(bench.EngineNames))
+	for _, n := range bench.EngineNames {
+		out = append(out, bench.NewEngine(n))
+	}
+	return out
+}
+
+// LoadAndIndex bulk-loads db into e and builds the Table 3 indexes.
+func LoadAndIndex(e Engine, db *Database) (LoadStats, error) {
+	st, _, err := workload.LoadAndIndex(e, db)
+	return st, err
+}
+
+// QueryParams returns the deterministic parameter bindings for a class.
+func QueryParams(class Class) Params { return workload.Params(class) }
+
+// RunCold executes one workload query cold (caches dropped first).
+func RunCold(e Engine, class Class, q QueryID) Measurement {
+	return workload.RunCold(e, class, q)
+}
+
+// WorkloadQueries returns the query types instantiated for a class.
+func WorkloadQueries(class Class) []QueryID { return workload.QueryIDs(class) }
+
+// Indexes returns the Table 3 index specs for a class.
+func Indexes(class Class) []IndexSpec { return workload.Indexes(class) }
+
+// SchemaDiagram renders the ASCII schema tree of a class (the information
+// of paper Figures 1-4).
+func SchemaDiagram(class Class) string { return xmlschema.For(class).Diagram() }
+
+// SchemaDTD renders the DTD of a class.
+func SchemaDTD(class Class) string { return xmlschema.For(class).DTD() }
+
+// SchemaXSD renders the W3C XML Schema of a class (XBench supports XML
+// Schema, unlike the benchmarks the paper compares against).
+func SchemaXSD(class Class) string { return xmlschema.For(class).XSD() }
+
+// NewBenchRunner returns the harness that regenerates the paper's tables.
+// A zero GenConfig uses the defaults; nil sizes means Small/Normal/Large.
+func NewBenchRunner(cfg GenConfig, sizes []Size, out io.Writer) *bench.Runner {
+	return bench.NewRunner(cfg, sizes, out)
+}
+
+// EvalXQuery compiles and evaluates an ad-hoc XQuery over a set of
+// serialized documents, returning the serialized result items. It is the
+// quickest way to use the query engine directly.
+func EvalXQuery(query string, docs []Doc, vars Params) ([]string, error) {
+	coll := xquery.NewCollection()
+	for _, d := range docs {
+		parsed, err := xmldom.Parse(d.Data)
+		if err != nil {
+			return nil, err
+		}
+		coll.Add(d.Name, parsed)
+	}
+	q, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	bound := map[string]xquery.Seq{}
+	for k, v := range vars {
+		bound[k] = xquery.Seq{v}
+	}
+	seq, err := q.EvalWithVars(coll, bound)
+	if err != nil {
+		return nil, err
+	}
+	return xquery.SerializeSeq(seq), nil
+}
