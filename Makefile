@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race chaos verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Crash/recovery fault-injection grid over every engine x class.
+chaos: build
+	$(GO) run ./cmd/xbench chaos
+
+# The PR gate: everything that must be green before a change lands.
+verify: build vet test race

@@ -9,6 +9,7 @@
 //	xbench schema    --class=tcsd [--dtd|--xsd]
 //	xbench tables    [--table=N]           (static Tables 1-3)
 //	xbench bench     [--table=N] [--sizes=small,normal,large] [--repeat=N] [--scale=N] [--csv]
+//	xbench chaos     [--seed=N] [--crashes=N] [--read-error-rate=F] [--torn-rate=F] [--size=S] [--scale=N]
 //	xbench ablation  [--q=N] [--size=S]    (indexed vs sequential scan)
 //	xbench analyze   --class=tcmd --size=small
 //	xbench verify    --class=dcmd --size=small
@@ -27,6 +28,7 @@ import (
 
 	"xbench/internal/analyze"
 	"xbench/internal/bench"
+	"xbench/internal/chaos"
 	"xbench/internal/core"
 	"xbench/internal/gen"
 	"xbench/internal/workload"
@@ -50,6 +52,8 @@ func main() {
 		err = cmdTables(args)
 	case "bench":
 		err = cmdBench(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "ablation":
 		err = cmdAblation(args)
 	case "analyze":
@@ -85,6 +89,7 @@ commands:
   schema     print a class schema diagram (Figures 1-4), DTD or XSD
   tables     print the static tables (Tables 1-3)
   bench      run the experiment grid and print Tables 4-9
+  chaos      crash/recovery fault-injection grid over every engine x class
   ablation   compare indexed vs sequential-scan query times
   analyze    statistical analysis of a generated database (paper 2.1.1)
   verify     cross-check every engine's answers against the native engine
@@ -234,6 +239,29 @@ func cmdBench(args []string) error {
 	default:
 		return fmt.Errorf("measured tables are 4-9")
 	}
+}
+
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	sizeStr := sizeFlag(fs)
+	seed := fs.Uint64("seed", 0, "fault-injection seed (same seed => same faults)")
+	crashes := fs.Int("crashes", 3, "crash points per engine x class cell")
+	readRate := fs.Float64("read-error-rate", 0, "transient read-fault probability during reload (0 = default, negative = off)")
+	tornRate := fs.Float64("torn-rate", 0, "torn-page-write probability during reload (0 = default, negative = off)")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	genSeed := fs.Uint64("gen-seed", 0, "generation seed")
+	fs.Parse(args)
+	size, err := core.ParseSize(*sizeStr)
+	if err != nil {
+		return err
+	}
+	r := bench.NewRunner(gen.Config{Seed: *genSeed, SizeMultiplier: *scale}, []core.Size{size}, os.Stdout)
+	return r.ChaosGrid(chaos.Config{
+		Seed:          *seed,
+		CrashPoints:   *crashes,
+		ReadErrorRate: *readRate,
+		TornWriteRate: *tornRate,
+	})
 }
 
 func cmdAblation(args []string) error {

@@ -63,10 +63,31 @@ type Runner struct {
 	// CSV switches output to machine-readable rows
 	// (table,engine,class,size,value_ms) instead of the paper's layout.
 	CSV bool
+	// EngineList overrides EngineNames (tests inject stub engines; the
+	// chaos mode reuses the standard grid machinery).
+	EngineList []string
+	// NewEngineFn overrides NewEngine as the engine factory.
+	NewEngineFn func(name string) core.Engine
 
 	dbs     map[string]*core.Database
 	engines map[string]core.Engine
 	loads   map[string]loadCell
+}
+
+// engineNames returns the grid's engine rows.
+func (r *Runner) engineNames() []string {
+	if len(r.EngineList) > 0 {
+		return r.EngineList
+	}
+	return EngineNames
+}
+
+// newEngine constructs a fresh engine through the configured factory.
+func (r *Runner) newEngine(name string) core.Engine {
+	if r.NewEngineFn != nil {
+		return r.NewEngineFn(name)
+	}
+	return NewEngine(name)
 }
 
 type loadCell struct {
@@ -115,7 +136,7 @@ func (r *Runner) Engine(name string, class core.Class, size core.Size) (core.Eng
 	if e, ok := r.engines[k]; ok {
 		return e, r.loads[k]
 	}
-	e := NewEngine(name)
+	e := r.newEngine(name)
 	cell := loadCell{}
 	if err := e.Supports(class, size); err != nil {
 		cell.err = err
@@ -164,7 +185,7 @@ func (r *Runner) printHeader(title string) {
 // Table4 runs and prints the bulk loading experiment.
 func (r *Runner) Table4() error {
 	if r.CSV {
-		for _, name := range EngineNames {
+		for _, name := range r.engineNames() {
 			for _, class := range columnClasses {
 				for _, size := range r.Sizes {
 					_, cell := r.Engine(name, class, size)
@@ -180,7 +201,7 @@ func (r *Runner) Table4() error {
 		return nil
 	}
 	r.printHeader("Table 4. Bulk Loading Time (in milliseconds; paper reports seconds)")
-	for _, name := range EngineNames {
+	for _, name := range r.engineNames() {
 		fmt.Fprintf(r.Out, "%-12s", name)
 		for _, class := range columnClasses {
 			for _, size := range r.Sizes {
@@ -210,7 +231,7 @@ func (r *Runner) QueryTable(tableNo int) error {
 		return fmt.Errorf("bench: no query table %d", tableNo)
 	}
 	if r.CSV {
-		for _, name := range EngineNames {
+		for _, name := range r.engineNames() {
 			for _, class := range columnClasses {
 				for _, size := range r.Sizes {
 					r.csvRow(tableNo, name, class, size, r.queryCell(name, class, size, q))
@@ -221,7 +242,7 @@ func (r *Runner) QueryTable(tableNo int) error {
 	}
 	title := fmt.Sprintf("Table %d. Query %s Execution Time (in Milliseconds)", tableNo, q)
 	r.printHeader(title)
-	for _, name := range EngineNames {
+	for _, name := range r.engineNames() {
 		fmt.Fprintf(r.Out, "%-12s", name)
 		for _, class := range columnClasses {
 			for _, size := range r.Sizes {

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"xbench/internal/chaos"
+	"xbench/internal/core"
+)
+
+// ChaosGrid runs the chaos harness over every engine x class at the
+// runner's first (smallest) size, printing one cell per combination:
+// "-" for unsupported cells, "ok:<crashes>c<queries>q" for passing ones,
+// "FAIL" (with a detail line below the table) otherwise. It returns an
+// error if any cell failed, so callers can gate CI on it.
+func (r *Runner) ChaosGrid(cfg chaos.Config) error {
+	cfg = cfg.WithDefaults()
+	size := r.Sizes[0]
+	fmt.Fprintf(r.Out, "\nChaos: crash/recovery grid (size %s, seed %d, %d crash points)\n",
+		size, cfg.Seed, cfg.CrashPoints)
+	fmt.Fprintf(r.Out, "%-12s", "")
+	for _, c := range columnClasses {
+		fmt.Fprintf(r.Out, " %-10s", c.Code())
+	}
+	fmt.Fprintln(r.Out)
+
+	var failures []string
+	for _, name := range r.engineNames() {
+		fmt.Fprintf(r.Out, "%-12s", name)
+		for _, class := range columnClasses {
+			out := r.chaosCell(name, class, size, cfg)
+			fmt.Fprintf(r.Out, " %-10s", out)
+			if out.Err != nil {
+				failures = append(failures, fmt.Sprintf("%s/%s: %v", name, class.Code(), out.Err))
+			}
+		}
+		fmt.Fprintln(r.Out)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(r.Out, "FAIL %s\n", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: chaos grid: %d cell(s) failed", len(failures))
+	}
+	return nil
+}
+
+func (r *Runner) chaosCell(name string, class core.Class, size core.Size, cfg chaos.Config) chaos.Outcome {
+	db, err := r.Database(class, size)
+	if err != nil {
+		return chaos.Outcome{Engine: name, Class: class, Err: err}
+	}
+	return chaos.RunCell(func() core.Engine { return r.newEngine(name) }, db, cfg)
+}

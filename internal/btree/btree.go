@@ -59,6 +59,45 @@ func New(p *pager.Pager, name string) (*Tree, error) {
 // Len returns the number of stored entries.
 func (t *Tree) Len() int { return t.n }
 
+// FileID returns the pager file backing the tree.
+func (t *Tree) FileID() pager.FileID { return t.fid }
+
+// header page 0 layout: [4] magic "BTR1" [4] root page [8] entry count.
+const headerMagic = 0x42545231
+
+// Sync persists the tree header (root page number and entry count) to the
+// reserved page 0 and forces every dirty node page to disk. A synced tree
+// survives a crash: Open re-attaches to it after pager recovery.
+func (t *Tree) Sync() error {
+	var buf [16]byte
+	binary.BigEndian.PutUint32(buf[0:4], headerMagic)
+	binary.BigEndian.PutUint32(buf[4:8], t.root)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(t.n))
+	if err := t.p.Write(t.fid, 0, buf[:]); err != nil {
+		return err
+	}
+	return t.p.Sync(t.fid)
+}
+
+// Open re-attaches to a tree previously persisted with Sync in the given
+// pager file (e.g. after crash recovery replayed the WAL).
+func Open(p *pager.Pager, fid pager.FileID) (*Tree, error) {
+	t := &Tree{p: p, fid: fid}
+	pg, err := p.Read(fid, 0)
+	if err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(pg[0:4]) != headerMagic {
+		return nil, fmt.Errorf("btree: file %d has no synced tree header", fid)
+	}
+	t.root = binary.BigEndian.Uint32(pg[4:8])
+	t.n = int(binary.BigEndian.Uint64(pg[8:16]))
+	if t.root == 0 || t.root >= p.NumPages(fid) {
+		return nil, fmt.Errorf("btree: file %d header has invalid root page %d", fid, t.root)
+	}
+	return t, nil
+}
+
 func trunc(key string) string {
 	if len(key) > MaxKey {
 		return key[:MaxKey]

@@ -222,3 +222,74 @@ func TestColdLookupSurvivesReset(t *testing.T) {
 		t.Fatal("cold lookup performed no disk reads")
 	}
 }
+
+func TestSyncOpenRoundTrip(t *testing.T) {
+	p := pager.New(8) // tiny pool: the tree spills to disk while building
+	tr, err := New(p, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(fmt.Sprintf("k%05d", i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	p.ColdReset()
+	re, err := Open(p, tr.FileID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tr.Len() {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), tr.Len())
+	}
+	got, err := re.Search("k02718")
+	if err != nil || len(got) != 1 || got[0] != 2718 {
+		t.Fatalf("search after reopen = %v, %v", got, err)
+	}
+}
+
+func TestSyncSurvivesCrashRecovery(t *testing.T) {
+	p := pager.New(8)
+	p.SetFaultPolicy(pager.FaultPolicy{Seed: 1})
+	tr, err := New(p, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(fmt.Sprintf("k%04d", i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: the pool is dropped and the WAL replayed.
+	if _, err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(p, tr.FileID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := re.Range("", "\xff", func(string, uint64) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("recovered tree has %d entries, want 1000", n)
+	}
+}
+
+func TestOpenRejectsUnsyncedFile(t *testing.T) {
+	p := pager.New(8)
+	tr, err := New(p, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p, tr.FileID()); err == nil {
+		t.Fatal("Open of a never-synced tree succeeded")
+	}
+}

@@ -1,0 +1,255 @@
+// Package chaos is the fault-injection harness: it crashes an engine at
+// deterministic points inside a bulk load, recovers the pager from its
+// write-ahead log, re-loads, and verifies that every workload query then
+// answers exactly what a fault-free run answers. It is the executable
+// proof of the recovery invariants in DESIGN.md ("Fault model and
+// recovery") for all four engines.
+//
+// The harness deliberately tests the system the way a power cut would:
+// the crash halts all I/O mid-load, volatile state dies, Recover replays
+// the WAL, and the load is re-run from the start (each engine's Load is
+// idempotent — it resets its store at entry). Queries then run against a
+// store that lived through crash + recovery + transient read faults +
+// torn writes, and their answers must be bit-identical to the baseline.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"xbench/internal/core"
+	"xbench/internal/pager"
+	"xbench/internal/workload"
+)
+
+// Faultable is the contract an engine must satisfy to be chaos-tested:
+// exposing its pager so faults can be injected and recovery driven. All
+// four built-in engines implement it.
+type Faultable interface {
+	Pager() *pager.Pager
+}
+
+// Config controls one chaos run.
+type Config struct {
+	// Seed drives the deterministic fault streams; every crash point n
+	// re-seeds with Seed+n so runs are reproducible end to end.
+	Seed uint64
+	// CrashPoints is the number of distinct crash points spread through
+	// the load; <= 0 selects the default of 3.
+	CrashPoints int
+	// ReadErrorRate is the transient read-fault probability during the
+	// post-recovery reload and queries; < 0 disables, 0 selects 0.02.
+	ReadErrorRate float64
+	// TornWriteRate is the torn-page probability during the reload;
+	// < 0 disables, 0 selects 0.05.
+	TornWriteRate float64
+}
+
+// WithDefaults resolves the zero-value fields to their defaults.
+func (c Config) WithDefaults() Config {
+	if c.CrashPoints <= 0 {
+		c.CrashPoints = 3
+	}
+	switch {
+	case c.ReadErrorRate < 0:
+		c.ReadErrorRate = 0
+	case c.ReadErrorRate == 0:
+		c.ReadErrorRate = 0.02
+	}
+	switch {
+	case c.TornWriteRate < 0:
+		c.TornWriteRate = 0
+	case c.TornWriteRate == 0:
+		c.TornWriteRate = 0.05
+	}
+	return c
+}
+
+// Outcome summarizes one engine x class chaos cell.
+type Outcome struct {
+	Engine  string
+	Class   core.Class
+	Skipped bool // engine does not support the class, or is not Faultable
+	// CrashOps are the disk-op budgets of the crash points exercised.
+	CrashOps []int64
+	// Crashes and Recoveries count crash points that fired and recovered.
+	Crashes    int
+	Recoveries int
+	// Replayed is the total number of WAL records replayed across all
+	// recoveries.
+	Replayed int
+	// Queries is the number of query results compared against baseline.
+	Queries int
+	Err     error
+}
+
+func (o Outcome) String() string {
+	switch {
+	case o.Skipped:
+		return "-"
+	case o.Err != nil:
+		return "FAIL"
+	default:
+		return fmt.Sprintf("ok:%dc%dq", o.Crashes, o.Queries)
+	}
+}
+
+// RunCell chaos-tests one engine x database cell. newEngine must return a
+// fresh instance on every call; db is the database to load.
+func RunCell(newEngine func() core.Engine, db *core.Database, cfg Config) Outcome {
+	cfg = cfg.WithDefaults()
+	probe := newEngine()
+	out := Outcome{Engine: probe.Name(), Class: db.Class}
+	if err := probe.Supports(db.Class, db.Size); err != nil {
+		out.Skipped = true
+		return out
+	}
+	if _, ok := probe.(Faultable); !ok {
+		out.Skipped = true
+		return out
+	}
+
+	// Fault-free baseline: the answers every recovered run must reproduce.
+	baseline := newEngine()
+	if _, _, err := workload.LoadAndIndex(baseline, db); err != nil {
+		out.Err = fmt.Errorf("chaos: baseline load: %w", err)
+		return out
+	}
+	want := workload.RunAll(baseline, db.Class)
+	for _, m := range want {
+		if m.Err != nil && !queryNotAnswered(m.Err) {
+			out.Err = fmt.Errorf("chaos: baseline %s: %w", m.Query, m.Err)
+			return out
+		}
+	}
+
+	// Measure the fault-free op budget so crash points land inside the
+	// load, spread evenly through it.
+	me := newEngine()
+	mp := me.(Faultable).Pager()
+	mp.SetFaultPolicy(pager.FaultPolicy{Seed: cfg.Seed})
+	if _, _, err := workload.LoadAndIndex(me, db); err != nil {
+		out.Err = fmt.Errorf("chaos: probe load: %w", err)
+		return out
+	}
+	total := mp.OpCount()
+	if total == 0 {
+		out.Err = fmt.Errorf("chaos: load performed no disk operations")
+		return out
+	}
+
+	for i := 1; i <= cfg.CrashPoints; i++ {
+		crashAt := total * int64(i) / int64(cfg.CrashPoints+1)
+		if crashAt < 1 {
+			crashAt = 1
+		}
+		out.CrashOps = append(out.CrashOps, crashAt)
+		if err := runCrashPoint(newEngine, db, cfg, crashAt, want, &out); err != nil {
+			out.Err = fmt.Errorf("chaos: crash point %d (op %d): %w", i, crashAt, err)
+			return out
+		}
+	}
+	return out
+}
+
+// runCrashPoint exercises one crash point: load until the crash fires,
+// recover, re-load under soft faults, and compare every query answer with
+// the baseline.
+func runCrashPoint(newEngine func() core.Engine, db *core.Database, cfg Config,
+	crashAt int64, want []workload.Measurement, out *Outcome) error {
+	e := newEngine()
+	p := e.(Faultable).Pager()
+	p.SetFaultPolicy(pager.FaultPolicy{Seed: cfg.Seed, CrashAfterOps: crashAt})
+	_, _, err := workload.LoadAndIndex(e, db)
+	switch {
+	case err == nil:
+		// The budget outlasted the load (indexing cost can vary with the
+		// crash point); nothing crashed, the answers below still must match.
+	case pager.IsCrash(err):
+		out.Crashes++
+	default:
+		return fmt.Errorf("non-crash failure under crash policy: %w", err)
+	}
+
+	// Power is back: recover to the last durable state and verify the
+	// recovery invariant before trusting the disk.
+	replayed, err := p.Recover()
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	out.Recoveries++
+	out.Replayed += replayed
+	if err := p.CheckDurable(); err != nil {
+		return fmt.Errorf("durability check: %w", err)
+	}
+
+	// Re-load with the crash point disabled but soft faults still firing:
+	// recovery must compose with transient read errors and torn writes.
+	p.SetFaultPolicy(pager.FaultPolicy{
+		Seed:          cfg.Seed + uint64(crashAt),
+		ReadErrorRate: cfg.ReadErrorRate,
+		TornWriteRate: cfg.TornWriteRate,
+	})
+	if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		return fmt.Errorf("reload after recovery: %w", err)
+	}
+	// Checkpoint: repair any torn writes of the reload from the WAL, then
+	// verify the disk is durable again.
+	if _, err := p.Recover(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := p.CheckDurable(); err != nil {
+		return fmt.Errorf("durability check after reload: %w", err)
+	}
+
+	got := workload.RunAll(e, db.Class)
+	if len(got) != len(want) {
+		return fmt.Errorf("ran %d queries, baseline ran %d", len(got), len(want))
+	}
+	for i, m := range got {
+		if queryNotAnswered(want[i].Err) {
+			// The engine does not implement this query for the class; the
+			// recovered run must decline it the same way.
+			if !queryNotAnswered(m.Err) {
+				return fmt.Errorf("query %s answered after recovery but not at baseline", m.Query)
+			}
+			continue
+		}
+		if m.Err != nil {
+			return fmt.Errorf("query %s after recovery: %w", m.Query, m.Err)
+		}
+		if err := sameItems(want[i].Result.Items, m.Result.Items); err != nil {
+			return fmt.Errorf("query %s diverges from fault-free run: %w", m.Query, err)
+		}
+		out.Queries++
+	}
+	return nil
+}
+
+// queryNotAnswered reports whether err means the engine legitimately
+// declines the query (not defined for the class, or unsupported) rather
+// than failing it.
+func queryNotAnswered(err error) bool {
+	return err != nil && (errors.Is(err, core.ErrNoQuery) || errors.Is(err, core.ErrUnsupported))
+}
+
+// sameItems requires bit-identical result items in identical order — the
+// strictest comparison: recovery must not change any answer at all.
+func sameItems(want, got []string) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			w, g := want[i], got[i]
+			if len(w) > 120 {
+				w = w[:120] + "..."
+			}
+			if len(g) > 120 {
+				g = g[:120] + "..."
+			}
+			return fmt.Errorf("item %d differs:\n  want: %s\n  got:  %s", i, w, g)
+		}
+	}
+	return nil
+}

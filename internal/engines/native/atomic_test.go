@@ -1,0 +1,36 @@
+package native
+
+import (
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+)
+
+// TestLoadAtomicOnFailure: a malformed document mid-load must leave an
+// empty, loadable database (the satellite atomicity contract).
+func TestLoadAtomicOnFailure(t *testing.T) {
+	cfg := gen.Config{Articles: 5}
+	db, err := cfg.Generate(core.TCMD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(64)
+	broken := *db
+	broken.Docs = append([]core.Doc(nil), db.Docs...)
+	broken.Docs[2] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
+	if _, err := e.Load(&broken); err == nil {
+		t.Fatal("load of malformed database succeeded")
+	}
+	if n := e.DocumentCount(); n != 0 {
+		t.Fatalf("failed load left %d catalog entries", n)
+	}
+	// The same engine must accept a clean load afterwards.
+	st, err := e.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != len(db.Docs) || e.DocumentCount() != len(db.Docs) {
+		t.Fatalf("reload stored %d/%d documents", e.DocumentCount(), len(db.Docs))
+	}
+}

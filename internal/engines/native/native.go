@@ -168,9 +168,48 @@ func decodeCatalogEntry(rec []byte) (docEntry, error) {
 	return en, nil
 }
 
+// Pager exposes the engine's pager for fault injection and recovery.
+func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// reset empties the store so Load is idempotent: a repeated or resumed
+// load never sees leftovers from an earlier attempt.
+func (e *Engine) reset() error {
+	e.indexes = map[string]*btree.Tree{}
+	e.loaded = false
+	if err := e.docs.Reset(); err != nil {
+		return err
+	}
+	return e.catalog.Reset()
+}
+
+// abortLoad handles a mid-load failure: after a crash the machine is down
+// and cleanup is impossible (pager recovery is the only path forward);
+// any other failure truncates the store so the database stays empty and
+// loadable.
+func (e *Engine) abortLoad(err error) error {
+	if pager.IsCrash(err) {
+		return err
+	}
+	_ = e.reset() // best-effort; the original error wins
+	return err
+}
+
 // Load implements core.Engine: parse (well-formedness check, as the paper
-// does with validation off) and persist each document.
+// does with validation off) and persist each document. A failed load
+// leaves an empty, loadable database (see abortLoad).
 func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+	if err := e.reset(); err != nil {
+		return core.LoadStats{}, err
+	}
+	st, err := e.loadDocs(db)
+	if err != nil {
+		return st, e.abortLoad(err)
+	}
+	e.loaded = true
+	return st, nil
+}
+
+func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	e.class = db.Class
 	start := e.p.Stats()
@@ -203,7 +242,6 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	if err := e.catalog.Sync(); err != nil {
 		return st, err
 	}
-	e.loaded = true
 	st.PageIO = e.p.Stats().IO() - start.IO()
 	return st, nil
 }
@@ -358,10 +396,13 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 		if err != nil {
 			return err
 		}
+		// Persist the tree header so the index survives crash recovery.
+		if err := ix.Sync(); err != nil {
+			return err
+		}
 		e.indexes[spec.Target] = ix
 	}
-	e.p.SyncAll()
-	return nil
+	return e.p.SyncAll()
 }
 
 // splitTarget parses Table 3 notation: "hw", "article/@id".

@@ -1,0 +1,35 @@
+package sqlserver
+
+import (
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+)
+
+// TestLoadAtomicOnFailure: a malformed document mid-load must leave an
+// empty, loadable database.
+func TestLoadAtomicOnFailure(t *testing.T) {
+	cfg := gen.Config{Orders: 20}
+	db, err := cfg.Generate(core.DCMD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(64)
+	broken := *db
+	broken.Docs = append([]core.Doc(nil), db.Docs...)
+	broken.Docs[3] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
+	if _, err := e.Load(&broken); err == nil {
+		t.Fatal("load of malformed database succeeded")
+	}
+	if e.Store() != nil {
+		t.Fatal("failed load left a store behind")
+	}
+	st, err := e.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != len(db.Docs) {
+		t.Fatalf("reload stored %d/%d documents", st.Documents, len(db.Docs))
+	}
+}

@@ -42,8 +42,45 @@ func (e *Engine) Name() string { return "SQL Server" }
 // Supports implements core.Engine: SQL Server loads every class and size.
 func (e *Engine) Supports(core.Class, core.Size) error { return nil }
 
-// Load implements core.Engine.
+// Pager exposes the engine's pager for fault injection and recovery.
+func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// reset empties the store so Load is idempotent.
+func (e *Engine) reset() error {
+	if e.store != nil {
+		if err := e.store.Truncate(); err != nil {
+			return err
+		}
+		e.store = nil
+	}
+	return nil
+}
+
+// abortLoad truncates the store after a non-crash mid-load failure so the
+// database stays empty and loadable; crash errors pass through (pager
+// recovery is the only path forward).
+func (e *Engine) abortLoad(err error) error {
+	if pager.IsCrash(err) {
+		return err
+	}
+	_ = e.reset()
+	return err
+}
+
+// Load implements core.Engine. A failed load leaves an empty, loadable
+// database.
 func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+	if err := e.reset(); err != nil {
+		return core.LoadStats{}, err
+	}
+	st, err := e.loadDocs(db)
+	if err != nil {
+		return st, e.abortLoad(err)
+	}
+	return st, nil
+}
+
+func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	start := e.p.Stats()
 	rdb := relational.NewDB(e.p)
@@ -70,7 +107,9 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	if err := autoKeyIndexes(e.store); err != nil {
 		return st, err
 	}
-	e.p.SyncAll()
+	if err := e.p.SyncAll(); err != nil {
+		return st, err
+	}
 	st.SkippedMixed = e.store.SkippedMixed
 	st.PageIO = e.p.Stats().IO() - start.IO()
 	return st, nil
@@ -104,8 +143,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			return err
 		}
 	}
-	e.p.SyncAll()
-	return nil
+	return e.p.SyncAll()
 }
 
 // Execute implements core.Engine.

@@ -1,0 +1,58 @@
+package xcollection
+
+import (
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+)
+
+// TestLoadAtomicOnFailure: a malformed document mid-load must leave an
+// empty, loadable database.
+func TestLoadAtomicOnFailure(t *testing.T) {
+	cfg := gen.Config{Orders: 20}
+	db, err := cfg.Generate(core.DCMD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(64, 0)
+	broken := *db
+	broken.Docs = append([]core.Doc(nil), db.Docs...)
+	broken.Docs[3] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
+	if _, err := e.Load(&broken); err == nil {
+		t.Fatal("load of malformed database succeeded")
+	}
+	if e.store != nil {
+		t.Fatal("failed load left a store behind")
+	}
+	st, err := e.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != len(db.Docs) {
+		t.Fatalf("reload stored %d/%d documents", st.Documents, len(db.Docs))
+	}
+}
+
+// TestLoadAtomicOnRowLimit: the decomposition row limit fires after rows
+// were already inserted for earlier documents; the abort must truncate
+// them.
+func TestLoadAtomicOnRowLimit(t *testing.T) {
+	cfg := gen.Config{Orders: 20}
+	db, err := cfg.Generate(core.DCMD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(64, 1) // every real document decomposes into >1 row
+	if _, err := e.Load(db); err == nil {
+		t.Fatal("load under rowLimit=1 succeeded")
+	}
+	if e.store != nil {
+		t.Fatal("failed load left a store behind")
+	}
+	// The same engine with the limit lifted loads cleanly.
+	e.rowLimit = DefaultRowLimit
+	if _, err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+}

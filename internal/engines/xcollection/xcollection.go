@@ -60,12 +60,50 @@ func (e *Engine) Supports(c core.Class, s core.Size) error {
 	return nil
 }
 
-// Load implements core.Engine.
+// Pager exposes the engine's pager for fault injection and recovery.
+func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// reset empties the store so Load is idempotent.
+func (e *Engine) reset() error {
+	if e.store != nil {
+		if err := e.store.Truncate(); err != nil {
+			return err
+		}
+		e.store = nil
+	}
+	return nil
+}
+
+// abortLoad truncates the store after a non-crash mid-load failure so the
+// database stays empty and loadable; crash errors pass through (pager
+// recovery is the only path forward).
+func (e *Engine) abortLoad(err error) error {
+	if pager.IsCrash(err) {
+		return err
+	}
+	_ = e.reset()
+	return err
+}
+
+// Load implements core.Engine. A failed load leaves an empty, loadable
+// database.
 func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	if err := e.Supports(db.Class, db.Size); err != nil {
 		return st, err
 	}
+	if err := e.reset(); err != nil {
+		return st, err
+	}
+	st, err := e.loadDocs(db)
+	if err != nil {
+		return st, e.abortLoad(err)
+	}
+	return st, nil
+}
+
+func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
+	var st core.LoadStats
 	start := e.p.Stats()
 	rdb := relational.NewDB(e.p)
 	e.store = shredder.NewStore(db.Class, rdb, shredder.Options{
@@ -94,7 +132,9 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	if err := autoKeyIndexes(e.store); err != nil {
 		return st, err
 	}
-	e.p.SyncAll()
+	if err := e.p.SyncAll(); err != nil {
+		return st, err
+	}
 	st.SkippedMixed = e.store.SkippedMixed
 	st.PageIO = e.p.Stats().IO() - start.IO()
 	return st, nil
@@ -135,8 +175,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			return err
 		}
 	}
-	e.p.SyncAll()
-	return nil
+	return e.p.SyncAll()
 }
 
 // TargetColumn maps a Table 3 index target to the shredded (table, column)

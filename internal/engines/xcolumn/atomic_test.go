@@ -1,0 +1,35 @@
+package xcolumn
+
+import (
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/gen"
+)
+
+// TestLoadAtomicOnFailure: a malformed document mid-load must leave an
+// empty, loadable database.
+func TestLoadAtomicOnFailure(t *testing.T) {
+	cfg := gen.Config{Articles: 5}
+	db, err := cfg.Generate(core.TCMD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(64)
+	broken := *db
+	broken.Docs = append([]core.Doc(nil), db.Docs...)
+	broken.Docs[2] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
+	if _, err := e.Load(&broken); err == nil {
+		t.Fatal("load of malformed database succeeded")
+	}
+	if e.db != nil || len(e.rids) != 0 || e.clobs.Count() != 0 {
+		t.Fatalf("failed load left state: db=%v rids=%d clobs=%d", e.db != nil, len(e.rids), e.clobs.Count())
+	}
+	st, err := e.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != len(db.Docs) || e.clobs.Count() != len(db.Docs) {
+		t.Fatalf("reload stored %d/%d documents", e.clobs.Count(), len(db.Docs))
+	}
+}

@@ -56,13 +56,55 @@ func (e *Engine) Supports(c core.Class, _ core.Size) error {
 	return nil
 }
 
+// Pager exposes the engine's pager for fault injection and recovery.
+func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// reset empties the store so Load is idempotent.
+func (e *Engine) reset() error {
+	e.rids = nil
+	if err := e.clobs.Reset(); err != nil {
+		return err
+	}
+	if e.db != nil {
+		if err := e.db.Truncate(); err != nil {
+			return err
+		}
+		e.db = nil
+	}
+	return nil
+}
+
+// abortLoad truncates the store after a non-crash mid-load failure so the
+// database stays empty and loadable; after a crash the error passes
+// through untouched (pager recovery is the only path forward).
+func (e *Engine) abortLoad(err error) error {
+	if pager.IsCrash(err) {
+		return err
+	}
+	_ = e.reset()
+	return err
+}
+
 // Load implements core.Engine: store each document as a CLOB and populate
-// the side tables for the searchable elements.
+// the side tables for the searchable elements. A failed load leaves an
+// empty, loadable database.
 func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	if err := e.Supports(db.Class, db.Size); err != nil {
 		return st, err
 	}
+	if err := e.reset(); err != nil {
+		return st, err
+	}
+	st, err := e.loadDocs(db)
+	if err != nil {
+		return st, e.abortLoad(err)
+	}
+	return st, nil
+}
+
+func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
+	var st core.LoadStats
 	start := e.p.Stats()
 	e.class = db.Class
 	e.db = relational.NewDB(e.p)
@@ -108,7 +150,9 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 			return st, err
 		}
 	}
-	e.p.SyncAll()
+	if err := e.p.SyncAll(); err != nil {
+		return st, err
+	}
 	st.PageIO = e.p.Stats().IO() - start.IO()
 	return st, nil
 }
@@ -222,8 +266,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			}
 		}
 	}
-	e.p.SyncAll()
-	return nil
+	return e.p.SyncAll()
 }
 
 // fetchDoc reads and parses the CLOB referenced by a side-table doc value.

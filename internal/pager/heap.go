@@ -111,8 +111,7 @@ func (h *Heap) Sync() error {
 	if err := h.Flush(); err != nil {
 		return err
 	}
-	h.p.Sync(h.fid)
-	return nil
+	return h.p.Sync(h.fid)
 }
 
 // readAt fills buf from the heap starting at offset, going through the

@@ -34,6 +34,15 @@ type Stats struct {
 	Writes int64
 	// Hits counts page reads served from the buffer pool.
 	Hits int64
+	// ReadFaults counts injected transient read faults (fault.go).
+	ReadFaults int64
+	// ReadRetries counts retry attempts made after transient read faults.
+	ReadRetries int64
+	// TornWrites counts in-place page writes that tore (a prefix reached
+	// disk). Silent until recovery repairs them from the WAL.
+	TornWrites int64
+	// WALAppends counts write-ahead log records appended.
+	WALAppends int64
 }
 
 // IO returns total disk operations (reads + writes).
@@ -52,6 +61,13 @@ type Pager struct {
 	frames   []frame
 	table    map[pageKey]int // pageKey -> frame index
 	hand     int
+
+	// fault injection + write-ahead log (fault.go, wal.go); nil when the
+	// disk is perfect.
+	fault *faultState
+	// copyReads returns defensive copies from Read (forced on by fault
+	// injection, optional otherwise — see the Read aliasing contract).
+	copyReads bool
 }
 
 type pageKey struct {
@@ -101,13 +117,18 @@ func (p *Pager) Create(name string) FileID {
 	return id
 }
 
-// Truncate discards all pages of a file, including cached ones.
+// Truncate discards all pages of a file, including cached ones. While
+// crashed it fails: a dead machine cannot clean up after itself.
 func (p *Pager) Truncate(fid FileID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, ok := p.files[fid]
 	if !ok {
 		return fmt.Errorf("pager: unknown file %d", fid)
+	}
+	// Journal the truncation so recovery does not resurrect old pages.
+	if err := p.walAppend(walKindTruncate, pageKey{fid: fid}, nil); err != nil {
+		return err
 	}
 	f.pages = nil
 	for i := range p.frames {
@@ -139,33 +160,79 @@ func (p *Pager) Append(fid FileID) (uint32, error) {
 	if !ok {
 		return 0, fmt.Errorf("pager: unknown file %d", fid)
 	}
+	if p.fault != nil && p.fault.crashed {
+		return 0, ErrCrashed
+	}
 	no := uint32(len(f.pages))
 	f.pages = append(f.pages, nil) // reserve the slot; data arrives on write-back
-	p.install(pageKey{fid, no}, make([]byte, PageSize), true)
+	if err := p.install(pageKey{fid, no}, make([]byte, PageSize), true); err != nil {
+		return 0, err
+	}
 	return no, nil
 }
 
-// Read returns the content of a page. The returned slice aliases the
-// buffer-pool copy; callers must treat it as read-only and use Write to
-// mutate pages.
+// Read returns the content of a page. By default the returned slice
+// aliases the buffer-pool copy; callers must treat it as read-only and
+// use Write to mutate pages — mutating the returned slice corrupts the
+// pool (and, after a write-back, the simulated disk itself, since clean
+// frames alias their on-disk image). SetCopyReads(true) removes the
+// hazard by returning defensive copies; fault injection forces it on
+// because WAL checksums depend on unmutated frames.
+//
+// Transient read faults are retried internally with exponential backoff,
+// up to MaxReadAttempts attempts; the retries are counted in Stats. A
+// page that faults on every attempt returns a fatal ErrReadFault.
 func (p *Pager) Read(fid FileID, no uint32) ([]byte, error) {
+	for attempt := 1; ; attempt++ {
+		data, err := p.readOnce(fid, no)
+		if err == nil || !IsTransient(err) {
+			return data, err
+		}
+		if attempt >= MaxReadAttempts {
+			return nil, fmt.Errorf("pager: file %d page %d: %w (%d attempts)",
+				fid, no, ErrReadFault, attempt)
+		}
+		p.retryBackoff(attempt)
+	}
+}
+
+// readOnce performs one read attempt through the buffer pool.
+func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.fault != nil && p.fault.crashed {
+		return nil, ErrCrashed // even pool hits: the machine is down
+	}
 	key := pageKey{fid, no}
 	if i, ok := p.table[key]; ok {
 		p.frames[i].used = true
 		p.stats.Hits++
-		return p.frames[i].data, nil
+		return p.outPage(p.frames[i].data), nil
 	}
 	f, ok := p.files[fid]
 	if !ok || no >= uint32(len(f.pages)) {
 		return nil, fmt.Errorf("pager: read beyond end of file %d page %d", fid, no)
 	}
+	if err := p.diskOp(opRead); err != nil {
+		return nil, err
+	}
 	p.stats.Reads++
 	data := make([]byte, PageSize)
 	copy(data, f.pages[no])
-	p.install(key, data, false)
-	return data, nil
+	if err := p.install(key, data, false); err != nil {
+		return nil, err
+	}
+	return p.outPage(data), nil
+}
+
+// outPage applies the copy-on-read option to a page leaving the pool.
+func (p *Pager) outPage(data []byte) []byte {
+	if !p.copyReads {
+		return data
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp
 }
 
 // Write replaces the content of an existing page in the pool, marking it
@@ -181,20 +248,23 @@ func (p *Pager) Write(fid FileID, no uint32, data []byte) error {
 	if !ok || no >= uint32(len(f.pages)) {
 		return fmt.Errorf("pager: write beyond end of file %d page %d", fid, no)
 	}
+	if p.fault != nil && p.fault.crashed {
+		return ErrCrashed
+	}
 	pg := make([]byte, PageSize)
 	copy(pg, data)
-	p.install(pageKey{fid, no}, pg, true)
-	return nil
+	return p.install(pageKey{fid, no}, pg, true)
 }
 
 // install places a page into the buffer pool, evicting with CLOCK and
-// writing back the victim if dirty.
-func (p *Pager) install(key pageKey, data []byte, dirty bool) {
+// writing back the victim if dirty. It fails only when the eviction
+// write-back does (crash); the pool is left unchanged then.
+func (p *Pager) install(key pageKey, data []byte, dirty bool) error {
 	if i, ok := p.table[key]; ok {
 		p.frames[i].data = data
 		p.frames[i].used = true
 		p.frames[i].dirty = p.frames[i].dirty || dirty
-		return
+		return nil
 	}
 	for {
 		fr := &p.frames[p.hand]
@@ -207,7 +277,9 @@ func (p *Pager) install(key pageKey, data []byte, dirty bool) {
 			continue
 		}
 		if fr.dirty {
-			p.writeBack(fr)
+			if err := p.writeBack(fr); err != nil {
+				return err
+			}
 		}
 		delete(p.table, fr.key)
 		break
@@ -215,52 +287,80 @@ func (p *Pager) install(key pageKey, data []byte, dirty bool) {
 	p.frames[p.hand] = frame{key: key, data: data, used: true, dirty: dirty, valid: true}
 	p.table[key] = p.hand
 	p.hand = (p.hand + 1) % p.capacity
+	return nil
 }
 
-// writeBack persists one dirty frame, counting a disk write.
-func (p *Pager) writeBack(fr *frame) {
+// writeBack persists one dirty frame, counting a disk write. With fault
+// injection enabled the write is preceded by a WAL record (the durable
+// image recovery restores) and may tear: only a prefix reaches the disk,
+// silently — the frame is still marked clean, exactly like a real torn
+// write that is only discovered at recovery time.
+func (p *Pager) writeBack(fr *frame) error {
 	f := p.files[fr.key.fid]
 	if f == nil || fr.key.no >= uint32(len(f.pages)) {
-		return // file truncated underneath the frame
+		return nil // file truncated underneath the frame
+	}
+	if err := p.walAppend(walKindPage, fr.key, fr.data); err != nil {
+		return err
+	}
+	if err := p.diskOp(opWrite); err != nil {
+		return err
+	}
+	p.stats.Writes++
+	if n, torn := p.tornWrite(); torn {
+		p.stats.TornWrites++
+		pg := make([]byte, PageSize)
+		copy(pg[:n], fr.data[:n])
+		f.pages[fr.key.no] = pg
+		fr.dirty = false
+		return nil
 	}
 	f.pages[fr.key.no] = fr.data
 	fr.dirty = false
-	p.stats.Writes++
+	return nil
 }
 
 // Sync writes back every dirty page of one file (the fsync analog: one
 // disk write per dirty page). Loading a database of many small files
 // syncs per file, which is exactly the per-document I/O that dominates
 // DC/MD bulk loading in the paper.
-func (p *Pager) Sync(fid FileID) {
+func (p *Pager) Sync(fid FileID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].dirty && p.frames[i].key.fid == fid {
-			p.writeBack(&p.frames[i])
+			if err := p.writeBack(&p.frames[i]); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // SyncAll writes back every dirty page of every file.
-func (p *Pager) SyncAll() {
+func (p *Pager) SyncAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].dirty {
-			p.writeBack(&p.frames[i])
+			if err := p.writeBack(&p.frames[i]); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // ColdReset flushes dirty pages and empties the buffer pool (the paper's
 // cold-run methodology). Disk contents and I/O statistics are preserved.
+// The flush is best-effort: on a crashed pager the dirty frames are
+// simply dropped, as they would be in a real power loss.
 func (p *Pager) ColdReset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].dirty {
-			p.writeBack(&p.frames[i])
+			_ = p.writeBack(&p.frames[i]) // best-effort; crash loses the frame
 		}
 		p.frames[i] = frame{}
 	}

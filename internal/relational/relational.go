@@ -75,6 +75,22 @@ func (db *DB) Create(name string, cols ...string) *Table {
 // Table returns a table by name, or nil.
 func (db *DB) Table(name string) *Table { return db.tables[name] }
 
+// Truncate empties every table: heap pages, the row directory and all
+// indexes are discarded (index pager files are abandoned; CreateIndex
+// builds fresh ones). The schema survives, so a failed bulk load leaves
+// an empty but loadable database.
+func (db *DB) Truncate() error {
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		if err := t.heap.Reset(); err != nil {
+			return err
+		}
+		t.rids = nil
+		t.indexes = map[string]*btree.Tree{}
+	}
+	return nil
+}
+
 // TableNames returns all table names, sorted.
 func (db *DB) TableNames() []string {
 	names := make([]string, 0, len(db.tables))
@@ -145,6 +161,10 @@ func (t *Table) CreateIndex(col string) error {
 		return true
 	})
 	if err != nil {
+		return err
+	}
+	// Persist the tree header so the index survives crash recovery.
+	if err := ix.Sync(); err != nil {
 		return err
 	}
 	t.indexes[col] = ix

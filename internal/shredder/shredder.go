@@ -195,8 +195,15 @@ func (s *Store) Sync() error {
 	if err := s.Flush(); err != nil {
 		return err
 	}
-	s.DB.Pager.SyncAll()
-	return nil
+	return s.DB.Pager.SyncAll()
+}
+
+// Truncate empties the shredded database (schema preserved) so a failed
+// load leaves a clean, loadable store.
+func (s *Store) Truncate() error {
+	s.Rows = 0
+	s.SkippedMixed = 0
+	return s.DB.Truncate()
 }
 
 func (s *Store) shredCatalog(root *xmldom.Node) error {

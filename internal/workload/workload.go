@@ -89,6 +89,15 @@ func RunCold(e core.Engine, class core.Class, q core.QueryID) Measurement {
 	return m
 }
 
+// RunAll executes every query defined for the class cold, in query order.
+func RunAll(e core.Engine, class core.Class) []Measurement {
+	var out []Measurement
+	for _, q := range QueryIDs(class) {
+		out = append(out, RunCold(e, class, q))
+	}
+	return out
+}
+
 // LoadAndIndex bulk-loads a database into an engine and builds the Table 3
 // indexes, returning the load statistics and the load duration (index
 // creation excluded from the load time, matching the paper's setup where
