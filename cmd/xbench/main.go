@@ -9,10 +9,12 @@
 //	xbench schema    --class=tcsd [--dtd|--xsd]
 //	xbench tables    [--table=N]           (static Tables 1-3)
 //	xbench bench     [--table=N] [--sizes=small,normal,large] [--repeat=N] [--scale=N] [--csv]
+//	xbench report    [--format=table|json|csv] [--repeat=N] [--warm=N] [--q=5,12] [--sizes=...]
 //	xbench chaos     [--seed=N] [--crashes=N] [--read-error-rate=F] [--torn-rate=F] [--size=S] [--scale=N]
 //	xbench ablation  [--q=N] [--size=S]    (indexed vs sequential scan)
 //	xbench analyze   --class=tcmd --size=small
 //	xbench verify    --class=dcmd --size=small
+//	xbench shape     [--sizes=...]         (paper-vs-measured shape checks)
 //	xbench load      --engine=x-hive --class=dcmd --size=small
 //	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
 //	xbench workload  --engine=x-hive --class=dcmd --size=small
@@ -62,6 +64,8 @@ func main() {
 		err = cmdVerify(args)
 	case "report":
 		err = cmdReport(args)
+	case "shape":
+		err = cmdShape(args)
 	case "load":
 		err = cmdLoad(args)
 	case "query":
@@ -89,11 +93,12 @@ commands:
   schema     print a class schema diagram (Figures 1-4), DTD or XSD
   tables     print the static tables (Tables 1-3)
   bench      run the experiment grid and print Tables 4-9
+  report     per-cell p50/p95/p99 metrics report with phase and I/O breakdown
   chaos      crash/recovery fault-injection grid over every engine x class
   ablation   compare indexed vs sequential-scan query times
   analyze    statistical analysis of a generated database (paper 2.1.1)
   verify     cross-check every engine's answers against the native engine
-  report     machine-checked paper-vs-measured shape comparison
+  shape      machine-checked paper-vs-measured shape comparison
   load       bulk-load one engine and report load statistics
   query      run one workload query on one engine
   workload   run every defined query of a class on one engine
@@ -212,15 +217,11 @@ func cmdBench(args []string) error {
 	repeat := fs.Int("repeat", 3, "cold runs averaged per query cell")
 	scale := fs.Int("scale", 1, "extra size multiplier over the library defaults")
 	seed := fs.Uint64("seed", 0, "generation seed")
-	csv := fs.Bool("csv", false, "emit CSV rows (table,engine,class,size,ms)")
+	csv := fs.Bool("csv", false, "emit CSV rows (header table,engine,class,size,value_ms)")
 	fs.Parse(args)
-	var sizes []core.Size
-	for _, part := range strings.Split(*sizesStr, ",") {
-		s, err := core.ParseSize(strings.TrimSpace(part))
-		if err != nil {
-			return err
-		}
-		sizes = append(sizes, s)
+	sizes, err := parseSizes(*sizesStr)
+	if err != nil {
+		return err
 	}
 	cfg := gen.Config{Seed: *seed, SizeMultiplier: *scale}
 	r := bench.NewRunner(cfg, sizes, os.Stdout)
@@ -372,19 +373,60 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
+func parseSizes(sizesStr string) ([]core.Size, error) {
+	var sizes []core.Size
+	for _, part := range strings.Split(sizesStr, ",") {
+		s, err := core.ParseSize(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		sizes = append(sizes, s)
+	}
+	return sizes, nil
+}
+
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	sizesStr := fs.String("sizes", "small,normal,large", "comma-separated sizes")
+	repeat := fs.Int("repeat", 5, "cold runs per cell (percentiles need several)")
+	warm := fs.Int("warm", 3, "warm runs per cell after the cold runs (0 disables)")
+	format := fs.String("format", "table", "output format: table, json or csv")
+	queriesStr := fs.String("q", "", "comma-separated query numbers (default: the paper tables' 5,12,17,8,14)")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	seed := fs.Uint64("seed", 0, "generation seed")
+	fs.Parse(args)
+	sizes, err := parseSizes(*sizesStr)
+	if err != nil {
+		return err
+	}
+	var queries []core.QueryID
+	if *queriesStr != "" {
+		for _, part := range strings.Split(*queriesStr, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil {
+				return fmt.Errorf("bad query number %q", part)
+			}
+			queries = append(queries, core.QueryID(n))
+		}
+	}
+	r := bench.NewRunner(gen.Config{Seed: *seed, SizeMultiplier: *scale}, sizes, os.Stdout)
+	return r.MetricsReport(bench.ReportOptions{
+		Queries: queries,
+		Repeat:  *repeat,
+		Warm:    *warm,
+		Format:  *format,
+	})
+}
+
+func cmdShape(args []string) error {
+	fs := flag.NewFlagSet("shape", flag.ExitOnError)
 	sizesStr := fs.String("sizes", "small,normal,large", "comma-separated sizes")
 	repeat := fs.Int("repeat", 2, "cold runs averaged per cell")
 	scale := fs.Int("scale", 1, "extra size multiplier")
 	fs.Parse(args)
-	var sizes []core.Size
-	for _, part := range strings.Split(*sizesStr, ",") {
-		s, err := core.ParseSize(strings.TrimSpace(part))
-		if err != nil {
-			return err
-		}
-		sizes = append(sizes, s)
+	sizes, err := parseSizes(*sizesStr)
+	if err != nil {
+		return err
 	}
 	r := bench.NewRunner(gen.Config{SizeMultiplier: *scale}, sizes, os.Stdout)
 	r.Repeat = *repeat

@@ -72,6 +72,12 @@ type Runner struct {
 	dbs     map[string]*core.Database
 	engines map[string]core.Engine
 	loads   map[string]loadCell
+
+	// csvHeader records whether the CSV header row has been emitted.
+	csvHeader bool
+	// errs collects query-cell failures so they can be reported after the
+	// table instead of being silently collapsed to an "err" cell.
+	errs []string
 }
 
 // engineNames returns the grid's engine rows.
@@ -219,9 +225,38 @@ func (r *Runner) Table4() error {
 	return nil
 }
 
-// csvRow emits one machine-readable result row.
+// csvRow emits one machine-readable result row, preceded by the header
+// row on first use.
 func (r *Runner) csvRow(table int, engine string, class core.Class, size core.Size, val string) {
+	if !r.csvHeader {
+		fmt.Fprintln(r.Out, "table,engine,class,size,value_ms")
+		r.csvHeader = true
+	}
 	fmt.Fprintf(r.Out, "%d,%s,%s,%s,%s\n", table, engine, class.Code(), size, val)
+}
+
+// noteErr records a cell failure for FlushErrors.
+func (r *Runner) noteErr(engine string, class core.Class, size core.Size, q core.QueryID, err error) {
+	r.errs = append(r.errs, fmt.Sprintf("%s %s/%s %s: %v", engine, class.Code(), size, q, err))
+}
+
+// FlushErrors prints every failure recorded since the last flush. Cells
+// that failed print as "err" in the table; this is where the underlying
+// errors surface. In CSV mode the lines are '#'-prefixed comments so the
+// data rows stay machine-readable.
+func (r *Runner) FlushErrors() {
+	if len(r.errs) == 0 {
+		return
+	}
+	prefix := ""
+	if r.CSV {
+		prefix = "# "
+	}
+	fmt.Fprintf(r.Out, "\n%s%d cell(s) failed:\n", prefix, len(r.errs))
+	for _, e := range r.errs {
+		fmt.Fprintf(r.Out, "%s  error: %s\n", prefix, e)
+	}
+	r.errs = nil
 }
 
 // QueryTable runs and prints one of Tables 5-9.
@@ -238,6 +273,7 @@ func (r *Runner) QueryTable(tableNo int) error {
 				}
 			}
 		}
+		r.FlushErrors()
 		return nil
 	}
 	title := fmt.Sprintf("Table %d. Query %s Execution Time (in Milliseconds)", tableNo, q)
@@ -252,6 +288,7 @@ func (r *Runner) QueryTable(tableNo int) error {
 		}
 		fmt.Fprintln(r.Out)
 	}
+	r.FlushErrors()
 	return nil
 }
 
@@ -270,6 +307,7 @@ func (r *Runner) queryCell(engineName string, class core.Class, size core.Size, 
 	for i := 0; i < n; i++ {
 		m := workload.RunCold(e, class, q)
 		if m.Err != nil {
+			r.noteErr(engineName, class, size, q, m.Err)
 			return "err"
 		}
 		total += m.Elapsed + time.Duration(m.Result.PageIO)*r.IOCost

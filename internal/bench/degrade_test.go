@@ -20,12 +20,12 @@ type stubEngine struct {
 	execErr    error
 }
 
-func (s *stubEngine) Name() string                          { return s.name }
-func (s *stubEngine) Supports(core.Class, core.Size) error  { return s.supportErr }
-func (s *stubEngine) BuildIndexes([]core.IndexSpec) error   { return nil }
-func (s *stubEngine) ColdReset()                            {}
-func (s *stubEngine) PageIO() int64                         { return 0 }
-func (s *stubEngine) Close() error                          { return nil }
+func (s *stubEngine) Name() string                         { return s.name }
+func (s *stubEngine) Supports(core.Class, core.Size) error { return s.supportErr }
+func (s *stubEngine) BuildIndexes([]core.IndexSpec) error  { return nil }
+func (s *stubEngine) ColdReset()                           {}
+func (s *stubEngine) PageIO() int64                        { return 0 }
+func (s *stubEngine) Close() error                         { return nil }
 func (s *stubEngine) Load(*core.Database) (core.LoadStats, error) {
 	return core.LoadStats{}, s.loadErr
 }

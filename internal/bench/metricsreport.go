@@ -1,0 +1,295 @@
+// Metrics report: the `xbench report` subcommand. Where the paper tables
+// (bench.go) print one averaged number per cell, the metrics report runs
+// each query cell N times cold and M times warm, feeds the effective
+// times through the metrics histograms, and prints p50/p95/p99 together
+// with the per-phase and per-layer breakdown the instrumented engines
+// attribute to the run: pager I/O, buffer-pool hit rate, B+tree node
+// visits and span phase times. Output is a grouped text table, JSON or
+// CSV (both suitable for checking into results/).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/metrics"
+	"xbench/internal/workload"
+)
+
+// ReportPhases fixes the phase column order of the report (and the CSV
+// header): the canonical query pipeline from parse to eval.
+var ReportPhases = []string{
+	metrics.PhaseParse,
+	metrics.PhasePlan,
+	metrics.PhaseIndexProbe,
+	metrics.PhaseScan,
+	metrics.PhaseMaterialize,
+	metrics.PhaseEval,
+}
+
+// ReportQueries is the default query set of the metrics report: the five
+// queries the paper tables measure (Tables 5-9).
+var ReportQueries = []core.QueryID{core.Q5, core.Q12, core.Q17, core.Q8, core.Q14}
+
+// ReportOptions configures MetricsReport.
+type ReportOptions struct {
+	// Queries to measure; empty selects ReportQueries.
+	Queries []core.QueryID
+	// Repeat is the number of cold runs per cell (>= 1).
+	Repeat int
+	// Warm is the number of warm runs per cell after the cold runs (the
+	// buffer pool keeps what the cold runs loaded); 0 disables.
+	Warm int
+	// Format is "table" (default), "json" or "csv".
+	Format string
+}
+
+// CellReport aggregates the cold and warm runs of one query cell. All
+// millisecond figures are effective times: wall-clock plus PageIO x
+// IOCost, the same model the paper tables use.
+type CellReport struct {
+	Engine string `json:"engine"`
+	Class  string `json:"class"`
+	Size   string `json:"size"`
+	Query  string `json:"query"`
+	Runs   int    `json:"runs"`
+	Warm   int    `json:"warm_runs"`
+
+	ColdP50Ms  float64 `json:"cold_p50_ms"`
+	ColdP95Ms  float64 `json:"cold_p95_ms"`
+	ColdP99Ms  float64 `json:"cold_p99_ms"`
+	ColdMeanMs float64 `json:"cold_mean_ms"`
+	WarmP50Ms  float64 `json:"warm_p50_ms"`
+	WarmMeanMs float64 `json:"warm_mean_ms"`
+
+	// PageIO is the mean per-run page I/O reported by the engine result;
+	// AttributedIO is the mean per-run I/O the pager counters attributed.
+	// AttributionPct is their ratio — the acceptance gate asks >= 90%.
+	PageIO         float64 `json:"page_io"`
+	AttributedIO   float64 `json:"attributed_io"`
+	AttributionPct float64 `json:"attribution_pct"`
+
+	// CacheHitPct is the buffer-pool hit rate across the cold runs.
+	CacheHitPct float64 `json:"cache_hit_pct"`
+	// BtreeVisits is the mean per-run B+tree node visit count.
+	BtreeVisits float64 `json:"btree_visits"`
+
+	// PhasesMs holds the mean per-run time attributed to each span phase.
+	PhasesMs map[string]float64 `json:"phases_ms,omitempty"`
+	// Counters holds the remaining summed counter deltas across cold runs
+	// (pager.hit, pager.evict, relational.scan.row, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	Err string `json:"error,omitempty"`
+}
+
+// Report is the full metrics report: the measurement configuration plus
+// one CellReport per measured cell.
+type Report struct {
+	Repeat   int          `json:"repeat"`
+	Warm     int          `json:"warm_runs"`
+	IOCostUs int64        `json:"io_cost_us"`
+	Cells    []CellReport `json:"cells"`
+}
+
+func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// effective converts a measurement to the effective time the tables
+// report: wall-clock plus simulated disk time.
+func (r *Runner) effective(m workload.Measurement) time.Duration {
+	return m.Elapsed + time.Duration(m.Result.PageIO)*r.IOCost
+}
+
+// measureCell runs one query cell Repeat times cold and Warm times warm,
+// aggregating measurements into a CellReport. The second return is false
+// for unsupported combinations (the paper's blank cells).
+func (r *Runner) measureCell(opts ReportOptions, name string, class core.Class, size core.Size, q core.QueryID) (CellReport, bool) {
+	if !workload.Defined(class, q) {
+		return CellReport{}, false
+	}
+	e, lc := r.Engine(name, class, size)
+	if lc.err != nil || e == nil {
+		return CellReport{}, false
+	}
+	cr := CellReport{
+		Engine: name,
+		Class:  class.Code(),
+		Size:   size.String(),
+		Query:  q.String(),
+		Runs:   opts.Repeat,
+		Warm:   opts.Warm,
+	}
+	coldHist := metrics.NewHistogram()
+	warmHist := metrics.NewHistogram()
+	counters := map[string]int64{}
+	phases := map[string]time.Duration{}
+	var pageIO, attributed int64
+	for i := 0; i < opts.Repeat; i++ {
+		m := workload.RunCold(e, class, q)
+		if m.Err != nil {
+			cr.Err = m.Err.Error()
+			r.noteErr(name, class, size, q, m.Err)
+			return cr, true
+		}
+		coldHist.Observe(r.effective(m))
+		pageIO += m.Result.PageIO
+		attributed += m.Breakdown.PagerIO()
+		for _, cn := range m.Breakdown.CounterNames() {
+			if metrics.IsGauge(cn) {
+				if v := m.Breakdown.Get(cn); v > counters[cn] {
+					counters[cn] = v
+				}
+				continue
+			}
+			counters[cn] += m.Breakdown.Get(cn)
+		}
+		for ph, d := range m.Breakdown.Phases {
+			phases[ph] += d
+		}
+	}
+	for i := 0; i < opts.Warm; i++ {
+		m := workload.RunWarm(e, class, q)
+		if m.Err != nil {
+			cr.Err = m.Err.Error()
+			r.noteErr(name, class, size, q, m.Err)
+			return cr, true
+		}
+		warmHist.Observe(r.effective(m))
+	}
+	n := float64(opts.Repeat)
+	cr.ColdP50Ms = msOf(coldHist.P50())
+	cr.ColdP95Ms = msOf(coldHist.P95())
+	cr.ColdP99Ms = msOf(coldHist.P99())
+	cr.ColdMeanMs = msOf(coldHist.Mean())
+	cr.WarmP50Ms = msOf(warmHist.P50())
+	cr.WarmMeanMs = msOf(warmHist.Mean())
+	cr.PageIO = float64(pageIO) / n
+	cr.AttributedIO = float64(attributed) / n
+	if pageIO > 0 {
+		cr.AttributionPct = 100 * float64(attributed) / float64(pageIO)
+	} else if attributed == 0 {
+		cr.AttributionPct = 100
+	}
+	hits, reads := counters["pager.hit"], counters["pager.read"]
+	if hits+reads > 0 {
+		cr.CacheHitPct = 100 * float64(hits) / float64(hits+reads)
+	}
+	cr.BtreeVisits = float64(counters["btree.visit"]) / n
+	cr.PhasesMs = map[string]float64{}
+	for ph, d := range phases {
+		cr.PhasesMs[ph] = msOf(d) / n
+	}
+	cr.Counters = counters
+	return cr, true
+}
+
+// BuildReport measures every cell of the grid (engine x class x size for
+// each requested query) and returns the aggregate report.
+func (r *Runner) BuildReport(opts ReportOptions) Report {
+	if opts.Repeat < 1 {
+		opts.Repeat = r.Repeat
+	}
+	if opts.Repeat < 1 {
+		opts.Repeat = 1
+	}
+	if len(opts.Queries) == 0 {
+		opts.Queries = ReportQueries
+	}
+	rep := Report{Repeat: opts.Repeat, Warm: opts.Warm, IOCostUs: r.IOCost.Microseconds()}
+	for _, q := range opts.Queries {
+		for _, name := range r.engineNames() {
+			for _, class := range columnClasses {
+				for _, size := range r.Sizes {
+					if cell, ok := r.measureCell(opts, name, class, size, q); ok {
+						rep.Cells = append(rep.Cells, cell)
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// MetricsReport builds and prints the report in the requested format.
+func (r *Runner) MetricsReport(opts ReportOptions) error {
+	rep := r.BuildReport(opts)
+	switch opts.Format {
+	case "", "table":
+		r.printReportTable(rep)
+	case "json":
+		enc := json.NewEncoder(r.Out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	case "csv":
+		printReportCSV(r, rep)
+	default:
+		return fmt.Errorf("bench: unknown report format %q (want table, json or csv)", opts.Format)
+	}
+	r.errs = nil // cell errors are embedded in the report rows
+	return nil
+}
+
+// reportCSVHeader is the fixed column set of the CSV report format.
+const reportCSVHeader = "engine,class,size,query,runs,warm_runs," +
+	"cold_p50_ms,cold_p95_ms,cold_p99_ms,cold_mean_ms,warm_p50_ms,warm_mean_ms," +
+	"page_io,attributed_io,attribution_pct,cache_hit_pct,btree_visits," +
+	"parse_ms,plan_ms,index_probe_ms,scan_ms,materialize_ms,eval_ms"
+
+func printReportCSV(r *Runner, rep Report) {
+	fmt.Fprintln(r.Out, reportCSVHeader)
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			fmt.Fprintf(r.Out, "# error: %s %s/%s %s: %s\n", c.Engine, c.Class, c.Size, c.Query, c.Err)
+			continue
+		}
+		fmt.Fprintf(r.Out, "%s,%s,%s,%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%.1f,%.1f,%.1f",
+			c.Engine, c.Class, c.Size, c.Query, c.Runs, c.Warm,
+			c.ColdP50Ms, c.ColdP95Ms, c.ColdP99Ms, c.ColdMeanMs, c.WarmP50Ms, c.WarmMeanMs,
+			c.PageIO, c.AttributedIO, c.AttributionPct, c.CacheHitPct, c.BtreeVisits)
+		for _, ph := range ReportPhases {
+			fmt.Fprintf(r.Out, ",%.3f", c.PhasesMs[ph])
+		}
+		fmt.Fprintln(r.Out)
+	}
+}
+
+func (r *Runner) printReportTable(rep Report) {
+	fmt.Fprintf(r.Out, "Metrics Report: %d cold + %d warm run(s) per cell, IOCost %dµs/page\n",
+		rep.Repeat, rep.Warm, rep.IOCostUs)
+	fmt.Fprintln(r.Out, "(times are effective ms: wall-clock + PageIO x IOCost)")
+	lastQuery := ""
+	for _, c := range rep.Cells {
+		if c.Query != lastQuery {
+			lastQuery = c.Query
+			fmt.Fprintf(r.Out, "\nQuery %s\n", c.Query)
+			fmt.Fprintf(r.Out, "%-12s %-6s %-7s %9s %9s %9s %9s %8s %6s %8s %6s\n",
+				"engine", "class", "size", "p50", "p95", "p99", "warm p50",
+				"pageIO", "hit%", "btree", "attr%")
+		}
+		if c.Err != "" {
+			fmt.Fprintf(r.Out, "%-12s %-6s %-7s error: %s\n", c.Engine, c.Class, c.Size, c.Err)
+			continue
+		}
+		warm := "-"
+		if c.Warm > 0 {
+			warm = fmt.Sprintf("%.2f", c.WarmP50Ms)
+		}
+		fmt.Fprintf(r.Out, "%-12s %-6s %-7s %9.2f %9.2f %9.2f %9s %8.0f %6.1f %8.0f %6.0f\n",
+			c.Engine, c.Class, c.Size,
+			c.ColdP50Ms, c.ColdP95Ms, c.ColdP99Ms, warm,
+			c.PageIO, c.CacheHitPct, c.BtreeVisits, c.AttributionPct)
+		line := ""
+		for _, ph := range ReportPhases {
+			if v, ok := c.PhasesMs[ph]; ok {
+				line += fmt.Sprintf(" %s %.2fms", ph, v)
+			}
+		}
+		if line != "" {
+			fmt.Fprintf(r.Out, "%-12s   phases:%s\n", "", line)
+		}
+	}
+}

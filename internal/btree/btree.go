@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xbench/internal/metrics"
 	"xbench/internal/pager"
 )
 
@@ -23,10 +24,17 @@ const MaxKey = 512
 
 // Tree is a B+tree handle.
 type Tree struct {
-	p    *pager.Pager
-	fid  pager.FileID
-	root uint32
-	n    int
+	p      *pager.Pager
+	fid    pager.FileID
+	root   uint32
+	n      int
+	height int
+
+	// Counters from the pager's metrics registry (nil-safe): node visits,
+	// node splits, and the tree height as a high-water gauge.
+	cVisit  *metrics.Counter
+	cSplit  *metrics.Counter
+	cHeight *metrics.Counter
 }
 
 type node struct {
@@ -41,7 +49,8 @@ type node struct {
 // header page so that page number 0 can serve as the nil sentinel in the
 // leaf chain.
 func New(p *pager.Pager, name string) (*Tree, error) {
-	t := &Tree{p: p, fid: p.Create(name)}
+	t := &Tree{p: p, fid: p.Create(name), height: 1}
+	t.bindMetrics()
 	if _, err := p.Append(t.fid); err != nil { // reserved page 0
 		return nil, err
 	}
@@ -53,7 +62,16 @@ func New(p *pager.Pager, name string) (*Tree, error) {
 	if err := t.writeNode(no, &node{leaf: true}); err != nil {
 		return nil, err
 	}
+	t.cHeight.SetMax(int64(t.height))
 	return t, nil
+}
+
+// bindMetrics caches the tree's counters from the pager's registry.
+func (t *Tree) bindMetrics() {
+	reg := t.p.Metrics()
+	t.cVisit = reg.Counter("btree.visit")
+	t.cSplit = reg.Counter("btree.split")
+	t.cHeight = reg.Counter("btree.height")
 }
 
 // Len returns the number of stored entries.
@@ -95,8 +113,25 @@ func Open(p *pager.Pager, fid pager.FileID) (*Tree, error) {
 	if t.root == 0 || t.root >= p.NumPages(fid) {
 		return nil, fmt.Errorf("btree: file %d header has invalid root page %d", fid, t.root)
 	}
+	t.bindMetrics()
+	// Recover the height by descending the leftmost spine.
+	t.height = 1
+	for no := t.root; ; t.height++ {
+		nd, err := t.readNode(no)
+		if err != nil {
+			return nil, err
+		}
+		if nd.leaf {
+			break
+		}
+		no = nd.kids[0]
+	}
+	t.cHeight.SetMax(int64(t.height))
 	return t, nil
 }
+
+// Height returns the tree height in levels (1 = a lone leaf root).
+func (t *Tree) Height() int { return t.height }
 
 func trunc(key string) string {
 	if len(key) > MaxKey {
@@ -123,6 +158,8 @@ func (t *Tree) Insert(key string, val uint64) error {
 			return err
 		}
 		t.root = no
+		t.height++
+		t.cHeight.SetMax(int64(t.height))
 	}
 	t.n++
 	return nil
@@ -166,6 +203,7 @@ func (t *Tree) finishInsert(pageNo uint32, nd *node) (string, uint32, bool, erro
 	if nd.size() <= pager.PageSize {
 		return "", 0, false, t.writeNode(pageNo, nd)
 	}
+	t.cSplit.Inc()
 	mid := len(nd.keys) / 2
 	right := &node{leaf: nd.leaf}
 	var sep string
@@ -300,6 +338,7 @@ func (t *Tree) writeNode(pageNo uint32, n *node) error {
 }
 
 func (t *Tree) readNode(pageNo uint32) (*node, error) {
+	t.cVisit.Inc()
 	pg, err := t.p.Read(t.fid, pageNo)
 	if err != nil {
 		return nil, err

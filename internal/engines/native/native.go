@@ -36,6 +36,7 @@ import (
 
 	"xbench/internal/btree"
 	"xbench/internal/core"
+	"xbench/internal/metrics"
 	"xbench/internal/pager"
 	"xbench/internal/queries"
 	"xbench/internal/xmldom"
@@ -103,6 +104,7 @@ func NewWithOptions(poolPages int, opts Options) (*Engine, error) {
 		opts.SegmentThreshold = defaultSegmentThreshold
 	}
 	p := pager.New(poolPages)
+	p.SetMetrics(metrics.NewRegistry())
 	return &Engine{
 		p:       p,
 		opts:    opts,
@@ -170,6 +172,10 @@ func decodeCatalogEntry(rec []byte) (docEntry, error) {
 
 // Pager exposes the engine's pager for fault injection and recovery.
 func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// Metrics returns the engine's metrics registry, shared by its pager,
+// B+tree indexes and query path.
+func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
 // reset empties the store so Load is idempotent: a repeated or resumed
 // load never sees leftovers from an earlier attempt.
@@ -461,12 +467,15 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 	if def == nil {
 		return core.Result{}, core.ErrNoQuery
 	}
+	reg := e.Metrics()
 	before := e.p.Stats()
 	coll, err := e.buildCollection(def, p)
 	if err != nil {
 		return core.Result{}, err
 	}
+	parseSpan := reg.StartSpan(metrics.PhaseParse)
 	compiled, err := xquery.Parse(def.XQuery)
+	parseSpan.End()
 	if err != nil {
 		return core.Result{}, fmt.Errorf("native: %s/%s: %w", e.class, q, err)
 	}
@@ -474,7 +483,9 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 	for k, v := range p {
 		vars[k] = xquery.Seq{v}
 	}
+	evalSpan := reg.StartSpan(metrics.PhaseEval)
 	seq, err := compiled.EvalWithVars(coll, vars)
+	evalSpan.End()
 	if err != nil {
 		return core.Result{}, fmt.Errorf("native: %s/%s: %w", e.class, q, err)
 	}
@@ -490,9 +501,12 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 // doc()-based queries, or the whole database otherwise. The catalog is
 // always read from disk (cold-run cost proportional to document count).
 func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Collection, error) {
+	reg := e.Metrics()
 	coll := xquery.NewCollection()
 	addDoc := func(en docEntry, segs []int) error {
+		sp := reg.StartSpan(metrics.PhaseMaterialize)
 		doc, err := e.assembleDoc(en, segs)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -504,6 +518,7 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 	// still walks the on-disk catalog.
 	if docName := p.Get("DOC"); docName != "" && strings.Contains(def.XQuery, "doc(") {
 		found := false
+		scanSpan := reg.StartSpan(metrics.PhaseScan)
 		err := e.scanCatalog(func(_ int, en docEntry) (bool, error) {
 			if en.name == docName {
 				found = true
@@ -511,6 +526,7 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 			}
 			return true, nil
 		})
+		scanSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -522,7 +538,9 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 
 	if ix, ok := e.indexes[def.IndexTarget]; ok && def.IndexTarget != "" {
 		key := p.Get(def.IndexParam)
+		probeSpan := reg.StartSpan(metrics.PhaseIndexProbe)
 		locs, err := ix.Search(key)
+		probeSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -541,6 +559,7 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 		// Some queries join against other documents (Q19 joins orders with
 		// the flat customers document); always include the flat documents
 		// of multi-document DC databases.
+		scanSpan := reg.StartSpan(metrics.PhaseScan)
 		err = e.scanCatalog(func(docPos int, en docEntry) (bool, error) {
 			switch {
 			case wantAll[docPos]:
@@ -552,13 +571,16 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 			}
 			return true, nil
 		})
+		scanSpan.End()
 		return coll, err
 	}
 
 	// Sequential scan: materialize everything.
+	scanSpan := reg.StartSpan(metrics.PhaseScan)
 	err := e.scanCatalog(func(_ int, en docEntry) (bool, error) {
 		return true, addDoc(en, nil)
 	})
+	scanSpan.End()
 	return coll, err
 }
 

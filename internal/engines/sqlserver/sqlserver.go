@@ -19,6 +19,7 @@ import (
 	"xbench/internal/core"
 	"xbench/internal/engines/shredplan"
 	"xbench/internal/engines/xcollection"
+	"xbench/internal/metrics"
 	"xbench/internal/pager"
 	"xbench/internal/relational"
 	"xbench/internal/shredder"
@@ -33,7 +34,9 @@ type Engine struct {
 
 // New returns an empty engine.
 func New(poolPages int) *Engine {
-	return &Engine{p: pager.New(poolPages)}
+	p := pager.New(poolPages)
+	p.SetMetrics(metrics.NewRegistry())
+	return &Engine{p: p}
 }
 
 // Name implements core.Engine.
@@ -44,6 +47,10 @@ func (e *Engine) Supports(core.Class, core.Size) error { return nil }
 
 // Pager exposes the engine's pager for fault injection and recovery.
 func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// Metrics returns the engine's metrics registry, shared by its pager,
+// shredded-table indexes and query path.
+func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
 // reset empties the store so Load is idempotent.
 func (e *Engine) reset() error {
@@ -152,7 +159,9 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 		return core.Result{}, fmt.Errorf("sqlserver: Execute before Load")
 	}
 	before := e.p.Stats()
+	planSpan := e.Metrics().StartSpan(metrics.PhasePlan)
 	res, err := shredplan.Execute(e.store, q, p)
+	planSpan.End()
 	if err != nil {
 		return core.Result{}, err
 	}

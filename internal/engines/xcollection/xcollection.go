@@ -17,6 +17,7 @@ import (
 
 	"xbench/internal/core"
 	"xbench/internal/engines/shredplan"
+	"xbench/internal/metrics"
 	"xbench/internal/pager"
 	"xbench/internal/relational"
 	"xbench/internal/shredder"
@@ -43,7 +44,9 @@ func New(poolPages, rowLimit int) *Engine {
 	if rowLimit <= 0 {
 		rowLimit = DefaultRowLimit
 	}
-	return &Engine{p: pager.New(poolPages), rowLimit: rowLimit}
+	p := pager.New(poolPages)
+	p.SetMetrics(metrics.NewRegistry())
+	return &Engine{p: p, rowLimit: rowLimit}
 }
 
 // Name implements core.Engine.
@@ -62,6 +65,10 @@ func (e *Engine) Supports(c core.Class, s core.Size) error {
 
 // Pager exposes the engine's pager for fault injection and recovery.
 func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// Metrics returns the engine's metrics registry, shared by its pager,
+// shredded-table indexes and query path.
+func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
 // reset empties the store so Load is idempotent.
 func (e *Engine) reset() error {
@@ -211,7 +218,9 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 		return core.Result{}, fmt.Errorf("xcollection: Execute before Load")
 	}
 	before := e.p.Stats()
+	planSpan := e.Metrics().StartSpan(metrics.PhasePlan)
 	res, err := shredplan.Execute(e.store, q, p)
+	planSpan.End()
 	if err != nil {
 		return core.Result{}, err
 	}

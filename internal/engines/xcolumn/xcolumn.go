@@ -21,6 +21,7 @@ import (
 	"strconv"
 
 	"xbench/internal/core"
+	"xbench/internal/metrics"
 	"xbench/internal/pager"
 	"xbench/internal/queries"
 	"xbench/internal/relational"
@@ -40,6 +41,7 @@ type Engine struct {
 // New returns an empty engine.
 func New(poolPages int) *Engine {
 	p := pager.New(poolPages)
+	p.SetMetrics(metrics.NewRegistry())
 	return &Engine{p: p, clobs: pager.NewHeap(p, "clobs")}
 }
 
@@ -58,6 +60,10 @@ func (e *Engine) Supports(c core.Class, _ core.Size) error {
 
 // Pager exposes the engine's pager for fault injection and recovery.
 func (e *Engine) Pager() *pager.Pager { return e.p }
+
+// Metrics returns the engine's metrics registry, shared by its pager,
+// side-table indexes and query path.
+func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
 // reset empties the store so Load is idempotent.
 func (e *Engine) reset() error {
@@ -275,6 +281,8 @@ func (e *Engine) fetchDoc(doc string) (*xmldom.Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xcolumn: bad doc reference %q", doc)
 	}
+	sp := e.Metrics().StartSpan(metrics.PhaseMaterialize)
+	defer sp.End()
 	data, err := e.clobs.Get(pager.RID(rid))
 	if err != nil {
 		return nil, err
@@ -562,6 +570,8 @@ func idSuffix(id string) int {
 // clobWordSearch scans every stored CLOB: a cheap raw-byte prefilter, then
 // a full parse of candidate documents to extract the result.
 func (e *Engine) clobWordSearch(word string, extract func(root *xmldom.Node) (string, bool)) ([]string, error) {
+	reg := e.Metrics()
+	defer reg.StartSpan(metrics.PhaseScan).End()
 	var out []string
 	for _, rid := range e.rids {
 		data, err := e.clobs.Get(rid)
@@ -571,7 +581,9 @@ func (e *Engine) clobWordSearch(word string, extract func(root *xmldom.Node) (st
 		if !xquery.ContainsWord(string(data), word) {
 			continue
 		}
+		parseSpan := reg.StartSpan(metrics.PhaseParse)
 		parsed, err := xmldom.Parse(data)
+		parseSpan.End()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket i
+// covers durations in (2^(i-1), 2^i] microseconds, with bucket 0
+// covering (0, 1µs]; the top bucket is open-ended. 40 buckets reach
+// 2^39 µs ≈ 6.4 days — far beyond any cell this benchmark measures —
+// while keeping the histogram a fixed 336 bytes of atomics.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket, lock-free latency histogram with
+// power-of-two microsecond buckets. Observations and quantile reads are
+// safe concurrently; quantiles read a best-effort snapshot. A nil
+// *Histogram ignores observations and reports zeros.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the inclusive upper bound of a bucket.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank. The estimate
+// is bounded above by the bucket's upper edge, so p99 of a set of
+// identical sub-microsecond observations reads 1µs, never more than one
+// bucket away from the truth.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := 0; i < NumBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = bucketUpper(i - 1)
+			}
+			upper := bucketUpper(i)
+			frac := (rank - cum) / n
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum += n
+	}
+	return bucketUpper(NumBuckets - 1)
+}
+
+// P50, P95 and P99 are the percentile shorthands the report tables use.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 estimates the 95th percentile.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 estimates the 99th percentile.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }

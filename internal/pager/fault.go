@@ -75,8 +75,8 @@ type faultState struct {
 	rng     uint64
 	ops     int64
 	crashed bool
-	wal     []byte              // the simulated log file
-	shadow  map[pageKey][]byte  // last durable image per page
+	wal     []byte             // the simulated log file
+	shadow  map[pageKey][]byte // last durable image per page
 }
 
 // splitmix64: tiny, fast, and adequate for fault scheduling.
@@ -177,6 +177,7 @@ func (p *Pager) diskOp(kind opKind) error {
 	fs.ops++
 	if kind == opRead && fs.policy.ReadErrorRate > 0 && fs.rand01() < fs.policy.ReadErrorRate {
 		p.stats.ReadFaults++
+		p.cReadFault.Inc()
 		return fmt.Errorf("%w (op %d)", ErrTransientRead, fs.ops)
 	}
 	return nil
@@ -204,6 +205,7 @@ func (p *Pager) tornWrite() (int, bool) {
 func (p *Pager) retryBackoff(attempt int) {
 	p.mu.Lock()
 	p.stats.ReadRetries++
+	p.cReadRetry.Inc()
 	p.mu.Unlock()
 	time.Sleep(time.Duration(1<<(attempt-1)) * 20 * time.Microsecond)
 }

@@ -18,6 +18,8 @@ package pager
 import (
 	"fmt"
 	"sync"
+
+	"xbench/internal/metrics"
 )
 
 // PageSize is the simulated page size in bytes.
@@ -68,6 +70,19 @@ type Pager struct {
 	// copyReads returns defensive copies from Read (forced on by fault
 	// injection, optional otherwise — see the Read aliasing contract).
 	copyReads bool
+
+	// reg receives per-event counters alongside stats; the cached
+	// counters keep the hot paths at one atomic add per event. All are
+	// nil (and inert) until SetMetrics is called.
+	reg        *metrics.Registry
+	cRead      *metrics.Counter // pager.read: disk reads (pool misses)
+	cWrite     *metrics.Counter // pager.write: disk writes (write-backs)
+	cHit       *metrics.Counter // pager.hit: pool hits
+	cEvict     *metrics.Counter // pager.evict: frames evicted by CLOCK
+	cWALAppend *metrics.Counter // pager.wal.append: WAL records
+	cReadFault *metrics.Counter // pager.read.fault: injected transient faults
+	cReadRetry *metrics.Counter // pager.read.retry: retry attempts
+	cTornWrite *metrics.Counter // pager.write.torn: torn in-place writes
 }
 
 type pageKey struct {
@@ -105,6 +120,32 @@ func New(poolPages int) *Pager {
 		frames:   make([]frame, poolPages),
 		table:    make(map[pageKey]int, poolPages),
 	}
+}
+
+// SetMetrics attaches a metrics registry: every subsequent disk read,
+// write, pool hit, eviction, WAL append and fault retry is counted under
+// "pager.*" names in addition to Stats. Layers above the pager (btree,
+// relational, the engines) share the same registry via Metrics.
+func (p *Pager) SetMetrics(reg *metrics.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	p.cRead = reg.Counter("pager.read")
+	p.cWrite = reg.Counter("pager.write")
+	p.cHit = reg.Counter("pager.hit")
+	p.cEvict = reg.Counter("pager.evict")
+	p.cWALAppend = reg.Counter("pager.wal.append")
+	p.cReadFault = reg.Counter("pager.read.fault")
+	p.cReadRetry = reg.Counter("pager.read.retry")
+	p.cTornWrite = reg.Counter("pager.write.torn")
+}
+
+// Metrics returns the attached registry (nil, and safe to use, when
+// SetMetrics was never called).
+func (p *Pager) Metrics() *metrics.Registry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reg
 }
 
 // Create makes a new empty file and returns its id.
@@ -207,6 +248,7 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 	if i, ok := p.table[key]; ok {
 		p.frames[i].used = true
 		p.stats.Hits++
+		p.cHit.Inc()
 		return p.outPage(p.frames[i].data), nil
 	}
 	f, ok := p.files[fid]
@@ -217,6 +259,7 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 		return nil, err
 	}
 	p.stats.Reads++
+	p.cRead.Inc()
 	data := make([]byte, PageSize)
 	copy(data, f.pages[no])
 	if err := p.install(key, data, false); err != nil {
@@ -282,6 +325,7 @@ func (p *Pager) install(key pageKey, data []byte, dirty bool) error {
 			}
 		}
 		delete(p.table, fr.key)
+		p.cEvict.Inc()
 		break
 	}
 	p.frames[p.hand] = frame{key: key, data: data, used: true, dirty: dirty, valid: true}
@@ -307,8 +351,10 @@ func (p *Pager) writeBack(fr *frame) error {
 		return err
 	}
 	p.stats.Writes++
+	p.cWrite.Inc()
 	if n, torn := p.tornWrite(); torn {
 		p.stats.TornWrites++
+		p.cTornWrite.Inc()
 		pg := make([]byte, PageSize)
 		copy(pg[:n], fr.data[:n])
 		f.pages[fr.key.no] = pg

@@ -99,6 +99,7 @@ func (p *Pager) walAppend(kind byte, key pageKey, data []byte) error {
 		return err
 	}
 	p.stats.WALAppends++
+	p.cWALAppend.Inc()
 	fs.wal = append(fs.wal, rec...)
 	switch kind {
 	case walKindPage:

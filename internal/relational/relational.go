@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"xbench/internal/btree"
+	"xbench/internal/metrics"
 	"xbench/internal/pager"
 )
 
@@ -177,10 +178,17 @@ func (t *Table) HasIndex(col string) bool {
 	return ok
 }
 
+// reg returns the metrics registry shared through the table's pager.
+func (t *Table) reg() *metrics.Registry { return t.db.Pager.Metrics() }
+
 // Scan visits all rows in insertion order (a full table scan: every heap
 // page is read). Returning false stops early.
 func (t *Table) Scan(fn func(Row) bool) error {
+	reg := t.reg()
+	reg.Counter("relational.scan").Inc()
+	defer reg.StartSpan(metrics.PhaseScan).End()
 	return t.heap.Scan(func(_ pager.RID, rec []byte) bool {
+		reg.Counter("relational.scan.row").Inc()
 		return fn(decodeRow(rec))
 	})
 }
@@ -198,7 +206,11 @@ func (t *Table) Get(rid pager.RID) (Row, error) {
 // and falling back to a sequential scan otherwise.
 func (t *Table) LookupEq(col, val string) ([]Row, error) {
 	if ix, ok := t.indexes[col]; ok {
+		reg := t.reg()
+		reg.Counter("relational.probe").Inc()
+		sp := reg.StartSpan(metrics.PhaseIndexProbe)
 		rids, err := ix.Search(val)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +239,9 @@ func (t *Table) LookupEq(col, val string) ([]Row, error) {
 // matches ISO dates), via index when available.
 func (t *Table) LookupRange(col, lo, hi string) ([]Row, error) {
 	if ix, ok := t.indexes[col]; ok {
+		reg := t.reg()
+		reg.Counter("relational.probe").Inc()
+		defer reg.StartSpan(metrics.PhaseIndexProbe).End()
 		var rows []Row
 		var inner error
 		err := ix.Range(lo, hi, func(_ string, v uint64) bool {

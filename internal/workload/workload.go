@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xbench/internal/core"
+	"xbench/internal/metrics"
 	"xbench/internal/queries"
 	"xbench/internal/textgen"
 )
@@ -66,7 +67,7 @@ func QueryIDs(class core.Class) []core.QueryID {
 	return out
 }
 
-// Measurement is the outcome of one cold query execution.
+// Measurement is the outcome of one query execution.
 type Measurement struct {
 	Engine  string
 	Class   core.Class
@@ -74,19 +75,59 @@ type Measurement struct {
 	Elapsed time.Duration
 	Result  core.Result
 	Err     error
+	// Cold reports whether the engine's caches were dropped before the run.
+	Cold bool
+	// Breakdown attributes the run: pager I/O, cache hits, btree visits,
+	// relational probes/scans and per-phase times, taken as the delta of
+	// the engine's metrics registry across the Execute call. Zero-valued
+	// (and safe to read) when the engine exposes no registry.
+	Breakdown metrics.Breakdown
+}
+
+// MetricsProvider is the optional interface through which an engine
+// exposes its metrics registry. All four real engines implement it; the
+// core.Engine interface deliberately does not require it, so stub engines
+// in tests stay minimal.
+type MetricsProvider interface {
+	Metrics() *metrics.Registry
+}
+
+// run executes one query, snapshotting the engine's metrics registry (if
+// any) around the Execute call so the Measurement carries a per-run
+// counter and phase breakdown.
+func run(e core.Engine, class core.Class, q core.QueryID, cold bool) Measurement {
+	m := Measurement{Engine: e.Name(), Class: class, Query: q, Cold: cold}
+	if cold {
+		e.ColdReset()
+	}
+	var reg *metrics.Registry
+	var before metrics.Snapshot
+	if mp, ok := e.(MetricsProvider); ok {
+		reg = mp.Metrics()
+		before = reg.Snapshot()
+	}
+	start := time.Now()
+	res, err := e.Execute(q, Params(class))
+	m.Elapsed = time.Since(start)
+	if reg != nil {
+		m.Breakdown = reg.Snapshot().Delta(before)
+	}
+	m.Result = res
+	m.Err = err
+	return m
 }
 
 // RunCold executes one query cold: the engine's caches are dropped first,
 // reproducing the paper's "cold run time ... to prevent caching effects".
 func RunCold(e core.Engine, class core.Class, q core.QueryID) Measurement {
-	m := Measurement{Engine: e.Name(), Class: class, Query: q}
-	e.ColdReset()
-	start := time.Now()
-	res, err := e.Execute(q, Params(class))
-	m.Elapsed = time.Since(start)
-	m.Result = res
-	m.Err = err
-	return m
+	return run(e, class, q, true)
+}
+
+// RunWarm executes one query without dropping caches: the buffer pool
+// keeps whatever earlier runs left in it, so warm-vs-cold deltas isolate
+// the simulated disk component of a cell.
+func RunWarm(e core.Engine, class core.Class, q core.QueryID) Measurement {
+	return run(e, class, q, false)
 }
 
 // RunAll executes every query defined for the class cold, in query order.
