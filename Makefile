@@ -11,8 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Race pass in short mode: the race detector multiplies runtimes ~10x, so
+# the gate runs the suite with -short; the concurrency stress tests
+# (engines, pager, btree, driver) all run in short mode.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # Crash/recovery fault-injection grid over every engine x class.
 chaos: build

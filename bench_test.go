@@ -21,6 +21,7 @@ package xbench
 // operation so the disk-bound shape is visible alongside wall time.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -97,7 +98,7 @@ func BenchmarkTable4BulkLoad(b *testing.B) {
 					var io int64
 					for i := 0; i < b.N; i++ {
 						fresh := bench.NewEngine(engine)
-						st, err := fresh.Load(db)
+						st, err := fresh.Load(context.Background(), db)
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -258,12 +259,12 @@ func BenchmarkAblationStorageFormat(b *testing.B) {
 		{"raw-xml", native.FormatXML},
 	} {
 		e := native.NewWithFormat(0, f.format)
-		if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		if _, _, err := workload.LoadAndIndex(context.Background(), e, db); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(f.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				m := workload.RunCold(e, core.TCSD, core.Q17)
+				m := workload.RunCold(context.Background(), e, core.TCSD, core.Q17)
 				if m.Err != nil {
 					b.Fatal(m.Err)
 				}
@@ -282,13 +283,13 @@ func BenchmarkAblationBufferPool(b *testing.B) {
 	}
 	for _, pool := range []int{32, 512, 8192} {
 		e := native.New(pool)
-		if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		if _, _, err := workload.LoadAndIndex(context.Background(), e, db); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("pool%d", pool), func(b *testing.B) {
 			var io int64
 			for i := 0; i < b.N; i++ {
-				m := workload.RunCold(e, core.DCMD, core.Q14)
+				m := workload.RunCold(context.Background(), e, core.DCMD, core.Q14)
 				if m.Err != nil {
 					b.Fatal(m.Err)
 				}
@@ -309,7 +310,7 @@ func BenchmarkUpdateWorkload(b *testing.B) {
 			b.Fatal(err)
 		}
 		e := native.New(0)
-		if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		if _, _, err := workload.LoadAndIndex(context.Background(), e, db); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(op.String(), func(b *testing.B) {
@@ -347,13 +348,13 @@ func BenchmarkAblationSegmentedStorage(b *testing.B) {
 	}
 	for _, v := range variants {
 		e := v.mk()
-		if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		if _, _, err := workload.LoadAndIndex(context.Background(), e, db); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(v.name, func(b *testing.B) {
 			var io int64
 			for i := 0; i < b.N; i++ {
-				m := workload.RunCold(e, core.DCSD, core.Q8)
+				m := workload.RunCold(context.Background(), e, core.DCSD, core.Q8)
 				if m.Err != nil {
 					b.Fatal(m.Err)
 				}

@@ -18,20 +18,24 @@
 //	xbench load      --engine=x-hive --class=dcmd --size=small
 //	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
 //	xbench workload  --engine=x-hive --class=dcmd --size=small
+//	xbench throughput --engine=x-hive --class=dcmd --size=small [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--format=table|json|csv]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"xbench/internal/analyze"
 	"xbench/internal/bench"
 	"xbench/internal/chaos"
 	"xbench/internal/core"
+	"xbench/internal/driver"
 	"xbench/internal/gen"
 	"xbench/internal/workload"
 	"xbench/internal/xmldom"
@@ -72,6 +76,8 @@ func main() {
 		err = cmdQuery(args)
 	case "workload":
 		err = cmdWorkload(args)
+	case "throughput":
+		err = cmdThroughput(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -102,6 +108,8 @@ commands:
   load       bulk-load one engine and report load statistics
   query      run one workload query on one engine
   workload   run every defined query of a class on one engine
+  throughput closed-loop multi-client driver: qps + p50/p95/p99 per query,
+             swept over client counts
 
 engines: x-hive | xcolumn | xcollection | sql-server
 classes: tcsd | tcmd | dcsd | dcmd
@@ -308,6 +316,7 @@ func cmdAnalyze(args []string) error {
 }
 
 func cmdVerify(args []string) error {
+	ctx := context.Background()
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
 	seed := fs.Uint64("seed", 0, "generation seed")
@@ -324,7 +333,7 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	if _, _, err := workload.LoadAndIndex(oracle, db); err != nil {
+	if _, _, err := workload.LoadAndIndex(ctx, oracle, db); err != nil {
 		return err
 	}
 	fmt.Printf("verifying %s against %s\n", db.Instance(), oracle.Name())
@@ -339,15 +348,15 @@ func cmdVerify(args []string) error {
 				e.Name(), class, size)
 			continue
 		}
-		if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+		if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
 			return err
 		}
 		for _, q := range workload.QueryIDs(class) {
-			want := workload.RunCold(oracle, class, q)
+			want := workload.RunCold(ctx, oracle, class, q)
 			if want.Err != nil {
 				return fmt.Errorf("native %s: %w", q, want.Err)
 			}
-			got := workload.RunCold(e, class, q)
+			got := workload.RunCold(ctx, e, class, q)
 			if errors.Is(got.Err, core.ErrNoQuery) {
 				continue // not hand-translated for this engine
 			}
@@ -434,6 +443,7 @@ func cmdShape(args []string) error {
 }
 
 func cmdLoad(args []string) error {
+	ctx := context.Background()
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
 	engineStr := fs.String("engine", "x-hive", "engine name")
@@ -451,7 +461,7 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, dur, err := workload.LoadAndIndex(e, db)
+	st, dur, err := workload.LoadAndIndex(ctx, e, db)
 	if err != nil {
 		return err
 	}
@@ -463,6 +473,7 @@ func cmdLoad(args []string) error {
 }
 
 func cmdQuery(args []string) error {
+	ctx := context.Background()
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
 	engineStr := fs.String("engine", "x-hive", "engine name")
@@ -482,10 +493,10 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+	if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
 		return err
 	}
-	m := workload.RunCold(e, class, core.QueryID(*qNum))
+	m := workload.RunCold(ctx, e, class, core.QueryID(*qNum))
 	if m.Err != nil {
 		return m.Err
 	}
@@ -501,6 +512,7 @@ func cmdQuery(args []string) error {
 }
 
 func cmdWorkload(args []string) error {
+	ctx := context.Background()
 	fs := flag.NewFlagSet("workload", flag.ExitOnError)
 	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
 	engineStr := fs.String("engine", "x-hive", "engine name")
@@ -518,12 +530,12 @@ func cmdWorkload(args []string) error {
 	if err != nil {
 		return err
 	}
-	if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+	if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
 		return err
 	}
 	fmt.Printf("%s on %s (%d docs, %d bytes)\n", e.Name(), db.Instance(), len(db.Docs), db.Bytes())
 	for _, q := range workload.QueryIDs(class) {
-		m := workload.RunCold(e, class, q)
+		m := workload.RunCold(ctx, e, class, q)
 		if m.Err == core.ErrNoQuery {
 			continue
 		}
@@ -535,4 +547,72 @@ func cmdWorkload(args []string) error {
 			q, q.FunctionGroup(), m.Result.Count(), m.Elapsed, m.Result.PageIO)
 	}
 	return nil
+}
+
+// parseClients parses a comma-separated client-count list like "1,2,4,8".
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdThroughput(args []string) error {
+	ctx := context.Background()
+	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "x-hive", "engine name")
+	clientsStr := fs.String("clients", "1,2,4,8", "comma-separated client counts to sweep")
+	ops := fs.Int("ops", 0, "queries per client (0 = use --duration)")
+	duration := fs.Duration("duration", 0, "wall-clock bound per step (used when --ops=0; 0 selects 50 ops/client)")
+	think := fs.Duration("think", 0, "closed-loop think time between queries (0 = 2ms default, negative disables)")
+	seed := fs.Uint64("seed", 1, "query-mix seed (same seed + clients => same per-client op sequence)")
+	format := fs.String("format", "table", "output format: table, json or csv")
+	genSeed := fs.Uint64("gen-seed", 0, "generation seed")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	clients, err := parseClients(*clientsStr)
+	if err != nil {
+		return err
+	}
+	e, err := engineByFlag(*engineStr)
+	if err != nil {
+		return err
+	}
+	db, err := gen.Config{Seed: *genSeed, SizeMultiplier: *scale}.Generate(class, size)
+	if err != nil {
+		return err
+	}
+	if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
+		return err
+	}
+	reports, err := driver.Sweep(ctx, e, class, clients, driver.Config{
+		OpsPerClient: *ops,
+		Duration:     *duration,
+		Seed:         *seed,
+		Think:        *think,
+	})
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "table":
+		driver.WriteTable(os.Stdout, reports)
+		return nil
+	case "json":
+		return driver.WriteJSON(os.Stdout, reports)
+	case "csv":
+		return driver.WriteCSV(os.Stdout, reports)
+	default:
+		return fmt.Errorf("unknown format %q (want table, json or csv)", *format)
+	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := xbench.Generate(xbench.DCSD, xbench.Small)
 	if err != nil {
 		log.Fatal(err)
@@ -27,12 +29,16 @@ func main() {
 	diagram := xbench.SchemaDiagram(xbench.DCSD)
 	fmt.Println(head(diagram, 12))
 
-	engines := []xbench.Engine{
-		xbench.NewSQLServerEngine(0),
-		xbench.NewNativeEngine(0),
+	var engines []xbench.Engine
+	for _, name := range []string{"sqlserver", "native"} {
+		e, err := xbench.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines = append(engines, e)
 	}
 	for _, e := range engines {
-		if _, err := xbench.LoadAndIndex(e, db); err != nil {
+		if _, err := xbench.LoadAndIndex(ctx, e, db); err != nil {
 			log.Fatalf("%s: %v", e.Name(), err)
 		}
 	}
@@ -51,7 +57,7 @@ func main() {
 	for _, q := range queries {
 		row := fmt.Sprintf("%-6s %-48s", q.id, q.what)
 		for _, e := range engines {
-			m := xbench.RunCold(e, xbench.DCSD, q.id)
+			m := xbench.RunCold(ctx, e, xbench.DCSD, q.id)
 			if m.Err != nil {
 				log.Fatalf("%s %s: %v", e.Name(), q.id, m.Err)
 			}
@@ -64,7 +70,7 @@ func main() {
 	// mailing address from rows; the native engine returns the original
 	// fragment.
 	fmt.Println("\nQ12 fragment from the native store:")
-	m := xbench.RunCold(engines[1], xbench.DCSD, xbench.Q12)
+	m := xbench.RunCold(ctx, engines[1], xbench.DCSD, xbench.Q12)
 	if m.Err != nil || m.Result.Count() == 0 {
 		log.Fatal("Q12 failed")
 	}

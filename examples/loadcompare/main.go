@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -80,7 +81,7 @@ type loadMeasure struct {
 
 func timeLoad(e xbench.Engine, db *xbench.Database) (loadMeasure, error) {
 	start := time.Now()
-	stats, err := xbench.LoadAndIndex(e, db)
+	stats, err := xbench.LoadAndIndex(context.Background(), e, db)
 	return loadMeasure{stats: stats, elapsed: time.Since(start)}, err
 }
 

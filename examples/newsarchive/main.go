@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -18,19 +19,23 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db, err := xbench.Generate(xbench.TCMD, xbench.Small)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("archive: %d articles, %d bytes total\n", len(db.Docs), db.Bytes())
 
-	engine := xbench.NewNativeEngine(0)
-	if _, err := xbench.LoadAndIndex(engine, db); err != nil {
+	engine, err := xbench.New("native")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := xbench.LoadAndIndex(ctx, engine, db); err != nil {
 		log.Fatal(err)
 	}
 
 	// Full-text search across the corpus (Q17).
-	m := xbench.RunCold(engine, xbench.TCMD, xbench.Q17)
+	m := xbench.RunCold(ctx, engine, xbench.TCMD, xbench.Q17)
 	must(m.Err)
 	fmt.Printf("\narticles mentioning %q (%d):\n", xbench.QueryParams(xbench.TCMD).Get("W2"), m.Result.Count())
 	for _, t := range firstN(m.Result.Items, 4) {
@@ -38,7 +43,7 @@ func main() {
 	}
 
 	// Who wrote what: Q2 finds every article by a given author.
-	m = xbench.RunCold(engine, xbench.TCMD, xbench.Q2)
+	m = xbench.RunCold(ctx, engine, xbench.TCMD, xbench.Q2)
 	must(m.Err)
 	fmt.Printf("\narticles by %s (%d):\n", xbench.QueryParams(xbench.TCMD).Get("Y"), m.Result.Count())
 	for _, t := range firstN(m.Result.Items, 4) {
@@ -47,7 +52,7 @@ func main() {
 
 	// Ordered access: the section after the Introduction (Q4) relies on
 	// document order — exactly what shredded mappings cannot guarantee.
-	m = xbench.RunCold(engine, xbench.TCMD, xbench.Q4)
+	m = xbench.RunCold(ctx, engine, xbench.TCMD, xbench.Q4)
 	must(m.Err)
 	fmt.Printf("\nsections following an Introduction in %s's articles:\n",
 		xbench.QueryParams(xbench.TCMD).Get("Y"))
@@ -59,7 +64,7 @@ func main() {
 	}
 
 	// Structure transformation (Q13): build a summary document.
-	m = xbench.RunCold(engine, xbench.TCMD, xbench.Q13)
+	m = xbench.RunCold(ctx, engine, xbench.TCMD, xbench.Q13)
 	must(m.Err)
 	if m.Result.Count() > 0 {
 		fmt.Println("\nsummary of article a1:")
@@ -67,7 +72,7 @@ func main() {
 	}
 
 	// Irregularity (Q15): authors with empty contact elements.
-	m = xbench.RunCold(engine, xbench.TCMD, xbench.Q15)
+	m = xbench.RunCold(ctx, engine, xbench.TCMD, xbench.Q15)
 	must(m.Err)
 	fmt.Printf("\nauthors with empty contact elements in the date window: %d\n", m.Result.Count())
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Generate the DC/SD database (one catalog.xml mapped from TPC-W).
 	db, err := xbench.Generate(xbench.DCSD, xbench.Small)
 	if err != nil {
@@ -24,8 +26,11 @@ func main() {
 		db.Instance(), len(db.Docs), db.Bytes())
 
 	// 2. Load it into the native XML engine and build Table 3's indexes.
-	engine := xbench.NewNativeEngine(0)
-	stats, err := xbench.LoadAndIndex(engine, db)
+	engine, err := xbench.New("native")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := xbench.LoadAndIndex(ctx, engine, db)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +39,7 @@ func main() {
 
 	// 3. Run benchmark queries cold (caches dropped first, as in the paper).
 	for _, q := range []xbench.QueryID{xbench.Q1, xbench.Q5, xbench.Q14, xbench.Q20} {
-		m := xbench.RunCold(engine, xbench.DCSD, q)
+		m := xbench.RunCold(ctx, engine, xbench.DCSD, q)
 		if m.Err != nil {
 			log.Fatalf("%s: %v", q, m.Err)
 		}

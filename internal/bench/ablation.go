@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,7 +56,7 @@ func (r *Runner) noIndexEngine(name string, class core.Class, size core.Size) (c
 		return nil, err
 	}
 	start := time.Now()
-	st, err := e.Load(db)
+	st, err := e.Load(context.Background(), db)
 	cell.stats, cell.dur, cell.err = st, time.Since(start), err
 	if err != nil {
 		r.engines[k] = nil
@@ -74,7 +75,7 @@ func (r *Runner) noIndexCell(engineName string, class core.Class, size core.Size
 	var total time.Duration
 	n := max(r.Repeat, 1)
 	for i := 0; i < n; i++ {
-		m := workload.RunCold(e, class, q)
+		m := workload.RunCold(context.Background(), e, class, q)
 		if m.Err != nil {
 			return "err"
 		}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -157,7 +158,7 @@ func (r *Runner) Engine(name string, class core.Class, size core.Size) (core.Eng
 		r.loads[k] = cell
 		return nil, cell
 	}
-	st, dur, err := workload.LoadAndIndex(e, db)
+	st, dur, err := workload.LoadAndIndex(context.Background(), e, db)
 	cell.stats, cell.dur, cell.err = st, dur, err
 	if err != nil {
 		r.engines[k] = nil
@@ -305,7 +306,7 @@ func (r *Runner) queryCell(engineName string, class core.Class, size core.Size, 
 		n = 1
 	}
 	for i := 0; i < n; i++ {
-		m := workload.RunCold(e, class, q)
+		m := workload.RunCold(context.Background(), e, class, q)
 		if m.Err != nil {
 			r.noteErr(engineName, class, size, q, m.Err)
 			return "err"
@@ -329,7 +330,7 @@ func (r *Runner) Measure(engineName string, class core.Class, size core.Size, q 
 	if cell.err != nil {
 		return workload.Measurement{}, cell.err
 	}
-	m := workload.RunCold(e, class, q)
+	m := workload.RunCold(context.Background(), e, class, q)
 	return m, m.Err
 }
 

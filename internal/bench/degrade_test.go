@@ -12,7 +12,9 @@ import (
 )
 
 // stubEngine lets the degrade tests inject failures at each stage of the
-// grid: Supports, Load, and Execute.
+// grid: Supports, Load, and Execute. It implements the legacy EngineV1
+// shape and is lifted with core.AdaptV1, which doubles as coverage for
+// the adapter.
 type stubEngine struct {
 	name       string
 	supportErr error
@@ -52,7 +54,7 @@ func TestGridDegradesGracefully(t *testing.T) {
 	cfg := gen.Config{DictEntries: 20, Articles: 4, Items: 10, Orders: 20}
 	r := NewRunner(cfg, []core.Size{core.Small}, &out)
 	r.EngineList = []string{"declines", "loadfail", "execfail", "healthy"}
-	r.NewEngineFn = func(name string) core.Engine { return stubs[name] }
+	r.NewEngineFn = func(name string) core.Engine { return core.AdaptV1(stubs[name]) }
 
 	if err := r.Table4(); err != nil {
 		t.Fatalf("Table4 aborted: %v", err)
@@ -122,7 +124,7 @@ func TestMeasureSurfacesLoadError(t *testing.T) {
 		[]core.Size{core.Small}, &out)
 	r.EngineList = []string{"loadfail"}
 	r.NewEngineFn = func(string) core.Engine {
-		return &stubEngine{name: "loadfail", loadErr: errors.New("stub: no disk")}
+		return core.AdaptV1(&stubEngine{name: "loadfail", loadErr: errors.New("stub: no disk")})
 	}
 	if _, err := r.Measure("loadfail", core.DCSD, core.Small, core.Q5); err == nil {
 		t.Fatal("Measure returned nil error for a failed load")

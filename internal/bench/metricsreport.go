@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -127,7 +128,7 @@ func (r *Runner) measureCell(opts ReportOptions, name string, class core.Class, 
 	phases := map[string]time.Duration{}
 	var pageIO, attributed int64
 	for i := 0; i < opts.Repeat; i++ {
-		m := workload.RunCold(e, class, q)
+		m := workload.RunCold(context.Background(), e, class, q)
 		if m.Err != nil {
 			cr.Err = m.Err.Error()
 			r.noteErr(name, class, size, q, m.Err)
@@ -150,7 +151,7 @@ func (r *Runner) measureCell(opts ReportOptions, name string, class core.Class, 
 		}
 	}
 	for i := 0; i < opts.Warm; i++ {
-		m := workload.RunWarm(e, class, q)
+		m := workload.RunWarm(context.Background(), e, class, q)
 		if m.Err != nil {
 			cr.Err = m.Err.Error()
 			r.noteErr(name, class, size, q, m.Err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -147,7 +148,7 @@ func (r *Runner) measuredCell(table int, engine string, class core.Class, size c
 	n := max(r.Repeat, 1)
 	var total time.Duration
 	for i := 0; i < n; i++ {
-		m := workload.RunCold(e, class, q)
+		m := workload.RunCold(context.Background(), e, class, q)
 		if m.Err != nil {
 			return 0, false
 		}

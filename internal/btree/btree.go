@@ -6,12 +6,19 @@
 //
 // The benchmark workload is load-then-query, so the tree supports Insert
 // and lookups but not deletion, matching XBench 1.0's query-only scope.
+//
+// Concurrency: Search and Range take a shared latch, so any number of
+// readers traverse in parallel; Insert and Sync take it exclusive. The
+// root pointer, entry count and height only change under the exclusive
+// latch. Node pages themselves are protected by the pager's own latch.
 package btree
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
@@ -22,8 +29,10 @@ import (
 // why long text columns cannot be indexed).
 const MaxKey = 512
 
-// Tree is a B+tree handle.
+// Tree is a B+tree handle. Concurrent Search/Range calls are safe;
+// Insert and Sync exclude them.
 type Tree struct {
+	mu     sync.RWMutex
 	p      *pager.Pager
 	fid    pager.FileID
 	root   uint32
@@ -75,7 +84,11 @@ func (t *Tree) bindMetrics() {
 }
 
 // Len returns the number of stored entries.
-func (t *Tree) Len() int { return t.n }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
 
 // FileID returns the pager file backing the tree.
 func (t *Tree) FileID() pager.FileID { return t.fid }
@@ -87,6 +100,8 @@ const headerMagic = 0x42545231
 // reserved page 0 and forces every dirty node page to disk. A synced tree
 // survives a crash: Open re-attaches to it after pager recovery.
 func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var buf [16]byte
 	binary.BigEndian.PutUint32(buf[0:4], headerMagic)
 	binary.BigEndian.PutUint32(buf[4:8], t.root)
@@ -117,7 +132,7 @@ func Open(p *pager.Pager, fid pager.FileID) (*Tree, error) {
 	// Recover the height by descending the leftmost spine.
 	t.height = 1
 	for no := t.root; ; t.height++ {
-		nd, err := t.readNode(no)
+		nd, err := t.readNode(context.Background(), no)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +146,11 @@ func Open(p *pager.Pager, fid pager.FileID) (*Tree, error) {
 }
 
 // Height returns the tree height in levels (1 = a lone leaf root).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 func trunc(key string) string {
 	if len(key) > MaxKey {
@@ -140,8 +159,12 @@ func trunc(key string) string {
 	return key
 }
 
-// Insert adds (key, val). Duplicate keys are allowed.
+// Insert adds (key, val). Duplicate keys are allowed. Insert takes the
+// exclusive latch: concurrent searches wait for the tree to be
+// structurally consistent again.
 func (t *Tree) Insert(key string, val uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	key = trunc(key)
 	sepKey, newChild, split, err := t.insert(t.root, key, val)
 	if err != nil {
@@ -166,7 +189,7 @@ func (t *Tree) Insert(key string, val uint64) error {
 }
 
 func (t *Tree) insert(pageNo uint32, key string, val uint64) (string, uint32, bool, error) {
-	nd, err := t.readNode(pageNo)
+	nd, err := t.readNode(context.Background(), pageNo)
 	if err != nil {
 		return "", 0, false, err
 	}
@@ -238,10 +261,12 @@ func (t *Tree) finishInsert(pageNo uint32, nd *node) (string, uint32, bool, erro
 }
 
 // Search returns all values stored under key, in insertion order.
-func (t *Tree) Search(key string) ([]uint64, error) {
+// Concurrent searches run in parallel; cancellation via ctx is honored
+// at page-fetch granularity.
+func (t *Tree) Search(ctx context.Context, key string) ([]uint64, error) {
 	key = trunc(key)
 	var out []uint64
-	err := t.Range(key, key, func(_ string, v uint64) bool {
+	err := t.Range(ctx, key, key, func(_ string, v uint64) bool {
 		out = append(out, v)
 		return true
 	})
@@ -249,12 +274,15 @@ func (t *Tree) Search(key string) ([]uint64, error) {
 }
 
 // Range visits entries with lo <= key <= hi in key order. Returning false
-// stops the scan.
-func (t *Tree) Range(lo, hi string, fn func(key string, val uint64) bool) error {
+// stops the scan. Concurrent ranges run in parallel under a shared
+// latch; cancellation via ctx is honored at page-fetch granularity.
+func (t *Tree) Range(ctx context.Context, lo, hi string, fn func(key string, val uint64) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	lo, hi = trunc(lo), trunc(hi)
 	pageNo := t.root
 	for {
-		nd, err := t.readNode(pageNo)
+		nd, err := t.readNode(ctx, pageNo)
 		if err != nil {
 			return err
 		}
@@ -268,7 +296,7 @@ func (t *Tree) Range(lo, hi string, fn func(key string, val uint64) bool) error 
 		pageNo = nd.kids[ci]
 	}
 	for pageNo != 0 {
-		nd, err := t.readNode(pageNo)
+		nd, err := t.readNode(ctx, pageNo)
 		if err != nil {
 			return err
 		}
@@ -337,7 +365,10 @@ func (t *Tree) writeNode(pageNo uint32, n *node) error {
 	return t.p.Write(t.fid, pageNo, buf)
 }
 
-func (t *Tree) readNode(pageNo uint32) (*node, error) {
+func (t *Tree) readNode(ctx context.Context, pageNo uint32) (*node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.cVisit.Inc()
 	pg, err := t.p.Read(t.fid, pageNo)
 	if err != nil {

@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,12 +30,12 @@ func TestInsertSearchSmall(t *testing.T) {
 		}
 	}
 	for k, v := range pairs {
-		got, err := tr.Search(k)
+		got, err := tr.Search(context.Background(), k)
 		if err != nil || len(got) != 1 || got[0] != v {
 			t.Fatalf("Search(%q) = %v, %v", k, got, err)
 		}
 	}
-	if got, _ := tr.Search("zzz"); len(got) != 0 {
+	if got, _ := tr.Search(context.Background(), "zzz"); len(got) != 0 {
 		t.Fatal("Search miss returned values")
 	}
 	if tr.Len() != 3 {
@@ -51,7 +52,7 @@ func TestManyKeysForceSplits(t *testing.T) {
 		}
 	}
 	for _, i := range []int{0, 1, 777, n / 2, n - 1} {
-		got, err := tr.Search(fmt.Sprintf("key%08d", i))
+		got, err := tr.Search(context.Background(), fmt.Sprintf("key%08d", i))
 		if err != nil || len(got) != 1 || got[0] != uint64(i) {
 			t.Fatalf("Search key%08d = %v, %v", i, got, err)
 		}
@@ -69,7 +70,7 @@ func TestRandomOrderInsert(t *testing.T) {
 	}
 	// Full range scan must return every key in sorted order.
 	var keys []string
-	err := tr.Range("", "\xff", func(k string, v uint64) bool {
+	err := tr.Range(context.Background(), "", "\xff", func(k string, v uint64) bool {
 		keys = append(keys, k)
 		return true
 	})
@@ -94,7 +95,7 @@ func TestDuplicateKeys(t *testing.T) {
 		}
 	}
 	for d := 0; d < 7; d++ {
-		got, err := tr.Search(fmt.Sprintf("dup%d", d))
+		got, err := tr.Search(context.Background(), fmt.Sprintf("dup%d", d))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestRangeBounds(t *testing.T) {
 		tr.Insert(fmt.Sprintf("%03d", i), uint64(i))
 	}
 	var got []uint64
-	tr.Range("010", "020", func(_ string, v uint64) bool {
+	tr.Range(context.Background(), "010", "020", func(_ string, v uint64) bool {
 		got = append(got, v)
 		return true
 	})
@@ -130,7 +131,7 @@ func TestRangeBounds(t *testing.T) {
 	}
 	// Early stop.
 	count := 0
-	tr.Range("000", "099", func(string, uint64) bool {
+	tr.Range(context.Background(), "000", "099", func(string, uint64) bool {
 		count++
 		return count < 5
 	})
@@ -139,7 +140,7 @@ func TestRangeBounds(t *testing.T) {
 	}
 	// Empty range.
 	n := 0
-	tr.Range("500", "600", func(string, uint64) bool { n++; return true })
+	tr.Range(context.Background(), "500", "600", func(string, uint64) bool { n++; return true })
 	if n != 0 {
 		t.Fatal("empty range returned entries")
 	}
@@ -151,13 +152,13 @@ func TestLongKeysTruncated(t *testing.T) {
 	if err := tr.Insert(long, 1); err != nil {
 		t.Fatal(err)
 	}
-	got, err := tr.Search(long)
+	got, err := tr.Search(context.Background(), long)
 	if err != nil || len(got) != 1 {
 		t.Fatalf("truncated key lookup failed: %v, %v", got, err)
 	}
 	// A different key sharing the first MaxKey bytes collides by design.
 	other := long + "different"
-	got, _ = tr.Search(other)
+	got, _ = tr.Search(context.Background(), other)
 	if len(got) != 1 {
 		t.Fatal("prefix-identical key should hit the truncated entry")
 	}
@@ -167,7 +168,7 @@ func TestEmptyKey(t *testing.T) {
 	tr := newTree(t)
 	tr.Insert("", 42)
 	tr.Insert("a", 1)
-	got, err := tr.Search("")
+	got, err := tr.Search(context.Background(), "")
 	if err != nil || len(got) != 1 || got[0] != 42 {
 		t.Fatalf("empty key lookup = %v, %v", got, err)
 	}
@@ -186,7 +187,7 @@ func TestPropertyMatchesMap(t *testing.T) {
 			return false
 		}
 		model[key] = append(model[key], i)
-		got, err := tr.Search(key)
+		got, err := tr.Search(context.Background(), key)
 		if err != nil || len(got) != len(model[key]) {
 			return false
 		}
@@ -214,7 +215,7 @@ func TestColdLookupSurvivesReset(t *testing.T) {
 	}
 	p.ColdReset()
 	p.ResetStats()
-	got, err := tr.Search("k01234")
+	got, err := tr.Search(context.Background(), "k01234")
 	if err != nil || len(got) != 1 || got[0] != 1234 {
 		t.Fatalf("cold search = %v, %v", got, err)
 	}
@@ -245,7 +246,7 @@ func TestSyncOpenRoundTrip(t *testing.T) {
 	if re.Len() != tr.Len() {
 		t.Fatalf("reopened Len = %d, want %d", re.Len(), tr.Len())
 	}
-	got, err := re.Search("k02718")
+	got, err := re.Search(context.Background(), "k02718")
 	if err != nil || len(got) != 1 || got[0] != 2718 {
 		t.Fatalf("search after reopen = %v, %v", got, err)
 	}
@@ -275,7 +276,7 @@ func TestSyncSurvivesCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	var n int
-	if err := re.Range("", "\xff", func(string, uint64) bool { n++; return true }); err != nil {
+	if err := re.Range(context.Background(), "", "\xff", func(string, uint64) bool { n++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 1000 {

@@ -1,0 +1,127 @@
+package btree
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xbench/internal/pager"
+)
+
+// TestConcurrentSearchAndRange: readers share the tree latch; Search and
+// Range from many goroutines return complete answers. Run with -race.
+func TestConcurrentSearchAndRange(t *testing.T) {
+	ctx := context.Background()
+	p := pager.New(16)
+	tr, err := New(p, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(fmt.Sprintf("key%05d", i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i += 7 {
+				k := (i + g*37) % n
+				vals, err := tr.Search(ctx, fmt.Sprintf("key%05d", k))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(vals) != 1 || vals[0] != uint64(k) {
+					errc <- fmt.Errorf("key%05d -> %v", k, vals)
+					return
+				}
+			}
+			count := 0
+			err := tr.Range(ctx, "key00000", "key99999", func(string, uint64) bool {
+				count++
+				return true
+			})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if count != n {
+				errc <- fmt.Errorf("range saw %d keys, want %d", count, n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertWithReaders: Insert takes the exclusive latch, so a
+// writer interleaved with readers neither races nor loses keys.
+func TestConcurrentInsertWithReaders(t *testing.T) {
+	ctx := context.Background()
+	p := pager.New(16)
+	tr, err := New(p, "idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 200
+	for i := 0; i < base; i++ {
+		if err := tr.Insert(fmt.Sprintf("base%05d", i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errc := make(chan error, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := tr.Insert(fmt.Sprintf("new%05d", i), uint64(base+i)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < base; i++ {
+				k := (i + g*31) % base
+				vals, err := tr.Search(ctx, fmt.Sprintf("base%05d", k))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(vals) != 1 || vals[0] != uint64(k) {
+					errc <- fmt.Errorf("base%05d -> %v", k, vals)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		vals, err := tr.Search(ctx, fmt.Sprintf("new%05d", i))
+		if err != nil || len(vals) != 1 {
+			t.Fatalf("new%05d missing after concurrent insert: %v %v", i, vals, err)
+		}
+	}
+	if tr.Len() != base+200 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), base+200)
+	}
+}

@@ -14,6 +14,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -97,6 +98,7 @@ func (o Outcome) String() string {
 // RunCell chaos-tests one engine x database cell. newEngine must return a
 // fresh instance on every call; db is the database to load.
 func RunCell(newEngine func() core.Engine, db *core.Database, cfg Config) Outcome {
+	ctx := context.Background()
 	cfg = cfg.WithDefaults()
 	probe := newEngine()
 	out := Outcome{Engine: probe.Name(), Class: db.Class}
@@ -111,11 +113,11 @@ func RunCell(newEngine func() core.Engine, db *core.Database, cfg Config) Outcom
 
 	// Fault-free baseline: the answers every recovered run must reproduce.
 	baseline := newEngine()
-	if _, _, err := workload.LoadAndIndex(baseline, db); err != nil {
+	if _, _, err := workload.LoadAndIndex(ctx, baseline, db); err != nil {
 		out.Err = fmt.Errorf("chaos: baseline load: %w", err)
 		return out
 	}
-	want := workload.RunAll(baseline, db.Class)
+	want := workload.RunAll(ctx, baseline, db.Class)
 	for _, m := range want {
 		if m.Err != nil && !queryNotAnswered(m.Err) {
 			out.Err = fmt.Errorf("chaos: baseline %s: %w", m.Query, m.Err)
@@ -128,7 +130,7 @@ func RunCell(newEngine func() core.Engine, db *core.Database, cfg Config) Outcom
 	me := newEngine()
 	mp := me.(Faultable).Pager()
 	mp.SetFaultPolicy(pager.FaultPolicy{Seed: cfg.Seed})
-	if _, _, err := workload.LoadAndIndex(me, db); err != nil {
+	if _, _, err := workload.LoadAndIndex(ctx, me, db); err != nil {
 		out.Err = fmt.Errorf("chaos: probe load: %w", err)
 		return out
 	}
@@ -157,10 +159,11 @@ func RunCell(newEngine func() core.Engine, db *core.Database, cfg Config) Outcom
 // the baseline.
 func runCrashPoint(newEngine func() core.Engine, db *core.Database, cfg Config,
 	crashAt int64, want []workload.Measurement, out *Outcome) error {
+	ctx := context.Background()
 	e := newEngine()
 	p := e.(Faultable).Pager()
 	p.SetFaultPolicy(pager.FaultPolicy{Seed: cfg.Seed, CrashAfterOps: crashAt})
-	_, _, err := workload.LoadAndIndex(e, db)
+	_, _, err := workload.LoadAndIndex(ctx, e, db)
 	switch {
 	case err == nil:
 		// The budget outlasted the load (indexing cost can vary with the
@@ -190,7 +193,7 @@ func runCrashPoint(newEngine func() core.Engine, db *core.Database, cfg Config,
 		ReadErrorRate: cfg.ReadErrorRate,
 		TornWriteRate: cfg.TornWriteRate,
 	})
-	if _, _, err := workload.LoadAndIndex(e, db); err != nil {
+	if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
 		return fmt.Errorf("reload after recovery: %w", err)
 	}
 	// Checkpoint: repair any torn writes of the reload from the WAL, then
@@ -202,7 +205,7 @@ func runCrashPoint(newEngine func() core.Engine, db *core.Database, cfg Config,
 		return fmt.Errorf("durability check after reload: %w", err)
 	}
 
-	got := workload.RunAll(e, db.Class)
+	got := workload.RunAll(ctx, e, db.Class)
 	if len(got) != len(want) {
 		return fmt.Errorf("ran %d queries, baseline ran %d", len(got), len(want))
 	}

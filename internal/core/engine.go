@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // ErrUnsupported is returned by engines that cannot host a class/size
 // combination, mirroring the blank cells of the paper's result tables
@@ -12,10 +15,22 @@ var ErrUnsupported = errors.New("core: class/size combination not supported by t
 // engine's class (each class instantiates only a subset of Q1..Q20).
 var ErrNoQuery = errors.New("core: query not defined for this class")
 
+// IsNotAnswered reports whether err means an engine legitimately declines
+// a query — the query is not defined for the class or the combination is
+// unsupported — rather than failing it.
+func IsNotAnswered(err error) bool {
+	return errors.Is(err, ErrNoQuery) || errors.Is(err, ErrUnsupported)
+}
+
 // Engine is a system under test. The four implementations model the four
 // storage strategies of the paper: native (X-Hive), xcolumn (DB2 XML
 // Extender XML column), xcollection (DB2 XML Extender XML collection), and
 // sqlserver (SQL Server 2000 + SQLXML bulk load).
+//
+// Concurrency contract: Execute is safe to call from many goroutines
+// against a loaded database. Load, BuildIndexes and ColdReset are
+// exclusive — they block until in-flight queries drain and queries issued
+// meanwhile wait. PageIO may be read at any time.
 type Engine interface {
 	// Name returns the row label used in the paper's tables,
 	// e.g. "Xcolumn", "Xcollection", "SQL Server", "X-Hive".
@@ -27,7 +42,9 @@ type Engine interface {
 
 	// Load bulk-loads a generated database, replacing any prior contents.
 	// Validation against a schema is off, as in the paper's experiments.
-	Load(db *Database) (LoadStats, error)
+	// Cancellation via ctx is honored between documents; a canceled load
+	// leaves an empty, loadable database.
+	Load(ctx context.Context, db *Database) (LoadStats, error)
 
 	// BuildIndexes creates the value indexes of paper Table 3 relevant to
 	// the loaded class. Called after Load, exactly like the paper ("all
@@ -37,16 +54,68 @@ type Engine interface {
 	// Execute runs one workload query with bound parameters. Engines that
 	// are not native XML stores run their own hand-translated relational
 	// plans, as the paper's authors translated XQuery to SQL by hand.
-	Execute(q QueryID, p Params) (Result, error)
+	// Cancellation/timeout via ctx is honored at page-fetch granularity:
+	// the scan and probe loops check the context before each page access.
+	Execute(ctx context.Context, q QueryID, p Params) (Result, error)
 
 	// ColdReset drops all cached pages so the next query is a cold run
 	// ("from the time when a user submits a request ... to prevent caching
-	// effects").
+	// effects"). It quiesces: in-flight queries finish first, and queries
+	// submitted during the reset wait for it.
 	ColdReset()
 
-	// PageIO returns cumulative page I/O performed by the engine.
+	// PageIO returns cumulative page I/O performed by the engine. It is
+	// safe to call concurrently with Execute.
 	PageIO() int64
 
 	// Close releases resources.
 	Close() error
 }
+
+// EngineV1 is the pre-context engine interface, kept so integrations
+// written against it keep compiling for one release. Wrap a V1
+// implementation with AdaptV1 to use it where an Engine is expected.
+//
+// Deprecated: implement Engine (context-aware Load/Execute) instead.
+type EngineV1 interface {
+	Name() string
+	Supports(c Class, s Size) error
+	Load(db *Database) (LoadStats, error)
+	BuildIndexes(specs []IndexSpec) error
+	Execute(q QueryID, p Params) (Result, error)
+	ColdReset()
+	PageIO() int64
+	Close() error
+}
+
+// AdaptV1 wraps a legacy EngineV1 into the context-aware Engine
+// interface. The context is checked on entry to Load and Execute but is
+// not observed while the wrapped call runs — V1 engines cannot be
+// canceled mid-operation.
+func AdaptV1(e EngineV1) Engine { return v1Engine{e} }
+
+type v1Engine struct{ v1 EngineV1 }
+
+func (a v1Engine) Name() string                         { return a.v1.Name() }
+func (a v1Engine) Supports(c Class, s Size) error       { return a.v1.Supports(c, s) }
+func (a v1Engine) BuildIndexes(specs []IndexSpec) error { return a.v1.BuildIndexes(specs) }
+func (a v1Engine) ColdReset()                           { a.v1.ColdReset() }
+func (a v1Engine) PageIO() int64                        { return a.v1.PageIO() }
+func (a v1Engine) Close() error                         { return a.v1.Close() }
+
+func (a v1Engine) Load(ctx context.Context, db *Database) (LoadStats, error) {
+	if err := ctx.Err(); err != nil {
+		return LoadStats{}, err
+	}
+	return a.v1.Load(db)
+}
+
+func (a v1Engine) Execute(ctx context.Context, q QueryID, p Params) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return a.v1.Execute(q, p)
+}
+
+// V1 returns the wrapped legacy engine.
+func (a v1Engine) V1() EngineV1 { return a.v1 }

@@ -1,0 +1,280 @@
+// Package driver is the closed-loop multi-client workload driver: N
+// client goroutines issue the class's query mix against one shared,
+// already-loaded engine and the driver reports throughput (queries per
+// second) plus per-query latency percentiles. It is the concurrent
+// counterpart of the single-stream cold-run harness in internal/bench —
+// the paper measures one query at a time; this driver measures how the
+// same engines behave when many clients hit the warm buffer pool at once.
+//
+// The loop is closed in the TPC-W sense: each client waits for its query
+// to answer, then "thinks" for a fixed interval before issuing the next
+// one. With think time well above service time, throughput scales with
+// the client count until the engine saturates — which makes scaling
+// visible even on a single-core host, where an open loop with zero think
+// time saturates at one client.
+//
+// Determinism: client c of a run seeded S draws its query sequence from
+// stats.NewRNG(S).Split(c+1), so the same (seed, clients, mix) triple
+// replays the same per-client op sequence on any platform. OpSequence
+// exposes the sequence for tests.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/metrics"
+	"xbench/internal/stats"
+	"xbench/internal/workload"
+)
+
+// Config controls one driver run.
+type Config struct {
+	// Clients is the number of concurrent client goroutines; <= 0 selects 1.
+	Clients int
+	// OpsPerClient fixes the number of queries each client issues. When 0,
+	// Duration bounds the run instead; when both are zero, OpsPerClient
+	// defaults to 50.
+	OpsPerClient int
+	// Duration bounds the run by wall clock (ignored when OpsPerClient > 0).
+	Duration time.Duration
+	// Seed drives the per-client deterministic query mix; 0 selects 1.
+	Seed uint64
+	// Queries restricts the mix; nil selects every query the class defines
+	// and the engine answers (probed during warmup).
+	Queries []core.QueryID
+	// NoWarmup skips the warmup pass. The mix is then used as given, and
+	// the first measured ops run against a cold-ish pool.
+	NoWarmup bool
+	// Think is the per-client pause between queries (closed-loop think
+	// time). 0 selects the 2ms default; < 0 disables thinking entirely.
+	Think time.Duration
+}
+
+// WithDefaults resolves zero-value fields to their defaults.
+func (c Config) WithDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.OpsPerClient <= 0 && c.Duration <= 0 {
+		c.OpsPerClient = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	switch {
+	case c.Think < 0:
+		c.Think = 0
+	case c.Think == 0:
+		c.Think = 2 * time.Millisecond
+	}
+	return c
+}
+
+// CellStats is the latency summary of one query type in one run.
+type CellStats struct {
+	Query core.QueryID
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Report is the outcome of one driver run.
+type Report struct {
+	Engine  string
+	Class   core.Class
+	Clients int
+	// Mix is the query types the clients drew from, in query order.
+	Mix []core.QueryID
+	// Elapsed is the measured wall-clock window.
+	Elapsed time.Duration
+	// Ops and Errs count completed and failed queries across all clients.
+	Ops  int64
+	Errs int64
+	// Throughput is Ops / Elapsed in queries per second.
+	Throughput float64
+	// Cells summarizes latency per query type, in query order.
+	Cells []CellStats
+	// ClientOps is the number of ops each client completed.
+	ClientOps []int
+}
+
+// nextOp draws the next query of a client's mix. All mix randomness goes
+// through here so OpSequence replays the client loop exactly.
+func nextOp(rng *stats.RNG, mix []core.QueryID) core.QueryID {
+	return mix[rng.Intn(len(mix))]
+}
+
+// clientRNG returns client c's dedicated stream for a run seeded seed.
+func clientRNG(seed uint64, client int) *stats.RNG {
+	return stats.NewRNG(seed).Split(uint64(client) + 1)
+}
+
+// OpSequence returns the first n queries client (0-based) would issue in
+// a run with the given seed and mix. It is the driver's determinism
+// contract, replayable without an engine.
+func OpSequence(seed uint64, client int, mix []core.QueryID, n int) []core.QueryID {
+	rng := clientRNG(seed, client)
+	out := make([]core.QueryID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, nextOp(rng, mix))
+	}
+	return out
+}
+
+// warmup executes each candidate query once against the engine, returning
+// the queries it actually answers (ErrNoQuery/ErrUnsupported candidates
+// are dropped) with the side effect of warming the buffer pool. Any other
+// error fails the run: a broken query would poison every measurement.
+func warmup(ctx context.Context, e core.Engine, class core.Class, candidates []core.QueryID) ([]core.QueryID, error) {
+	p := workload.Params(class)
+	var mix []core.QueryID
+	for _, q := range candidates {
+		if _, err := e.Execute(ctx, q, p); err != nil {
+			if core.IsNotAnswered(err) {
+				continue
+			}
+			return nil, fmt.Errorf("driver: warmup %s: %w", q, err)
+		}
+		mix = append(mix, q)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("driver: engine %s answers no queries for %s", e.Name(), class)
+	}
+	return mix, nil
+}
+
+// Run drives cfg.Clients concurrent clients against a loaded engine and
+// reports throughput and per-query latency. The engine must already be
+// loaded and indexed; Run never calls Load or ColdReset, so the pool
+// stays warm across a Sweep.
+func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Report, error) {
+	cfg = cfg.WithDefaults()
+	rep := Report{Engine: e.Name(), Class: class, Clients: cfg.Clients}
+
+	candidates := cfg.Queries
+	if candidates == nil {
+		candidates = workload.QueryIDs(class)
+	}
+	mix := candidates
+	if !cfg.NoWarmup {
+		var err error
+		if mix, err = warmup(ctx, e, class, candidates); err != nil {
+			return rep, err
+		}
+	}
+	if len(mix) == 0 {
+		return rep, fmt.Errorf("driver: empty query mix")
+	}
+	rep.Mix = mix
+
+	hists := make(map[core.QueryID]*metrics.Histogram, len(mix))
+	for _, q := range mix {
+		hists[q] = metrics.NewHistogram()
+	}
+	params := workload.Params(class)
+
+	var ops, errs atomic.Int64
+	clientOps := make([]int, cfg.Clients)
+	var errMu sync.Mutex
+	var firstErr error
+
+	deadline := time.Time{}
+	if cfg.OpsPerClient <= 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := clientRNG(cfg.Seed, client)
+			for i := 0; ; i++ {
+				if cfg.OpsPerClient > 0 {
+					if i >= cfg.OpsPerClient {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				q := nextOp(rng, mix)
+				t0 := time.Now()
+				_, err := e.Execute(ctx, q, params)
+				hists[q].Observe(time.Since(t0))
+				ops.Add(1)
+				clientOps[client]++
+				if err != nil {
+					errs.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+				if cfg.Think > 0 {
+					time.Sleep(cfg.Think)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	rep.Ops = ops.Load()
+	rep.Errs = errs.Load()
+	rep.ClientOps = clientOps
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()
+	}
+	qs := append([]core.QueryID(nil), mix...)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for _, q := range qs {
+		h := hists[q]
+		rep.Cells = append(rep.Cells, CellStats{
+			Query: q,
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.P50(),
+			P95:   h.P95(),
+			P99:   h.P99(),
+		})
+	}
+	if firstErr != nil {
+		return rep, fmt.Errorf("driver: %d/%d queries failed, first: %w", rep.Errs, rep.Ops, firstErr)
+	}
+	return rep, nil
+}
+
+// Sweep runs the driver once per client count over the same loaded engine
+// (the pool stays warm across steps, so steps differ only in concurrency).
+// It is how the scaling table of `xbench throughput` is produced.
+func Sweep(ctx context.Context, e core.Engine, class core.Class, clientCounts []int, cfg Config) ([]Report, error) {
+	var out []Report
+	for _, n := range clientCounts {
+		c := cfg
+		c.Clients = n
+		rep, err := Run(ctx, e, class, c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+		// The first run warmed the pool and filtered the mix down to the
+		// queries the engine answers; later steps must reuse that filtered
+		// mix, not the raw candidate list.
+		cfg.NoWarmup = true
+		cfg.Queries = rep.Mix
+	}
+	return out, nil
+}

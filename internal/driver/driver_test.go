@@ -1,0 +1,290 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xbench/internal/core"
+)
+
+// stubEngine answers every query instantly and records the sequence of
+// query ids it saw (meaningful only with one client).
+type stubEngine struct {
+	mu      sync.Mutex
+	seen    []core.QueryID
+	execErr error
+	noQuery map[core.QueryID]bool
+}
+
+func (s *stubEngine) Name() string                         { return "stub" }
+func (s *stubEngine) Supports(core.Class, core.Size) error { return nil }
+func (s *stubEngine) BuildIndexes([]core.IndexSpec) error  { return nil }
+func (s *stubEngine) ColdReset()                           {}
+func (s *stubEngine) PageIO() int64                        { return 0 }
+func (s *stubEngine) Close() error                         { return nil }
+func (s *stubEngine) Load(context.Context, *core.Database) (core.LoadStats, error) {
+	return core.LoadStats{}, nil
+}
+
+func (s *stubEngine) Execute(_ context.Context, q core.QueryID, _ core.Params) (core.Result, error) {
+	if s.noQuery[q] {
+		return core.Result{}, core.ErrNoQuery
+	}
+	if s.execErr != nil {
+		return core.Result{}, s.execErr
+	}
+	s.mu.Lock()
+	s.seen = append(s.seen, q)
+	s.mu.Unlock()
+	return core.Result{Items: []string{"x"}}, nil
+}
+
+var testMix = []core.QueryID{core.Q1, core.Q5, core.Q8, core.Q14}
+
+// TestOpSequenceDeterministic pins the driver's determinism contract:
+// same (seed, client, mix) replays the same sequence; distinct clients
+// draw distinct streams.
+func TestOpSequenceDeterministic(t *testing.T) {
+	a := OpSequence(42, 0, testMix, 200)
+	b := OpSequence(42, 0, testMix, 200)
+	if len(a) != 200 {
+		t.Fatalf("sequence length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs on replay: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := OpSequence(42, 1, testMix, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clients 0 and 1 drew identical sequences")
+	}
+	d := OpSequence(43, 0, testMix, 200)
+	same = true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 drew identical sequences")
+	}
+}
+
+// TestRunFollowsOpSequence: with one client the engine must see exactly
+// the sequence OpSequence predicts.
+func TestRunFollowsOpSequence(t *testing.T) {
+	e := &stubEngine{}
+	rep, err := Run(context.Background(), e, core.DCMD, Config{
+		Clients:      1,
+		OpsPerClient: 40,
+		Seed:         7,
+		Queries:      testMix,
+		NoWarmup:     true,
+		Think:        -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OpSequence(7, 0, testMix, 40)
+	if len(e.seen) != len(want) {
+		t.Fatalf("engine saw %d ops, want %d", len(e.seen), len(want))
+	}
+	for i := range want {
+		if e.seen[i] != want[i] {
+			t.Fatalf("op %d: engine saw %s, OpSequence predicts %s", i, e.seen[i], want[i])
+		}
+	}
+	if rep.Ops != 40 || rep.Errs != 0 {
+		t.Fatalf("report ops=%d errs=%d", rep.Ops, rep.Errs)
+	}
+}
+
+func TestRunMultiClientAccounting(t *testing.T) {
+	e := &stubEngine{}
+	rep, err := Run(context.Background(), e, core.DCMD, Config{
+		Clients:      4,
+		OpsPerClient: 10,
+		Queries:      testMix,
+		NoWarmup:     true,
+		Think:        -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 40 {
+		t.Fatalf("Ops = %d, want 40", rep.Ops)
+	}
+	if len(rep.ClientOps) != 4 {
+		t.Fatalf("ClientOps = %v", rep.ClientOps)
+	}
+	for c, n := range rep.ClientOps {
+		if n != 10 {
+			t.Errorf("client %d ran %d ops, want 10", c, n)
+		}
+	}
+	var cells int64
+	for _, c := range rep.Cells {
+		cells += c.Count
+		if c.Count > 0 && c.P50 <= 0 {
+			t.Errorf("%s: count %d but p50 = %v", c.Query, c.Count, c.P50)
+		}
+	}
+	if cells != 40 {
+		t.Fatalf("cell counts sum to %d, want 40", cells)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no throughput reported")
+	}
+}
+
+func TestRunSurfacesQueryErrors(t *testing.T) {
+	e := &stubEngine{execErr: errors.New("synthetic failure")}
+	rep, err := Run(context.Background(), e, core.DCMD, Config{
+		Clients: 2, OpsPerClient: 3, Queries: testMix, NoWarmup: true, Think: -1,
+	})
+	if err == nil {
+		t.Fatal("Run swallowed query failures")
+	}
+	if rep.Errs != 6 {
+		t.Fatalf("Errs = %d, want 6", rep.Errs)
+	}
+}
+
+// TestWarmupFiltersUndefinedQueries: queries an engine declines with
+// ErrNoQuery are dropped from the mix, not counted as failures.
+func TestWarmupFiltersUndefinedQueries(t *testing.T) {
+	e := &stubEngine{noQuery: map[core.QueryID]bool{core.Q5: true}}
+	rep, err := Run(context.Background(), e, core.DCMD, Config{
+		Clients: 1, OpsPerClient: 5, Queries: testMix, Think: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range rep.Mix {
+		if q == core.Q5 {
+			t.Fatal("declined query stayed in the mix")
+		}
+	}
+	if len(rep.Mix) != len(testMix)-1 {
+		t.Fatalf("mix = %v", rep.Mix)
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := &stubEngine{}
+	rep, err := Run(ctx, e, core.DCMD, Config{
+		Clients: 2, OpsPerClient: 1000, Queries: testMix, NoWarmup: true, Think: -1,
+	})
+	if err != nil {
+		t.Fatalf("canceled run reported error: %v", err)
+	}
+	if rep.Ops != 0 {
+		t.Fatalf("canceled run executed %d ops", rep.Ops)
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	e := &stubEngine{}
+	rep, err := Run(context.Background(), e, core.DCMD, Config{
+		Clients: 2, Duration: 30 * time.Millisecond, Queries: testMix,
+		NoWarmup: true, Think: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("duration-bounded run executed nothing")
+	}
+}
+
+func TestSweepReusesWarmEngine(t *testing.T) {
+	e := &stubEngine{}
+	reports, err := Sweep(context.Background(), e, core.DCMD, []int{1, 2}, Config{
+		OpsPerClient: 5, Queries: testMix, Think: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Clients != 1 || reports[1].Clients != 2 {
+		t.Fatalf("reports = %+v", reports)
+	}
+}
+
+// TestSweepCarriesFilteredMix: warmup only runs on the first step, so the
+// mix it filtered (dropping queries the engine declines) must carry into
+// the later, warmup-free steps — otherwise they hit ErrNoQuery at runtime.
+func TestSweepCarriesFilteredMix(t *testing.T) {
+	e := &stubEngine{noQuery: map[core.QueryID]bool{core.Q5: true}}
+	reports, err := Sweep(context.Background(), e, core.DCMD, []int{1, 2, 4}, Config{
+		OpsPerClient: 20, Queries: testMix, Think: -1,
+	})
+	if err != nil {
+		t.Fatalf("sweep with a declined query in the candidates: %v", err)
+	}
+	for _, rep := range reports {
+		if rep.Errs != 0 {
+			t.Fatalf("%d clients: %d runtime errors", rep.Clients, rep.Errs)
+		}
+		for _, q := range rep.Mix {
+			if q == core.Q5 {
+				t.Fatalf("%d clients: declined query back in the mix", rep.Clients)
+			}
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	e := &stubEngine{}
+	reports, err := Sweep(context.Background(), e, core.DCMD, []int{1, 2}, Config{
+		OpsPerClient: 5, Queries: testMix, Think: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table bytes.Buffer
+	WriteTable(&table, reports)
+	for _, want := range []string{"clients", "qps", "p50", "p95", "p99", "Q1"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+	var csvb bytes.Buffer
+	if err := WriteCSV(&csvb, reports); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvb.String()), "\n")
+	wantCols := len(strings.Split(lines[0], ","))
+	if wantCols < 5 || len(lines) < 3 {
+		t.Fatalf("csv too small:\n%s", csvb.String())
+	}
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != wantCols {
+			t.Errorf("csv row has %d cols, header %d: %q", got, wantCols, line)
+		}
+	}
+	var jsb bytes.Buffer
+	if err := WriteJSON(&jsb, reports); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"qps"`, `"class": "DC/MD"`, `"query": "Q1"`, `"p99_ms"`} {
+		if !strings.Contains(jsb.String(), want) {
+			t.Fatalf("json missing %s:\n%s", want, jsb.String())
+		}
+	}
+}

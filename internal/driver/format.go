@@ -1,0 +1,134 @@
+package driver
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// ms renders a duration as fractional milliseconds, the unit of the
+// paper's result tables.
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+// WriteTable renders reports as the human-readable scaling table: one
+// summary row per client count, then per-query latency cells of the last
+// (highest-concurrency) step.
+func WriteTable(w io.Writer, reports []Report) {
+	if len(reports) == 0 {
+		return
+	}
+	r0 := reports[0]
+	fmt.Fprintf(w, "Throughput: %s on %s (closed loop, %d query types in mix)\n",
+		r0.Engine, r0.Class, len(r0.Mix))
+	fmt.Fprintf(w, "%-8s %-10s %-8s %-6s %-10s\n", "clients", "qps", "ops", "errs", "elapsed")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-8d %-10.1f %-8d %-6d %-10s\n",
+			r.Clients, r.Throughput, r.Ops, r.Errs, r.Elapsed.Round(time.Millisecond))
+	}
+	last := reports[len(reports)-1]
+	fmt.Fprintf(w, "\nPer-query latency at %d clients (ms):\n", last.Clients)
+	fmt.Fprintf(w, "%-6s %-8s %-10s %-10s %-10s %-10s\n", "query", "count", "mean", "p50", "p95", "p99")
+	for _, c := range last.Cells {
+		fmt.Fprintf(w, "%-6s %-8d %-10s %-10s %-10s %-10s\n",
+			c.Query, c.Count, ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99))
+	}
+}
+
+// WriteCSV renders one row per (client count, query) cell plus a summary
+// row per client count (query column empty, latencies blank).
+func WriteCSV(w io.Writer, reports []Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"engine", "class", "clients", "query", "count", "errs",
+		"qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+	}); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		row := []string{
+			r.Engine, r.Class.String(), strconv.Itoa(r.Clients), "",
+			strconv.FormatInt(r.Ops, 10), strconv.FormatInt(r.Errs, 10),
+			strconv.FormatFloat(r.Throughput, 'f', 2, 64), "", "", "", "",
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+		for _, c := range r.Cells {
+			row := []string{
+				r.Engine, r.Class.String(), strconv.Itoa(r.Clients), c.Query.String(),
+				strconv.FormatInt(c.Count, 10), "", "",
+				ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the machine-readable shape of a Report: enum-typed fields
+// (class, query ids) render as their names and durations as fractional
+// milliseconds, so consumers need no knowledge of the Go constants.
+type jsonReport struct {
+	Engine     string     `json:"engine"`
+	Class      string     `json:"class"`
+	Clients    int        `json:"clients"`
+	Mix        []string   `json:"mix"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	Ops        int64      `json:"ops"`
+	Errs       int64      `json:"errs"`
+	Throughput float64    `json:"qps"`
+	Cells      []jsonCell `json:"cells"`
+	ClientOps  []int      `json:"client_ops"`
+}
+
+type jsonCell struct {
+	Query  string  `json:"query"`
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteJSON renders the reports as an indented JSON array.
+func WriteJSON(w io.Writer, reports []Report) error {
+	out := make([]jsonReport, 0, len(reports))
+	for _, r := range reports {
+		jr := jsonReport{
+			Engine:     r.Engine,
+			Class:      r.Class.String(),
+			Clients:    r.Clients,
+			Mix:        make([]string, 0, len(r.Mix)),
+			ElapsedMS:  msf(r.Elapsed),
+			Ops:        r.Ops,
+			Errs:       r.Errs,
+			Throughput: r.Throughput,
+			Cells:      make([]jsonCell, 0, len(r.Cells)),
+			ClientOps:  r.ClientOps,
+		}
+		for _, q := range r.Mix {
+			jr.Mix = append(jr.Mix, q.String())
+		}
+		for _, c := range r.Cells {
+			jr.Cells = append(jr.Cells, jsonCell{
+				Query: c.Query.String(), Count: c.Count,
+				MeanMS: msf(c.Mean), P50MS: msf(c.P50),
+				P95MS: msf(c.P95), P99MS: msf(c.P99),
+			})
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"context"
 	"testing"
 
 	"xbench/internal/core"
@@ -19,14 +20,14 @@ func TestLoadAtomicOnFailure(t *testing.T) {
 	broken := *db
 	broken.Docs = append([]core.Doc(nil), db.Docs...)
 	broken.Docs[2] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
-	if _, err := e.Load(&broken); err == nil {
+	if _, err := e.Load(context.Background(), &broken); err == nil {
 		t.Fatal("load of malformed database succeeded")
 	}
 	if n := e.DocumentCount(); n != 0 {
 		t.Fatalf("failed load left %d catalog entries", n)
 	}
 	// The same engine must accept a clean load afterwards.
-	st, err := e.Load(db)
+	st, err := e.Load(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,10 +29,12 @@
 package native
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"xbench/internal/btree"
 	"xbench/internal/core"
@@ -70,8 +72,12 @@ type Options struct {
 
 const defaultSegmentThreshold = 32
 
-// Engine is a native XML database instance.
+// Engine is a native XML database instance. Execute is safe from many
+// goroutines against a loaded database; Load, BuildIndexes, document
+// updates and ColdReset take the write lock, excluding (and quiescing)
+// queries.
 type Engine struct {
+	mu      sync.RWMutex
 	p       *pager.Pager
 	class   core.Class
 	opts    Options
@@ -203,11 +209,13 @@ func (e *Engine) abortLoad(err error) error {
 // Load implements core.Engine: parse (well-formedness check, as the paper
 // does with validation off) and persist each document. A failed load
 // leaves an empty, loadable database (see abortLoad).
-func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.reset(); err != nil {
 		return core.LoadStats{}, err
 	}
-	st, err := e.loadDocs(db)
+	st, err := e.loadDocs(ctx, db)
 	if err != nil {
 		return st, e.abortLoad(err)
 	}
@@ -215,11 +223,14 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	return st, nil
 }
 
-func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	e.class = db.Class
 	start := e.p.Stats()
 	for _, d := range db.Docs {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		doc, err := xmldom.Parse(d.Data)
 		if err != nil {
 			return st, fmt.Errorf("native: %s: %w", d.Name, err)
@@ -288,8 +299,8 @@ func (e *Engine) storeDocument(name string, doc *xmldom.Node, raw []byte) (docEn
 }
 
 // decodeRecord rebuilds a node tree from one stored record.
-func (e *Engine) decodeRecord(rid pager.RID) (*xmldom.Node, error) {
-	data, err := e.docs.Get(rid)
+func (e *Engine) decodeRecord(ctx context.Context, rid pager.RID) (*xmldom.Node, error) {
+	data, err := e.docs.Get(ctx, rid)
 	if err != nil {
 		return nil, err
 	}
@@ -303,9 +314,9 @@ func (e *Engine) decodeRecord(rid pager.RID) (*xmldom.Node, error) {
 // segments (1-based segment numbers; nil means all). Partial assembly is
 // only valid for queries that select top-level subtrees by value — which
 // is what the index locators guarantee.
-func (e *Engine) assembleDoc(en docEntry, segs []int) (*xmldom.Node, error) {
+func (e *Engine) assembleDoc(ctx context.Context, en docEntry, segs []int) (*xmldom.Node, error) {
 	if !en.segmented {
-		node, err := e.decodeRecord(en.rids[0])
+		node, err := e.decodeRecord(ctx, en.rids[0])
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +328,7 @@ func (e *Engine) assembleDoc(en docEntry, segs []int) (*xmldom.Node, error) {
 		doc.Renumber()
 		return doc, nil
 	}
-	header, err := e.decodeRecord(en.rids[0])
+	header, err := e.decodeRecord(ctx, en.rids[0])
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +336,7 @@ func (e *Engine) assembleDoc(en docEntry, segs []int) (*xmldom.Node, error) {
 	root := doc.Append(header)
 	if segs == nil {
 		for i := 1; i < len(en.rids); i++ {
-			child, err := e.decodeRecord(en.rids[i])
+			child, err := e.decodeRecord(ctx, en.rids[i])
 			if err != nil {
 				return nil, err
 			}
@@ -337,7 +348,7 @@ func (e *Engine) assembleDoc(en docEntry, segs []int) (*xmldom.Node, error) {
 			if s < 1 || s >= len(en.rids) {
 				return nil, fmt.Errorf("native: segment %d out of range", s)
 			}
-			child, err := e.decodeRecord(en.rids[s])
+			child, err := e.decodeRecord(ctx, en.rids[s])
 			if err != nil {
 				return nil, err
 			}
@@ -363,6 +374,9 @@ func splitLocator(loc uint64) (docPos, seg int) {
 // BuildIndexes implements core.Engine: value indexes mapping the target
 // element/attribute value to a (document, segment) locator.
 func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx := context.Background()
 	for _, spec := range specs {
 		if _, dup := e.indexes[spec.Target]; dup {
 			continue
@@ -372,9 +386,9 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			return err
 		}
 		elem, attr := splitTarget(spec.Target)
-		err = e.scanCatalog(func(docPos int, en docEntry) (bool, error) {
+		err = e.scanCatalog(ctx, func(docPos int, en docEntry) (bool, error) {
 			if !en.segmented {
-				doc, err := e.decodeRecord(en.rids[0])
+				doc, err := e.decodeRecord(ctx, en.rids[0])
 				if err != nil {
 					return false, err
 				}
@@ -386,7 +400,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 				return true, nil
 			}
 			for seg := 0; seg < len(en.rids); seg++ {
-				node, err := e.decodeRecord(en.rids[seg])
+				node, err := e.decodeRecord(ctx, en.rids[seg])
 				if err != nil {
 					return false, err
 				}
@@ -436,10 +450,10 @@ func extractValues(doc *xmldom.Node, elem, attr string) []string {
 }
 
 // scanCatalog walks the on-disk catalog in load order.
-func (e *Engine) scanCatalog(fn func(docPos int, en docEntry) (bool, error)) error {
+func (e *Engine) scanCatalog(ctx context.Context, fn func(docPos int, en docEntry) (bool, error)) error {
 	var inner error
 	pos := 0
-	err := e.catalog.Scan(func(_ pager.RID, rec []byte) bool {
+	err := e.catalog.Scan(ctx, func(_ pager.RID, rec []byte) bool {
 		en, err := decodeCatalogEntry(rec)
 		if err != nil {
 			inner = err
@@ -461,15 +475,19 @@ func (e *Engine) scanCatalog(fn func(docPos int, en docEntry) (bool, error)) err
 
 // Execute implements core.Engine: evaluate the class's XQuery
 // instantiation, using a value index to restrict the materialized
-// document set when the query has a usable hint.
-func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
+// document set when the query has a usable hint. It is safe to call from
+// many goroutines; cancellation via ctx is honored at page-fetch
+// granularity while documents are materialized.
+func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	def := queries.Lookup(e.class, q)
 	if def == nil {
 		return core.Result{}, core.ErrNoQuery
 	}
 	reg := e.Metrics()
 	before := e.p.Stats()
-	coll, err := e.buildCollection(def, p)
+	coll, err := e.buildCollection(ctx, def, p)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -500,12 +518,12 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 // index-selected subset when a hint applies, a single named document for
 // doc()-based queries, or the whole database otherwise. The catalog is
 // always read from disk (cold-run cost proportional to document count).
-func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Collection, error) {
+func (e *Engine) buildCollection(ctx context.Context, def *queries.Def, p core.Params) (*xquery.Collection, error) {
 	reg := e.Metrics()
 	coll := xquery.NewCollection()
 	addDoc := func(en docEntry, segs []int) error {
 		sp := reg.StartSpan(metrics.PhaseMaterialize)
-		doc, err := e.assembleDoc(en, segs)
+		doc, err := e.assembleDoc(ctx, en, segs)
 		sp.End()
 		if err != nil {
 			return err
@@ -519,7 +537,7 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 	if docName := p.Get("DOC"); docName != "" && strings.Contains(def.XQuery, "doc(") {
 		found := false
 		scanSpan := reg.StartSpan(metrics.PhaseScan)
-		err := e.scanCatalog(func(_ int, en docEntry) (bool, error) {
+		err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
 			if en.name == docName {
 				found = true
 				return false, addDoc(en, nil)
@@ -539,7 +557,7 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 	if ix, ok := e.indexes[def.IndexTarget]; ok && def.IndexTarget != "" {
 		key := p.Get(def.IndexParam)
 		probeSpan := reg.StartSpan(metrics.PhaseIndexProbe)
-		locs, err := ix.Search(key)
+		locs, err := ix.Search(ctx, key)
 		probeSpan.End()
 		if err != nil {
 			return nil, err
@@ -560,7 +578,7 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 		// the flat customers document); always include the flat documents
 		// of multi-document DC databases.
 		scanSpan := reg.StartSpan(metrics.PhaseScan)
-		err = e.scanCatalog(func(docPos int, en docEntry) (bool, error) {
+		err = e.scanCatalog(ctx, func(docPos int, en docEntry) (bool, error) {
 			switch {
 			case wantAll[docPos]:
 				return true, addDoc(en, nil)
@@ -577,17 +595,24 @@ func (e *Engine) buildCollection(def *queries.Def, p core.Params) (*xquery.Colle
 
 	// Sequential scan: materialize everything.
 	scanSpan := reg.StartSpan(metrics.PhaseScan)
-	err := e.scanCatalog(func(_ int, en docEntry) (bool, error) {
+	err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
 		return true, addDoc(en, nil)
 	})
 	scanSpan.End()
 	return coll, err
 }
 
-// ColdReset implements core.Engine.
-func (e *Engine) ColdReset() { e.p.ColdReset() }
+// ColdReset implements core.Engine. It quiesces: in-flight queries
+// finish before the pool is dropped, and queries submitted during the
+// reset wait for it.
+func (e *Engine) ColdReset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.p.ColdReset()
+}
 
-// PageIO implements core.Engine.
+// PageIO implements core.Engine. Lock-free: safe concurrently with
+// Execute.
 func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 
 // Close implements core.Engine.
@@ -606,6 +631,8 @@ var _ core.Engine = (*Engine)(nil)
 // it when absent. Value indexes become stale and are dropped; rebuild
 // them with BuildIndexes.
 func (e *Engine) ReplaceDocument(name string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	parsed, err := xmldom.Parse(data)
 	if err != nil {
 		return fmt.Errorf("native: replace %s: %w", name, err)
@@ -616,6 +643,8 @@ func (e *Engine) ReplaceDocument(name string, data []byte) error {
 // DeleteDocument removes the named document. It returns an error when the
 // document does not exist.
 func (e *Engine) DeleteDocument(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.rewriteCatalog(name, nil, nil, false)
 }
 
@@ -626,7 +655,7 @@ func (e *Engine) DeleteDocument(name string) error {
 func (e *Engine) rewriteCatalog(name string, parsed *xmldom.Node, raw []byte, upsert bool) error {
 	var entries []docEntry
 	found := false
-	err := e.scanCatalog(func(_ int, en docEntry) (bool, error) {
+	err := e.scanCatalog(context.Background(), func(_ int, en docEntry) (bool, error) {
 		if en.name == name {
 			found = true
 			return true, nil // drop the old entry
@@ -663,12 +692,14 @@ func (e *Engine) rewriteCatalog(name string, parsed *xmldom.Node, raw []byte, up
 	}
 	// Indexes may now point at removed documents; drop them so queries
 	// fall back to scans until BuildIndexes is called again.
-	e.DropIndexes()
+	e.indexes = map[string]*btree.Tree{}
 	return nil
 }
 
 // DropIndexes discards all value indexes (their pages are abandoned; a
 // fresh BuildIndexes recreates them).
 func (e *Engine) DropIndexes() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.indexes = map[string]*btree.Tree{}
 }

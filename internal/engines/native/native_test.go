@@ -1,6 +1,7 @@
 package native
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -20,7 +21,7 @@ func loadTiny(t *testing.T, class core.Class) (*Engine, *core.Database) {
 		t.Fatal(err)
 	}
 	e := New(0)
-	if _, err := e.Load(db); err != nil {
+	if _, err := e.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	return e, db
@@ -38,7 +39,7 @@ func TestLoadRejectsMalformed(t *testing.T) {
 	db := &core.Database{Class: core.TCMD, Size: core.Small, Docs: []core.Doc{
 		{Name: "bad.xml", Data: []byte("<a><b></a>")},
 	}}
-	if _, err := e.Load(db); err == nil {
+	if _, err := e.Load(context.Background(), db); err == nil {
 		t.Fatal("malformed document loaded")
 	}
 }
@@ -46,7 +47,7 @@ func TestLoadRejectsMalformed(t *testing.T) {
 func TestExecuteSequentialScan(t *testing.T) {
 	e, _ := loadTiny(t, core.DCSD)
 	// No indexes built: Q1 must still work via sequential scan.
-	res, err := e.Execute(core.Q1, core.Params{"X": "I1"})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "I1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestIndexSelectsSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.ColdReset()
-	res, err := e.Execute(core.Q1, core.Params{"X": "O3"})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "O3"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestIndexSelectsSubset(t *testing.T) {
 	// Without indexes the same query scans everything.
 	e2, _ := loadTiny(t, core.DCMD)
 	e2.ColdReset()
-	res2, err := e2.Execute(core.Q1, core.Params{"X": "O3"})
+	res2, err := e2.Execute(context.Background(), core.Q1, core.Params{"X": "O3"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestIndexSelectsSubset(t *testing.T) {
 
 func TestDocLookupByName(t *testing.T) {
 	e, db := loadTiny(t, core.DCMD)
-	res, err := e.Execute(core.Q16, core.Params{"DOC": "order1.xml"})
+	res, err := e.Execute(context.Background(), core.Q16, core.Params{"DOC": "order1.xml"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +110,14 @@ func TestDocLookupByName(t *testing.T) {
 		t.Fatalf("Q16 returned a different document: %.120s", res.Items[0])
 	}
 
-	if _, err := e.Execute(core.Q16, core.Params{"DOC": "missing.xml"}); err == nil {
+	if _, err := e.Execute(context.Background(), core.Q16, core.Params{"DOC": "missing.xml"}); err == nil {
 		t.Fatal("missing document lookup succeeded")
 	}
 }
 
 func TestUndefinedQuery(t *testing.T) {
 	e, _ := loadTiny(t, core.DCSD)
-	if _, err := e.Execute(core.Q19, nil); err != core.ErrNoQuery {
+	if _, err := e.Execute(context.Background(), core.Q19, nil); err != core.ErrNoQuery {
 		t.Fatalf("want ErrNoQuery, got %v", err)
 	}
 }
@@ -153,7 +154,7 @@ func TestReplaceAndDeleteDocument(t *testing.T) {
 	if e.DocumentCount() != before {
 		t.Fatalf("replace changed document count: %d -> %d", before, e.DocumentCount())
 	}
-	res, err := e.Execute(core.Q1, core.Params{"X": "O1"})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "O1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestReplaceAndDeleteDocument(t *testing.T) {
 	if e.DocumentCount() != before-1 {
 		t.Fatalf("delete did not shrink catalog: %d", e.DocumentCount())
 	}
-	res, err = e.Execute(core.Q1, core.Params{"X": "O1"})
+	res, err = e.Execute(context.Background(), core.Q1, core.Params{"X": "O1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestReplaceUpsertsNewDocument(t *testing.T) {
 	if e.DocumentCount() != before+1 {
 		t.Fatal("upsert did not add a document")
 	}
-	res, err := e.Execute(core.Q1, core.Params{"X": "a999"})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "a999"})
 	if err != nil || len(res.Items) != 1 {
 		t.Fatalf("new document not queryable: %v %v", res.Items, err)
 	}
@@ -210,14 +211,14 @@ func TestIndexesRebuildAfterUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Indexes were dropped; scan still answers, then rebuild works.
-	res, err := e.Execute(core.Q1, core.Params{"X": "O3"})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "O3"})
 	if err != nil || len(res.Items) != 1 {
 		t.Fatalf("post-update scan: %v %v", res.Items, err)
 	}
 	if err := e.BuildIndexes(queries.Indexes(core.DCMD)); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := e.Execute(core.Q1, core.Params{"X": "O3"})
+	res2, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "O3"})
 	if err != nil || len(res2.Items) != 1 || res2.Items[0] != res.Items[0] {
 		t.Fatalf("post-rebuild answer differs: %v %v", res2.Items, err)
 	}
@@ -238,7 +239,7 @@ func TestConcurrentReadOnlyQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				id := fmt.Sprintf("O%d", 1+(g*8+i)%20)
-				res, err := e.Execute(core.Q1, core.Params{"X": id})
+				res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": id})
 				if err != nil {
 					errs <- err
 					return
@@ -268,7 +269,7 @@ func loadSegmented(t *testing.T, class core.Class) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Load(db); err != nil {
+	if _, err := e.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
@@ -286,7 +287,7 @@ func TestSegmentedMatchesDocumentGranular(t *testing.T) {
 		cfg := gen.Config{DictEntries: 60, Articles: 5, Items: 40, Orders: 60}
 		db, _ := cfg.Generate(class, core.Small)
 		whole := New(0)
-		if _, err := whole.Load(db); err != nil {
+		if _, err := whole.Load(context.Background(), db); err != nil {
 			t.Fatal(err)
 		}
 		if err := whole.BuildIndexes(queries.Indexes(class)); err != nil {
@@ -299,8 +300,8 @@ func TestSegmentedMatchesDocumentGranular(t *testing.T) {
 				"L": "London", "LO": "1997-01-01", "PHRASE": "of the"},
 		}[class]
 		for q := core.Q1; q <= core.Q20; q++ {
-			a, errA := seg.Execute(q, params)
-			b, errB := whole.Execute(q, params)
+			a, errA := seg.Execute(context.Background(), q, params)
+			b, errB := whole.Execute(context.Background(), q, params)
 			if (errA == nil) != (errB == nil) {
 				t.Fatalf("%s/%s: error mismatch %v vs %v", class, q, errA, errB)
 			}
@@ -324,7 +325,7 @@ func TestSegmentedReducesPointQueryIO(t *testing.T) {
 	cfg := gen.Config{DictEntries: 60, Articles: 5, Items: 40, Orders: 60}
 	db, _ := cfg.Generate(core.DCSD, core.Small)
 	whole := New(0)
-	if _, err := whole.Load(db); err != nil {
+	if _, err := whole.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	if err := whole.BuildIndexes(queries.Indexes(core.DCSD)); err != nil {
@@ -332,12 +333,12 @@ func TestSegmentedReducesPointQueryIO(t *testing.T) {
 	}
 	params := core.Params{"X": "I7"}
 	seg.ColdReset()
-	a, err := seg.Execute(core.Q8, params)
+	a, err := seg.Execute(context.Background(), core.Q8, params)
 	if err != nil {
 		t.Fatal(err)
 	}
 	whole.ColdReset()
-	b, err := whole.Execute(core.Q8, params)
+	b, err := whole.Execute(context.Background(), core.Q8, params)
 	if err != nil {
 		t.Fatal(err)
 	}

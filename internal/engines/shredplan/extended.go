@@ -1,6 +1,8 @@
 package shredplan
 
 import (
+	"context"
+
 	"sort"
 	"strconv"
 	"strings"
@@ -19,25 +21,25 @@ import (
 
 // ------------------------------------------------------------------ DC/SD
 
-func execDCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCSDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	items, authors := s.DB.Table("item_tab"), s.DB.Table("item_author_tab")
 	switch q {
 	case core.Q1:
 		// The whole item, reconstructed by joining the item, author and
 		// publisher tables. DC/SD has no mixed content, so unlike the
 		// dictionary entry this reconstruction is exact.
-		rows, err := items.LookupEq("id", p.Get("X"))
+		rows, err := items.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
-		item, err := reconstructItem(s, items, rows[0])
+		item, err := reconstructItem(ctx, s, items, rows[0])
 		if err != nil {
 			return nil, err
 		}
 		return []string{xml(item)}, nil
 	case core.Q2:
 		// Titles of items with an author of the given last name.
-		rows, err := authors.LookupEq("last_name", p.Get("Y"))
+		rows, err := authors.LookupEq(ctx, "last_name", p.Get("Y"))
 		if err != nil {
 			return nil, err
 		}
@@ -45,12 +47,12 @@ func execDCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		for _, r := range rows {
 			want[r[authors.Col("item_id")]] = true
 		}
-		return titlesOfItems(items, want)
+		return titlesOfItems(ctx, items, want)
 	case core.Q3:
 		// avg(number_of_pages) over all items.
 		sum, n := 0.0, 0
 		pageCol := items.Col("number_of_pages")
-		if err := items.Scan(func(r relational.Row) bool {
+		if err := items.Scan(ctx, func(r relational.Row) bool {
 			if f, ok := parseFloat(r[pageCol]); ok {
 				sum += f
 				n++
@@ -68,7 +70,7 @@ func execDCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		// countries: GROUP BY item over the author table.
 		perItem := map[string][]string{}
 		idCol, coCol := authors.Col("item_id"), authors.Col("country")
-		if err := authors.Scan(func(r relational.Row) bool {
+		if err := authors.Scan(ctx, func(r relational.Row) bool {
 			perItem[r[idCol]] = append(perItem[r[idCol]], r[coCol])
 			return true
 		}); err != nil {
@@ -97,7 +99,7 @@ func execDCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 			// Q6 returns item ids.
 			var out []string
 			idc := items.Col("id")
-			if err := items.Scan(func(r relational.Row) bool {
+			if err := items.Scan(ctx, func(r relational.Row) bool {
 				if want[r[idc]] {
 					out = append(out, r[idc])
 				}
@@ -107,14 +109,14 @@ func execDCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 			}
 			return out, nil
 		}
-		return titlesOfItems(items, want)
+		return titlesOfItems(ctx, items, want)
 	}
 	return nil, core.ErrNoQuery
 }
 
 // reconstructItem rebuilds a full <item> subtree from the three DC/SD
 // tables in the emission order of the generator's mapping.
-func reconstructItem(s *shredder.Store, items *relational.Table, r relational.Row) (*xmldom.Node, error) {
+func reconstructItem(ctx context.Context, s *shredder.Store, items *relational.Table, r relational.Row) (*xmldom.Node, error) {
 	id := r[items.Col("id")]
 	item := xmldom.NewElement("item")
 	item.SetAttr("id", id)
@@ -134,7 +136,7 @@ func reconstructItem(s *shredder.Store, items *relational.Table, r relational.Ro
 	leaf(dims, "width", r[items.Col("width")])
 	leaf(dims, "height", r[items.Col("height")])
 	authorsTab := s.DB.Table("item_author_tab")
-	arows, err := authorsTab.LookupEq("item_id", id)
+	arows, err := authorsTab.LookupEq(ctx, "item_id", id)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +145,7 @@ func reconstructItem(s *shredder.Store, items *relational.Table, r relational.Ro
 		authorsEl.Append(reconstructAuthor(authorsTab, ar))
 	}
 	pubs := s.DB.Table("item_publisher_tab")
-	prows, err := pubs.LookupEq("item_id", id)
+	prows, err := pubs.LookupEq(ctx, "item_id", id)
 	if err != nil {
 		return nil, err
 	}
@@ -157,10 +159,10 @@ func reconstructItem(s *shredder.Store, items *relational.Table, r relational.Ro
 	return item, nil
 }
 
-func titlesOfItems(items *relational.Table, want map[string]bool) ([]string, error) {
+func titlesOfItems(ctx context.Context, items *relational.Table, want map[string]bool) ([]string, error) {
 	var out []string
 	idCol, titleCol := items.Col("id"), items.Col("title")
-	if err := items.Scan(func(r relational.Row) bool {
+	if err := items.Scan(ctx, func(r relational.Row) bool {
 		if want[r[idCol]] {
 			n := xmldom.NewElement("title")
 			n.AddText(r[titleCol])
@@ -175,14 +177,14 @@ func titlesOfItems(items *relational.Table, want map[string]bool) ([]string, err
 
 // ------------------------------------------------------------------ DC/MD
 
-func execDCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCMDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	orders, lines := s.DB.Table("order_tab"), s.DB.Table("order_line_tab")
 	switch q {
 	case core.Q2:
 		// Ids of orders containing item I.
 		rows := map[string]bool{}
 		oCol, iCol := lines.Col("order_id"), lines.Col("item_id")
-		if err := lines.Scan(func(r relational.Row) bool {
+		if err := lines.Scan(ctx, func(r relational.Row) bool {
 			if r[iCol] == p.Get("I") {
 				rows[r[oCol]] = true
 			}
@@ -190,7 +192,7 @@ func execDCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}); err != nil {
 			return nil, err
 		}
-		return orderIDs(orders, rows)
+		return orderIDs(ctx, orders, rows)
 	case core.Q3:
 		// sum(total) over a date window; the order_date range uses a scan
 		// (no Table 3 index on order_date). Rows are summed in scan order,
@@ -199,7 +201,7 @@ func execDCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		sum := 0.0
 		dCol, tCol := orders.Col("order_date"), orders.Col("total")
 		lo, hi := p.Get("LO"), p.Get("HI")
-		if err := orders.Scan(func(r relational.Row) bool {
+		if err := orders.Scan(ctx, func(r relational.Row) bool {
 			if d := r[dCol]; !relational.IsNull(d) && d >= lo && d <= hi {
 				if f, ok := parseFloat(r[tCol]); ok {
 					sum += f
@@ -214,7 +216,7 @@ func execDCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		// Orders with some line of qty >= 5.
 		want := map[string]bool{}
 		oCol, qCol := lines.Col("order_id"), lines.Col("qty")
-		if err := lines.Scan(func(r relational.Row) bool {
+		if err := lines.Scan(ctx, func(r relational.Row) bool {
 			if f, ok := parseFloat(r[qCol]); ok && f >= 5 {
 				want[r[oCol]] = true
 			}
@@ -222,12 +224,12 @@ func execDCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}); err != nil {
 			return nil, err
 		}
-		return orderIDs(orders, want)
+		return orderIDs(ctx, orders, want)
 	case core.Q15:
 		// Orders whose status element is present but empty.
 		var out []string
 		sCol, idCol := orders.Col("order_status"), orders.Col("id")
-		if err := orders.Scan(func(r relational.Row) bool {
+		if err := orders.Scan(ctx, func(r relational.Row) bool {
 			if r[sCol] == "" {
 				out = append(out, r[idCol])
 			}
@@ -240,10 +242,10 @@ func execDCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 	return nil, core.ErrNoQuery
 }
 
-func orderIDs(orders *relational.Table, want map[string]bool) ([]string, error) {
+func orderIDs(ctx context.Context, orders *relational.Table, want map[string]bool) ([]string, error) {
 	var out []string
 	idCol := orders.Col("id")
-	if err := orders.Scan(func(r relational.Row) bool {
+	if err := orders.Scan(ctx, func(r relational.Row) bool {
 		if want[r[idCol]] {
 			out = append(out, r[idCol])
 		}
@@ -256,14 +258,14 @@ func orderIDs(orders *relational.Table, want map[string]bool) ([]string, error) 
 
 // ------------------------------------------------------------------ TC/SD
 
-func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCSDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	entries, senses := s.DB.Table("entry_tab"), s.DB.Table("sense_tab")
 	quotes, crs := s.DB.Table("quote_tab"), s.DB.Table("cr_tab")
 	switch q {
 	case core.Q1:
 		// The whole entry, reconstructed: the expensive multi-table join
 		// the paper describes. qp groupings and inline markup are gone.
-		erows, err := entries.LookupEq("hw", p.Get("W"))
+		erows, err := entries.LookupEq(ctx, "hw", p.Get("W"))
 		if err != nil || len(erows) == 0 {
 			return nil, err
 		}
@@ -277,15 +279,15 @@ func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		if et := er[entries.Col("etym")]; !relational.IsNull(et) {
 			entry.AddLeaf("etym", et)
 		}
-		srows, err := senses.LookupEq("entry_id", id)
+		srows, err := senses.LookupEq(ctx, "entry_id", id)
 		if err != nil {
 			return nil, err
 		}
-		qrows, err := quotes.LookupEq("entry_id", id)
+		qrows, err := quotes.LookupEq(ctx, "entry_id", id)
 		if err != nil {
 			return nil, err
 		}
-		crRows, err := crs.LookupEq("entry_id", id)
+		crRows, err := crs.LookupEq(ctx, "entry_id", id)
 		if err != nil {
 			return nil, err
 		}
@@ -314,7 +316,7 @@ func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		// Headwords of entries quoting author Y.
 		want := map[string]bool{}
 		aCol, eCol := quotes.Col("a"), quotes.Col("entry_id")
-		if err := quotes.Scan(func(r relational.Row) bool {
+		if err := quotes.Scan(ctx, func(r relational.Row) bool {
 			if r[aCol] == p.Get("Y") {
 				want[r[eCol]] = true
 			}
@@ -322,14 +324,14 @@ func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}); err != nil {
 			return nil, err
 		}
-		return headwordsOf(entries, want)
+		return headwordsOf(ctx, entries, want)
 	case core.Q11:
 		// Quotation authors and dates of word W, sorted by date.
-		erows, err := entries.LookupEq("hw", p.Get("W"))
+		erows, err := entries.LookupEq(ctx, "hw", p.Get("W"))
 		if err != nil || len(erows) == 0 {
 			return nil, err
 		}
-		qrows, err := quotes.LookupEq("entry_id", erows[0][entries.Col("id")])
+		qrows, err := quotes.LookupEq(ctx, "entry_id", erows[0][entries.Col("id")])
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +351,7 @@ func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		// diverges from string-value semantics and is checked as Lossy.
 		phrase := p.Get("PHRASE")
 		want := map[string]bool{}
-		if err := senses.Scan(func(r relational.Row) bool {
+		if err := senses.Scan(ctx, func(r relational.Row) bool {
 			if contains(r[senses.Col("def")], phrase) {
 				want[r[senses.Col("entry_id")]] = true
 			}
@@ -357,7 +359,7 @@ func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}); err != nil {
 			return nil, err
 		}
-		if err := quotes.Scan(func(r relational.Row) bool {
+		if err := quotes.Scan(ctx, func(r relational.Row) bool {
 			if contains(r[quotes.Col("qt")], phrase) {
 				want[r[quotes.Col("entry_id")]] = true
 			}
@@ -365,15 +367,15 @@ func execTCSDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}); err != nil {
 			return nil, err
 		}
-		return headwordsOf(entries, want)
+		return headwordsOf(ctx, entries, want)
 	}
 	return nil, core.ErrNoQuery
 }
 
-func headwordsOf(entries *relational.Table, want map[string]bool) ([]string, error) {
+func headwordsOf(ctx context.Context, entries *relational.Table, want map[string]bool) ([]string, error) {
 	var out []string
 	idCol, hwCol := entries.Col("id"), entries.Col("hw")
-	if err := entries.Scan(func(r relational.Row) bool {
+	if err := entries.Scan(ctx, func(r relational.Row) bool {
 		if want[r[idCol]] {
 			n := xmldom.NewElement("hw")
 			n.AddText(r[hwCol])
@@ -388,14 +390,14 @@ func headwordsOf(entries *relational.Table, want map[string]bool) ([]string, err
 
 // ------------------------------------------------------------------ TC/MD
 
-func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCMDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	arts, artAuthors := s.DB.Table("article_tab"), s.DB.Table("art_author_tab")
 	switch q {
 	case core.Q2:
 		// Titles of articles authored by Y.
 		want := map[string]bool{}
 		nCol, aCol := artAuthors.Col("name"), artAuthors.Col("article_id")
-		if err := artAuthors.Scan(func(r relational.Row) bool {
+		if err := artAuthors.Scan(ctx, func(r relational.Row) bool {
 			if r[nCol] == p.Get("Y") {
 				want[r[aCol]] = true
 			}
@@ -403,12 +405,12 @@ func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}); err != nil {
 			return nil, err
 		}
-		return titlesOfArticles(arts, want)
+		return titlesOfArticles(ctx, arts, want)
 	case core.Q3:
 		// Group articles by genre with counts, genre-sorted.
 		counts := map[string]int{}
 		gCol := arts.Col("genre")
-		if err := arts.Scan(func(r relational.Row) bool {
+		if err := arts.Scan(ctx, func(r relational.Row) bool {
 			if g := r[gCol]; !relational.IsNull(g) {
 				counts[g]++
 			}
@@ -432,13 +434,13 @@ func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 	case core.Q13:
 		// Summary construction, with the abstract rebuilt from its
 		// shredded paragraphs.
-		rows, err := arts.LookupEq("id", p.Get("X"))
+		rows, err := arts.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
 		r := rows[0]
 		firstAuthor := ""
-		if arows, err := artAuthors.LookupEq("article_id", p.Get("X")); err != nil {
+		if arows, err := artAuthors.LookupEq(ctx, "article_id", p.Get("X")); err != nil {
 			return nil, err
 		} else if len(arows) > 0 {
 			firstAuthor = arows[0][artAuthors.Col("name")]
@@ -448,7 +450,7 @@ func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		leafAlways(sum, "first-author", firstAuthor)
 		leafAlways(sum, "date", nullToEmpty(r[arts.Col("date")]))
 		if !relational.IsNull(r[arts.Col("has_abstract")]) {
-			ab, err := reconstructAbstract(s, p.Get("X"))
+			ab, err := reconstructAbstract(ctx, s, p.Get("X"))
 			if err != nil {
 				return nil, err
 			}
@@ -460,7 +462,7 @@ func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		inWindow := map[string]bool{}
 		dCol, idCol := arts.Col("date"), arts.Col("id")
 		lo, hi := p.Get("LO"), p.Get("HI")
-		if err := arts.Scan(func(r relational.Row) bool {
+		if err := arts.Scan(ctx, func(r relational.Row) bool {
 			if d := r[dCol]; !relational.IsNull(d) && d >= lo && d <= hi {
 				inWindow[r[idCol]] = true
 			}
@@ -470,7 +472,7 @@ func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 		}
 		var out []string
 		cCol, nCol, aCol := artAuthors.Col("contact"), artAuthors.Col("name"), artAuthors.Col("article_id")
-		if err := artAuthors.Scan(func(r relational.Row) bool {
+		if err := artAuthors.Scan(ctx, func(r relational.Row) bool {
 			if inWindow[r[aCol]] && r[cCol] == "" {
 				n := xmldom.NewElement("name")
 				n.AddText(r[nCol])
@@ -485,10 +487,10 @@ func execTCMDExtended(s *shredder.Store, q core.QueryID, p core.Params) ([]strin
 	return nil, core.ErrNoQuery
 }
 
-func titlesOfArticles(arts *relational.Table, want map[string]bool) ([]string, error) {
+func titlesOfArticles(ctx context.Context, arts *relational.Table, want map[string]bool) ([]string, error) {
 	var out []string
 	idCol, tCol := arts.Col("id"), arts.Col("title")
-	if err := arts.Scan(func(r relational.Row) bool {
+	if err := arts.Scan(ctx, func(r relational.Row) bool {
 		if want[r[idCol]] {
 			n := xmldom.NewElement("title")
 			n.AddText(r[tCol])

@@ -12,6 +12,8 @@
 package shredplan
 
 import (
+	"context"
+
 	"sort"
 	"strconv"
 
@@ -24,7 +26,7 @@ import (
 )
 
 // Execute runs the plan for (class, q) over the shredded store.
-func Execute(s *shredder.Store, q core.QueryID, p core.Params) (core.Result, error) {
+func Execute(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) (core.Result, error) {
 	def := queries.Lookup(s.Class, q)
 	if def == nil {
 		return core.Result{}, core.ErrNoQuery
@@ -35,13 +37,13 @@ func Execute(s *shredder.Store, q core.QueryID, p core.Params) (core.Result, err
 	)
 	switch s.Class {
 	case core.DCSD:
-		items, err = execDCSD(s, q, p)
+		items, err = execDCSD(ctx, s, q, p)
 	case core.DCMD:
-		items, err = execDCMD(s, q, p)
+		items, err = execDCMD(ctx, s, q, p)
 	case core.TCSD:
-		items, err = execTCSD(s, q, p)
+		items, err = execTCSD(ctx, s, q, p)
 	case core.TCMD:
-		items, err = execTCMD(s, q, p)
+		items, err = execTCMD(ctx, s, q, p)
 	default:
 		err = core.ErrNoQuery
 	}
@@ -67,7 +69,7 @@ func xml(n *xmldom.Node) string { return n.XML() }
 
 // ------------------------------------------------------------------ DC/SD
 
-func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	items := s.DB.Table("item_tab")
 	authors := s.DB.Table("item_author_tab")
 	pubs := s.DB.Table("item_publisher_tab")
@@ -75,13 +77,13 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 	case core.Q5:
 		// First author of item X, reconstructed from the author table in
 		// insertion order (no order column in the mapping).
-		rows, err := authors.LookupEq("item_id", p.Get("X"))
+		rows, err := authors.LookupEq(ctx, "item_id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
 		return []string{xml(reconstructAuthor(authors, rows[0]))}, nil
 	case core.Q8:
-		rows, err := items.LookupEq("id", p.Get("X"))
+		rows, err := items.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +95,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q12:
-		rows, err := authors.LookupEq("item_id", p.Get("X"))
+		rows, err := authors.LookupEq(ctx, "item_id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
@@ -102,7 +104,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		// Date range via the date_of_release index (Table 3); the missing
 		// FAX_number check requires scanning the publisher rows of the
 		// qualifying items (no index on the missing element, per §3.2.3).
-		inRange, err := items.LookupRange("date_of_release", p.Get("LO"), p.Get("HI"))
+		inRange, err := items.LookupRange(ctx, "date_of_release", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +119,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		var out []string
 		idCol, faxCol, nameCol := pubs.Col("item_id"), pubs.Col("fax_number"), pubs.Col("name")
-		if err := pubs.Scan(func(r relational.Row) bool {
+		if err := pubs.Scan(ctx, func(r relational.Row) bool {
 			if want[r[idCol]] && relational.IsNull(r[faxCol]) {
 				n := xmldom.NewElement("name")
 				n.AddText(r[nameCol])
@@ -130,7 +132,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		return out, nil
 	case core.Q10:
 		// Sorting on a string column over a date range.
-		rows, err := items.LookupRange("date_of_release", p.Get("LO"), p.Get("HI"))
+		rows, err := items.LookupRange(ctx, "date_of_release", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +152,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		word := p.Get("W2")
 		descCol, titleCol := items.Col("description"), items.Col("title")
 		var out []string
-		if err := items.Scan(func(r relational.Row) bool {
+		if err := items.Scan(ctx, func(r relational.Row) bool {
 			if !relational.IsNull(r[descCol]) && xquery.ContainsWord(r[descCol], word) {
 				n := xmldom.NewElement("title")
 				n.AddText(r[titleCol])
@@ -167,7 +169,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		var out []string
 		pageCol, titleCol := items.Col("number_of_pages"), items.Col("title")
 		rows := []relational.Row{}
-		if err := items.Scan(func(r relational.Row) bool {
+		if err := items.Scan(ctx, func(r relational.Row) bool {
 			rows = append(rows, append(relational.Row(nil), r...))
 			return true
 		}); err != nil {
@@ -182,7 +184,7 @@ func execDCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	}
-	return execDCSDExtended(s, q, p)
+	return execDCSDExtended(ctx, s, q, p)
 }
 
 func reconstructAuthor(t *relational.Table, r relational.Row) *xmldom.Node {
@@ -224,13 +226,13 @@ func numGreater(a, b string) bool {
 
 // ------------------------------------------------------------------ DC/MD
 
-func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	orders := s.DB.Table("order_tab")
 	lines := s.DB.Table("order_line_tab")
 	custs := s.DB.Table("customer_tab")
 	switch q {
 	case core.Q1:
-		rows, err := orders.LookupEq("id", p.Get("X"))
+		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -242,13 +244,13 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q5:
-		rows, err := lines.LookupEq("order_id", p.Get("X"))
+		rows, err := lines.LookupEq(ctx, "order_id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
 		return []string{xml(reconstructOrderLine(lines, rows[0]))}, nil
 	case core.Q8:
-		rows, err := lines.LookupEq("order_id", p.Get("X"))
+		rows, err := lines.LookupEq(ctx, "order_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +262,7 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q9:
-		rows, err := orders.LookupEq("id", p.Get("X"))
+		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +277,7 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q10:
-		rows, err := orders.LookupRange("order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := orders.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -291,13 +293,13 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q12:
-		rows, err := orders.LookupEq("id", p.Get("X"))
+		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
 		return []string{xml(reconstructCCXacts(orders, rows[0]))}, nil
 	case core.Q14:
-		rows, err := orders.LookupRange("order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := orders.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -311,11 +313,11 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 	case core.Q16:
 		// Retrieval of the whole order document: the expensive multi-join
 		// reconstruction the paper describes.
-		rows, err := orders.LookupEq("id", p.Get("X"))
+		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
-		lrows, err := lines.LookupEq("order_id", p.Get("X"))
+		lrows, err := lines.LookupEq(ctx, "order_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +327,7 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		cCol, oCol := lines.Col("comment"), lines.Col("order_id")
 		seen := map[string]bool{}
 		var out []string
-		if err := lines.Scan(func(r relational.Row) bool {
+		if err := lines.Scan(ctx, func(r relational.Row) bool {
 			if !relational.IsNull(r[cCol]) && xquery.ContainsWord(r[cCol], word) && !seen[r[oCol]] {
 				seen[r[oCol]] = true
 				out = append(out, r[oCol])
@@ -336,13 +338,13 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q19:
-		orows, err := orders.LookupEq("id", p.Get("X"))
+		orows, err := orders.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
 		var out []string
 		for _, o := range orows {
-			crows, err := custs.LookupEq("id", o[orders.Col("customer_id")])
+			crows, err := custs.LookupEq(ctx, "id", o[orders.Col("customer_id")])
 			if err != nil {
 				return nil, err
 			}
@@ -360,7 +362,7 @@ func execDCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	}
-	return execDCMDExtended(s, q, p)
+	return execDCMDExtended(ctx, s, q, p)
 }
 
 func reconstructOrderLine(t *relational.Table, r relational.Row) *xmldom.Node {
@@ -410,12 +412,12 @@ func reconstructOrder(orders, lines *relational.Table, o relational.Row, lrows [
 
 // ------------------------------------------------------------------ TC/SD
 
-func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	entries := s.DB.Table("entry_tab")
 	senses := s.DB.Table("sense_tab")
 	quotes := s.DB.Table("quote_tab")
 	entryID := func() (string, error) {
-		rows, err := entries.LookupEq("hw", p.Get("W"))
+		rows, err := entries.LookupEq(ctx, "hw", p.Get("W"))
 		if err != nil || len(rows) == 0 {
 			return "", err
 		}
@@ -429,7 +431,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		if err != nil || id == "" {
 			return nil, err
 		}
-		srows, err := senses.LookupEq("entry_id", id)
+		srows, err := senses.LookupEq(ctx, "entry_id", id)
 		if err != nil || len(srows) == 0 {
 			return nil, err
 		}
@@ -439,7 +441,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		// Quotes of sense 1 are reattached flat: the qp grouping did not
 		// survive the mapping, so the reconstructed structure differs from
 		// the original (§3.2.2).
-		qrows, err := quotes.LookupEq("entry_id", id)
+		qrows, err := quotes.LookupEq(ctx, "entry_id", id)
 		if err != nil {
 			return nil, err
 		}
@@ -459,7 +461,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		if err != nil || id == "" {
 			return nil, err
 		}
-		qrows, err := quotes.LookupEq("entry_id", id)
+		qrows, err := quotes.LookupEq(ctx, "entry_id", id)
 		if err != nil {
 			return nil, err
 		}
@@ -478,7 +480,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		if err != nil || id == "" {
 			return nil, err
 		}
-		qrows, err := quotes.LookupEq("entry_id", id)
+		qrows, err := quotes.LookupEq(ctx, "entry_id", id)
 		if err != nil {
 			return nil, err
 		}
@@ -495,7 +497,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 	case core.Q14:
 		var out []string
 		etymCol, hwCol := entries.Col("etym"), entries.Col("hw")
-		if err := entries.Scan(func(r relational.Row) bool {
+		if err := entries.Scan(ctx, func(r relational.Row) bool {
 			if relational.IsNull(r[etymCol]) {
 				n := xmldom.NewElement("hw")
 				n.AddText(r[hwCol])
@@ -513,7 +515,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		hwCol, etymCol := entries.Col("hw"), entries.Col("etym")
 		type entryRow struct{ id, hw string }
 		var order []entryRow
-		if err := entries.Scan(func(r relational.Row) bool {
+		if err := entries.Scan(ctx, func(r relational.Row) bool {
 			id := r[entries.Col("id")]
 			order = append(order, entryRow{id, r[hwCol]})
 			if xquery.ContainsWord(r[hwCol], word) ||
@@ -524,7 +526,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}); err != nil {
 			return nil, err
 		}
-		if err := senses.Scan(func(r relational.Row) bool {
+		if err := senses.Scan(ctx, func(r relational.Row) bool {
 			if xquery.ContainsWord(r[senses.Col("def")], word) {
 				match[r[senses.Col("entry_id")]] = true
 			}
@@ -533,7 +535,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 			return nil, err
 		}
 		qtCol, aCol, locCol := quotes.Col("qt"), quotes.Col("a"), quotes.Col("loc")
-		if err := quotes.Scan(func(r relational.Row) bool {
+		if err := quotes.Scan(ctx, func(r relational.Row) bool {
 			qt := r[qtCol]
 			if (!relational.IsNull(qt) && xquery.ContainsWord(qt, word)) ||
 				xquery.ContainsWord(r[aCol], word) || xquery.ContainsWord(r[locCol], word) {
@@ -553,7 +555,7 @@ func execTCSD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	}
-	return execTCSDExtended(s, q, p)
+	return execTCSDExtended(ctx, s, q, p)
 }
 
 func reconstructQuote(t *relational.Table, r relational.Row) *xmldom.Node {
@@ -570,12 +572,12 @@ func reconstructQuote(t *relational.Table, r relational.Row) *xmldom.Node {
 
 // ------------------------------------------------------------------ TC/MD
 
-func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
 	arts := s.DB.Table("article_tab")
 	secs := s.DB.Table("sec_tab")
 	switch q {
 	case core.Q1:
-		rows, err := arts.LookupEq("id", p.Get("X"))
+		rows, err := arts.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -587,7 +589,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q5:
-		rows, err := secs.LookupEq("article_id", p.Get("X"))
+		rows, err := secs.LookupEq(ctx, "article_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -604,7 +606,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return nil, nil
 	case core.Q8:
-		rows, err := secs.LookupEq("article_id", p.Get("X"))
+		rows, err := secs.LookupEq(ctx, "article_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -618,7 +620,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	case core.Q12:
-		rows, err := arts.LookupEq("id", p.Get("X"))
+		rows, err := arts.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
@@ -627,13 +629,13 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		// Reconstruction join: the abstract's paragraphs were shredded into
 		// their own table, so the fragment rebuilds exactly.
-		ab, err := reconstructAbstract(s, p.Get("X"))
+		ab, err := reconstructAbstract(ctx, s, p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
 		return []string{xml(ab)}, nil
 	case core.Q14:
-		rows, err := arts.LookupRange("date", p.Get("LO"), p.Get("HI"))
+		rows, err := arts.LookupRange(ctx, "date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -652,7 +654,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		match := map[string]bool{}
 		type artRow struct{ id, title string }
 		var order []artRow
-		if err := arts.Scan(func(r relational.Row) bool {
+		if err := arts.Scan(ctx, func(r relational.Row) bool {
 			id := r[arts.Col("id")]
 			order = append(order, artRow{id, r[arts.Col("title")]})
 			if xquery.ContainsWord(r[arts.Col("title")], word) {
@@ -663,7 +665,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 			return nil, err
 		}
 		absParas := s.DB.Table("abs_para_tab")
-		if err := absParas.Scan(func(r relational.Row) bool {
+		if err := absParas.Scan(ctx, func(r relational.Row) bool {
 			if xquery.ContainsWord(r[absParas.Col("text")], word) {
 				match[r[absParas.Col("article_id")]] = true
 			}
@@ -671,7 +673,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}); err != nil {
 			return nil, err
 		}
-		if err := paras.Scan(func(r relational.Row) bool {
+		if err := paras.Scan(ctx, func(r relational.Row) bool {
 			if xquery.ContainsWord(r[paras.Col("text")], word) {
 				match[r[paras.Col("article_id")]] = true
 			}
@@ -680,7 +682,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 			return nil, err
 		}
 		authors := s.DB.Table("art_author_tab")
-		if err := authors.Scan(func(r relational.Row) bool {
+		if err := authors.Scan(ctx, func(r relational.Row) bool {
 			for _, col := range []string{"name", "affiliation", "bio"} {
 				if v := r[authors.Col(col)]; !relational.IsNull(v) && xquery.ContainsWord(v, word) {
 					match[r[authors.Col("article_id")]] = true
@@ -691,7 +693,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 			return nil, err
 		}
 		kws := s.DB.Table("kw_tab")
-		if err := kws.Scan(func(r relational.Row) bool {
+		if err := kws.Scan(ctx, func(r relational.Row) bool {
 			if xquery.ContainsWord(r[kws.Col("kw")], word) {
 				match[r[kws.Col("article_id")]] = true
 			}
@@ -699,7 +701,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}); err != nil {
 			return nil, err
 		}
-		if err := secs.Scan(func(r relational.Row) bool {
+		if err := secs.Scan(ctx, func(r relational.Row) bool {
 			if h := r[secs.Col("heading")]; !relational.IsNull(h) && xquery.ContainsWord(h, word) {
 				match[r[secs.Col("article_id")]] = true
 			}
@@ -717,7 +719,7 @@ func execTCMD(s *shredder.Store, q core.QueryID, p core.Params) ([]string, error
 		}
 		return out, nil
 	}
-	return execTCMDExtended(s, q, p)
+	return execTCMDExtended(ctx, s, q, p)
 }
 
 // sortByIDSuffix stably orders rows by the numeric suffix of an id column
@@ -739,9 +741,9 @@ func idSuffix(id string) int {
 
 // reconstructAbstract joins the abstract paragraphs back into their
 // original structure.
-func reconstructAbstract(s *shredder.Store, articleID string) (*xmldom.Node, error) {
+func reconstructAbstract(ctx context.Context, s *shredder.Store, articleID string) (*xmldom.Node, error) {
 	paras := s.DB.Table("abs_para_tab")
-	rows, err := paras.LookupEq("article_id", articleID)
+	rows, err := paras.LookupEq(ctx, "article_id", articleID)
 	if err != nil {
 		return nil, err
 	}

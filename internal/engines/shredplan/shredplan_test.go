@@ -1,6 +1,7 @@
 package shredplan
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -40,18 +41,18 @@ func loadStore(t *testing.T, class core.Class, opts shredder.Options) *shredder.
 func TestUndefinedQueries(t *testing.T) {
 	s := loadStore(t, core.DCSD, shredder.Options{})
 	// Q4 is not defined for DC/SD at all.
-	if _, err := Execute(s, core.Q4, nil); !errors.Is(err, core.ErrNoQuery) {
+	if _, err := Execute(context.Background(), s, core.Q4, nil); !errors.Is(err, core.ErrNoQuery) {
 		t.Fatalf("Q4 DCSD: %v", err)
 	}
 	// Q16 is defined for DC/MD only among the shredded plans.
-	if _, err := Execute(s, core.Q16, nil); !errors.Is(err, core.ErrNoQuery) {
+	if _, err := Execute(context.Background(), s, core.Q16, nil); !errors.Is(err, core.ErrNoQuery) {
 		t.Fatalf("Q16 DCSD: %v", err)
 	}
 }
 
 func TestQ5MissingKeyReturnsEmpty(t *testing.T) {
 	s := loadStore(t, core.DCMD, shredder.Options{})
-	res, err := Execute(s, core.Q5, core.Params{"X": "O999999"})
+	res, err := Execute(context.Background(), s, core.Q5, core.Params{"X": "O999999"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestQ1ReconstructsWholeEntry(t *testing.T) {
 	// Find any headword directly from the table.
 	et := s.DB.Table("entry_tab")
 	var hw string
-	et.Scan(func(r relational.Row) bool {
+	et.Scan(context.Background(), func(r relational.Row) bool {
 		hw = r[et.Col("hw")]
 		return false
 	})
-	res, err := Execute(s, core.Q1, core.Params{"W": hw})
+	res, err := Execute(context.Background(), s, core.Q1, core.Params{"W": hw})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestQ1ReconstructsWholeEntry(t *testing.T) {
 
 func TestResultFlags(t *testing.T) {
 	drop := loadStore(t, core.TCSD, shredder.Options{DropMixed: true})
-	res, err := Execute(drop, core.Q8, core.Params{"W": firstHeadword(t, drop)})
+	res, err := Execute(context.Background(), drop, core.Q8, core.Params{"W": firstHeadword(t, drop)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,14 +99,14 @@ func TestResultFlags(t *testing.T) {
 		t.Fatal("DropMixed store did not flag mixed loss on Q8")
 	}
 	keep := loadStore(t, core.TCSD, shredder.Options{})
-	res, err = Execute(keep, core.Q8, core.Params{"W": firstHeadword(t, keep)})
+	res, err = Execute(context.Background(), keep, core.Q8, core.Params{"W": firstHeadword(t, keep)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.MixedContentLost {
 		t.Fatal("flattening store flagged mixed loss")
 	}
-	res, err = Execute(keep, core.Q5, core.Params{"W": firstHeadword(t, keep)})
+	res, err = Execute(context.Background(), keep, core.Q5, core.Params{"W": firstHeadword(t, keep)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func firstHeadword(t *testing.T, s *shredder.Store) string {
 	t.Helper()
 	et := s.DB.Table("entry_tab")
 	var hw string
-	et.Scan(func(r relational.Row) bool {
+	et.Scan(context.Background(), func(r relational.Row) bool {
 		hw = r[et.Col("hw")]
 		return false
 	})
@@ -130,7 +131,7 @@ func firstHeadword(t *testing.T, s *shredder.Store) string {
 
 func TestQ3Aggregates(t *testing.T) {
 	s := loadStore(t, core.DCSD, shredder.Options{})
-	res, err := Execute(s, core.Q3, nil)
+	res, err := Execute(context.Background(), s, core.Q3, nil)
 	if err != nil || len(res.Items) != 1 {
 		t.Fatalf("Q3 = %v, %v", res.Items, err)
 	}
@@ -140,7 +141,7 @@ func TestQ3Aggregates(t *testing.T) {
 	}
 
 	md := loadStore(t, core.DCMD, shredder.Options{})
-	res, err = Execute(md, core.Q3, core.Params{"LO": "1995-01-01", "HI": "2003-12-30"})
+	res, err = Execute(context.Background(), md, core.Q3, core.Params{"LO": "1995-01-01", "HI": "2003-12-30"})
 	if err != nil || len(res.Items) != 1 {
 		t.Fatalf("DCMD Q3 = %v, %v", res.Items, err)
 	}
@@ -148,7 +149,7 @@ func TestQ3Aggregates(t *testing.T) {
 	// direct scan.
 	ot := md.DB.Table("order_tab")
 	n := 0
-	ot.Scan(func(relational.Row) bool { n++; return true })
+	ot.Scan(context.Background(), func(relational.Row) bool { n++; return true })
 	if n == 0 {
 		t.Fatal("no orders")
 	}
@@ -156,7 +157,7 @@ func TestQ3Aggregates(t *testing.T) {
 
 func TestTCMDGroupingSorted(t *testing.T) {
 	s := loadStore(t, core.TCMD, shredder.Options{})
-	res, err := Execute(s, core.Q3, nil)
+	res, err := Execute(context.Background(), s, core.Q3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sqlserver
 
 import (
+	"context"
 	"testing"
 
 	"xbench/internal/core"
@@ -19,13 +20,13 @@ func TestLoadAtomicOnFailure(t *testing.T) {
 	broken := *db
 	broken.Docs = append([]core.Doc(nil), db.Docs...)
 	broken.Docs[3] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
-	if _, err := e.Load(&broken); err == nil {
+	if _, err := e.Load(context.Background(), &broken); err == nil {
 		t.Fatal("load of malformed database succeeded")
 	}
 	if e.Store() != nil {
 		t.Fatal("failed load left a store behind")
 	}
-	st, err := e.Load(db)
+	st, err := e.Load(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,9 @@
 package sqlserver
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"xbench/internal/core"
 	"xbench/internal/engines/shredplan"
@@ -26,8 +28,11 @@ import (
 	"xbench/internal/xmldom"
 )
 
-// Engine is a SQL Server instance.
+// Engine is a SQL Server instance. Execute is safe from many goroutines
+// against a loaded store; Load, BuildIndexes and ColdReset take the
+// write lock, excluding (and quiescing) queries.
 type Engine struct {
+	mu    sync.RWMutex
 	p     *pager.Pager
 	store *shredder.Store
 }
@@ -76,18 +81,20 @@ func (e *Engine) abortLoad(err error) error {
 
 // Load implements core.Engine. A failed load leaves an empty, loadable
 // database.
-func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.reset(); err != nil {
 		return core.LoadStats{}, err
 	}
-	st, err := e.loadDocs(db)
+	st, err := e.loadDocs(ctx, db)
 	if err != nil {
 		return st, e.abortLoad(err)
 	}
 	return st, nil
 }
 
-func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	start := e.p.Stats()
 	rdb := relational.NewDB(e.p)
@@ -96,6 +103,9 @@ func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
 		FlushPerDocument: true,
 	})
 	for _, d := range db.Docs {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		doc, err := xmldom.Parse(d.Data)
 		if err != nil {
 			return st, fmt.Errorf("sqlserver: %s: %w", d.Name, err)
@@ -138,6 +148,8 @@ func autoKeyIndexes(s *shredder.Store) error {
 
 // BuildIndexes implements core.Engine.
 func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.store == nil {
 		return fmt.Errorf("sqlserver: BuildIndexes before Load")
 	}
@@ -153,14 +165,17 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 	return e.p.SyncAll()
 }
 
-// Execute implements core.Engine.
-func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
+// Execute implements core.Engine. It is safe to call from many
+// goroutines; cancellation via ctx is honored at page-fetch granularity.
+func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.store == nil {
 		return core.Result{}, fmt.Errorf("sqlserver: Execute before Load")
 	}
 	before := e.p.Stats()
 	planSpan := e.Metrics().StartSpan(metrics.PhasePlan)
-	res, err := shredplan.Execute(e.store, q, p)
+	res, err := shredplan.Execute(ctx, e.store, q, p)
 	planSpan.End()
 	if err != nil {
 		return core.Result{}, err
@@ -169,10 +184,17 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 	return res, nil
 }
 
-// ColdReset implements core.Engine.
-func (e *Engine) ColdReset() { e.p.ColdReset() }
+// ColdReset implements core.Engine. It quiesces: in-flight queries
+// finish before the pool is dropped, and queries submitted during the
+// reset wait for it.
+func (e *Engine) ColdReset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.p.ColdReset()
+}
 
-// PageIO implements core.Engine.
+// PageIO implements core.Engine. Lock-free: safe concurrently with
+// Execute.
 func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 
 // Close implements core.Engine.

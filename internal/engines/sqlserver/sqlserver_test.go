@@ -1,6 +1,7 @@
 package sqlserver
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func loadTiny(t *testing.T, class core.Class) *Engine {
 		t.Fatal(err)
 	}
 	e := New(0)
-	if _, err := e.Load(db); err != nil {
+	if _, err := e.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
@@ -44,7 +45,7 @@ func TestMixedContentDroppedDuringLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := New(0)
-	st, err := e.Load(db)
+	st, err := e.Load(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,12 +61,12 @@ func TestQ8DropsQtText(t *testing.T) {
 	e := loadTiny(t, core.TCSD)
 	// Pick the first headword directly from the store.
 	et := e.Store().DB.Table("entry_tab")
-	rows, err := et.LookupRange("hw", "", "\xff")
+	rows, err := et.LookupRange(context.Background(), "hw", "", "\xff")
 	if err != nil || len(rows) == 0 {
 		t.Fatal("no entries", err)
 	}
 	hw := rows[0][et.Col("hw")]
-	res, err := e.Execute(core.Q8, core.Params{"W": hw})
+	res, err := e.Execute(context.Background(), core.Q8, core.Params{"W": hw})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestQ8DropsQtText(t *testing.T) {
 
 func TestExecuteBeforeLoadFails(t *testing.T) {
 	e := New(0)
-	if _, err := e.Execute(core.Q5, nil); err == nil {
+	if _, err := e.Execute(context.Background(), core.Q5, nil); err == nil {
 		t.Fatal("Execute before Load succeeded")
 	}
 	if err := e.BuildIndexes(nil); err == nil {

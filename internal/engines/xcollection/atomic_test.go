@@ -1,6 +1,7 @@
 package xcollection
 
 import (
+	"context"
 	"testing"
 
 	"xbench/internal/core"
@@ -19,13 +20,13 @@ func TestLoadAtomicOnFailure(t *testing.T) {
 	broken := *db
 	broken.Docs = append([]core.Doc(nil), db.Docs...)
 	broken.Docs[3] = core.Doc{Name: "bad.xml", Data: []byte("<open>no close")}
-	if _, err := e.Load(&broken); err == nil {
+	if _, err := e.Load(context.Background(), &broken); err == nil {
 		t.Fatal("load of malformed database succeeded")
 	}
 	if e.store != nil {
 		t.Fatal("failed load left a store behind")
 	}
-	st, err := e.Load(db)
+	st, err := e.Load(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestLoadAtomicOnRowLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := New(64, 1) // every real document decomposes into >1 row
-	if _, err := e.Load(db); err == nil {
+	if _, err := e.Load(context.Background(), db); err == nil {
 		t.Fatal("load under rowLimit=1 succeeded")
 	}
 	if e.store != nil {
@@ -52,7 +53,7 @@ func TestLoadAtomicOnRowLimit(t *testing.T) {
 	}
 	// The same engine with the limit lifted loads cleanly.
 	e.rowLimit = DefaultRowLimit
-	if _, err := e.Load(db); err != nil {
+	if _, err := e.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 }

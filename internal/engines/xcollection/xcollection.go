@@ -13,7 +13,9 @@
 package xcollection
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"xbench/internal/core"
 	"xbench/internal/engines/shredplan"
@@ -32,8 +34,11 @@ import (
 // combinations (including the DC/MD flat documents at Large) still load.
 const DefaultRowLimit = 1 << 17
 
-// Engine is an Xcollection instance.
+// Engine is an Xcollection instance. Execute is safe from many
+// goroutines against a loaded store; Load, BuildIndexes and ColdReset
+// take the write lock, excluding (and quiescing) queries.
 type Engine struct {
+	mu       sync.RWMutex
 	p        *pager.Pager
 	store    *shredder.Store
 	rowLimit int
@@ -94,7 +99,9 @@ func (e *Engine) abortLoad(err error) error {
 
 // Load implements core.Engine. A failed load leaves an empty, loadable
 // database.
-func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var st core.LoadStats
 	if err := e.Supports(db.Class, db.Size); err != nil {
 		return st, err
@@ -102,14 +109,14 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	if err := e.reset(); err != nil {
 		return st, err
 	}
-	st, err := e.loadDocs(db)
+	st, err := e.loadDocs(ctx, db)
 	if err != nil {
 		return st, e.abortLoad(err)
 	}
 	return st, nil
 }
 
-func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	start := e.p.Stats()
 	rdb := relational.NewDB(e.p)
@@ -118,6 +125,9 @@ func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
 		FlushPerDocument: true,
 	})
 	for _, d := range db.Docs {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		doc, err := xmldom.Parse(d.Data)
 		if err != nil {
 			return st, fmt.Errorf("xcollection: %s: %w", d.Name, err)
@@ -170,6 +180,8 @@ func hasSuffix(s, suf string) bool {
 // BuildIndexes implements core.Engine: map Table 3 targets onto shredded
 // table columns.
 func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.store == nil {
 		return fmt.Errorf("xcollection: BuildIndexes before Load")
 	}
@@ -212,14 +224,17 @@ func TargetColumn(class core.Class, target string) (table, col string, ok bool) 
 	return "", "", false
 }
 
-// Execute implements core.Engine.
-func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
+// Execute implements core.Engine. It is safe to call from many
+// goroutines; cancellation via ctx is honored at page-fetch granularity.
+func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.store == nil {
 		return core.Result{}, fmt.Errorf("xcollection: Execute before Load")
 	}
 	before := e.p.Stats()
 	planSpan := e.Metrics().StartSpan(metrics.PhasePlan)
-	res, err := shredplan.Execute(e.store, q, p)
+	res, err := shredplan.Execute(ctx, e.store, q, p)
 	planSpan.End()
 	if err != nil {
 		return core.Result{}, err
@@ -228,10 +243,17 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 	return res, nil
 }
 
-// ColdReset implements core.Engine.
-func (e *Engine) ColdReset() { e.p.ColdReset() }
+// ColdReset implements core.Engine. It quiesces: in-flight queries
+// finish before the pool is dropped, and queries submitted during the
+// reset wait for it.
+func (e *Engine) ColdReset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.p.ColdReset()
+}
 
-// PageIO implements core.Engine.
+// PageIO implements core.Engine. Lock-free: safe concurrently with
+// Execute.
 func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 
 // Close implements core.Engine.

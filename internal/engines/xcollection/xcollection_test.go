@@ -1,6 +1,7 @@
 package xcollection
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func loadTiny(t *testing.T, class core.Class) *Engine {
 		t.Fatal(err)
 	}
 	e := New(0, 0)
-	if _, err := e.Load(db); err != nil {
+	if _, err := e.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
@@ -44,7 +45,7 @@ func TestLoadRejectsUnsupported(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := New(0, 0)
-	if _, err := e.Load(db); !errors.Is(err, core.ErrUnsupported) {
+	if _, err := e.Load(context.Background(), db); !errors.Is(err, core.ErrUnsupported) {
 		t.Fatalf("Load accepted unsupported combination: %v", err)
 	}
 }
@@ -64,7 +65,7 @@ func TestAutoKeyIndexesBuilt(t *testing.T) {
 
 func TestExecuteBeforeLoadFails(t *testing.T) {
 	e := New(0, 0)
-	if _, err := e.Execute(core.Q5, nil); err == nil {
+	if _, err := e.Execute(context.Background(), core.Q5, nil); err == nil {
 		t.Fatal("Execute before Load succeeded")
 	}
 	if err := e.BuildIndexes(nil); err == nil {
@@ -96,7 +97,7 @@ func TestTargetColumnMapping(t *testing.T) {
 
 func TestQ5FlagsOrder(t *testing.T) {
 	e := loadTiny(t, core.DCMD)
-	res, err := e.Execute(core.Q5, core.Params{"X": "O1"})
+	res, err := e.Execute(context.Background(), core.Q5, core.Params{"X": "O1"})
 	if err != nil {
 		t.Fatal(err)
 	}

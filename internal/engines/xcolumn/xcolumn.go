@@ -16,9 +16,11 @@
 package xcolumn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"xbench/internal/core"
 	"xbench/internal/metrics"
@@ -29,8 +31,11 @@ import (
 	"xbench/internal/xquery"
 )
 
-// Engine is an Xcolumn instance.
+// Engine is an Xcolumn instance. Execute is safe from many goroutines
+// against a loaded database; Load, BuildIndexes and ColdReset take the
+// write lock, excluding (and quiescing) queries.
 type Engine struct {
+	mu    sync.RWMutex
 	p     *pager.Pager
 	class core.Class
 	clobs *pager.Heap
@@ -94,7 +99,9 @@ func (e *Engine) abortLoad(err error) error {
 // Load implements core.Engine: store each document as a CLOB and populate
 // the side tables for the searchable elements. A failed load leaves an
 // empty, loadable database.
-func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var st core.LoadStats
 	if err := e.Supports(db.Class, db.Size); err != nil {
 		return st, err
@@ -102,14 +109,14 @@ func (e *Engine) Load(db *core.Database) (core.LoadStats, error) {
 	if err := e.reset(); err != nil {
 		return st, err
 	}
-	st, err := e.loadDocs(db)
+	st, err := e.loadDocs(ctx, db)
 	if err != nil {
 		return st, e.abortLoad(err)
 	}
 	return st, nil
 }
 
-func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
+func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	start := e.p.Stats()
 	e.class = db.Class
@@ -126,6 +133,9 @@ func (e *Engine) loadDocs(db *core.Database) (core.LoadStats, error) {
 		e.db.Create("sec_side", "doc", "dxx_seqno", "heading", "top")
 	}
 	for _, d := range db.Docs {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		doc, err := xmldom.Parse(d.Data)
 		if err != nil {
 			return st, fmt.Errorf("xcolumn: %s: %w", d.Name, err)
@@ -257,6 +267,8 @@ func (e *Engine) populateSideTables(doc string, parsed *xmldom.Node) (int, error
 // BuildIndexes implements core.Engine: Table 3 indexes land on the side
 // tables.
 func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.db == nil {
 		return fmt.Errorf("xcolumn: BuildIndexes before Load")
 	}
@@ -276,22 +288,25 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 }
 
 // fetchDoc reads and parses the CLOB referenced by a side-table doc value.
-func (e *Engine) fetchDoc(doc string) (*xmldom.Node, error) {
+func (e *Engine) fetchDoc(ctx context.Context, doc string) (*xmldom.Node, error) {
 	rid, err := strconv.ParseUint(doc, 10, 64)
 	if err != nil {
 		return nil, fmt.Errorf("xcolumn: bad doc reference %q", doc)
 	}
 	sp := e.Metrics().StartSpan(metrics.PhaseMaterialize)
 	defer sp.End()
-	data, err := e.clobs.Get(pager.RID(rid))
+	data, err := e.clobs.Get(ctx, pager.RID(rid))
 	if err != nil {
 		return nil, err
 	}
 	return xmldom.Parse(data)
 }
 
-// Execute implements core.Engine.
-func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
+// Execute implements core.Engine. It is safe to call from many
+// goroutines; cancellation via ctx is honored at page-fetch granularity.
+func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.db == nil {
 		return core.Result{}, fmt.Errorf("xcolumn: Execute before Load")
 	}
@@ -305,9 +320,9 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 	)
 	switch e.class {
 	case core.DCMD:
-		items, err = e.execDCMD(q, p)
+		items, err = e.execDCMD(ctx, q, p)
 	case core.TCMD:
-		items, err = e.execTCMD(q, p)
+		items, err = e.execTCMD(ctx, q, p)
 	}
 	if err != nil {
 		return core.Result{}, err
@@ -324,24 +339,24 @@ func (e *Engine) Execute(q core.QueryID, p core.Params) (core.Result, error) {
 
 // docOf finds the CLOB reference for a key via the side table (indexed
 // when Table 3 covers it).
-func (e *Engine) docOf(table, col, key string) (string, relational.Row, error) {
+func (e *Engine) docOf(ctx context.Context, table, col, key string) (string, relational.Row, error) {
 	t := e.db.Table(table)
-	rows, err := t.LookupEq(col, key)
+	rows, err := t.LookupEq(ctx, col, key)
 	if err != nil || len(rows) == 0 {
 		return "", nil, err
 	}
 	return rows[0][t.Col("doc")], rows[0], nil
 }
 
-func (e *Engine) execDCMD(q core.QueryID, p core.Params) ([]string, error) {
+func (e *Engine) execDCMD(ctx context.Context, q core.QueryID, p core.Params) ([]string, error) {
 	orderSide := e.db.Table("order_side")
 	switch q {
 	case core.Q1, core.Q5, core.Q8, core.Q9, core.Q12, core.Q16:
-		doc, _, err := e.docOf("order_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, "order_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
-		parsed, err := e.fetchDoc(doc)
+		parsed, err := e.fetchDoc(ctx, doc)
 		if err != nil {
 			return nil, err
 		}
@@ -369,7 +384,7 @@ func (e *Engine) execDCMD(q core.QueryID, p core.Params) ([]string, error) {
 			return []string{root.XML()}, nil
 		}
 	case core.Q10:
-		rows, err := orderSide.LookupRange("order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := orderSide.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -385,7 +400,7 @@ func (e *Engine) execDCMD(q core.QueryID, p core.Params) ([]string, error) {
 		}
 		return out, nil
 	case core.Q14:
-		rows, err := orderSide.LookupRange("order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := orderSide.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -398,7 +413,7 @@ func (e *Engine) execDCMD(q core.QueryID, p core.Params) ([]string, error) {
 		return out, nil
 	case core.Q17:
 		// No full-text side table: scan every CLOB (the Table 7 blow-up).
-		return e.clobWordSearch(p.Get("W2"), func(root *xmldom.Node) (string, bool) {
+		return e.clobWordSearch(ctx, p.Get("W2"), func(root *xmldom.Node) (string, bool) {
 			if root.Name != "order" {
 				return "", false
 			}
@@ -411,18 +426,18 @@ func (e *Engine) execDCMD(q core.QueryID, p core.Params) ([]string, error) {
 			return "", false
 		})
 	case core.Q19:
-		doc, orow, err := e.docOf("order_side", "id", p.Get("X"))
+		doc, orow, err := e.docOf(ctx, "order_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
-		parsed, err := e.fetchDoc(doc)
+		parsed, err := e.fetchDoc(ctx, doc)
 		if err != nil {
 			return nil, err
 		}
 		custID := parsed.Root().FirstChild("customer_id").Text()
 		custSide := e.db.Table("customer_side")
 		var out []string
-		if err := custSide.Scan(func(r relational.Row) bool {
+		if err := custSide.Scan(ctx, func(r relational.Row) bool {
 			if r[custSide.Col("id")] == custID {
 				n := xmldom.NewElement("r")
 				n.AddLeaf("name", r[custSide.Col("c_fname")]+" "+r[custSide.Col("c_lname")])
@@ -444,12 +459,12 @@ func (e *Engine) execDCMD(q core.QueryID, p core.Params) ([]string, error) {
 	return nil, core.ErrNoQuery
 }
 
-func (e *Engine) execTCMD(q core.QueryID, p core.Params) ([]string, error) {
+func (e *Engine) execTCMD(ctx context.Context, q core.QueryID, p core.Params) ([]string, error) {
 	artSide := e.db.Table("article_side")
 	secSide := e.db.Table("sec_side")
 	switch q {
 	case core.Q1:
-		rows, err := artSide.LookupEq("id", p.Get("X"))
+		rows, err := artSide.LookupEq(ctx, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -461,7 +476,7 @@ func (e *Engine) execTCMD(q core.QueryID, p core.Params) ([]string, error) {
 		}
 		return out, nil
 	case core.Q5, core.Q8:
-		doc, _, err := e.docOf("article_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, "article_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
@@ -472,7 +487,7 @@ func (e *Engine) execTCMD(q core.QueryID, p core.Params) ([]string, error) {
 			top     bool
 		}
 		var secs []secRow
-		if err := secSide.Scan(func(r relational.Row) bool {
+		if err := secSide.Scan(ctx, func(r relational.Row) bool {
 			if r[secSide.Col("doc")] == doc {
 				seq, _ := strconv.Atoi(r[secSide.Col("dxx_seqno")])
 				secs = append(secs, secRow{
@@ -509,11 +524,11 @@ func (e *Engine) execTCMD(q core.QueryID, p core.Params) ([]string, error) {
 		}
 		return out, nil
 	case core.Q12:
-		doc, _, err := e.docOf("article_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, "article_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
-		parsed, err := e.fetchDoc(doc)
+		parsed, err := e.fetchDoc(ctx, doc)
 		if err != nil {
 			return nil, err
 		}
@@ -523,7 +538,7 @@ func (e *Engine) execTCMD(q core.QueryID, p core.Params) ([]string, error) {
 		}
 		return []string{ab.XML()}, nil
 	case core.Q14:
-		rows, err := artSide.LookupRange("date", p.Get("LO"), p.Get("HI"))
+		rows, err := artSide.LookupRange(ctx, "date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -537,7 +552,7 @@ func (e *Engine) execTCMD(q core.QueryID, p core.Params) ([]string, error) {
 		}
 		return out, nil
 	case core.Q17:
-		return e.clobWordSearch(p.Get("W2"), func(root *xmldom.Node) (string, bool) {
+		return e.clobWordSearch(ctx, p.Get("W2"), func(root *xmldom.Node) (string, bool) {
 			if root.Name != "article" {
 				return "", false
 			}
@@ -569,12 +584,12 @@ func idSuffix(id string) int {
 
 // clobWordSearch scans every stored CLOB: a cheap raw-byte prefilter, then
 // a full parse of candidate documents to extract the result.
-func (e *Engine) clobWordSearch(word string, extract func(root *xmldom.Node) (string, bool)) ([]string, error) {
+func (e *Engine) clobWordSearch(ctx context.Context, word string, extract func(root *xmldom.Node) (string, bool)) ([]string, error) {
 	reg := e.Metrics()
 	defer reg.StartSpan(metrics.PhaseScan).End()
 	var out []string
 	for _, rid := range e.rids {
-		data, err := e.clobs.Get(rid)
+		data, err := e.clobs.Get(ctx, rid)
 		if err != nil {
 			return nil, err
 		}
@@ -594,10 +609,17 @@ func (e *Engine) clobWordSearch(word string, extract func(root *xmldom.Node) (st
 	return out, nil
 }
 
-// ColdReset implements core.Engine.
-func (e *Engine) ColdReset() { e.p.ColdReset() }
+// ColdReset implements core.Engine. It quiesces: in-flight queries
+// finish before the pool is dropped, and queries submitted during the
+// reset wait for it.
+func (e *Engine) ColdReset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.p.ColdReset()
+}
 
-// PageIO implements core.Engine.
+// PageIO implements core.Engine. Lock-free: safe concurrently with
+// Execute.
 func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 
 // Close implements core.Engine.

@@ -1,6 +1,7 @@
 package xcolumn
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func loadTiny(t *testing.T, class core.Class) *Engine {
 		t.Fatal(err)
 	}
 	e := New(0)
-	if _, err := e.Load(db); err != nil {
+	if _, err := e.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.BuildIndexes(queries.Indexes(class)); err != nil {
@@ -34,7 +35,7 @@ func TestRejectsSingleDocumentClasses(t *testing.T) {
 			t.Errorf("Supports(%s) = %v, want ErrUnsupported", class, err)
 		}
 		db := &core.Database{Class: class, Size: core.Small}
-		if _, err := e.Load(db); !errors.Is(err, core.ErrUnsupported) {
+		if _, err := e.Load(context.Background(), db); !errors.Is(err, core.ErrUnsupported) {
 			t.Errorf("Load(%s) = %v, want ErrUnsupported", class, err)
 		}
 	}
@@ -42,7 +43,7 @@ func TestRejectsSingleDocumentClasses(t *testing.T) {
 
 func TestQ12ReturnsIntactFragment(t *testing.T) {
 	e := loadTiny(t, core.DCMD)
-	res, err := e.Execute(core.Q12, core.Params{"X": "O1"})
+	res, err := e.Execute(context.Background(), core.Q12, core.Params{"X": "O1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestQ12ReturnsIntactFragment(t *testing.T) {
 
 func TestQ5UsesDocumentOrder(t *testing.T) {
 	e := loadTiny(t, core.DCMD)
-	res, err := e.Execute(core.Q5, core.Params{"X": "O1"})
+	res, err := e.Execute(context.Background(), core.Q5, core.Params{"X": "O1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestQ5UsesDocumentOrder(t *testing.T) {
 
 func TestQ16ReturnsWholeDocument(t *testing.T) {
 	e := loadTiny(t, core.DCMD)
-	res, err := e.Execute(core.Q16, core.Params{"X": "O1"})
+	res, err := e.Execute(context.Background(), core.Q16, core.Params{"X": "O1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestQ16ReturnsWholeDocument(t *testing.T) {
 
 func TestTCMDQueries(t *testing.T) {
 	e := loadTiny(t, core.TCMD)
-	res, err := e.Execute(core.Q1, core.Params{"X": "a2"})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": "a2"})
 	if err != nil || len(res.Items) != 1 {
 		t.Fatalf("Q1: %v %v", res.Items, err)
 	}
-	res, err = e.Execute(core.Q8, core.Params{"X": "a2"})
+	res, err = e.Execute(context.Background(), core.Q8, core.Params{"X": "a2"})
 	if err != nil || len(res.Items) == 0 {
 		t.Fatalf("Q8: %v %v", res.Items, err)
 	}
@@ -96,7 +97,7 @@ func TestTCMDQueries(t *testing.T) {
 func TestQ17ScansAllCLOBs(t *testing.T) {
 	e := loadTiny(t, core.TCMD)
 	e.ColdReset()
-	res, err := e.Execute(core.Q17, core.Params{"W2": "system"})
+	res, err := e.Execute(context.Background(), core.Q17, core.Params{"W2": "system"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestQ17ScansAllCLOBs(t *testing.T) {
 
 func TestUndefinedQuery(t *testing.T) {
 	e := loadTiny(t, core.DCMD)
-	if _, err := e.Execute(core.Q20, nil); !errors.Is(err, core.ErrNoQuery) {
+	if _, err := e.Execute(context.Background(), core.Q20, nil); !errors.Is(err, core.ErrNoQuery) {
 		t.Fatalf("want ErrNoQuery, got %v", err)
 	}
 }

@@ -115,8 +115,8 @@ func (p *Pager) SetFaultPolicy(fp FaultPolicy) {
 // FaultPolicyInfo returns the active policy and whether fault injection
 // is enabled.
 func (p *Pager) FaultPolicyInfo() (FaultPolicy, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.fault == nil {
 		return FaultPolicy{}, false
 	}
@@ -125,8 +125,8 @@ func (p *Pager) FaultPolicyInfo() (FaultPolicy, bool) {
 
 // Crashed reports whether a crash point has fired and I/O is halted.
 func (p *Pager) Crashed() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.fault != nil && p.fault.crashed
 }
 
@@ -176,7 +176,7 @@ func (p *Pager) diskOp(kind opKind) error {
 	}
 	fs.ops++
 	if kind == opRead && fs.policy.ReadErrorRate > 0 && fs.rand01() < fs.policy.ReadErrorRate {
-		p.stats.ReadFaults++
+		p.stats.readFaults.Add(1)
 		p.cReadFault.Inc()
 		return fmt.Errorf("%w (op %d)", ErrTransientRead, fs.ops)
 	}
@@ -203,9 +203,10 @@ func (p *Pager) tornWrite() (int, bool) {
 // settle time) and counts the retry. Exponential: attempt 1 waits one
 // unit, attempt 2 two, attempt 3 four.
 func (p *Pager) retryBackoff(attempt int) {
-	p.mu.Lock()
-	p.stats.ReadRetries++
-	p.cReadRetry.Inc()
-	p.mu.Unlock()
+	p.stats.readRetries.Add(1)
+	p.mu.RLock()
+	c := p.cReadRetry
+	p.mu.RUnlock()
+	c.Inc()
 	time.Sleep(time.Duration(1<<(attempt-1)) * 20 * time.Microsecond)
 }

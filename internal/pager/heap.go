@@ -1,6 +1,7 @@
 package pager
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 )
@@ -14,6 +15,10 @@ type RID uint64
 // rows use the same storage primitive. Inserts are buffered one page at a
 // time and flushed as pages fill, modeling bulk-load I/O; call Flush to
 // persist a partial tail page.
+//
+// Get and Scan are safe to call from many goroutines once loading has
+// finished (after Flush/Sync); Insert/Flush/Reset require external
+// exclusion from readers — the engines provide it with their write lock.
 type Heap struct {
 	p   *Pager
 	fid FileID
@@ -115,9 +120,14 @@ func (h *Heap) Sync() error {
 }
 
 // readAt fills buf from the heap starting at offset, going through the
-// buffer pool (and the in-memory tail when needed).
-func (h *Heap) readAt(buf []byte, off uint64) error {
+// buffer pool (and the in-memory tail when needed). The context is
+// checked before each page fetch — this is the page-fetch granularity at
+// which query cancellation is honored.
+func (h *Heap) readAt(ctx context.Context, buf []byte, off uint64) error {
 	for len(buf) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		pageNo := uint32(off / PageSize)
 		pageOff := int(off % PageSize)
 		var src []byte
@@ -144,13 +154,14 @@ func (h *Heap) readAt(buf []byte, off uint64) error {
 }
 
 // Get returns the record stored at rid. The result is a fresh copy.
-func (h *Heap) Get(rid RID) ([]byte, error) {
+// Cancellation via ctx is honored at page-fetch granularity.
+func (h *Heap) Get(ctx context.Context, rid RID) ([]byte, error) {
 	off := uint64(rid)
 	if off+4 > h.end {
 		return nil, fmt.Errorf("pager: rid %d beyond heap end %d", rid, h.end)
 	}
 	var pfx [4]byte
-	if err := h.readAt(pfx[:], off); err != nil {
+	if err := h.readAt(ctx, pfx[:], off); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(pfx[:])
@@ -158,18 +169,18 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 		return nil, fmt.Errorf("pager: rid %d has corrupt length %d", rid, n)
 	}
 	rec := make([]byte, n)
-	if err := h.readAt(rec, off+4); err != nil {
+	if err := h.readAt(ctx, rec, off+4); err != nil {
 		return nil, err
 	}
 	return rec, nil
 }
 
 // Scan visits every record in insertion order. Returning false stops the
-// scan early.
-func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
+// scan early. Cancellation via ctx is honored at page-fetch granularity.
+func (h *Heap) Scan(ctx context.Context, fn func(rid RID, rec []byte) bool) error {
 	off := uint64(0)
 	for off < h.end {
-		rec, err := h.Get(RID(off))
+		rec, err := h.Get(ctx, RID(off))
 		if err != nil {
 			return err
 		}

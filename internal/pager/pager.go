@@ -13,11 +13,21 @@
 // during index builds — are therefore absorbed, as on a real DBMS.
 // ColdReset flushes and drops the pool, reproducing the paper's "cold
 // run ... to prevent caching effects" methodology.
+//
+// Latching: the pool is guarded by one reader/writer latch. Pool hits —
+// the overwhelmingly common case for warm multi-client workloads — take
+// the latch shared, so concurrent readers proceed in parallel; misses,
+// writes, syncs and ColdReset take it exclusive. I/O statistics are
+// atomic counters, so Stats (and the engines' PageIO) never block behind
+// a query. The CLOCK reference bit is set with an atomic store under the
+// shared latch; all other frame state changes happen under the exclusive
+// latch.
 package pager
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xbench/internal/metrics"
 )
@@ -50,13 +60,27 @@ type Stats struct {
 // IO returns total disk operations (reads + writes).
 func (s Stats) IO() int64 { return s.Reads + s.Writes }
 
+// statCells is the live, concurrently-updated form of Stats. Hits are
+// counted outside any latch; the rest under the exclusive latch — atomics
+// keep Stats() coherent either way.
+type statCells struct {
+	reads       atomic.Int64
+	writes      atomic.Int64
+	hits        atomic.Int64
+	readFaults  atomic.Int64
+	readRetries atomic.Int64
+	tornWrites  atomic.Int64
+	walAppends  atomic.Int64
+}
+
 // Pager owns a set of simulated files and a shared buffer pool.
-// It is safe for concurrent use.
+// It is safe for concurrent use: reads that hit the pool share the
+// latch; everything that changes pool structure is exclusive.
 type Pager struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	files map[FileID]*file
 	next  FileID
-	stats Stats
+	stats statCells
 
 	// buffer pool (CLOCK replacement, write-back)
 	capacity int
@@ -91,9 +115,12 @@ type pageKey struct {
 }
 
 type frame struct {
-	key   pageKey
-	data  []byte
-	used  bool // CLOCK reference bit
+	key  pageKey
+	data []byte
+	// used is the CLOCK reference bit. It is the one frame field touched
+	// under the shared latch (atomically, by concurrent pool hits); the
+	// exclusive latch covers every other access.
+	used  uint32
 	dirty bool
 	valid bool
 }
@@ -143,8 +170,8 @@ func (p *Pager) SetMetrics(reg *metrics.Registry) {
 // Metrics returns the attached registry (nil, and safe to use, when
 // SetMetrics was never called).
 func (p *Pager) Metrics() *metrics.Registry {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.reg
 }
 
@@ -183,8 +210,8 @@ func (p *Pager) Truncate(fid FileID) error {
 
 // NumPages returns the page count of a file.
 func (p *Pager) NumPages(fid FileID) uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if f, ok := p.files[fid]; ok {
 		return uint32(len(f.pages))
 	}
@@ -220,6 +247,10 @@ func (p *Pager) Append(fid FileID) (uint32, error) {
 // hazard by returning defensive copies; fault injection forces it on
 // because WAL checksums depend on unmutated frames.
 //
+// Concurrent readers of a returned slice are safe even across eviction:
+// page buffers are replaced wholesale, never mutated in place, so a
+// reader holds a consistent (possibly superseded) version of the page.
+//
 // Transient read faults are retried internally with exponential backoff,
 // up to MaxReadAttempts attempts; the retries are counted in Stats. A
 // page that faults on every attempt returns a fatal ErrReadFault.
@@ -237,17 +268,38 @@ func (p *Pager) Read(fid FileID, no uint32) ([]byte, error) {
 	}
 }
 
-// readOnce performs one read attempt through the buffer pool.
+// readOnce performs one read attempt through the buffer pool: a hit is
+// served under the shared latch; a miss upgrades to the exclusive latch
+// (re-checking the table, since another reader may have installed the
+// page in the window) and fetches from disk.
 func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
+	key := pageKey{fid, no}
+
+	p.mu.RLock()
+	if p.fault != nil && p.fault.crashed {
+		p.mu.RUnlock()
+		return nil, ErrCrashed // even pool hits: the machine is down
+	}
+	if i, ok := p.table[key]; ok {
+		atomic.StoreUint32(&p.frames[i].used, 1)
+		data := p.outPage(p.frames[i].data)
+		cHit := p.cHit
+		p.mu.RUnlock()
+		p.stats.hits.Add(1)
+		cHit.Inc()
+		return data, nil
+	}
+	p.mu.RUnlock()
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.fault != nil && p.fault.crashed {
-		return nil, ErrCrashed // even pool hits: the machine is down
+		return nil, ErrCrashed
 	}
-	key := pageKey{fid, no}
+	// Another reader may have faulted the page in while we waited.
 	if i, ok := p.table[key]; ok {
-		p.frames[i].used = true
-		p.stats.Hits++
+		p.frames[i].used = 1
+		p.stats.hits.Add(1)
 		p.cHit.Inc()
 		return p.outPage(p.frames[i].data), nil
 	}
@@ -258,7 +310,7 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 	if err := p.diskOp(opRead); err != nil {
 		return nil, err
 	}
-	p.stats.Reads++
+	p.stats.reads.Add(1)
 	p.cRead.Inc()
 	data := make([]byte, PageSize)
 	copy(data, f.pages[no])
@@ -269,6 +321,8 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 }
 
 // outPage applies the copy-on-read option to a page leaving the pool.
+// Callers hold the latch (shared suffices: copyReads only changes under
+// the exclusive latch).
 func (p *Pager) outPage(data []byte) []byte {
 	if !p.copyReads {
 		return data
@@ -301,11 +355,12 @@ func (p *Pager) Write(fid FileID, no uint32, data []byte) error {
 
 // install places a page into the buffer pool, evicting with CLOCK and
 // writing back the victim if dirty. It fails only when the eviction
-// write-back does (crash); the pool is left unchanged then.
+// write-back does (crash); the pool is left unchanged then. Callers hold
+// the exclusive latch, so frame fields may be accessed plainly here.
 func (p *Pager) install(key pageKey, data []byte, dirty bool) error {
 	if i, ok := p.table[key]; ok {
 		p.frames[i].data = data
-		p.frames[i].used = true
+		p.frames[i].used = 1
 		p.frames[i].dirty = p.frames[i].dirty || dirty
 		return nil
 	}
@@ -314,8 +369,8 @@ func (p *Pager) install(key pageKey, data []byte, dirty bool) error {
 		if !fr.valid {
 			break
 		}
-		if fr.used {
-			fr.used = false
+		if fr.used != 0 {
+			fr.used = 0
 			p.hand = (p.hand + 1) % p.capacity
 			continue
 		}
@@ -328,7 +383,7 @@ func (p *Pager) install(key pageKey, data []byte, dirty bool) error {
 		p.cEvict.Inc()
 		break
 	}
-	p.frames[p.hand] = frame{key: key, data: data, used: true, dirty: dirty, valid: true}
+	p.frames[p.hand] = frame{key: key, data: data, used: 1, dirty: dirty, valid: true}
 	p.table[key] = p.hand
 	p.hand = (p.hand + 1) % p.capacity
 	return nil
@@ -350,10 +405,10 @@ func (p *Pager) writeBack(fr *frame) error {
 	if err := p.diskOp(opWrite); err != nil {
 		return err
 	}
-	p.stats.Writes++
+	p.stats.writes.Add(1)
 	p.cWrite.Inc()
 	if n, torn := p.tornWrite(); torn {
-		p.stats.TornWrites++
+		p.stats.tornWrites.Add(1)
 		p.cTornWrite.Inc()
 		pg := make([]byte, PageSize)
 		copy(pg[:n], fr.data[:n])
@@ -401,6 +456,9 @@ func (p *Pager) SyncAll() error {
 // cold-run methodology). Disk contents and I/O statistics are preserved.
 // The flush is best-effort: on a crashed pager the dirty frames are
 // simply dropped, as they would be in a real power loss.
+//
+// ColdReset takes the exclusive latch, so it quiesces: page reads in
+// flight complete first, and reads issued during the reset wait for it.
 func (p *Pager) ColdReset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -414,16 +472,28 @@ func (p *Pager) ColdReset() {
 	p.hand = 0
 }
 
-// Stats returns the accumulated I/O counters.
+// Stats returns the accumulated I/O counters. It is lock-free and safe
+// to call concurrently with queries; the fields are read individually,
+// so a snapshot taken mid-operation may be skewed by the op in flight.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Reads:       p.stats.reads.Load(),
+		Writes:      p.stats.writes.Load(),
+		Hits:        p.stats.hits.Load(),
+		ReadFaults:  p.stats.readFaults.Load(),
+		ReadRetries: p.stats.readRetries.Load(),
+		TornWrites:  p.stats.tornWrites.Load(),
+		WALAppends:  p.stats.walAppends.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters (e.g. between benchmark phases).
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.stats.reads.Store(0)
+	p.stats.writes.Store(0)
+	p.stats.hits.Store(0)
+	p.stats.readFaults.Store(0)
+	p.stats.readRetries.Store(0)
+	p.stats.tornWrites.Store(0)
+	p.stats.walAppends.Store(0)
 }

@@ -2,6 +2,7 @@ package pager
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -142,7 +143,7 @@ func TestHeapRoundTrip(t *testing.T) {
 		t.Fatalf("Count = %d", h.Count())
 	}
 	for i, rid := range rids {
-		got, err := h.Get(rid)
+		got, err := h.Get(context.Background(), rid)
 		if err != nil {
 			t.Fatalf("Get(%d): %v", rid, err)
 		}
@@ -159,7 +160,7 @@ func TestHeapScanOrderAndEarlyStop(t *testing.T) {
 		h.Insert([]byte(fmt.Sprintf("rec%d", i)))
 	}
 	var seen []string
-	h.Scan(func(_ RID, rec []byte) bool {
+	h.Scan(context.Background(), func(_ RID, rec []byte) bool {
 		seen = append(seen, string(rec))
 		return len(seen) < 4
 	})
@@ -176,13 +177,13 @@ func TestHeapFlushAndColdRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.ColdReset()
-	got, err := h.Get(rid)
+	got, err := h.Get(context.Background(), rid)
 	if err != nil || string(got) != "buffered" {
 		t.Fatalf("Get after flush+cold = %q, %v", got, err)
 	}
 	// Continue inserting into the same tail page after Flush.
 	rid2, _ := h.Insert([]byte("more"))
-	got2, err := h.Get(rid2)
+	got2, err := h.Get(context.Background(), rid2)
 	if err != nil || string(got2) != "more" {
 		t.Fatalf("Get of post-flush record = %q, %v", got2, err)
 	}
@@ -192,7 +193,7 @@ func TestHeapGetErrors(t *testing.T) {
 	p := New(16)
 	h := NewHeap(p, "heap")
 	h.Insert([]byte("x"))
-	if _, err := h.Get(RID(1 << 40)); err == nil {
+	if _, err := h.Get(context.Background(), RID(1<<40)); err == nil {
 		t.Fatal("Get far beyond end succeeded")
 	}
 }
@@ -213,7 +214,7 @@ func TestHeapProperty(t *testing.T) {
 		entries = append(entries, entry{rid, append([]byte(nil), data...)})
 		// Every previously inserted record must still read back intact.
 		for _, e := range entries {
-			got, err := h.Get(e.rid)
+			got, err := h.Get(context.Background(), e.rid)
 			if err != nil || !bytes.Equal(got, e.val) {
 				return false
 			}

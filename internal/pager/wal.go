@@ -98,7 +98,7 @@ func (p *Pager) walAppend(kind byte, key pageKey, data []byte) error {
 		}
 		return err
 	}
-	p.stats.WALAppends++
+	p.stats.walAppends.Add(1)
 	p.cWALAppend.Inc()
 	fs.wal = append(fs.wal, rec...)
 	switch kind {

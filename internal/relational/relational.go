@@ -4,13 +4,21 @@
 // pager, B+tree indexes with equality and range lookups, sequential scans,
 // and the small set of physical operators the hand-translated workload
 // queries need.
+//
+// Concurrency: the read operators (Scan, Get, LookupEq, LookupRange) are
+// safe from many goroutines once loading is done; each table guards its
+// index map and row directory with a reader/writer latch so Insert and
+// CreateIndex exclude readers. Schema definition (Create) is not
+// concurrent — tables are created before any load or query runs.
 package relational
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"xbench/internal/btree"
 	"xbench/internal/metrics"
@@ -45,9 +53,14 @@ type Table struct {
 	Name string
 	Cols []string
 
-	db      *DB
-	colIdx  map[string]int
-	heap    *pager.Heap
+	db     *DB
+	colIdx map[string]int
+	heap   *pager.Heap
+
+	// mu guards indexes and rids: writers (Insert, CreateIndex, Truncate)
+	// take it exclusive, readers take it shared just long enough to fetch
+	// the index pointer — the btree has its own latch for the traversal.
+	mu      sync.RWMutex
 	indexes map[string]*btree.Tree
 	rids    []pager.RID // insertion order, for stable scans
 }
@@ -86,8 +99,10 @@ func (db *DB) Truncate() error {
 		if err := t.heap.Reset(); err != nil {
 			return err
 		}
+		t.mu.Lock()
 		t.rids = nil
 		t.indexes = map[string]*btree.Tree{}
+		t.mu.Unlock()
 	}
 	return nil
 }
@@ -120,6 +135,8 @@ func (t *Table) Insert(row Row) error {
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("relational: %s: row has %d values, want %d", t.Name, len(row), len(t.Cols))
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rid, err := t.heap.Insert(encodeRow(row))
 	if err != nil {
 		return err
@@ -143,6 +160,8 @@ func (t *Table) Flush() error { return t.heap.Flush() }
 // CreateIndex builds a B+tree on col over existing rows. Creating the same
 // index twice is a no-op.
 func (t *Table) CreateIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.indexes[col]; ok {
 		return nil
 	}
@@ -151,7 +170,7 @@ func (t *Table) CreateIndex(col string) error {
 	if err != nil {
 		return err
 	}
-	err = t.heap.Scan(func(rid pager.RID, rec []byte) bool {
+	err = t.heap.Scan(context.Background(), func(rid pager.RID, rec []byte) bool {
 		row := decodeRow(rec)
 		if !IsNull(row[ci]) {
 			if e := ix.Insert(row[ci], uint64(rid)); e != nil {
@@ -174,28 +193,37 @@ func (t *Table) CreateIndex(col string) error {
 
 // HasIndex reports whether col is indexed.
 func (t *Table) HasIndex(col string) bool {
-	_, ok := t.indexes[col]
+	_, ok := t.index(col)
 	return ok
+}
+
+// index fetches an index pointer under the shared latch.
+func (t *Table) index(col string) (*btree.Tree, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[col]
+	return ix, ok
 }
 
 // reg returns the metrics registry shared through the table's pager.
 func (t *Table) reg() *metrics.Registry { return t.db.Pager.Metrics() }
 
 // Scan visits all rows in insertion order (a full table scan: every heap
-// page is read). Returning false stops early.
-func (t *Table) Scan(fn func(Row) bool) error {
+// page is read). Returning false stops early. Cancellation via ctx is
+// honored at page-fetch granularity.
+func (t *Table) Scan(ctx context.Context, fn func(Row) bool) error {
 	reg := t.reg()
 	reg.Counter("relational.scan").Inc()
 	defer reg.StartSpan(metrics.PhaseScan).End()
-	return t.heap.Scan(func(_ pager.RID, rec []byte) bool {
+	return t.heap.Scan(ctx, func(_ pager.RID, rec []byte) bool {
 		reg.Counter("relational.scan.row").Inc()
 		return fn(decodeRow(rec))
 	})
 }
 
 // Get fetches one row by RID.
-func (t *Table) Get(rid pager.RID) (Row, error) {
-	rec, err := t.heap.Get(rid)
+func (t *Table) Get(ctx context.Context, rid pager.RID) (Row, error) {
+	rec, err := t.heap.Get(ctx, rid)
 	if err != nil {
 		return nil, err
 	}
@@ -204,19 +232,19 @@ func (t *Table) Get(rid pager.RID) (Row, error) {
 
 // LookupEq returns rows where col == val, using an index when available
 // and falling back to a sequential scan otherwise.
-func (t *Table) LookupEq(col, val string) ([]Row, error) {
-	if ix, ok := t.indexes[col]; ok {
+func (t *Table) LookupEq(ctx context.Context, col, val string) ([]Row, error) {
+	if ix, ok := t.index(col); ok {
 		reg := t.reg()
 		reg.Counter("relational.probe").Inc()
 		sp := reg.StartSpan(metrics.PhaseIndexProbe)
-		rids, err := ix.Search(val)
+		rids, err := ix.Search(ctx, val)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		rows := make([]Row, 0, len(rids))
 		for _, r := range rids {
-			row, err := t.Get(pager.RID(r))
+			row, err := t.Get(ctx, pager.RID(r))
 			if err != nil {
 				return nil, err
 			}
@@ -226,7 +254,7 @@ func (t *Table) LookupEq(col, val string) ([]Row, error) {
 	}
 	ci := t.Col(col)
 	var rows []Row
-	err := t.Scan(func(r Row) bool {
+	err := t.Scan(ctx, func(r Row) bool {
 		if r[ci] == val {
 			rows = append(rows, r)
 		}
@@ -237,15 +265,15 @@ func (t *Table) LookupEq(col, val string) ([]Row, error) {
 
 // LookupRange returns rows with lo <= col <= hi (string comparison, which
 // matches ISO dates), via index when available.
-func (t *Table) LookupRange(col, lo, hi string) ([]Row, error) {
-	if ix, ok := t.indexes[col]; ok {
+func (t *Table) LookupRange(ctx context.Context, col, lo, hi string) ([]Row, error) {
+	if ix, ok := t.index(col); ok {
 		reg := t.reg()
 		reg.Counter("relational.probe").Inc()
 		defer reg.StartSpan(metrics.PhaseIndexProbe).End()
 		var rows []Row
 		var inner error
-		err := ix.Range(lo, hi, func(_ string, v uint64) bool {
-			row, e := t.Get(pager.RID(v))
+		err := ix.Range(ctx, lo, hi, func(_ string, v uint64) bool {
+			row, e := t.Get(ctx, pager.RID(v))
 			if e != nil {
 				inner = e
 				return false
@@ -260,7 +288,7 @@ func (t *Table) LookupRange(col, lo, hi string) ([]Row, error) {
 	}
 	ci := t.Col(col)
 	var rows []Row
-	err := t.Scan(func(r Row) bool {
+	err := t.Scan(ctx, func(r Row) bool {
 		if !IsNull(r[ci]) && r[ci] >= lo && r[ci] <= hi {
 			rows = append(rows, r)
 		}

@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestCreateInsertScan(t *testing.T) {
 		t.Fatalf("Count = %d", tb.Count())
 	}
 	var ids []string
-	tb.Scan(func(r Row) bool {
+	tb.Scan(context.Background(), func(r Row) bool {
 		ids = append(ids, r[tb.Col("id")])
 		return true
 	})
@@ -67,7 +68,7 @@ func TestLookupEqWithAndWithoutIndex(t *testing.T) {
 		tb.Insert(Row{fmt.Sprintf("k%03d", i%100), fmt.Sprintf("v%d", i)})
 	}
 	// Without an index: sequential scan.
-	rows, err := tb.LookupEq("k", "k042")
+	rows, err := tb.LookupEq(context.Background(), "k", "k042")
 	if err != nil || len(rows) != 5 {
 		t.Fatalf("scan lookup = %d rows, %v", len(rows), err)
 	}
@@ -78,13 +79,13 @@ func TestLookupEqWithAndWithoutIndex(t *testing.T) {
 	if !tb.HasIndex("k") {
 		t.Fatal("HasIndex false after CreateIndex")
 	}
-	rows2, err := tb.LookupEq("k", "k042")
+	rows2, err := tb.LookupEq(context.Background(), "k", "k042")
 	if err != nil || len(rows2) != 5 {
 		t.Fatalf("indexed lookup = %d rows, %v", len(rows2), err)
 	}
 	// Index must also cover rows inserted after creation.
 	tb.Insert(Row{"k042", "late"})
-	rows3, _ := tb.LookupEq("k", "k042")
+	rows3, _ := tb.LookupEq(context.Background(), "k", "k042")
 	if len(rows3) != 6 {
 		t.Fatalf("index not maintained on insert: %d rows", len(rows3))
 	}
@@ -100,12 +101,12 @@ func TestLookupRange(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		tb.Insert(Row{fmt.Sprintf("2000-01-%02d", i%30+1), "y"})
 	}
-	scan, err := tb.LookupRange("date", "2000-01-10", "2000-01-12")
+	scan, err := tb.LookupRange(context.Background(), "date", "2000-01-10", "2000-01-12")
 	if err != nil {
 		t.Fatal(err)
 	}
 	tb.CreateIndex("date")
-	indexed, err := tb.LookupRange("date", "2000-01-10", "2000-01-12")
+	indexed, err := tb.LookupRange(context.Background(), "date", "2000-01-10", "2000-01-12")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,17 +124,17 @@ func TestNullHandling(t *testing.T) {
 	tb.CreateIndex("fax")
 
 	// NULLs are not indexed and never equal anything.
-	rows, _ := tb.LookupEq("fax", Null)
+	rows, _ := tb.LookupEq(context.Background(), "fax", Null)
 	if len(rows) != 0 {
 		t.Fatal("NULL matched in index lookup")
 	}
-	rows, _ = tb.LookupEq("fax", "")
+	rows, _ = tb.LookupEq(context.Background(), "fax", "")
 	if len(rows) != 1 || rows[0][0] != "P3" {
 		t.Fatalf("empty-string lookup = %v", rows)
 	}
 	// A scan-side NULL check still finds the missing-fax publisher.
 	var missing []string
-	tb.Scan(func(r Row) bool {
+	tb.Scan(context.Background(), func(r Row) bool {
 		if IsNull(r[tb.Col("fax")]) {
 			missing = append(missing, r[0])
 		}
@@ -143,7 +144,7 @@ func TestNullHandling(t *testing.T) {
 		t.Fatalf("missing-fax scan = %v", missing)
 	}
 	// Range scans skip NULLs.
-	got, _ := tb.LookupRange("name", "P1", "P9")
+	got, _ := tb.LookupRange(context.Background(), "name", "P1", "P9")
 	if len(got) != 3 {
 		t.Fatalf("range over names = %d", len(got))
 	}
@@ -187,7 +188,7 @@ func TestGetAndRoundTripSpecialValues(t *testing.T) {
 		tb.Insert(Row{v})
 	}
 	i := 0
-	tb.Scan(func(r Row) bool {
+	tb.Scan(context.Background(), func(r Row) bool {
 		if r[0] != vals[i] {
 			t.Fatalf("value %d mangled: %q vs %q", i, r[0], vals[i])
 		}
@@ -225,7 +226,7 @@ func TestFlushThenColdScan(t *testing.T) {
 	p.ColdReset()
 	p.ResetStats()
 	n := 0
-	tb.Scan(func(Row) bool { n++; return true })
+	tb.Scan(context.Background(), func(Row) bool { n++; return true })
 	if n != 1000 {
 		t.Fatalf("cold scan saw %d rows", n)
 	}

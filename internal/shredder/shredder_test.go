@@ -1,6 +1,7 @@
 package shredder
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func TestShredOrder(t *testing.T) {
 		t.Fatalf("rows = %d", rows)
 	}
 	ot := s.DB.Table("order_tab")
-	got, err := ot.LookupEq("id", "O1")
+	got, err := ot.LookupEq(context.Background(), "id", "O1")
 	if err != nil || len(got) != 1 {
 		t.Fatalf("order row: %v %v", got, err)
 	}
@@ -50,7 +51,7 @@ func TestShredOrder(t *testing.T) {
 		t.Fatal("absent ship_country should be NULL")
 	}
 	lt := s.DB.Table("order_line_tab")
-	lrows, _ := lt.LookupEq("order_id", "O1")
+	lrows, _ := lt.LookupEq(context.Background(), "order_id", "O1")
 	if len(lrows) != 2 {
 		t.Fatalf("lines = %d", len(lrows))
 	}
@@ -73,7 +74,7 @@ func TestShredDictionaryMixedContent(t *testing.T) {
 		t.Fatal(err)
 	}
 	qt := keep.DB.Table("quote_tab")
-	qrows, _ := qt.LookupEq("entry_id", "e1")
+	qrows, _ := qt.LookupEq(context.Background(), "entry_id", "e1")
 	if len(qrows) != 1 {
 		t.Fatalf("quotes = %d", len(qrows))
 	}
@@ -92,14 +93,14 @@ func TestShredDictionaryMixedContent(t *testing.T) {
 		t.Fatal("dropping store counted no skipped mixed content")
 	}
 	qt2 := drop.DB.Table("quote_tab")
-	qrows2, _ := qt2.LookupEq("entry_id", "e1")
+	qrows2, _ := qt2.LookupEq(context.Background(), "entry_id", "e1")
 	if got := qrows2[0][qt2.Col("qt")]; got != "" {
 		t.Fatalf("dropped qt should be empty (present, text lost), got %q", got)
 	}
 	// etym is present: NULL only for e2 where it is truly missing.
 	et := drop.DB.Table("entry_tab")
-	e1, _ := et.LookupEq("id", "e1")
-	e2, _ := et.LookupEq("id", "e2")
+	e1, _ := et.LookupEq(context.Background(), "id", "e1")
+	e2, _ := et.LookupEq(context.Background(), "id", "e2")
 	if relational.IsNull(e1[0][et.Col("etym")]) {
 		t.Fatal("present etym should not be NULL even when text dropped")
 	}
@@ -121,7 +122,7 @@ func TestShredArticleRecursion(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.DB.Table("sec_tab")
-	rows, _ := st.LookupEq("article_id", "a1")
+	rows, _ := st.LookupEq(context.Background(), "article_id", "a1")
 	if len(rows) != 3 {
 		t.Fatalf("secs = %d", len(rows))
 	}
@@ -144,7 +145,7 @@ func TestShredArticleRecursion(t *testing.T) {
 	}
 	// Empty contact is stored as empty string, not NULL (Q15 vs Q14).
 	at := s.DB.Table("art_author_tab")
-	arows, _ := at.LookupEq("article_id", "a1")
+	arows, _ := at.LookupEq(context.Background(), "article_id", "a1")
 	if v := arows[0][at.Col("contact")]; relational.IsNull(v) || v != "" {
 		t.Fatalf("empty contact stored as %q", v)
 	}

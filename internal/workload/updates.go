@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -75,7 +76,7 @@ func RunUpdate(e *native.Engine, class core.Class, op UpdateOp, seq int) UpdateM
 	}
 	// Verify observability.
 	id := updateID(class, seq)
-	res, err := e.Execute(core.Q1, core.Params{"X": id})
+	res, err := e.Execute(context.Background(), core.Q1, core.Params{"X": id})
 	if err != nil {
 		m.Err = err
 		return m

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -95,7 +96,7 @@ type MetricsProvider interface {
 // run executes one query, snapshotting the engine's metrics registry (if
 // any) around the Execute call so the Measurement carries a per-run
 // counter and phase breakdown.
-func run(e core.Engine, class core.Class, q core.QueryID, cold bool) Measurement {
+func run(ctx context.Context, e core.Engine, class core.Class, q core.QueryID, cold bool) Measurement {
 	m := Measurement{Engine: e.Name(), Class: class, Query: q, Cold: cold}
 	if cold {
 		e.ColdReset()
@@ -107,7 +108,7 @@ func run(e core.Engine, class core.Class, q core.QueryID, cold bool) Measurement
 		before = reg.Snapshot()
 	}
 	start := time.Now()
-	res, err := e.Execute(q, Params(class))
+	res, err := e.Execute(ctx, q, Params(class))
 	m.Elapsed = time.Since(start)
 	if reg != nil {
 		m.Breakdown = reg.Snapshot().Delta(before)
@@ -119,22 +120,22 @@ func run(e core.Engine, class core.Class, q core.QueryID, cold bool) Measurement
 
 // RunCold executes one query cold: the engine's caches are dropped first,
 // reproducing the paper's "cold run time ... to prevent caching effects".
-func RunCold(e core.Engine, class core.Class, q core.QueryID) Measurement {
-	return run(e, class, q, true)
+func RunCold(ctx context.Context, e core.Engine, class core.Class, q core.QueryID) Measurement {
+	return run(ctx, e, class, q, true)
 }
 
 // RunWarm executes one query without dropping caches: the buffer pool
 // keeps whatever earlier runs left in it, so warm-vs-cold deltas isolate
 // the simulated disk component of a cell.
-func RunWarm(e core.Engine, class core.Class, q core.QueryID) Measurement {
-	return run(e, class, q, false)
+func RunWarm(ctx context.Context, e core.Engine, class core.Class, q core.QueryID) Measurement {
+	return run(ctx, e, class, q, false)
 }
 
 // RunAll executes every query defined for the class cold, in query order.
-func RunAll(e core.Engine, class core.Class) []Measurement {
+func RunAll(ctx context.Context, e core.Engine, class core.Class) []Measurement {
 	var out []Measurement
 	for _, q := range QueryIDs(class) {
-		out = append(out, RunCold(e, class, q))
+		out = append(out, RunCold(ctx, e, class, q))
 	}
 	return out
 }
@@ -143,12 +144,12 @@ func RunAll(e core.Engine, class core.Class) []Measurement {
 // indexes, returning the load statistics and the load duration (index
 // creation excluded from the load time, matching the paper's setup where
 // arbitrary indexes are created separately after bulk loading).
-func LoadAndIndex(e core.Engine, db *core.Database) (core.LoadStats, time.Duration, error) {
+func LoadAndIndex(ctx context.Context, e core.Engine, db *core.Database) (core.LoadStats, time.Duration, error) {
 	if err := e.Supports(db.Class, db.Size); err != nil {
 		return core.LoadStats{}, 0, err
 	}
 	start := time.Now()
-	st, err := e.Load(db)
+	st, err := e.Load(ctx, db)
 	elapsed := time.Since(start)
 	if err != nil {
 		return st, elapsed, err

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -74,13 +75,13 @@ func TestCrossEngineEquivalence(t *testing.T) {
 		t.Run(class.Code(), func(t *testing.T) {
 			db := tinyDB(t, class)
 			nat := native.New(0)
-			if _, _, err := LoadAndIndex(nat, db); err != nil {
+			if _, _, err := LoadAndIndex(context.Background(), nat, db); err != nil {
 				t.Fatalf("native load: %v", err)
 			}
 			// Native answers for every defined query act as the oracle.
 			oracle := map[core.QueryID]core.Result{}
 			for _, q := range QueryIDs(class) {
-				m := RunCold(nat, class, q)
+				m := RunCold(context.Background(), nat, class, q)
 				if m.Err != nil {
 					t.Fatalf("native %s: %v", q, m.Err)
 				}
@@ -98,11 +99,11 @@ func TestCrossEngineEquivalence(t *testing.T) {
 				if e.Supports(class, core.Small) != nil {
 					continue
 				}
-				if _, _, err := LoadAndIndex(e, db); err != nil {
+				if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 					t.Fatalf("%s load: %v", e.Name(), err)
 				}
 				for _, q := range benchQueries {
-					m := RunCold(e, class, q)
+					m := RunCold(context.Background(), e, class, q)
 					if errors.Is(m.Err, core.ErrNoQuery) {
 						t.Errorf("%s does not implement %s/%s", e.Name(), class, q)
 						continue
@@ -125,7 +126,7 @@ func TestNativeRunsFullWorkload(t *testing.T) {
 	for _, class := range core.Classes {
 		db := tinyDB(t, class)
 		nat := native.New(0)
-		if _, _, err := LoadAndIndex(nat, db); err != nil {
+		if _, _, err := LoadAndIndex(context.Background(), nat, db); err != nil {
 			t.Fatal(err)
 		}
 		ids := QueryIDs(class)
@@ -133,7 +134,7 @@ func TestNativeRunsFullWorkload(t *testing.T) {
 			t.Errorf("%s instantiates only %d query types", class, len(ids))
 		}
 		for _, q := range ids {
-			m := RunCold(nat, class, q)
+			m := RunCold(context.Background(), nat, class, q)
 			if m.Err != nil {
 				t.Errorf("native %s/%s failed: %v", class, q, m.Err)
 			}
@@ -144,11 +145,11 @@ func TestNativeRunsFullWorkload(t *testing.T) {
 func TestUndefinedQueryReturnsErrNoQuery(t *testing.T) {
 	db := tinyDB(t, core.DCSD)
 	nat := native.New(0)
-	if _, _, err := LoadAndIndex(nat, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), nat, db); err != nil {
 		t.Fatal(err)
 	}
 	// Q19 (references and joins) is a DC/MD query, not defined for DC/SD.
-	if _, err := nat.Execute(core.Q19, Params(core.DCSD)); !errors.Is(err, core.ErrNoQuery) {
+	if _, err := nat.Execute(context.Background(), core.Q19, Params(core.DCSD)); !errors.Is(err, core.ErrNoQuery) {
 		t.Fatalf("expected ErrNoQuery, got %v", err)
 	}
 }
@@ -156,15 +157,15 @@ func TestUndefinedQueryReturnsErrNoQuery(t *testing.T) {
 func TestIndexSpeedsUpNative(t *testing.T) {
 	db := tinyDB(t, core.DCMD)
 	withIdx := native.New(0)
-	if _, _, err := LoadAndIndex(withIdx, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), withIdx, db); err != nil {
 		t.Fatal(err)
 	}
 	noIdx := native.New(0)
-	if _, err := noIdx.Load(db); err != nil {
+	if _, err := noIdx.Load(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
-	a := RunCold(withIdx, core.DCMD, core.Q5)
-	b := RunCold(noIdx, core.DCMD, core.Q5)
+	a := RunCold(context.Background(), withIdx, core.DCMD, core.Q5)
+	b := RunCold(context.Background(), noIdx, core.DCMD, core.Q5)
 	if a.Err != nil || b.Err != nil {
 		t.Fatal(a.Err, b.Err)
 	}
@@ -180,10 +181,10 @@ func TestIndexSpeedsUpNative(t *testing.T) {
 func TestColdRunCostsIO(t *testing.T) {
 	db := tinyDB(t, core.TCMD)
 	e := native.New(0)
-	if _, _, err := LoadAndIndex(e, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 		t.Fatal(err)
 	}
-	m := RunCold(e, core.TCMD, core.Q1)
+	m := RunCold(context.Background(), e, core.TCMD, core.Q1)
 	if m.Err != nil {
 		t.Fatal(m.Err)
 	}
@@ -218,10 +219,10 @@ func TestParamsCoverQueryNeeds(t *testing.T) {
 func TestShreddedFlagsOrderSensitivity(t *testing.T) {
 	db := tinyDB(t, core.DCMD)
 	e := xcollection.New(0, 0)
-	if _, _, err := LoadAndIndex(e, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 		t.Fatal(err)
 	}
-	m := RunCold(e, core.DCMD, core.Q5)
+	m := RunCold(context.Background(), e, core.DCMD, core.Q5)
 	if m.Err != nil {
 		t.Fatal(m.Err)
 	}
@@ -230,10 +231,10 @@ func TestShreddedFlagsOrderSensitivity(t *testing.T) {
 	}
 	// Xcolumn guarantees order via dxx_seqno.
 	xc := xcolumn.New(0)
-	if _, _, err := LoadAndIndex(xc, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), xc, db); err != nil {
 		t.Fatal(err)
 	}
-	m = RunCold(xc, core.DCMD, core.Q5)
+	m = RunCold(context.Background(), xc, core.DCMD, core.Q5)
 	if m.Err != nil {
 		t.Fatal(m.Err)
 	}
@@ -245,14 +246,14 @@ func TestShreddedFlagsOrderSensitivity(t *testing.T) {
 func TestSQLServerDropsMixedContent(t *testing.T) {
 	db := tinyDB(t, core.TCSD)
 	ss := sqlserver.New(0)
-	st, _, err := LoadAndIndex(ss, db)
+	st, _, err := LoadAndIndex(context.Background(), ss, db)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.SkippedMixed == 0 {
 		t.Fatal("SQL Server load dropped no mixed content (qt elements should be unmappable)")
 	}
-	m := RunCold(ss, core.TCSD, core.Q8)
+	m := RunCold(context.Background(), ss, core.TCSD, core.Q8)
 	if m.Err != nil {
 		t.Fatal(m.Err)
 	}
@@ -266,10 +267,10 @@ func TestSQLServerDropsMixedContent(t *testing.T) {
 	}
 	// Xcollection keeps the flattened text.
 	xc := xcollection.New(0, 0)
-	if _, _, err := LoadAndIndex(xc, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), xc, db); err != nil {
 		t.Fatal(err)
 	}
-	m2 := RunCold(xc, core.TCSD, core.Q8)
+	m2 := RunCold(context.Background(), xc, core.TCSD, core.Q8)
 	if m2.Err != nil {
 		t.Fatal(m2.Err)
 	}
@@ -289,7 +290,7 @@ func TestXcollectionRowLimitTrips(t *testing.T) {
 	// during load, mirroring DB2's 1024-row decomposition limit.
 	db := tinyDB(t, core.TCSD)
 	e := xcollection.New(0, 10)
-	_, err := e.Load(db)
+	_, err := e.Load(context.Background(), db)
 	if !errors.Is(err, core.ErrUnsupported) {
 		t.Fatalf("row limit did not trip: %v", err)
 	}
@@ -301,7 +302,7 @@ func TestLoadStatsShape(t *testing.T) {
 		if e.Supports(core.DCMD, core.Small) != nil {
 			continue
 		}
-		st, dur, err := LoadAndIndex(e, db)
+		st, dur, err := LoadAndIndex(context.Background(), e, db)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -350,7 +351,7 @@ func TestExtendedEngineQueries(t *testing.T) {
 	for _, class := range core.Classes {
 		db := tinyDB(t, class)
 		nat := native.New(0)
-		if _, _, err := LoadAndIndex(nat, db); err != nil {
+		if _, _, err := LoadAndIndex(context.Background(), nat, db); err != nil {
 			t.Fatal(err)
 		}
 		for _, e := range allEngines()[1:] {
@@ -358,15 +359,15 @@ func TestExtendedEngineQueries(t *testing.T) {
 			if len(qs) == 0 || e.Supports(class, core.Small) != nil {
 				continue
 			}
-			if _, _, err := LoadAndIndex(e, db); err != nil {
+			if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 				t.Fatalf("%s: %v", e.Name(), err)
 			}
 			for _, q := range qs {
-				want := RunCold(nat, class, q)
+				want := RunCold(context.Background(), nat, class, q)
 				if want.Err != nil {
 					t.Fatalf("native %s/%s: %v", class, q, want.Err)
 				}
-				got := RunCold(e, class, q)
+				got := RunCold(context.Background(), e, class, q)
 				if got.Err != nil {
 					t.Errorf("%s %s/%s: %v", e.Name(), class, q, got.Err)
 					continue
@@ -400,10 +401,10 @@ func TestQ16RoundTripsOriginalDocument(t *testing.T) {
 		if e.Supports(core.DCMD, core.Small) != nil {
 			continue
 		}
-		if _, _, err := LoadAndIndex(e, db); err != nil {
+		if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 			t.Fatal(err)
 		}
-		m := RunCold(e, core.DCMD, core.Q16)
+		m := RunCold(context.Background(), e, core.DCMD, core.Q16)
 		if errors.Is(m.Err, core.ErrNoQuery) {
 			continue
 		}
@@ -421,7 +422,7 @@ func TestUpdateWorkload(t *testing.T) {
 	for _, class := range []core.Class{core.DCMD, core.TCMD} {
 		db := tinyDB(t, class)
 		e := native.New(0)
-		if _, _, err := LoadAndIndex(e, db); err != nil {
+		if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 			t.Fatal(err)
 		}
 		before := e.DocumentCount()
@@ -445,7 +446,7 @@ func TestUpdateWorkload(t *testing.T) {
 func TestUpdateWorkloadRejectsSingleDocumentClasses(t *testing.T) {
 	db := tinyDB(t, core.TCSD)
 	e := native.New(0)
-	if _, _, err := LoadAndIndex(e, db); err != nil {
+	if _, _, err := LoadAndIndex(context.Background(), e, db); err != nil {
 		t.Fatal(err)
 	}
 	if m := RunUpdate(e, core.TCSD, U1, 0); m.Err == nil {

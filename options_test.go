@@ -1,0 +1,135 @@
+package xbench
+
+import (
+	"context"
+	"testing"
+
+	"xbench/internal/metrics"
+	"xbench/internal/pager"
+)
+
+// TestNewEngineNames: every recognized name (and alias) constructs the
+// right engine; unknown names error instead of panicking.
+func TestNewEngineNames(t *testing.T) {
+	cases := map[string]string{
+		"native":      "X-Hive",
+		"x-hive":      "X-Hive",
+		"XHive":       "X-Hive",
+		"xcolumn":     "Xcolumn",
+		"Xcollection": "Xcollection",
+		"sqlserver":   "SQL Server",
+		"SQL Server":  "SQL Server",
+	}
+	for name, want := range cases {
+		e, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if e.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", name, e.Name(), want)
+		}
+	}
+	if _, err := New("oracle"); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+}
+
+// TestNewOptions: WithFaultPolicy and WithMetrics reach the engine's
+// pager; WithPoolPages and WithRowLimit at least construct.
+func TestNewOptions(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e, err := New("native",
+		WithPoolPages(64),
+		WithFaultPolicy(FaultPolicy{Seed: 7}),
+		WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.(interface{ Pager() *pager.Pager }).Pager()
+	fp, ok := p.FaultPolicyInfo()
+	if !ok || fp.Seed != 7 {
+		t.Fatalf("fault policy not installed: %+v %v", fp, ok)
+	}
+	if p.Metrics() != reg {
+		t.Fatal("metrics registry not attached")
+	}
+	if _, err := New("xcollection", WithRowLimit(10), WithPoolPages(32)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeprecatedConstructorsStillWork pins the compatibility satellite:
+// the old constructors and the options API coexist.
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	old := NewNativeEngine(0)
+	neu, err := New("native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Name() != neu.Name() {
+		t.Fatalf("old %q vs new %q", old.Name(), neu.Name())
+	}
+}
+
+// fakeV1 is a minimal legacy engine for the adapter re-export test.
+type fakeV1 struct{}
+
+func (fakeV1) Name() string                      { return "v1" }
+func (fakeV1) Supports(Class, Size) error        { return nil }
+func (fakeV1) Load(*Database) (LoadStats, error) { return LoadStats{}, nil }
+func (fakeV1) BuildIndexes([]IndexSpec) error    { return nil }
+func (fakeV1) Execute(QueryID, Params) (Result, error) {
+	return Result{Items: []string{"ok"}}, nil
+}
+func (fakeV1) ColdReset()    {}
+func (fakeV1) PageIO() int64 { return 0 }
+func (fakeV1) Close() error  { return nil }
+
+// TestAdaptV1 lifts a legacy engine through the facade and checks both
+// delegation and context rejection.
+func TestAdaptV1(t *testing.T) {
+	var v1 EngineV1 = fakeV1{}
+	e := AdaptV1(v1)
+	res, err := e.Execute(context.Background(), Q1, nil)
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("adapted Execute: %v %v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Execute(ctx, Q1, nil); err == nil {
+		t.Fatal("adapter ignored canceled context")
+	}
+}
+
+// TestThroughputFacade: the facade Throughput runs the driver end to end
+// on a loaded engine and reports qps and per-query percentiles.
+func TestThroughputFacade(t *testing.T) {
+	ctx := context.Background()
+	db, err := Generate(DCSD, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New("native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAndIndex(ctx, e, db); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Throughput(ctx, e, DCSD, ThroughputConfig{
+		Clients:      2,
+		OpsPerClient: 4,
+		Queries:      []QueryID{Q1, Q5},
+		Think:        -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 8 || rep.Throughput <= 0 {
+		t.Fatalf("report: ops=%d qps=%f", rep.Ops, rep.Throughput)
+	}
+	if len(rep.Cells) == 0 || rep.Cells[0].P50 <= 0 {
+		t.Fatalf("no latency cells: %+v", rep.Cells)
+	}
+}

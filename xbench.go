@@ -26,15 +26,21 @@
 package xbench
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"strings"
 
 	"xbench/internal/bench"
 	"xbench/internal/core"
+	"xbench/internal/driver"
 	"xbench/internal/engines/native"
 	"xbench/internal/engines/sqlserver"
 	"xbench/internal/engines/xcollection"
 	"xbench/internal/engines/xcolumn"
 	"xbench/internal/gen"
+	"xbench/internal/metrics"
+	"xbench/internal/pager"
 	"xbench/internal/workload"
 	"xbench/internal/xmldom"
 	"xbench/internal/xmlschema"
@@ -67,6 +73,18 @@ type (
 	GenConfig = gen.Config
 	// Measurement is one cold query measurement.
 	Measurement = workload.Measurement
+	// EngineV1 is the pre-context engine contract; AdaptV1 lifts one to
+	// the current Engine interface.
+	EngineV1 = core.EngineV1
+	// FaultPolicy configures the fault-injecting disk (see WithFaultPolicy).
+	FaultPolicy = pager.FaultPolicy
+	// MetricsRegistry collects counters, spans and histograms
+	// (see WithMetrics).
+	MetricsRegistry = metrics.Registry
+	// ThroughputConfig controls the multi-client workload driver.
+	ThroughputConfig = driver.Config
+	// ThroughputReport is one closed-loop driver run's result.
+	ThroughputReport = driver.Report
 )
 
 // The four classes (paper Table 1).
@@ -133,23 +151,104 @@ func ParseClass(s string) (Class, error) { return core.ParseClass(s) }
 // ParseSize converts "small", "normal", ... to a Size.
 func ParseSize(s string) (Size, error) { return core.ParseSize(s) }
 
+// NewMetricsRegistry creates an empty metrics registry to pass to
+// WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Option configures an engine built by New.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	poolPages int
+	rowLimit  int
+	fault     *pager.FaultPolicy
+	metrics   *metrics.Registry
+}
+
+// WithPoolPages sizes the engine's buffer pool in pages; <= 0 selects the
+// default.
+func WithPoolPages(n int) Option { return func(o *engineOptions) { o.poolPages = n } }
+
+// WithRowLimit sets the per-document decomposition row limit of the
+// Xcollection engine (<= 0 selects the default). Other engines ignore it.
+func WithRowLimit(n int) Option { return func(o *engineOptions) { o.rowLimit = n } }
+
+// WithFaultPolicy installs a fault-injection policy on the engine's pager
+// (enables the write-ahead log and the simulated crash/torn-write faults).
+func WithFaultPolicy(fp FaultPolicy) Option {
+	return func(o *engineOptions) { o.fault = &fp }
+}
+
+// WithMetrics attaches a metrics registry to the engine's pager so disk,
+// operator and phase counters accumulate there.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(o *engineOptions) { o.metrics = reg }
+}
+
+// New constructs an engine by name with functional options. Recognized
+// names (case-insensitive): "native" or "x-hive", "xcolumn", "xcollection",
+// "sqlserver" or "sql server".
+//
+//	e, err := xbench.New("native", xbench.WithPoolPages(256))
+func New(name string, opts ...Option) (Engine, error) {
+	var o engineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var e Engine
+	switch strings.ToLower(strings.ReplaceAll(name, " ", "")) {
+	case "native", "x-hive", "xhive":
+		e = native.New(o.poolPages)
+	case "xcolumn":
+		e = xcolumn.New(o.poolPages)
+	case "xcollection":
+		e = xcollection.New(o.poolPages, o.rowLimit)
+	case "sqlserver":
+		e = sqlserver.New(o.poolPages)
+	default:
+		return nil, fmt.Errorf("xbench: unknown engine %q (want native, xcolumn, xcollection or sqlserver)", name)
+	}
+	if o.fault != nil || o.metrics != nil {
+		p := e.(interface{ Pager() *pager.Pager }).Pager()
+		if o.fault != nil {
+			p.SetFaultPolicy(*o.fault)
+		}
+		if o.metrics != nil {
+			p.SetMetrics(o.metrics)
+		}
+	}
+	return e, nil
+}
+
+// AdaptV1 wraps a pre-context EngineV1 as an Engine.
+func AdaptV1(e EngineV1) Engine { return core.AdaptV1(e) }
+
 // NewNativeEngine returns the native XML store (X-Hive analog).
 // poolPages sizes the buffer pool; <= 0 selects the default.
+//
+// Deprecated: use New("native", WithPoolPages(poolPages)).
 func NewNativeEngine(poolPages int) Engine { return native.New(poolPages) }
 
 // NewXcolumnEngine returns the DB2 XML Extender Xcolumn analog
 // (intact CLOBs + side tables; multi-document classes only).
+//
+// Deprecated: use New("xcolumn", WithPoolPages(poolPages)).
 func NewXcolumnEngine(poolPages int) Engine { return xcolumn.New(poolPages) }
 
 // NewXcollectionEngine returns the DB2 XML Extender Xcollection analog
 // (shredding with a per-document decomposition row limit; rowLimit <= 0
 // selects the default).
+//
+// Deprecated: use New("xcollection", WithPoolPages(poolPages),
+// WithRowLimit(rowLimit)).
 func NewXcollectionEngine(poolPages, rowLimit int) Engine {
 	return xcollection.New(poolPages, rowLimit)
 }
 
 // NewSQLServerEngine returns the SQL Server 2000 + SQLXML analog
 // (shredding; mixed-content text is dropped).
+//
+// Deprecated: use New("sqlserver", WithPoolPages(poolPages)).
 func NewSQLServerEngine(poolPages int) Engine { return sqlserver.New(poolPages) }
 
 // Engines returns one fresh instance of each of the four systems, in the
@@ -163,8 +262,9 @@ func Engines() []Engine {
 }
 
 // LoadAndIndex bulk-loads db into e and builds the Table 3 indexes.
-func LoadAndIndex(e Engine, db *Database) (LoadStats, error) {
-	st, _, err := workload.LoadAndIndex(e, db)
+// Cancellation via ctx is honored at page-fetch granularity.
+func LoadAndIndex(ctx context.Context, e Engine, db *Database) (LoadStats, error) {
+	st, _, err := workload.LoadAndIndex(ctx, e, db)
 	return st, err
 }
 
@@ -172,8 +272,15 @@ func LoadAndIndex(e Engine, db *Database) (LoadStats, error) {
 func QueryParams(class Class) Params { return workload.Params(class) }
 
 // RunCold executes one workload query cold (caches dropped first).
-func RunCold(e Engine, class Class, q QueryID) Measurement {
-	return workload.RunCold(e, class, q)
+func RunCold(ctx context.Context, e Engine, class Class, q QueryID) Measurement {
+	return workload.RunCold(ctx, e, class, q)
+}
+
+// Throughput runs the closed-loop multi-client workload driver against a
+// loaded engine and reports qps plus per-query latency percentiles. The
+// engine must already be loaded and indexed (see LoadAndIndex).
+func Throughput(ctx context.Context, e Engine, class Class, cfg ThroughputConfig) (ThroughputReport, error) {
+	return driver.Run(ctx, e, class, cfg)
 }
 
 // WorkloadQueries returns the query types instantiated for a class.

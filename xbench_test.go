@@ -2,6 +2,7 @@ package xbench
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,14 +19,14 @@ func TestPublicAPIFlow(t *testing.T) {
 		t.Fatalf("bad database: %s %d", db.Instance(), db.Bytes())
 	}
 	e := NewNativeEngine(0)
-	st, err := LoadAndIndex(e, db)
+	st, err := LoadAndIndex(context.Background(), e, db)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Nodes == 0 {
 		t.Fatal("no nodes loaded")
 	}
-	m := RunCold(e, DCSD, Q1)
+	m := RunCold(context.Background(), e, DCSD, Q1)
 	if m.Err != nil || m.Result.Count() != 1 {
 		t.Fatalf("Q1: %v %v", m.Result.Items, m.Err)
 	}
@@ -127,10 +128,10 @@ func TestPublicErrors(t *testing.T) {
 	}
 	db, _ := Generate(DCSD, Small)
 	n := NewNativeEngine(0)
-	if _, err := LoadAndIndex(n, db); err != nil {
+	if _, err := LoadAndIndex(context.Background(), n, db); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Execute(Q19, nil); !errors.Is(err, ErrNoQuery) {
+	if _, err := n.Execute(context.Background(), Q19, nil); !errors.Is(err, ErrNoQuery) {
 		t.Fatal("ErrNoQuery not surfaced")
 	}
 }
