@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos verify
+.PHONY: build test vet race chaos chaos-updates verify
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,12 @@ race:
 chaos: build
 	$(GO) run ./cmd/xbench chaos
 
+# Crash-during-update grid: every engine x U1/U2/U3 x crash point must
+# recover to exactly the pre- or post-update state. Two crash points
+# cover both legal outcomes (the zero offset tears the journal commit
+# record -> rollback; the budget offset lands after it -> commit).
+chaos-updates: build
+	$(GO) run ./cmd/xbench chaos --updates-only --crashes=2
+
 # The PR gate: everything that must be green before a change lands.
-verify: build vet test race
+verify: build vet test race chaos-updates

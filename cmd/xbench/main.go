@@ -10,7 +10,7 @@
 //	xbench tables    [--table=N]           (static Tables 1-3)
 //	xbench bench     [--table=N] [--sizes=small,normal,large] [--repeat=N] [--scale=N] [--csv]
 //	xbench report    [--format=table|json|csv] [--repeat=N] [--warm=N] [--q=5,12] [--sizes=...]
-//	xbench chaos     [--seed=N] [--crashes=N] [--read-error-rate=F] [--torn-rate=F] [--size=S] [--scale=N]
+//	xbench chaos     [--seed=N] [--crashes=N] [--read-error-rate=F] [--torn-rate=F] [--size=S] [--scale=N] [--updates]
 //	xbench ablation  [--q=N] [--size=S]    (indexed vs sequential scan)
 //	xbench analyze   --class=tcmd --size=small
 //	xbench verify    --class=dcmd --size=small
@@ -18,7 +18,8 @@
 //	xbench load      --engine=x-hive --class=dcmd --size=small
 //	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
 //	xbench workload  --engine=x-hive --class=dcmd --size=small
-//	xbench throughput --engine=x-hive --class=dcmd --size=small [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--format=table|json|csv]
+//	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--repeat=N] [--format=table|json|csv]
+//	xbench throughput --engine=x-hive --class=dcmd --size=small [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--update-fraction=F] [--format=table|json|csv]
 package main
 
 import (
@@ -76,6 +77,8 @@ func main() {
 		err = cmdQuery(args)
 	case "workload":
 		err = cmdWorkload(args)
+	case "updates":
+		err = cmdUpdates(args)
 	case "throughput":
 		err = cmdThroughput(args)
 	case "help", "-h", "--help":
@@ -108,8 +111,10 @@ commands:
   load       bulk-load one engine and report load statistics
   query      run one workload query on one engine
   workload   run every defined query of a class on one engine
+  updates    update workload (U1 insert, U2 replace, U3 delete): per-op
+             p50/p95/p99 with I/O breakdown, every engine
   throughput closed-loop multi-client driver: qps + p50/p95/p99 per query,
-             swept over client counts
+             swept over client counts; --update-fraction mixes in updates
 
 engines: x-hive | xcolumn | xcollection | sql-server
 classes: tcsd | tcmd | dcsd | dcmd
@@ -131,18 +136,27 @@ func parseClassSize(classStr, sizeStr string) (core.Class, core.Size, error) {
 	return class, size, nil
 }
 
-func engineByFlag(name string) (core.Engine, error) {
+// engineNameByFlag resolves a CLI engine spelling to its paper row label.
+func engineNameByFlag(name string) (string, error) {
 	switch strings.ToLower(strings.NewReplacer("-", "", "_", "", " ", "").Replace(name)) {
 	case "xhive", "native":
-		return bench.NewEngine("X-Hive"), nil
+		return "X-Hive", nil
 	case "xcolumn":
-		return bench.NewEngine("Xcolumn"), nil
+		return "Xcolumn", nil
 	case "xcollection":
-		return bench.NewEngine("Xcollection"), nil
+		return "Xcollection", nil
 	case "sqlserver":
-		return bench.NewEngine("SQL Server"), nil
+		return "SQL Server", nil
 	}
-	return nil, fmt.Errorf("unknown engine %q", name)
+	return "", fmt.Errorf("unknown engine %q", name)
+}
+
+func engineByFlag(name string) (core.Engine, error) {
+	label, err := engineNameByFlag(name)
+	if err != nil {
+		return nil, err
+	}
+	return bench.NewEngine(label), nil
 }
 
 func cmdGenerate(args []string) error {
@@ -259,18 +273,29 @@ func cmdChaos(args []string) error {
 	tornRate := fs.Float64("torn-rate", 0, "torn-page-write probability during reload (0 = default, negative = off)")
 	scale := fs.Int("scale", 1, "extra size multiplier")
 	genSeed := fs.Uint64("gen-seed", 0, "generation seed")
+	updates := fs.Bool("updates", false, "also run the crash-during-update grid (U1-U3 on the multi-document classes)")
+	updatesOnly := fs.Bool("updates-only", false, "run only the crash-during-update grid")
 	fs.Parse(args)
 	size, err := core.ParseSize(*sizeStr)
 	if err != nil {
 		return err
 	}
 	r := bench.NewRunner(gen.Config{Seed: *genSeed, SizeMultiplier: *scale}, []core.Size{size}, os.Stdout)
-	return r.ChaosGrid(chaos.Config{
+	cfg := chaos.Config{
 		Seed:          *seed,
 		CrashPoints:   *crashes,
 		ReadErrorRate: *readRate,
 		TornWriteRate: *tornRate,
-	})
+	}
+	if !*updatesOnly {
+		if err := r.ChaosGrid(cfg); err != nil {
+			return err
+		}
+	}
+	if *updates || *updatesOnly {
+		return r.UpdateChaosGrid(cfg)
+	}
+	return nil
 }
 
 func cmdAblation(args []string) error {
@@ -549,6 +574,36 @@ func cmdWorkload(args []string) error {
 	return nil
 }
 
+func cmdUpdates(args []string) error {
+	fs := flag.NewFlagSet("updates", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "", "engine name (empty = every engine)")
+	repeat := fs.Int("repeat", 5, "measured runs per update op (percentiles need several)")
+	format := fs.String("format", "table", "output format: table, json or csv")
+	seed := fs.Uint64("gen-seed", 0, "generation seed")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	var engines []string
+	if *engineStr != "" {
+		label, err := engineNameByFlag(*engineStr)
+		if err != nil {
+			return err
+		}
+		engines = []string{label}
+	}
+	r := bench.NewRunner(gen.Config{Seed: *seed, SizeMultiplier: *scale}, []core.Size{size}, os.Stdout)
+	return r.UpdatesReport(bench.UpdatesOptions{
+		Class:   class,
+		Repeat:  *repeat,
+		Format:  *format,
+		Engines: engines,
+	})
+}
+
 // parseClients parses a comma-separated client-count list like "1,2,4,8".
 func parseClients(s string) ([]int, error) {
 	var out []int
@@ -572,6 +627,7 @@ func cmdThroughput(args []string) error {
 	duration := fs.Duration("duration", 0, "wall-clock bound per step (used when --ops=0; 0 selects 50 ops/client)")
 	think := fs.Duration("think", 0, "closed-loop think time between queries (0 = 2ms default, negative disables)")
 	seed := fs.Uint64("seed", 1, "query-mix seed (same seed + clients => same per-client op sequence)")
+	updateFraction := fs.Float64("update-fraction", 0, "per-op probability of a document update instead of a query (mixed read/write mode; needs a multi-document class)")
 	format := fs.String("format", "table", "output format: table, json or csv")
 	genSeed := fs.Uint64("gen-seed", 0, "generation seed")
 	scale := fs.Int("scale", 1, "extra size multiplier")
@@ -596,10 +652,11 @@ func cmdThroughput(args []string) error {
 		return err
 	}
 	reports, err := driver.Sweep(ctx, e, class, clients, driver.Config{
-		OpsPerClient: *ops,
-		Duration:     *duration,
-		Seed:         *seed,
-		Think:        *think,
+		OpsPerClient:   *ops,
+		Duration:       *duration,
+		Seed:           *seed,
+		Think:          *think,
+		UpdateFraction: *updateFraction,
 	})
 	if err != nil {
 		return err

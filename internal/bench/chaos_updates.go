@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"xbench/internal/chaos"
+	"xbench/internal/core"
+	"xbench/internal/workload"
+)
+
+// updateClasses are the classes the update workload is defined for: the
+// multi-document ones, where a document is the natural update unit.
+var updateClasses = []core.Class{core.DCMD, core.TCMD}
+
+// UpdateChaosGrid runs the update chaos harness over every engine x
+// multi-document class x update op at the runner's first (smallest) size,
+// printing one cell per combination: "-" for unsupported cells,
+// "ok:<crashes>c<committed>+<rolledback>" for passing ones, "FAIL" (with
+// a detail line below the table) otherwise. It returns an error if any
+// cell failed, so callers can gate CI on it.
+func (r *Runner) UpdateChaosGrid(cfg chaos.Config) error {
+	cfg = cfg.WithDefaults()
+	size := r.Sizes[0]
+	fmt.Fprintf(r.Out, "\nChaos: crash-during-update grid (size %s, seed %d, %d crash points)\n",
+		size, cfg.Seed, cfg.CrashPoints)
+	fmt.Fprintf(r.Out, "%-12s", "")
+	for _, c := range updateClasses {
+		for _, op := range workload.UpdateOps {
+			fmt.Fprintf(r.Out, " %-10s", fmt.Sprintf("%s %s", c.Code(), op))
+		}
+	}
+	fmt.Fprintln(r.Out)
+
+	var failures []string
+	for _, name := range r.engineNames() {
+		fmt.Fprintf(r.Out, "%-12s", name)
+		for _, class := range updateClasses {
+			for _, op := range workload.UpdateOps {
+				out := r.updateChaosCell(name, class, size, op, cfg)
+				fmt.Fprintf(r.Out, " %-10s", out)
+				if out.Err != nil {
+					failures = append(failures, fmt.Sprintf("%s/%s/%s: %v", name, class.Code(), op, out.Err))
+				}
+			}
+		}
+		fmt.Fprintln(r.Out)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(r.Out, "FAIL %s\n", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: update chaos grid: %d cell(s) failed", len(failures))
+	}
+	return nil
+}
+
+func (r *Runner) updateChaosCell(name string, class core.Class, size core.Size,
+	op workload.UpdateOp, cfg chaos.Config) chaos.UpdateOutcome {
+	db, err := r.Database(class, size)
+	if err != nil {
+		return chaos.UpdateOutcome{Engine: name, Class: class, Op: op, Err: err}
+	}
+	return chaos.RunUpdateCell(func() core.Engine { return r.newEngine(name) }, db, op, cfg)
+}

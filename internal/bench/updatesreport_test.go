@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xbench/internal/chaos"
+	"xbench/internal/core"
+	"xbench/internal/workload"
+)
+
+// TestUpdatesGridAllEngines is the subcommand's acceptance test: U1-U3
+// measure on all four engines for a multi-document class, with non-zero
+// latency and attributed I/O.
+func TestUpdatesGridAllEngines(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	cells, err := r.UpdatesGrid(UpdatesOptions{Class: core.DCMD, Repeat: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(EngineNames) * len(workload.UpdateOps)
+	if len(cells) != wantCells {
+		t.Fatalf("measured %d cells, want %d: %+v", len(cells), wantCells, cells)
+	}
+	seen := map[string]map[string]bool{}
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Errorf("%s %s: %s", c.Engine, c.Op, c.Err)
+			continue
+		}
+		if c.MeanMs <= 0 {
+			t.Errorf("%s %s: zero mean latency", c.Engine, c.Op)
+		}
+		if c.PageIO <= 0 {
+			t.Errorf("%s %s: no attributed page I/O", c.Engine, c.Op)
+		}
+		if seen[c.Engine] == nil {
+			seen[c.Engine] = map[string]bool{}
+		}
+		seen[c.Engine][c.Op] = true
+	}
+	for _, name := range EngineNames {
+		for _, op := range workload.UpdateOps {
+			if !seen[name][op.String()] {
+				t.Errorf("no cell for %s %s", name, op)
+			}
+		}
+	}
+}
+
+func TestUpdatesReportFormats(t *testing.T) {
+	for _, format := range []string{"table", "csv", "json"} {
+		var buf bytes.Buffer
+		r := tinyRunner(&buf)
+		// A single engine keeps the format test quick.
+		if err := r.UpdatesReport(UpdatesOptions{
+			Class: core.TCMD, Repeat: 1, Format: format, Engines: []string{"X-Hive"},
+		}); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"U1", "U2", "U3"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", format, want, out)
+			}
+		}
+	}
+}
+
+func TestUpdatesReportRejectsSingleDocumentClass(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	if err := r.UpdatesReport(UpdatesOptions{Class: core.TCSD}); err == nil {
+		t.Fatal("single-document class accepted")
+	}
+}
+
+// TestUpdateChaosGridSmoke runs the full update chaos grid the way `make
+// verify` does, on the tiny dataset with few crash points.
+func TestUpdateChaosGridSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	if err := r.UpdateChaosGrid(chaos.Config{Seed: 3, CrashPoints: 2}); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"crash-during-update", "dcmd U1", "tcmd U3", "ok:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 )
 
 // ErrUnsupported is returned by engines that cannot host a class/size
@@ -14,6 +15,11 @@ var ErrUnsupported = errors.New("core: class/size combination not supported by t
 // ErrNoQuery is returned when a workload query is not defined for the
 // engine's class (each class instantiates only a subset of Q1..Q20).
 var ErrNoQuery = errors.New("core: query not defined for this class")
+
+// ErrReadOnly is returned by engines (or adapters) that cannot apply
+// document updates — notably legacy EngineV1 implementations wrapped
+// with AdaptV1, which predate the update workload.
+var ErrReadOnly = errors.New("core: engine does not support document updates")
 
 // IsNotAnswered reports whether err means an engine legitimately declines
 // a query — the query is not defined for the class or the combination is
@@ -68,7 +74,22 @@ type Engine interface {
 	// safe to call concurrently with Execute.
 	PageIO() int64
 
-	// Close releases resources.
+	// InsertDocument adds a new document to the loaded database (update
+	// workload U1). It fails if a document of that name already exists.
+	// The write is journaled before it is applied, so a crash at any point
+	// recovers to either the pre- or post-insert state, never a torn one.
+	InsertDocument(ctx context.Context, name string, data []byte) error
+
+	// ReplaceDocument replaces the named document wholesale (U2), or
+	// inserts it when absent (upsert). Crash-atomic like InsertDocument.
+	ReplaceDocument(ctx context.Context, name string, data []byte) error
+
+	// DeleteDocument removes the named document (U3), failing if it does
+	// not exist. Crash-atomic like InsertDocument.
+	DeleteDocument(ctx context.Context, name string) error
+
+	// Close releases the engine's pager resources (heap files, buffer
+	// pool, WAL state). Double-Close is safe; operations after Close fail.
 	Close() error
 }
 
@@ -115,6 +136,20 @@ func (a v1Engine) Execute(ctx context.Context, q QueryID, p Params) (Result, err
 		return Result{}, err
 	}
 	return a.v1.Execute(q, p)
+}
+
+// V1 engines predate the update workload; the adapter declines U1-U3.
+
+func (a v1Engine) InsertDocument(context.Context, string, []byte) error {
+	return fmt.Errorf("core: %s is a v1 engine: %w", a.v1.Name(), ErrReadOnly)
+}
+
+func (a v1Engine) ReplaceDocument(context.Context, string, []byte) error {
+	return fmt.Errorf("core: %s is a v1 engine: %w", a.v1.Name(), ErrReadOnly)
+}
+
+func (a v1Engine) DeleteDocument(context.Context, string) error {
+	return fmt.Errorf("core: %s is a v1 engine: %w", a.v1.Name(), ErrReadOnly)
 }
 
 // V1 returns the wrapped legacy engine.

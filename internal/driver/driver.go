@@ -54,6 +54,20 @@ type Config struct {
 	// Think is the per-client pause between queries (closed-loop think
 	// time). 0 selects the 2ms default; < 0 disables thinking entirely.
 	Think time.Duration
+	// UpdateFraction is the probability, per op, that a client issues a
+	// document update (drawn uniformly from UpdateOps) instead of a
+	// query — the mixed read/write mode. 0 disables updates; values
+	// outside [0, 1) fail the run. Requires a multi-document class.
+	UpdateFraction float64
+	// UpdateOps restricts the update-op mix; nil selects all of
+	// workload.UpdateOps (U1 insert, U2 replace, U3 delete).
+	UpdateOps []workload.UpdateOp
+	// UpdateSeqBase is the first update sequence number handed out.
+	// Update documents are named after their sequence number, and U1
+	// inserts strictly, so a run reusing a warm engine must start past
+	// the sequences already consumed — Sweep threads Report.NextUpdateSeq
+	// through automatically.
+	UpdateSeqBase int
 }
 
 // WithDefaults resolves zero-value fields to their defaults.
@@ -73,6 +87,9 @@ func (c Config) WithDefaults() Config {
 	case c.Think == 0:
 		c.Think = 2 * time.Millisecond
 	}
+	if c.UpdateFraction > 0 && len(c.UpdateOps) == 0 {
+		c.UpdateOps = workload.UpdateOps
+	}
 	return c
 }
 
@@ -80,6 +97,19 @@ func (c Config) WithDefaults() Config {
 type CellStats struct {
 	Query core.QueryID
 	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// UpdateCellStats is the latency summary of one update op in a mixed run.
+// Latencies cover the update operation only — the follow-up verification
+// query is not included (see workload.UpdateMeasurement).
+type UpdateCellStats struct {
+	Op    workload.UpdateOp
+	Count int64
+	Errs  int64
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
@@ -104,12 +134,46 @@ type Report struct {
 	Cells []CellStats
 	// ClientOps is the number of ops each client completed.
 	ClientOps []int
+	// Updates and UpdateErrs count completed and failed update ops in a
+	// mixed run (both are included in Ops and Errs).
+	Updates    int64
+	UpdateErrs int64
+	// UpdateCells summarizes update latency per op, in op order; empty
+	// when the run issued no updates.
+	UpdateCells []UpdateCellStats
+	// NextUpdateSeq is the first unconsumed update sequence number; feed
+	// it into the next run's Config.UpdateSeqBase when reusing the engine.
+	NextUpdateSeq int
 }
 
 // nextOp draws the next query of a client's mix. All mix randomness goes
 // through here so OpSequence replays the client loop exactly.
 func nextOp(rng *stats.RNG, mix []core.QueryID) core.QueryID {
 	return mix[rng.Intn(len(mix))]
+}
+
+// MixedOp is one op of a mixed read/write stream: a query, or (when
+// Update is non-zero) an update operation.
+type MixedOp struct {
+	Query  core.QueryID
+	Update workload.UpdateOp
+}
+
+func (m MixedOp) String() string {
+	if m.Update != 0 {
+		return m.Update.String()
+	}
+	return m.Query.String()
+}
+
+// nextMixedOp draws the next op of a mixed stream. With frac == 0 it
+// consumes exactly the randomness nextOp does, so a pure-query mixed
+// stream replays the classic OpSequence.
+func nextMixedOp(rng *stats.RNG, mix []core.QueryID, frac float64, ups []workload.UpdateOp) MixedOp {
+	if frac > 0 && rng.Float64() < frac {
+		return MixedOp{Update: ups[rng.Intn(len(ups))]}
+	}
+	return MixedOp{Query: nextOp(rng, mix)}
 }
 
 // clientRNG returns client c's dedicated stream for a run seeded seed.
@@ -125,6 +189,22 @@ func OpSequence(seed uint64, client int, mix []core.QueryID, n int) []core.Query
 	out := make([]core.QueryID, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, nextOp(rng, mix))
+	}
+	return out
+}
+
+// MixedOpSequence is OpSequence for mixed read/write runs: the first n
+// ops client (0-based) would issue with the given seed, mix, update
+// fraction and update-op mix. With frac == 0 the sequence is exactly
+// OpSequence's, wrapped in MixedOps.
+func MixedOpSequence(seed uint64, client int, mix []core.QueryID, ups []workload.UpdateOp, frac float64, n int) []MixedOp {
+	if len(ups) == 0 {
+		ups = workload.UpdateOps
+	}
+	rng := clientRNG(seed, client)
+	out := make([]MixedOp, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, nextMixedOp(rng, mix, frac, ups))
 	}
 	return out
 }
@@ -158,6 +238,12 @@ func warmup(ctx context.Context, e core.Engine, class core.Class, candidates []c
 func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Report, error) {
 	cfg = cfg.WithDefaults()
 	rep := Report{Engine: e.Name(), Class: class, Clients: cfg.Clients}
+	if cfg.UpdateFraction < 0 || cfg.UpdateFraction >= 1 {
+		return rep, fmt.Errorf("driver: update fraction %v outside [0, 1)", cfg.UpdateFraction)
+	}
+	if cfg.UpdateFraction > 0 && class.SingleDocument() {
+		return rep, fmt.Errorf("driver: mixed read/write mode needs a multi-document class, not %s", class)
+	}
 
 	candidates := cfg.Queries
 	if candidates == nil {
@@ -179,9 +265,21 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 	for _, q := range mix {
 		hists[q] = metrics.NewHistogram()
 	}
+	uhists := make(map[workload.UpdateOp]*metrics.Histogram, len(cfg.UpdateOps))
+	uerrs := make(map[workload.UpdateOp]*atomic.Int64, len(cfg.UpdateOps))
+	for _, u := range cfg.UpdateOps {
+		uhists[u] = metrics.NewHistogram()
+		uerrs[u] = new(atomic.Int64)
+	}
 	params := workload.Params(class)
 
-	var ops, errs atomic.Int64
+	var ops, errs, updates, updateErrs atomic.Int64
+	// updateSeq hands out globally unique document sequence numbers. The
+	// assignment order under concurrency is scheduling-dependent, but the
+	// op streams themselves stay deterministic — sequence numbers only
+	// pick document names, never what ops are drawn.
+	var updateSeq atomic.Int64
+	updateSeq.Store(int64(cfg.UpdateSeqBase))
 	clientOps := make([]int, cfg.Clients)
 	var errMu sync.Mutex
 	var firstErr error
@@ -209,10 +307,23 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 				if ctx.Err() != nil {
 					return
 				}
-				q := nextOp(rng, mix)
-				t0 := time.Now()
-				_, err := e.Execute(ctx, q, params)
-				hists[q].Observe(time.Since(t0))
+				op := nextMixedOp(rng, mix, cfg.UpdateFraction, cfg.UpdateOps)
+				var err error
+				if op.Update != 0 {
+					seq := int(updateSeq.Add(1)) - 1
+					m := workload.RunUpdateOp(ctx, e, class, op.Update, seq)
+					uhists[op.Update].Observe(m.Elapsed)
+					updates.Add(1)
+					err = m.Err
+					if err != nil {
+						updateErrs.Add(1)
+						uerrs[op.Update].Add(1)
+					}
+				} else {
+					t0 := time.Now()
+					_, err = e.Execute(ctx, op.Query, params)
+					hists[op.Query].Observe(time.Since(t0))
+				}
 				ops.Add(1)
 				clientOps[client]++
 				if err != nil {
@@ -238,6 +349,9 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 	if rep.Elapsed > 0 {
 		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()
 	}
+	rep.Updates = updates.Load()
+	rep.UpdateErrs = updateErrs.Load()
+	rep.NextUpdateSeq = int(updateSeq.Load())
 	qs := append([]core.QueryID(nil), mix...)
 	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
 	for _, q := range qs {
@@ -250,6 +364,20 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 			P95:   h.P95(),
 			P99:   h.P99(),
 		})
+	}
+	if rep.Updates > 0 {
+		for _, u := range cfg.UpdateOps {
+			h := uhists[u]
+			rep.UpdateCells = append(rep.UpdateCells, UpdateCellStats{
+				Op:    u,
+				Count: h.Count(),
+				Errs:  uerrs[u].Load(),
+				Mean:  h.Mean(),
+				P50:   h.P50(),
+				P95:   h.P95(),
+				P99:   h.P99(),
+			})
+		}
 	}
 	if firstErr != nil {
 		return rep, fmt.Errorf("driver: %d/%d queries failed, first: %w", rep.Errs, rep.Ops, firstErr)
@@ -272,9 +400,11 @@ func Sweep(ctx context.Context, e core.Engine, class core.Class, clientCounts []
 		out = append(out, rep)
 		// The first run warmed the pool and filtered the mix down to the
 		// queries the engine answers; later steps must reuse that filtered
-		// mix, not the raw candidate list.
+		// mix, not the raw candidate list. Mixed runs also thread the
+		// update sequence forward so U1 never reuses a document name.
 		cfg.NoWarmup = true
 		cfg.Queries = rep.Mix
+		cfg.UpdateSeqBase = rep.NextUpdateSeq
 	}
 	return out, nil
 }

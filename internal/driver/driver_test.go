@@ -13,12 +13,17 @@ import (
 )
 
 // stubEngine answers every query instantly and records the sequence of
-// query ids it saw (meaningful only with one client).
+// query ids it saw (meaningful only with one client). Documents live in
+// an in-memory map so mixed-mode runs (updates + verification queries)
+// behave like a real store.
 type stubEngine struct {
-	mu      sync.Mutex
-	seen    []core.QueryID
-	execErr error
-	noQuery map[core.QueryID]bool
+	mu        sync.Mutex
+	seen      []core.QueryID
+	execErr   error
+	noQuery   map[core.QueryID]bool
+	updateErr error
+	docs      map[string][]byte
+	updates   int
 }
 
 func (s *stubEngine) Name() string                         { return "stub" }
@@ -31,7 +36,42 @@ func (s *stubEngine) Load(context.Context, *core.Database) (core.LoadStats, erro
 	return core.LoadStats{}, nil
 }
 
-func (s *stubEngine) Execute(_ context.Context, q core.QueryID, _ core.Params) (core.Result, error) {
+func (s *stubEngine) mutate(name string, data []byte, insert bool) error {
+	if s.updateErr != nil {
+		return s.updateErr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.docs == nil {
+		s.docs = map[string][]byte{}
+	}
+	if insert {
+		if _, ok := s.docs[name]; ok {
+			return context.Canceled // any error will do for the stub
+		}
+	}
+	s.updates++
+	if data == nil {
+		delete(s.docs, name)
+		return nil
+	}
+	s.docs[name] = data
+	return nil
+}
+
+func (s *stubEngine) InsertDocument(_ context.Context, name string, data []byte) error {
+	return s.mutate(name, data, true)
+}
+
+func (s *stubEngine) ReplaceDocument(_ context.Context, name string, data []byte) error {
+	return s.mutate(name, data, false)
+}
+
+func (s *stubEngine) DeleteDocument(_ context.Context, name string) error {
+	return s.mutate(name, nil, false)
+}
+
+func (s *stubEngine) Execute(_ context.Context, q core.QueryID, p core.Params) (core.Result, error) {
 	if s.noQuery[q] {
 		return core.Result{}, core.ErrNoQuery
 	}
@@ -39,8 +79,19 @@ func (s *stubEngine) Execute(_ context.Context, q core.QueryID, _ core.Params) (
 		return core.Result{}, s.execErr
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Update-workload verification: Q1 for an update target id ("OU<n>"
+	// / "aU<n>") answers from the document map, so U3's "gone after
+	// delete" check works against the stub.
+	if x := p["X"]; q == core.Q1 && len(x) > 2 && (x[:2] == "OU" || x[:2] == "aU") {
+		for _, name := range []string{"order-update-" + x[2:] + ".xml", "article-update-" + x[2:] + ".xml"} {
+			if doc, ok := s.docs[name]; ok {
+				return core.Result{Items: []string{string(doc)}}, nil
+			}
+		}
+		return core.Result{}, nil
+	}
 	s.seen = append(s.seen, q)
-	s.mu.Unlock()
 	return core.Result{Items: []string{"x"}}, nil
 }
 

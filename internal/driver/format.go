@@ -23,12 +23,26 @@ func WriteTable(w io.Writer, reports []Report) {
 		return
 	}
 	r0 := reports[0]
+	mixed := false
+	for _, r := range reports {
+		if r.Updates > 0 {
+			mixed = true
+		}
+	}
 	fmt.Fprintf(w, "Throughput: %s on %s (closed loop, %d query types in mix)\n",
 		r0.Engine, r0.Class, len(r0.Mix))
-	fmt.Fprintf(w, "%-8s %-10s %-8s %-6s %-10s\n", "clients", "qps", "ops", "errs", "elapsed")
-	for _, r := range reports {
-		fmt.Fprintf(w, "%-8d %-10.1f %-8d %-6d %-10s\n",
-			r.Clients, r.Throughput, r.Ops, r.Errs, r.Elapsed.Round(time.Millisecond))
+	if mixed {
+		fmt.Fprintf(w, "%-8s %-10s %-8s %-8s %-6s %-10s\n", "clients", "qps", "ops", "updates", "errs", "elapsed")
+		for _, r := range reports {
+			fmt.Fprintf(w, "%-8d %-10.1f %-8d %-8d %-6d %-10s\n",
+				r.Clients, r.Throughput, r.Ops, r.Updates, r.Errs, r.Elapsed.Round(time.Millisecond))
+		}
+	} else {
+		fmt.Fprintf(w, "%-8s %-10s %-8s %-6s %-10s\n", "clients", "qps", "ops", "errs", "elapsed")
+		for _, r := range reports {
+			fmt.Fprintf(w, "%-8d %-10.1f %-8d %-6d %-10s\n",
+				r.Clients, r.Throughput, r.Ops, r.Errs, r.Elapsed.Round(time.Millisecond))
+		}
 	}
 	last := reports[len(reports)-1]
 	fmt.Fprintf(w, "\nPer-query latency at %d clients (ms):\n", last.Clients)
@@ -36,6 +50,14 @@ func WriteTable(w io.Writer, reports []Report) {
 	for _, c := range last.Cells {
 		fmt.Fprintf(w, "%-6s %-8d %-10s %-10s %-10s %-10s\n",
 			c.Query, c.Count, ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99))
+	}
+	if len(last.UpdateCells) > 0 {
+		fmt.Fprintf(w, "\nPer-update-op latency at %d clients (ms, update only — verification excluded):\n", last.Clients)
+		fmt.Fprintf(w, "%-6s %-8s %-6s %-10s %-10s %-10s %-10s\n", "op", "count", "errs", "mean", "p50", "p95", "p99")
+		for _, c := range last.UpdateCells {
+			fmt.Fprintf(w, "%-6s %-8d %-6d %-10s %-10s %-10s %-10s\n",
+				c.Op, c.Count, c.Errs, ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99))
+		}
 	}
 }
 
@@ -68,6 +90,18 @@ func WriteCSV(w io.Writer, reports []Report) error {
 				return err
 			}
 		}
+		// Update cells ride in the same schema, keyed by op name (U1..U3)
+		// in the query column.
+		for _, c := range r.UpdateCells {
+			row := []string{
+				r.Engine, r.Class.String(), strconv.Itoa(r.Clients), c.Op.String(),
+				strconv.FormatInt(c.Count, 10), strconv.FormatInt(c.Errs, 10), "",
+				ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
 	}
 	cw.Flush()
 	return cw.Error()
@@ -87,11 +121,17 @@ type jsonReport struct {
 	Throughput float64    `json:"qps"`
 	Cells      []jsonCell `json:"cells"`
 	ClientOps  []int      `json:"client_ops"`
+	Updates    int64      `json:"updates,omitempty"`
+	UpdateErrs int64      `json:"update_errs,omitempty"`
+	// UpdateCells reuses the query-cell shape with the op name (U1..U3)
+	// in the query field.
+	UpdateCells []jsonCell `json:"update_cells,omitempty"`
 }
 
 type jsonCell struct {
 	Query  string  `json:"query"`
 	Count  int64   `json:"count"`
+	Errs   int64   `json:"errs,omitempty"`
 	MeanMS float64 `json:"mean_ms"`
 	P50MS  float64 `json:"p50_ms"`
 	P95MS  float64 `json:"p95_ms"`
@@ -122,6 +162,15 @@ func WriteJSON(w io.Writer, reports []Report) error {
 		for _, c := range r.Cells {
 			jr.Cells = append(jr.Cells, jsonCell{
 				Query: c.Query.String(), Count: c.Count,
+				MeanMS: msf(c.Mean), P50MS: msf(c.P50),
+				P95MS: msf(c.P95), P99MS: msf(c.P99),
+			})
+		}
+		jr.Updates = r.Updates
+		jr.UpdateErrs = r.UpdateErrs
+		for _, c := range r.UpdateCells {
+			jr.UpdateCells = append(jr.UpdateCells, jsonCell{
+				Query: c.Op.String(), Count: c.Count, Errs: c.Errs,
 				MeanMS: msf(c.Mean), P50MS: msf(c.P50),
 				P95MS: msf(c.P95), P99MS: msf(c.P99),
 			})

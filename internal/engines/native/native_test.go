@@ -148,7 +148,7 @@ func TestReplaceAndDeleteDocument(t *testing.T) {
 		<cc_auth_id>1</cc_auth_id><total_amount>42.42</total_amount></cc_xacts>
 		<order_lines><order_line><item_id>I1</item_id><qty>1</qty>
 		<discount>0</discount></order_line></order_lines></order>`)
-	if err := e.ReplaceDocument("order1.xml", newDoc); err != nil {
+	if err := e.ReplaceDocument(context.Background(), "order1.xml", newDoc); err != nil {
 		t.Fatal(err)
 	}
 	if e.DocumentCount() != before {
@@ -163,7 +163,7 @@ func TestReplaceAndDeleteDocument(t *testing.T) {
 	}
 
 	// Delete it and confirm it is gone.
-	if err := e.DeleteDocument("order1.xml"); err != nil {
+	if err := e.DeleteDocument(context.Background(), "order1.xml"); err != nil {
 		t.Fatal(err)
 	}
 	if e.DocumentCount() != before-1 {
@@ -176,10 +176,10 @@ func TestReplaceAndDeleteDocument(t *testing.T) {
 	if len(res.Items) != 0 {
 		t.Fatalf("deleted order still queryable: %v", res.Items)
 	}
-	if err := e.DeleteDocument("order1.xml"); err == nil {
+	if err := e.DeleteDocument(context.Background(), "order1.xml"); err == nil {
 		t.Fatal("double delete succeeded")
 	}
-	if err := e.ReplaceDocument("bad.xml", []byte("<a><b></a>")); err == nil {
+	if err := e.ReplaceDocument(context.Background(), "bad.xml", []byte("<a><b></a>")); err == nil {
 		t.Fatal("replace accepted malformed XML")
 	}
 }
@@ -190,7 +190,7 @@ func TestReplaceUpsertsNewDocument(t *testing.T) {
 	doc := []byte(`<article id="a999"><prolog><title>Fresh</title>
 		<authors><author><name>N</name></author></authors></prolog>
 		<body><sec id="s1"><p>x</p></sec></body></article>`)
-	if err := e.ReplaceDocument("article999.xml", doc); err != nil {
+	if err := e.ReplaceDocument(context.Background(), "article999.xml", doc); err != nil {
 		t.Fatal(err)
 	}
 	if e.DocumentCount() != before+1 {
@@ -207,7 +207,7 @@ func TestIndexesRebuildAfterUpdate(t *testing.T) {
 	if err := e.BuildIndexes(queries.Indexes(core.DCMD)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.DeleteDocument("order2.xml"); err != nil {
+	if err := e.DeleteDocument(context.Background(), "order2.xml"); err != nil {
 		t.Fatal(err)
 	}
 	// Indexes were dropped; scan still answers, then rebuild works.

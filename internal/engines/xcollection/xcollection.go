@@ -23,6 +23,7 @@ import (
 	"xbench/internal/pager"
 	"xbench/internal/relational"
 	"xbench/internal/shredder"
+	"xbench/internal/updatelog"
 	"xbench/internal/xmldom"
 )
 
@@ -42,6 +43,8 @@ type Engine struct {
 	p        *pager.Pager
 	store    *shredder.Store
 	rowLimit int
+	docIDs   map[string]string // document name -> unit-document root id
+	journal  *updatelog.Log    // logical redo journal for U1-U3
 }
 
 // New returns an empty engine. rowLimit <= 0 selects DefaultRowLimit.
@@ -51,7 +54,7 @@ func New(poolPages, rowLimit int) *Engine {
 	}
 	p := pager.New(poolPages)
 	p.SetMetrics(metrics.NewRegistry())
-	return &Engine{p: p, rowLimit: rowLimit}
+	return &Engine{p: p, rowLimit: rowLimit, journal: updatelog.New(p, "updates")}
 }
 
 // Name implements core.Engine.
@@ -77,6 +80,10 @@ func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
 // reset empties the store so Load is idempotent.
 func (e *Engine) reset() error {
+	e.docIDs = nil
+	if err := e.journal.Reset(); err != nil {
+		return err
+	}
 	if e.store != nil {
 		if err := e.store.Truncate(); err != nil {
 			return err
@@ -119,6 +126,7 @@ func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, e
 func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	var st core.LoadStats
 	start := e.p.Stats()
+	e.docIDs = make(map[string]string, len(db.Docs))
 	rdb := relational.NewDB(e.p)
 	e.store = shredder.NewStore(db.Class, rdb, shredder.Options{
 		RowLimitPerDoc:   e.rowLimit,
@@ -135,6 +143,9 @@ func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStat
 		rows, err := e.store.ShredDocument(d.Name, doc)
 		if err != nil {
 			return st, err
+		}
+		if id, ok := shredder.UnitDocID(db.Class, doc); ok {
+			e.docIDs[d.Name] = id
 		}
 		st.Documents++
 		st.Rows += rows
@@ -256,8 +267,127 @@ func (e *Engine) ColdReset() {
 // Execute.
 func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 
-// Close implements core.Engine.
-func (e *Engine) Close() error { return nil }
+// Close implements core.Engine: dirty pages are flushed best-effort and
+// the pager's file handles and pool are released. Double-Close is safe.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = nil
+	e.docIDs = nil
+	return e.p.Close()
+}
+
+// The update workload (U1-U3) below follows the journal-first protocol:
+// validate, journal + sync (the commit point), then apply the shred-table
+// cascade. Only unit documents — whole <order> (DC/MD) / <article>
+// (TC/MD) files — can be updated: those shred into rows keyed by their
+// root id, so document-granularity delete is a clean relational cascade
+// (shredder.DeleteDocumentRows). After a crash, RecoverUpdates reloads
+// and re-applies the committed journal.
+
+// InsertDocument implements core.Engine (U1: shred-table insert).
+func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	doc, id, err := e.updateTarget(name, data)
+	if err != nil {
+		return err
+	}
+	if _, exists := e.docIDs[name]; exists {
+		return fmt.Errorf("xcollection: insert %s: document already exists", name)
+	}
+	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindInsert, Name: name, Data: data}); err != nil {
+		return err
+	}
+	return e.applyInsert(name, id, doc)
+}
+
+// ReplaceDocument implements core.Engine (U2: upsert — delete the old
+// document's rows, then shred the new content).
+func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	doc, id, err := e.updateTarget(name, data)
+	if err != nil {
+		return err
+	}
+	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindReplace, Name: name, Data: data}); err != nil {
+		return err
+	}
+	if old, exists := e.docIDs[name]; exists {
+		if _, err := e.store.DeleteDocumentRows(ctx, old); err != nil {
+			return err
+		}
+		delete(e.docIDs, name)
+	}
+	return e.applyInsert(name, id, doc)
+}
+
+// DeleteDocument implements core.Engine (U3: shred-table delete cascade
+// keyed by the document's root id).
+func (e *Engine) DeleteDocument(ctx context.Context, name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.store == nil {
+		return fmt.Errorf("xcollection: DeleteDocument before Load")
+	}
+	id, exists := e.docIDs[name]
+	if !exists {
+		return fmt.Errorf("xcollection: document %q not found", name)
+	}
+	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindDelete, Name: name}); err != nil {
+		return err
+	}
+	if _, err := e.store.DeleteDocumentRows(ctx, id); err != nil {
+		return err
+	}
+	delete(e.docIDs, name)
+	return nil
+}
+
+// RecoverUpdates restores the store after a crash. Call pager Recover
+// first; RecoverUpdates then reloads db and re-applies the committed
+// update journal in order. Rebuild Table 3 indexes with BuildIndexes.
+func (e *Engine) RecoverUpdates(ctx context.Context, db *core.Database) error {
+	return updatelog.Replay(ctx, e, e.journal, db)
+}
+
+// updateTarget validates an update payload: the store must be loaded and
+// the document must be a unit document of the loaded class.
+func (e *Engine) updateTarget(name string, data []byte) (*xmldom.Node, string, error) {
+	if e.store == nil {
+		return nil, "", fmt.Errorf("xcollection: update before Load")
+	}
+	doc, err := xmldom.Parse(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("xcollection: update %s: %w", name, err)
+	}
+	id, ok := shredder.UnitDocID(e.store.Class, doc)
+	if !ok {
+		return nil, "", fmt.Errorf("xcollection: update %s: not a unit document of %s: %w",
+			name, e.store.Class, core.ErrUnsupported)
+	}
+	return doc, id, nil
+}
+
+// applyInsert shreds the document (which syncs per document) and records
+// its root id. Caller holds the write lock and has journaled the update.
+func (e *Engine) applyInsert(name, id string, doc *xmldom.Node) error {
+	if _, err := e.store.ShredDocument(name, doc); err != nil {
+		return err
+	}
+	e.docIDs[name] = id
+	return nil
+}
 
 // Store exposes the shredded store for tests.
 func (e *Engine) Store() *shredder.Store { return e.store }

@@ -27,6 +27,7 @@ import (
 	"xbench/internal/pager"
 	"xbench/internal/queries"
 	"xbench/internal/relational"
+	"xbench/internal/updatelog"
 	"xbench/internal/xmldom"
 	"xbench/internal/xquery"
 )
@@ -35,19 +36,21 @@ import (
 // against a loaded database; Load, BuildIndexes and ColdReset take the
 // write lock, excluding (and quiescing) queries.
 type Engine struct {
-	mu    sync.RWMutex
-	p     *pager.Pager
-	class core.Class
-	clobs *pager.Heap
-	rids  []pager.RID // CLOB rids in load order
-	db    *relational.DB
+	mu      sync.RWMutex
+	p       *pager.Pager
+	class   core.Class
+	clobs   *pager.Heap
+	rids    []pager.RID          // CLOB rids in load order
+	names   map[string]pager.RID // document name -> CLOB rid
+	db      *relational.DB
+	journal *updatelog.Log // logical redo journal for U1-U3
 }
 
 // New returns an empty engine.
 func New(poolPages int) *Engine {
 	p := pager.New(poolPages)
 	p.SetMetrics(metrics.NewRegistry())
-	return &Engine{p: p, clobs: pager.NewHeap(p, "clobs")}
+	return &Engine{p: p, clobs: pager.NewHeap(p, "clobs"), journal: updatelog.New(p, "updates")}
 }
 
 // Name implements core.Engine.
@@ -73,7 +76,11 @@ func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 // reset empties the store so Load is idempotent.
 func (e *Engine) reset() error {
 	e.rids = nil
+	e.names = nil
 	if err := e.clobs.Reset(); err != nil {
+		return err
+	}
+	if err := e.journal.Reset(); err != nil {
 		return err
 	}
 	if e.db != nil {
@@ -120,6 +127,7 @@ func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStat
 	var st core.LoadStats
 	start := e.p.Stats()
 	e.class = db.Class
+	e.names = make(map[string]pager.RID, len(db.Docs))
 	e.db = relational.NewDB(e.p)
 	switch db.Class {
 	case core.DCMD:
@@ -145,6 +153,7 @@ func (e *Engine) loadDocs(ctx context.Context, db *core.Database) (core.LoadStat
 			return st, err
 		}
 		e.rids = append(e.rids, rid)
+		e.names[d.Name] = rid
 		rows, err := e.populateSideTables(strconv.FormatUint(uint64(rid), 10), doc)
 		if err != nil {
 			return st, err
@@ -622,7 +631,143 @@ func (e *Engine) ColdReset() {
 // Execute.
 func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 
-// Close implements core.Engine.
-func (e *Engine) Close() error { return nil }
+// Close implements core.Engine: dirty pages are flushed best-effort and
+// the pager's file handles and pool are released. Double-Close is safe.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.db = nil
+	e.names = nil
+	e.rids = nil
+	return e.p.Close()
+}
+
+// The update workload (U1-U3) below follows the journal-first protocol:
+// validate, journal + sync (the commit point), then apply. Applying a
+// replace or delete regenerates the side tables for the document — the
+// dxx_seqno columns are renumbered from the new content — and the old
+// CLOB bytes are abandoned until the next full load, like a vacuum-less
+// store. After a crash, RecoverUpdates reloads and re-applies the
+// committed journal.
+
+// InsertDocument implements core.Engine (U1: CLOB row + side-table rows).
+func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.db == nil {
+		return fmt.Errorf("xcolumn: InsertDocument before Load")
+	}
+	parsed, err := xmldom.Parse(data)
+	if err != nil {
+		return fmt.Errorf("xcolumn: insert %s: %w", name, err)
+	}
+	if _, exists := e.names[name]; exists {
+		return fmt.Errorf("xcolumn: insert %s: document already exists", name)
+	}
+	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindInsert, Name: name, Data: data}); err != nil {
+		return err
+	}
+	return e.applyInsert(name, data, parsed)
+}
+
+// ReplaceDocument implements core.Engine (U2: upsert; side-table rows are
+// regenerated, renumbering dxx_seqno from the new content).
+func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.db == nil {
+		return fmt.Errorf("xcolumn: ReplaceDocument before Load")
+	}
+	parsed, err := xmldom.Parse(data)
+	if err != nil {
+		return fmt.Errorf("xcolumn: replace %s: %w", name, err)
+	}
+	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindReplace, Name: name, Data: data}); err != nil {
+		return err
+	}
+	if _, exists := e.names[name]; exists {
+		if err := e.applyDelete(ctx, name); err != nil {
+			return err
+		}
+	}
+	return e.applyInsert(name, data, parsed)
+}
+
+// DeleteDocument implements core.Engine (U3: drop the CLOB reference and
+// cascade to every side table).
+func (e *Engine) DeleteDocument(ctx context.Context, name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.db == nil {
+		return fmt.Errorf("xcolumn: DeleteDocument before Load")
+	}
+	if _, exists := e.names[name]; !exists {
+		return fmt.Errorf("xcolumn: document %q not found", name)
+	}
+	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindDelete, Name: name}); err != nil {
+		return err
+	}
+	return e.applyDelete(ctx, name)
+}
+
+// RecoverUpdates restores the store after a crash. Call pager Recover
+// first; RecoverUpdates then reloads db and re-applies the committed
+// update journal in order. Rebuild side-table indexes with BuildIndexes.
+func (e *Engine) RecoverUpdates(ctx context.Context, db *core.Database) error {
+	return updatelog.Replay(ctx, e, e.journal, db)
+}
+
+// applyInsert stores the CLOB and regenerates side-table rows. Caller
+// holds the write lock and has journaled the update.
+func (e *Engine) applyInsert(name string, data []byte, parsed *xmldom.Node) error {
+	rid, err := e.clobs.Insert(data)
+	if err != nil {
+		return err
+	}
+	e.rids = append(e.rids, rid)
+	e.names[name] = rid
+	if _, err := e.populateSideTables(strconv.FormatUint(uint64(rid), 10), parsed); err != nil {
+		return err
+	}
+	if err := e.clobs.Sync(); err != nil {
+		return err
+	}
+	for _, tn := range e.db.TableNames() {
+		if err := e.db.Table(tn).Flush(); err != nil {
+			return err
+		}
+	}
+	return e.p.SyncAll()
+}
+
+// applyDelete removes the document's side-table rows (every side table
+// carries a doc reference column) and forgets its CLOB. Caller holds the
+// write lock and has journaled the update.
+func (e *Engine) applyDelete(ctx context.Context, name string) error {
+	rid := e.names[name]
+	ref := strconv.FormatUint(uint64(rid), 10)
+	for _, tn := range e.db.TableNames() {
+		if _, err := e.db.Table(tn).DeleteWhere(ctx, "doc", ref); err != nil {
+			return err
+		}
+	}
+	delete(e.names, name)
+	for i, r := range e.rids {
+		if r == rid {
+			e.rids = append(e.rids[:i], e.rids[i+1:]...)
+			break
+		}
+	}
+	return e.p.SyncAll()
+}
 
 var _ core.Engine = (*Engine)(nil)

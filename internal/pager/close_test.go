@@ -1,0 +1,62 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCloseFlushesAndReleasesFiles(t *testing.T) {
+	p := New(4)
+	f := p.Create("t")
+	no, err := p.Append(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("z"), 64)
+	if err := p.Write(f, no, data); err != nil {
+		t.Fatal(err)
+	}
+	if p.OpenFiles() != 1 {
+		t.Fatalf("OpenFiles = %d before close", p.OpenFiles())
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.OpenFiles() != 0 {
+		t.Fatalf("OpenFiles = %d after close", p.OpenFiles())
+	}
+	// Double close must be a safe no-op — engines close defensively.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpsAfterCloseFail(t *testing.T) {
+	p := New(4)
+	f := p.Create("t")
+	if _, err := p.Append(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(f, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Read after close: %v", err)
+	}
+	if err := p.Write(f, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write after close: %v", err)
+	}
+	if _, err := p.Append(f); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := p.Truncate(f); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Truncate after close: %v", err)
+	}
+	if err := p.Sync(f); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close: %v", err)
+	}
+	if err := p.SyncAll(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SyncAll after close: %v", err)
+	}
+}

@@ -91,6 +91,9 @@ type Pager struct {
 	// fault injection + write-ahead log (fault.go, wal.go); nil when the
 	// disk is perfect.
 	fault *faultState
+	// closed is set by Close; every subsequent file operation fails with
+	// ErrClosed.
+	closed bool
 	// copyReads returns defensive copies from Read (forced on by fault
 	// injection, optional otherwise — see the Read aliasing contract).
 	copyReads bool
@@ -175,14 +178,52 @@ func (p *Pager) Metrics() *metrics.Registry {
 	return p.reg
 }
 
-// Create makes a new empty file and returns its id.
+// ErrClosed is returned by file operations on a pager after Close.
+var ErrClosed = fmt.Errorf("pager: closed")
+
+// Create makes a new empty file and returns its id. On a closed pager it
+// returns an unregistered id whose operations fail with "unknown file".
 func (p *Pager) Create(name string) FileID {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	id := p.next
 	p.next++
+	if p.closed {
+		return id
+	}
 	p.files[id] = &file{name: name}
 	return id
+}
+
+// Close releases the pager's simulated file handles, buffer pool frames
+// and WAL/fault state. Dirty pages are flushed best-effort first (a
+// crashed pager simply drops them). Double-Close is safe; any file
+// operation after Close fails with ErrClosed.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].dirty {
+			_ = p.writeBack(&p.frames[i]) // best-effort, like ColdReset
+		}
+	}
+	p.closed = true
+	p.files = make(map[FileID]*file)
+	p.frames = nil
+	p.table = nil
+	p.fault = nil
+	return nil
+}
+
+// OpenFiles returns the number of simulated file handles currently open
+// (0 after Close). It is the observable the fd-leak tests assert on.
+func (p *Pager) OpenFiles() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.files)
 }
 
 // Truncate discards all pages of a file, including cached ones. While
@@ -190,6 +231,9 @@ func (p *Pager) Create(name string) FileID {
 func (p *Pager) Truncate(fid FileID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
 	f, ok := p.files[fid]
 	if !ok {
 		return fmt.Errorf("pager: unknown file %d", fid)
@@ -224,6 +268,9 @@ func (p *Pager) NumPages(fid FileID) uint32 {
 func (p *Pager) Append(fid FileID) (uint32, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
 	f, ok := p.files[fid]
 	if !ok {
 		return 0, fmt.Errorf("pager: unknown file %d", fid)
@@ -276,6 +323,10 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 	key := pageKey{fid, no}
 
 	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrClosed
+	}
 	if p.fault != nil && p.fault.crashed {
 		p.mu.RUnlock()
 		return nil, ErrCrashed // even pool hits: the machine is down
@@ -341,6 +392,9 @@ func (p *Pager) Write(fid FileID, no uint32, data []byte) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
 	f, ok := p.files[fid]
 	if !ok || no >= uint32(len(f.pages)) {
 		return fmt.Errorf("pager: write beyond end of file %d page %d", fid, no)
@@ -428,6 +482,9 @@ func (p *Pager) writeBack(fr *frame) error {
 func (p *Pager) Sync(fid FileID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].dirty && p.frames[i].key.fid == fid {
 			if err := p.writeBack(&p.frames[i]); err != nil {
@@ -442,6 +499,9 @@ func (p *Pager) Sync(fid FileID) error {
 func (p *Pager) SyncAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].dirty {
 			if err := p.writeBack(&p.frames[i]); err != nil {

@@ -157,11 +157,73 @@ func (t *Table) Insert(row Row) error {
 // Flush persists buffered heap pages (end of bulk load).
 func (t *Table) Flush() error { return t.heap.Flush() }
 
+// DeleteWhere removes every row whose col equals val, returning the
+// number removed. The heap is append-only, so deletion rewrites the
+// table: surviving rows are re-inserted and any indexes are rebuilt over
+// them (the old index files are abandoned, as in Truncate). That is
+// acceptable for the update workload, which deletes one document's few
+// rows out of a table it mostly keeps; crash-atomicity of the rewrite is
+// the caller's concern (the engines journal the update before applying
+// it and replay from scratch after a crash).
+func (t *Table) DeleteWhere(ctx context.Context, col, val string) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ci := t.Col(col)
+	var keep []Row
+	deleted := 0
+	err := t.heap.Scan(ctx, func(_ pager.RID, rec []byte) bool {
+		row := decodeRow(rec)
+		if row[ci] == val {
+			deleted++
+		} else {
+			keep = append(keep, row)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if deleted == 0 {
+		return 0, nil
+	}
+	indexed := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		indexed = append(indexed, c)
+	}
+	sort.Strings(indexed)
+	if err := t.heap.Reset(); err != nil {
+		return deleted, err
+	}
+	t.rids = nil
+	t.indexes = map[string]*btree.Tree{}
+	for _, row := range keep {
+		rid, err := t.heap.Insert(encodeRow(row))
+		if err != nil {
+			return deleted, err
+		}
+		t.rids = append(t.rids, rid)
+	}
+	if err := t.heap.Flush(); err != nil {
+		return deleted, err
+	}
+	for _, c := range indexed {
+		if err := t.createIndexLocked(c); err != nil {
+			return deleted, err
+		}
+	}
+	return deleted, nil
+}
+
 // CreateIndex builds a B+tree on col over existing rows. Creating the same
 // index twice is a no-op.
 func (t *Table) CreateIndex(col string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.createIndexLocked(col)
+}
+
+// createIndexLocked is CreateIndex under an already-held exclusive latch.
+func (t *Table) createIndexLocked(col string) error {
 	if _, ok := t.indexes[col]; ok {
 		return nil
 	}

@@ -18,6 +18,7 @@
 package shredder
 
 import (
+	"context"
 	"fmt"
 
 	"xbench/internal/core"
@@ -204,6 +205,67 @@ func (s *Store) Truncate() error {
 	s.Rows = 0
 	s.SkippedMixed = 0
 	return s.DB.Truncate()
+}
+
+// UnitDocID returns the root id of a document the update workload can
+// target: a whole <order> (DC/MD) or <article> (TC/MD). Those are the
+// unit documents of the multi-document classes — one document per
+// logical entity, so document-granularity insert/replace/delete maps to
+// a clean relational cascade keyed by that id. Other roots (the shared
+// customers/items/... documents of DC/MD) return ok=false: they shred
+// into rows for many entities and have no single delete key.
+func UnitDocID(class core.Class, doc *xmldom.Node) (string, bool) {
+	root := doc.Root()
+	if root == nil {
+		return "", false
+	}
+	switch {
+	case class == core.DCMD && root.Name == "order":
+		id, ok := root.Attr("id")
+		return id, ok && id != ""
+	case class == core.TCMD && root.Name == "article":
+		id, ok := root.Attr("id")
+		return id, ok && id != ""
+	}
+	return "", false
+}
+
+// DeleteDocumentRows removes every row the unit document with the given
+// root id shredded into, returning the number of rows deleted. The
+// cascade is the inverse of shredDCMD/shredArticle: each per-document
+// table is filtered on its document-id column. The store is synced after
+// the rewrite, like a per-document load transaction.
+func (s *Store) DeleteDocumentRows(ctx context.Context, id string) (int, error) {
+	var cascade [][2]string
+	switch s.Class {
+	case core.DCMD:
+		cascade = [][2]string{
+			{"order_tab", "id"},
+			{"order_line_tab", "order_id"},
+		}
+	case core.TCMD:
+		cascade = [][2]string{
+			{"article_tab", "id"},
+			{"abs_para_tab", "article_id"},
+			{"art_author_tab", "article_id"},
+			{"sec_tab", "article_id"},
+			{"para_tab", "article_id"},
+			{"kw_tab", "article_id"},
+			{"ref_tab", "article_id"},
+		}
+	default:
+		return 0, fmt.Errorf("shredder: class %v has no unit documents: %w", s.Class, core.ErrUnsupported)
+	}
+	deleted := 0
+	for _, tc := range cascade {
+		n, err := s.DB.Table(tc[0]).DeleteWhere(ctx, tc[1], id)
+		if err != nil {
+			return deleted, fmt.Errorf("shredder: delete %s rows of %s: %w", tc[0], id, err)
+		}
+		deleted += n
+	}
+	s.Rows -= deleted
+	return deleted, s.Sync()
 }
 
 func (s *Store) shredCatalog(root *xmldom.Node) error {

@@ -1,0 +1,262 @@
+// Package updatelog is the logical redo journal that makes document
+// updates (U1 insert, U2 replace, U3 delete) crash-atomic on every
+// engine.
+//
+// The pager's physical WAL guarantees page-level durability — recovery
+// restores exactly the page images that were written back before the
+// crash — but an update is a multi-page, multi-file operation (catalog
+// rewrite, side-table cascade, index maintenance), so a crash mid-update
+// leaves a perfectly durable *torn* store. The engines also keep volatile
+// bookkeeping (heap tails, RID slices, index maps) that dies with the
+// crash and has no open-from-disk path: their recovery story is "reload
+// the database from the generator", which wipes uncommitted updates along
+// with committed ones.
+//
+// The journal closes that gap with logical redo. Each engine owns one
+// journal file; an update's protocol is:
+//
+//	validate -> journal append + sync (COMMIT POINT) -> apply to store
+//
+// The journal sync is the commit point: it is a single checksummed record
+// append, so after a crash the record is either durably complete
+// (committed — the update logically happened) or torn/absent (it never
+// happened). Recovery is then: read the committed records off the
+// recovered disk, reload the database (wiping any torn physical state
+// and resetting the journal), and re-apply the committed updates in
+// order through the engine's public update methods, which re-journal
+// them. Replay is idempotent because each update was validated against
+// the very prefix state replay reconstructs.
+package updatelog
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"xbench/internal/core"
+	"xbench/internal/pager"
+)
+
+// Kind identifies the update operation a journal record describes.
+type Kind uint8
+
+const (
+	// KindInsert is a U1 document insert.
+	KindInsert Kind = 1
+	// KindReplace is a U2 wholesale document replacement (upsert).
+	KindReplace Kind = 2
+	// KindDelete is a U3 document delete.
+	KindDelete Kind = 3
+)
+
+// String returns the update-workload name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindReplace:
+		return "replace"
+	case KindDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one journaled update: the operation, the document name it
+// targets, and (for insert/replace) the full serialized document.
+type Record struct {
+	Kind Kind
+	Name string
+	Data []byte
+}
+
+// recMagic guards every record; a zeroed or torn page fails the check and
+// ends the committed prefix.
+const recMagic = 0x55504431 // "UPD1"
+
+// record layout: magic(4) kind(1) nameLen(4) dataLen(4) name data sum(8)
+const recHeaderSize = 4 + 1 + 4 + 4
+
+func checksum(r Record) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(r.Kind)})
+	h.Write([]byte(r.Name))
+	h.Write(r.Data)
+	return h.Sum64()
+}
+
+func encodeRecord(r Record) []byte {
+	buf := make([]byte, recHeaderSize+len(r.Name)+len(r.Data)+8)
+	binary.BigEndian.PutUint32(buf[0:4], recMagic)
+	buf[4] = byte(r.Kind)
+	binary.BigEndian.PutUint32(buf[5:9], uint32(len(r.Name)))
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(r.Data)))
+	n := copy(buf[recHeaderSize:], r.Name)
+	copy(buf[recHeaderSize+n:], r.Data)
+	binary.BigEndian.PutUint64(buf[len(buf)-8:], checksum(r))
+	return buf
+}
+
+// decodeRecord reads one record from buf, returning the record, the
+// bytes consumed, and whether the record was durably complete. A failed
+// decode (bad magic, impossible lengths, truncation, checksum mismatch)
+// marks the end of the committed prefix — exactly like a torn WAL tail.
+func decodeRecord(buf []byte) (Record, int, bool) {
+	if len(buf) < recHeaderSize+8 {
+		return Record{}, 0, false
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != recMagic {
+		return Record{}, 0, false
+	}
+	r := Record{Kind: Kind(buf[4])}
+	if r.Kind < KindInsert || r.Kind > KindDelete {
+		return Record{}, 0, false
+	}
+	nameLen := int(binary.BigEndian.Uint32(buf[5:9]))
+	dataLen := int(binary.BigEndian.Uint32(buf[9:13]))
+	total := recHeaderSize + nameLen + dataLen + 8
+	if nameLen < 0 || dataLen < 0 || total > len(buf) {
+		return Record{}, 0, false
+	}
+	r.Name = string(buf[recHeaderSize : recHeaderSize+nameLen])
+	r.Data = append([]byte(nil), buf[recHeaderSize+nameLen:recHeaderSize+nameLen+dataLen]...)
+	if len(r.Data) == 0 {
+		r.Data = nil
+	}
+	if binary.BigEndian.Uint64(buf[total-8:total]) != checksum(r) {
+		return Record{}, 0, false
+	}
+	return r, total, true
+}
+
+// Log is an append-only journal over one pager file. It is not
+// goroutine-safe on its own; engines call it under their write lock.
+type Log struct {
+	p   *pager.Pager
+	fid pager.FileID
+
+	// Volatile write cursor — like a heap tail, this state dies with a
+	// crash. Committed deliberately ignores it and reads the disk.
+	end     uint64
+	tail    []byte
+	tailNo  uint32
+	hasTail bool
+}
+
+// New creates the journal file on p. Call once per engine, at
+// construction time.
+func New(p *pager.Pager, name string) *Log {
+	return &Log{p: p, fid: p.Create(name)}
+}
+
+// Append journals one update and syncs the journal file. The sync is the
+// commit point: once Append returns nil the update is durably committed
+// and recovery will replay it; on error (including a crash mid-append)
+// the record is torn or absent and the update never happened.
+func (l *Log) Append(r Record) error {
+	if err := l.write(encodeRecord(r)); err != nil {
+		return fmt.Errorf("updatelog: append: %w", err)
+	}
+	if err := l.p.Sync(l.fid); err != nil {
+		return fmt.Errorf("updatelog: commit sync: %w", err)
+	}
+	return nil
+}
+
+// write lays b down at the end of the journal, page by page. The current
+// tail page is kept in memory and rewritten as records accumulate.
+func (l *Log) write(b []byte) error {
+	for len(b) > 0 {
+		off := int(l.end % pager.PageSize)
+		if off == 0 || !l.hasTail {
+			if _, err := l.p.Append(l.fid); err != nil {
+				return err
+			}
+			l.tail = make([]byte, pager.PageSize)
+			l.tailNo = uint32(l.end / pager.PageSize)
+			l.hasTail = true
+		}
+		n := copy(l.tail[off:], b)
+		b = b[n:]
+		l.end += uint64(n)
+		if err := l.p.Write(l.fid, l.tailNo, l.tail); err != nil {
+			return err
+		}
+		if l.end%pager.PageSize == 0 {
+			l.hasTail = false
+		}
+	}
+	return nil
+}
+
+// Reset truncates the journal (a fresh Load supersedes all prior
+// updates). It fails while the pager is crashed, like any truncation.
+func (l *Log) Reset() error {
+	if err := l.p.Truncate(l.fid); err != nil {
+		return err
+	}
+	l.end = 0
+	l.tail = nil
+	l.hasTail = false
+	return nil
+}
+
+// Committed returns the durably committed records, in commit order. It
+// reads the journal pages from the (recovered) disk rather than trusting
+// the volatile write cursor, stopping at the first torn or invalid
+// record — so it is exactly the set replay must re-apply. Call it after
+// pager recovery and BEFORE reloading the database (Load resets the
+// journal).
+func (l *Log) Committed() ([]Record, error) {
+	n := l.p.NumPages(l.fid)
+	buf := make([]byte, 0, int(n)*pager.PageSize)
+	for no := uint32(0); no < n; no++ {
+		pg, err := l.p.Read(l.fid, no)
+		if err != nil {
+			return nil, fmt.Errorf("updatelog: read page %d: %w", no, err)
+		}
+		buf = append(buf, pg...)
+	}
+	var recs []Record
+	for len(buf) > 0 {
+		r, sz, ok := decodeRecord(buf)
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+		buf = buf[sz:]
+	}
+	return recs, nil
+}
+
+// Replay restores an engine after a crash: it reads the committed
+// updates off l, reloads db (wiping torn physical state and resetting
+// the journal), and re-applies each update in commit order through the
+// engine's public update methods — which re-journal them, rebuilding the
+// log as a side effect. The caller must have run pager recovery first
+// and should rebuild value indexes afterwards (Load drops them).
+func Replay(ctx context.Context, e core.Engine, l *Log, db *core.Database) error {
+	recs, err := l.Committed()
+	if err != nil {
+		return err
+	}
+	if _, err := e.Load(ctx, db); err != nil {
+		return fmt.Errorf("updatelog: replay reload: %w", err)
+	}
+	for _, r := range recs {
+		var err error
+		switch r.Kind {
+		case KindInsert:
+			err = e.InsertDocument(ctx, r.Name, r.Data)
+		case KindReplace:
+			err = e.ReplaceDocument(ctx, r.Name, r.Data)
+		case KindDelete:
+			err = e.DeleteDocument(ctx, r.Name)
+		}
+		if err != nil {
+			return fmt.Errorf("updatelog: replay %s %q: %w", r.Kind, r.Name, err)
+		}
+	}
+	return nil
+}
