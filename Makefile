@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos chaos-updates verify
+.PHONY: build test vet race chaos chaos-updates smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,10 @@ chaos: build
 chaos-updates: build
 	$(GO) run ./cmd/xbench chaos --updates-only --crashes=2
 
+# Serving-layer smoke: xbench serve on loopback, remote 2-client sweep +
+# remote updates, SIGTERM, require a graceful exit 0.
+smoke:
+	bash scripts/serve_smoke.sh
+
 # The PR gate: everything that must be green before a change lands.
-verify: build vet test race chaos-updates
+verify: build vet test race chaos-updates smoke

@@ -18,8 +18,9 @@
 //	xbench load      --engine=x-hive --class=dcmd --size=small
 //	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
 //	xbench workload  --engine=x-hive --class=dcmd --size=small
-//	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--repeat=N] [--format=table|json|csv]
-//	xbench throughput --engine=x-hive --class=dcmd --size=small [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--update-fraction=F] [--format=table|json|csv]
+//	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--remote=ADDR] [--repeat=N] [--format=table|json|csv]
+//	xbench throughput --engine=x-hive --class=dcmd --size=small [--remote=ADDR] [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--update-fraction=F] [--format=table|json|csv]
+//	xbench serve     --engine=x-hive --class=dcmd --size=small [--addr=HOST:PORT] [--max-inflight=N] [--queue-wait=D] [--request-timeout=D] [--drain-timeout=D] [--no-load]
 package main
 
 import (
@@ -43,82 +44,71 @@ import (
 	"xbench/internal/xmlschema"
 )
 
+// command is one subcommand row: the dispatch switch and the usage text
+// are both generated from the same table, so they cannot drift apart.
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
+}
+
+// commands lists every subcommand with its one-line description, in the
+// order usage prints them.
+var commands = []command{
+	{"generate", "generate a benchmark database to a directory", cmdGenerate},
+	{"schema", "print a class schema diagram (Figures 1-4), DTD or XSD", cmdSchema},
+	{"tables", "print the static tables (Tables 1-3)", cmdTables},
+	{"bench", "run the experiment grid and print Tables 4-9", cmdBench},
+	{"report", "per-cell p50/p95/p99 metrics report with phase and I/O breakdown", cmdReport},
+	{"chaos", "crash/recovery fault-injection grid over every engine x class", cmdChaos},
+	{"ablation", "compare indexed vs sequential-scan query times", cmdAblation},
+	{"analyze", "statistical analysis of a generated database (paper 2.1.1)", cmdAnalyze},
+	{"verify", "cross-check every engine's answers against the native engine", cmdVerify},
+	{"shape", "machine-checked paper-vs-measured shape comparison", cmdShape},
+	{"load", "bulk-load one engine and report load statistics", cmdLoad},
+	{"query", "run one workload query on one engine", cmdQuery},
+	{"workload", "run every defined query of a class on one engine", cmdWorkload},
+	{"updates", "update workload (U1-U3): per-op p50/p95/p99 with I/O breakdown", cmdUpdates},
+	{"throughput", "closed-loop multi-client driver: qps + per-query percentiles", cmdThroughput},
+	{"serve", "serve one engine over TCP for remote throughput/updates runs", cmdServe},
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "generate":
-		err = cmdGenerate(args)
-	case "schema":
-		err = cmdSchema(args)
-	case "tables":
-		err = cmdTables(args)
-	case "bench":
-		err = cmdBench(args)
-	case "chaos":
-		err = cmdChaos(args)
-	case "ablation":
-		err = cmdAblation(args)
-	case "analyze":
-		err = cmdAnalyze(args)
-	case "verify":
-		err = cmdVerify(args)
-	case "report":
-		err = cmdReport(args)
-	case "shape":
-		err = cmdShape(args)
-	case "load":
-		err = cmdLoad(args)
-	case "query":
-		err = cmdQuery(args)
-	case "workload":
-		err = cmdWorkload(args)
-	case "updates":
-		err = cmdUpdates(args)
-	case "throughput":
-		err = cmdThroughput(args)
-	case "help", "-h", "--help":
+	name, args := os.Args[1], os.Args[2:]
+	if name == "help" || name == "-h" || name == "--help" {
 		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "xbench: unknown command %q\n", cmd)
-		usage()
-		os.Exit(2)
+		return
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xbench %s: %v\n", cmd, err)
-		os.Exit(1)
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(args); err != nil {
+				fmt.Fprintf(os.Stderr, "xbench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
+	fmt.Fprintf(os.Stderr, "xbench: unknown command %q\n", name)
+	usage()
+	os.Exit(2)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `xbench — XBench XML DBMS benchmark (ICDE 2004) reproduction
-
-commands:
-  generate   generate a benchmark database to a directory
-  schema     print a class schema diagram (Figures 1-4), DTD or XSD
-  tables     print the static tables (Tables 1-3)
-  bench      run the experiment grid and print Tables 4-9
-  report     per-cell p50/p95/p99 metrics report with phase and I/O breakdown
-  chaos      crash/recovery fault-injection grid over every engine x class
-  ablation   compare indexed vs sequential-scan query times
-  analyze    statistical analysis of a generated database (paper 2.1.1)
-  verify     cross-check every engine's answers against the native engine
-  shape      machine-checked paper-vs-measured shape comparison
-  load       bulk-load one engine and report load statistics
-  query      run one workload query on one engine
-  workload   run every defined query of a class on one engine
-  updates    update workload (U1 insert, U2 replace, U3 delete): per-op
-             p50/p95/p99 with I/O breakdown, every engine
-  throughput closed-loop multi-client driver: qps + p50/p95/p99 per query,
-             swept over client counts; --update-fraction mixes in updates
-
+	fmt.Fprintln(os.Stderr, "xbench — XBench XML DBMS benchmark (ICDE 2004) reproduction")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", c.name, c.summary)
+	}
+	fmt.Fprintln(os.Stderr, `
 engines: x-hive | xcolumn | xcollection | sql-server
 classes: tcsd | tcmd | dcsd | dcmd
-sizes:   small | normal | large`)
+sizes:   small | normal | large
+
+run 'xbench <command> --help' for the command's flags`)
 }
 
 func classFlag(fs *flag.FlagSet) *string { return fs.String("class", "dcmd", "database class") }
@@ -578,6 +568,7 @@ func cmdUpdates(args []string) error {
 	fs := flag.NewFlagSet("updates", flag.ExitOnError)
 	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
 	engineStr := fs.String("engine", "", "engine name (empty = every engine)")
+	remote := fs.String("remote", "", "address of an 'xbench serve' instance; measures that one engine over TCP")
 	repeat := fs.Int("repeat", 5, "measured runs per update op (percentiles need several)")
 	format := fs.String("format", "table", "output format: table, json or csv")
 	seed := fs.Uint64("gen-seed", 0, "generation seed")
@@ -596,6 +587,25 @@ func cmdUpdates(args []string) error {
 		engines = []string{label}
 	}
 	r := bench.NewRunner(gen.Config{Seed: *seed, SizeMultiplier: *scale}, []core.Size{size}, os.Stdout)
+	if *remote != "" {
+		// One remote row: the grid dials a fresh client per row (loads
+		// travel over the wire; closing a client leaves the server up).
+		probe, err := dialRemote(*remote)
+		if err != nil {
+			return err
+		}
+		probe.Close()
+		engines = []string{probe.Name()}
+		r.EngineList = engines
+		addr := *remote
+		r.NewEngineFn = func(string) core.Engine {
+			cl, err := dialRemote(addr)
+			if err != nil {
+				return unreachableEngine{name: probe.Name(), err: err}
+			}
+			return cl
+		}
+	}
 	return r.UpdatesReport(bench.UpdatesOptions{
 		Class:   class,
 		Repeat:  *repeat,
@@ -621,7 +631,9 @@ func cmdThroughput(args []string) error {
 	ctx := context.Background()
 	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
 	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
-	engineStr := fs.String("engine", "x-hive", "engine name")
+	engineStr := fs.String("engine", "x-hive", "engine name (ignored with --remote: the server picked it)")
+	remote := fs.String("remote", "", "address of an 'xbench serve' instance; drives it over TCP instead of in-process")
+	skipLoad := fs.Bool("skip-load", false, "with --remote: assume the server is already loaded, skip the wire load")
 	clientsStr := fs.String("clients", "1,2,4,8", "comma-separated client counts to sweep")
 	ops := fs.Int("ops", 0, "queries per client (0 = use --duration)")
 	duration := fs.Duration("duration", 0, "wall-clock bound per step (used when --ops=0; 0 selects 50 ops/client)")
@@ -640,16 +652,27 @@ func cmdThroughput(args []string) error {
 	if err != nil {
 		return err
 	}
-	e, err := engineByFlag(*engineStr)
-	if err != nil {
-		return err
+	var e core.Engine
+	if *remote != "" {
+		cl, err := dialRemote(*remote)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		e = cl
+	} else {
+		if e, err = engineByFlag(*engineStr); err != nil {
+			return err
+		}
 	}
-	db, err := gen.Config{Seed: *genSeed, SizeMultiplier: *scale}.Generate(class, size)
-	if err != nil {
-		return err
-	}
-	if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
-		return err
+	if *remote == "" || !*skipLoad {
+		db, err := gen.Config{Seed: *genSeed, SizeMultiplier: *scale}.Generate(class, size)
+		if err != nil {
+			return err
+		}
+		if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
+			return err
+		}
 	}
 	reports, err := driver.Sweep(ctx, e, class, clients, driver.Config{
 		OpsPerClient:   *ops,

@@ -1,0 +1,110 @@
+// The serving side of the network layer: `xbench serve` loads one engine
+// and exposes it over TCP; `throughput --remote` / `updates --remote`
+// (main.go) drive it from another process through internal/client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/gen"
+	"xbench/internal/server"
+	"xbench/internal/workload"
+)
+
+// dialRemote connects to an `xbench serve` instance with the CLI's
+// default client tuning.
+func dialRemote(addr string) (*client.Client, error) {
+	return client.Dial(addr, client.Config{})
+}
+
+// unreachableEngine stands in for a remote row whose re-dial failed; it
+// declines every class so the grid skips it instead of panicking.
+type unreachableEngine struct {
+	name string
+	err  error
+}
+
+func (u unreachableEngine) Name() string                         { return u.name }
+func (u unreachableEngine) Supports(core.Class, core.Size) error { return u.err }
+func (u unreachableEngine) BuildIndexes([]core.IndexSpec) error  { return u.err }
+func (u unreachableEngine) ColdReset()                           {}
+func (u unreachableEngine) PageIO() int64                        { return 0 }
+func (u unreachableEngine) Close() error                         { return nil }
+func (u unreachableEngine) Load(context.Context, *core.Database) (core.LoadStats, error) {
+	return core.LoadStats{}, u.err
+}
+func (u unreachableEngine) Execute(context.Context, core.QueryID, core.Params) (core.Result, error) {
+	return core.Result{}, u.err
+}
+func (u unreachableEngine) InsertDocument(context.Context, string, []byte) error  { return u.err }
+func (u unreachableEngine) ReplaceDocument(context.Context, string, []byte) error { return u.err }
+func (u unreachableEngine) DeleteDocument(context.Context, string) error          { return u.err }
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "x-hive", "engine to serve")
+	addr := fs.String("addr", "127.0.0.1:9410", "listen address (port 0 picks a free port, printed on stdout)")
+	maxInflight := fs.Int("max-inflight", 0, "admission-control slots; above this requests queue, then shed (0 = default)")
+	queueWait := fs.Duration("queue-wait", 0, "longest a request waits for a slot before the overload rejection (0 = default)")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side cap on one request's context deadline (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM")
+	noLoad := fs.Bool("no-load", false, "serve the engine empty; a remote client loads it over the wire")
+	seed := fs.Uint64("gen-seed", 0, "generation seed")
+	scale := fs.Int("scale", 1, "extra size multiplier")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	e, err := engineByFlag(*engineStr)
+	if err != nil {
+		return err
+	}
+	if !*noLoad {
+		db, err := gen.Config{Seed: *seed, SizeMultiplier: *scale}.Generate(class, size)
+		if err != nil {
+			return err
+		}
+		st, dur, err := workload.LoadAndIndex(context.Background(), e, db)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s into %s (%d docs, %d bytes) in %v\n",
+			db.Instance(), e.Name(), st.Documents, st.Bytes, dur)
+	}
+
+	srv := server.New(e, server.Config{
+		Addr:           *addr,
+		MaxInflight:    *maxInflight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s (drive with: xbench throughput --remote=%s --skip-load --class=%s)\n",
+		e.Name(), srv.Addr(), srv.Addr(), class.Code())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	signal.Stop(sigc) // a second signal kills the process the default way
+	fmt.Printf("%s: draining (up to %v) ...\n", sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("drained; bye")
+	return nil
+}

@@ -1,0 +1,225 @@
+// Network fault injection: a TCP proxy that sits between internal/client
+// and internal/server and breaks connections the way real networks do —
+// severing them mid-request and tearing frames so a prefix of the bytes
+// arrives and the rest never does. Faults draw from the same seeded PCG
+// streams as the pager harness, so a (seed, connection ordinal) pair
+// replays the identical fault schedule on every run.
+//
+// The proxy knows nothing about the frame format on purpose: it cuts at
+// byte granularity, which subsumes every protocol-level tear (mid-header,
+// mid-payload, between checksum and payload). The wire package's torn-
+// frame tests prove any cut decodes to a typed error; the proxy tests
+// prove the full client/server stack survives those cuts under load.
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"xbench/internal/stats"
+)
+
+// ProxyConfig controls the fault schedule of a Proxy.
+type ProxyConfig struct {
+	// Seed drives the deterministic fault streams; each accepted
+	// connection derives its own stream from (Seed, ordinal).
+	Seed uint64
+	// DropRate is the per-chunk probability the connection is severed
+	// before the chunk is forwarded; < 0 disables, 0 selects 0.05.
+	DropRate float64
+	// TearRate is the per-chunk probability only a prefix of the chunk
+	// is forwarded before the connection is severed; < 0 disables,
+	// 0 selects 0.05.
+	TearRate float64
+}
+
+func (c ProxyConfig) withDefaults() ProxyConfig {
+	switch {
+	case c.DropRate < 0:
+		c.DropRate = 0
+	case c.DropRate == 0:
+		c.DropRate = 0.05
+	}
+	switch {
+	case c.TearRate < 0:
+		c.TearRate = 0
+	case c.TearRate == 0:
+		c.TearRate = 0.05
+	}
+	return c
+}
+
+// Proxy is a fault-injecting TCP relay. Dial its Addr instead of the
+// server's and a deterministic fraction of requests die on the wire.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	cfg    ProxyConfig
+
+	ordinal atomic.Uint64
+	drops   atomic.Int64
+	tears   atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a relay on a fresh loopback port forwarding to target.
+func NewProxy(target string, cfg ProxyConfig) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		cfg:    cfg.withDefaults(),
+		conns:  map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Faults reports how many connections the proxy has severed so far,
+// split by kind.
+func (p *Proxy) Faults() (drops, tears int64) {
+	return p.drops.Load(), p.tears.Load()
+}
+
+// Close stops accepting and severs every live relayed connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for Close-time severing; it reports false
+// when the proxy already closed (the caller must drop the connection).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := p.ordinal.Add(1)
+		p.wg.Add(1)
+		go p.relay(conn, n)
+	}
+}
+
+// relay pumps bytes both ways between the client connection and a fresh
+// server connection, consulting the connection's fault stream per chunk.
+// One fault kills both directions: half-open connections wedge real
+// clients, and the point here is proving ours doesn't.
+func (p *Proxy) relay(client net.Conn, ordinal uint64) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(server) {
+		client.Close()
+		server.Close()
+		return
+	}
+	defer func() {
+		p.untrack(client)
+		p.untrack(server)
+		client.Close()
+		server.Close()
+	}()
+
+	rng := stats.NewRNG(p.cfg.Seed).Split(ordinal)
+	var rngMu sync.Mutex
+	sever := make(chan struct{})
+	var once sync.Once
+	kill := func() { once.Do(func() { close(sever) }) }
+
+	var pumps sync.WaitGroup
+	pump := func(dst, src net.Conn) {
+		defer pumps.Done()
+		defer kill()
+		buf := make([]byte, 4096)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				rngMu.Lock()
+				roll := rng.Float64()
+				cut := -1
+				switch {
+				case roll < p.cfg.DropRate:
+					cut = 0
+				case roll < p.cfg.DropRate+p.cfg.TearRate:
+					cut = 1 + int(rng.Uint64()%uint64(n))
+					if cut >= n {
+						cut = n - 1 // always lose at least one byte
+					}
+				}
+				rngMu.Unlock()
+				if cut >= 0 {
+					if cut == 0 {
+						p.drops.Add(1)
+					} else {
+						p.tears.Add(1)
+						dst.Write(buf[:cut])
+					}
+					return
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	pumps.Add(2)
+	go pump(server, client)
+	go pump(client, server)
+
+	// Whichever pump dies first (fault, peer close, proxy Close) severs
+	// both connections so the other pump unblocks from its Read.
+	go func() {
+		<-sever
+		client.Close()
+		server.Close()
+	}()
+	pumps.Wait()
+	kill()
+}

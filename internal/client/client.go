@@ -1,0 +1,324 @@
+// Package client is the remote side of the network serving layer: a
+// connection-pooling, retrying TCP client for internal/server that
+// satisfies core.Engine, so every existing harness — the closed-loop
+// driver, the update workload, the verify command — runs unchanged over
+// the wire. Point the driver at a Client instead of a local engine and
+// the p50/p95/p99 cells include connection handling, framing and
+// admission control.
+//
+// Pooling: completed requests park their connection in a bounded idle
+// list (Config.PoolSize); a request takes an idle connection if one is
+// free and dials otherwise, so total connections track the caller's
+// concurrency (like net/http.Transport, idle is bounded, in-flight is
+// not — the server's admission controller is the load limiter).
+//
+// Retry: transient dial errors are always retried with exponential
+// backoff. I/O errors mid-request are retried only for idempotent
+// operations (ping, query, supports, page-I/O) — an insert whose
+// response was lost may have been applied, and retrying it would turn
+// one logical U1 into two. Admission rejections (ErrOverloaded,
+// ErrShutdown) are never retried: they are the server's explicit
+// backpressure, and the driver counts them.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/wire"
+)
+
+// Config controls a client.
+type Config struct {
+	// PoolSize bounds the idle connections kept for reuse; <= 0 selects 4.
+	PoolSize int
+	// DialTimeout bounds one TCP dial; <= 0 selects 2s.
+	DialTimeout time.Duration
+	// Retries is the number of additional attempts after a transient
+	// failure; < 0 disables retry, 0 selects 3.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt; <= 0
+	// selects 10ms.
+	Backoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	switch {
+	case c.Retries < 0:
+		c.Retries = 0
+	case c.Retries == 0:
+		c.Retries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	return c
+}
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Client is a remote engine handle. It is safe for concurrent use; each
+// in-flight request occupies one pooled connection.
+type Client struct {
+	addr string
+	cfg  Config
+	name string // remote engine name, fetched at Dial time
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial connects to a server, verifies liveness with a ping, and caches
+// the remote engine's name (Name() returns it verbatim, so reports keep
+// the same engine labels in remote and in-process runs).
+func Dial(addr string, cfg Config) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	payload, err := c.roundTrip(context.Background(), wire.OpPing, nil, true)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c.name = string(payload)
+	return c, nil
+}
+
+// Name returns the remote engine's name.
+func (c *Client) Name() string { return c.name }
+
+// Addr returns the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// getConn returns a pooled idle connection or dials a fresh one.
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, &dialError{err}
+	}
+	return conn, nil
+}
+
+// putConn parks a healthy connection for reuse, or closes it when the
+// idle list is full or the client closed meanwhile.
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// dialError marks a failure that happened before any request bytes were
+// sent — always safe to retry.
+type dialError struct{ err error }
+
+func (e *dialError) Error() string { return e.err.Error() }
+func (e *dialError) Unwrap() error { return e.err }
+
+// transient reports whether err may be retried for an op. Dial failures
+// are retriable for every op; transport failures after the request was
+// written only for idempotent ops.
+func transient(err error, idempotent bool) bool {
+	var de *dialError
+	if errors.As(err, &de) {
+		return true
+	}
+	return idempotent
+}
+
+// roundTrip performs one request with pooling and retry-with-backoff.
+// It returns the response payload of a StatusOK frame or the typed
+// remote error. Protocol-level rejections (overload, shutdown, engine
+// errors) are terminal — only transport failures retry.
+func (c *Client) roundTrip(ctx context.Context, op wire.Op, payload []byte, idempotent bool) ([]byte, error) {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.attempt(op, payload)
+		if err == nil {
+			status := wire.Status(resp.Kind)
+			if status == wire.StatusOK {
+				return resp.Payload, nil
+			}
+			return nil, wire.DecodeError(status, resp.Payload)
+		}
+		lastErr = err
+		if errors.Is(err, ErrClosed) || !transient(err, idempotent) || attempt >= c.cfg.Retries {
+			return nil, fmt.Errorf("client: %s %s: %w", op, c.addr, lastErr)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// attempt runs one request on one connection. Any error poisons the
+// connection (framing state is unrecoverable), so it is closed rather
+// than pooled.
+func (c *Client) attempt(op wire.Op, payload []byte) (wire.Frame, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	id := c.nextID.Add(1)
+	if err := wire.WriteFrame(conn, wire.Frame{Kind: byte(op), ID: id, Payload: payload}); err != nil {
+		conn.Close()
+		return wire.Frame{}, err
+	}
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return wire.Frame{}, err
+	}
+	if resp.ID != id {
+		conn.Close()
+		return wire.Frame{}, fmt.Errorf("client: response id %d for request %d", resp.ID, id)
+	}
+	c.putConn(conn)
+	return resp, nil
+}
+
+// timeoutOf extracts the remaining deadline budget of a context (0 when
+// it has none) so the server can enforce it remotely.
+func timeoutOf(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	t := time.Until(dl)
+	if t <= 0 {
+		return time.Nanosecond // already expired; let the server say so
+	}
+	return t
+}
+
+// Close releases the pooled connections. It closes the client handle
+// only — the remote server and its engine keep running (stop them with
+// the server's Shutdown, not from a client).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// --- core.Engine ---
+
+// Supports asks the remote engine whether it hosts the combination.
+func (c *Client) Supports(cl core.Class, s core.Size) error {
+	_, err := c.roundTrip(context.Background(), wire.OpSupports, wire.EncodeClassSize(cl, s), true)
+	return err
+}
+
+// Load ships the database over the wire and bulk-loads it remotely.
+func (c *Client) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
+	payload := wire.EncodeLoadRequest(wire.LoadRequest{DB: *db, Timeout: timeoutOf(ctx)})
+	resp, err := c.roundTrip(ctx, wire.OpLoad, payload, false)
+	if err != nil {
+		return core.LoadStats{}, err
+	}
+	return wire.DecodeLoadStats(resp)
+}
+
+// BuildIndexes builds the Table 3 indexes remotely.
+func (c *Client) BuildIndexes(specs []core.IndexSpec) error {
+	_, err := c.roundTrip(context.Background(), wire.OpIndexes, wire.EncodeIndexSpecs(specs), false)
+	return err
+}
+
+// Execute runs one workload query remotely. The context's remaining
+// deadline rides along and is enforced server-side at page-fetch
+// granularity, exactly like an in-process engine.
+func (c *Client) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	payload := wire.EncodeQueryRequest(wire.QueryRequest{Query: q, Params: p, Timeout: timeoutOf(ctx)})
+	resp, err := c.roundTrip(ctx, wire.OpQuery, payload, true)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return wire.DecodeResult(resp)
+}
+
+// ColdReset drops the remote engine's caches.
+func (c *Client) ColdReset() {
+	// The Engine interface makes ColdReset infallible; a transport error
+	// here surfaces on the next query instead.
+	_, _ = c.roundTrip(context.Background(), wire.OpColdReset, nil, false)
+}
+
+// PageIO reads the remote engine's cumulative page I/O counter (0 when
+// the server is unreachable).
+func (c *Client) PageIO() int64 {
+	resp, err := c.roundTrip(context.Background(), wire.OpPageIO, nil, true)
+	if err != nil {
+		return 0
+	}
+	v, err := wire.DecodeInt64(resp)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// InsertDocument applies update workload U1 remotely. Not retried on
+// transport failure: a lost response may mean the insert applied.
+func (c *Client) InsertDocument(ctx context.Context, name string, data []byte) error {
+	payload := wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Timeout: timeoutOf(ctx)})
+	_, err := c.roundTrip(ctx, wire.OpInsert, payload, false)
+	return err
+}
+
+// ReplaceDocument applies update workload U2 remotely.
+func (c *Client) ReplaceDocument(ctx context.Context, name string, data []byte) error {
+	payload := wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Timeout: timeoutOf(ctx)})
+	_, err := c.roundTrip(ctx, wire.OpReplace, payload, false)
+	return err
+}
+
+// DeleteDocument applies update workload U3 remotely.
+func (c *Client) DeleteDocument(ctx context.Context, name string) error {
+	payload := wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Timeout: timeoutOf(ctx)})
+	_, err := c.roundTrip(ctx, wire.OpDelete, payload, false)
+	return err
+}
+
+var _ core.Engine = (*Client)(nil)

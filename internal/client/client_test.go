@@ -1,0 +1,213 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/wire"
+)
+
+// fakeServer speaks raw frames so tests can inject torn responses and
+// protocol rejections without a real engine behind them. The handler
+// receives the 1-based request ordinal; returning drop=true severs the
+// connection without responding (a mid-request crash as the client
+// sees it).
+type fakeServer struct {
+	ln     net.Listener
+	handle func(n int, f wire.Frame) (resp wire.Frame, drop bool)
+
+	mu    sync.Mutex
+	reqs  int
+	conns int
+}
+
+func newFakeServer(t *testing.T, handle func(int, wire.Frame) (wire.Frame, bool)) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{ln: ln, handle: handle}
+	t.Cleanup(func() { ln.Close() })
+	go fs.loop()
+	return fs
+}
+
+func (fs *fakeServer) loop() {
+	for {
+		conn, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		fs.conns++
+		fs.mu.Unlock()
+		go func() {
+			defer conn.Close()
+			for {
+				f, err := wire.ReadFrame(conn)
+				if err != nil {
+					return
+				}
+				fs.mu.Lock()
+				fs.reqs++
+				n := fs.reqs
+				fs.mu.Unlock()
+				resp, drop := fs.handle(n, f)
+				if drop {
+					return
+				}
+				if resp.ID == 0 {
+					resp.ID = f.ID // echo unless the handler forged one
+				}
+				if err := wire.WriteFrame(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (fs *fakeServer) stats() (reqs, conns int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.reqs, fs.conns
+}
+
+func (fs *fakeServer) client(cfg Config) *Client {
+	return &Client{addr: fs.ln.Addr().String(), cfg: cfg.withDefaults()}
+}
+
+func okFrame(payload []byte) wire.Frame {
+	return wire.Frame{Kind: byte(wire.StatusOK), Payload: payload}
+}
+
+// TestRetryTornResponseForIdempotentOp: a connection dropped after the
+// request was written is retried for idempotent ops and the retry
+// succeeds transparently.
+func TestRetryTornResponseForIdempotentOp(t *testing.T) {
+	fs := newFakeServer(t, func(n int, f wire.Frame) (wire.Frame, bool) {
+		if n == 1 {
+			return wire.Frame{}, true // sever without responding
+		}
+		return okFrame([]byte("pong")), false
+	})
+	c := fs.client(Config{Retries: 3, Backoff: time.Millisecond})
+	payload, err := c.roundTrip(context.Background(), wire.OpPing, nil, true)
+	if err != nil {
+		t.Fatalf("retryable ping failed: %v", err)
+	}
+	if string(payload) != "pong" {
+		t.Fatalf("payload = %q", payload)
+	}
+	if reqs, _ := fs.stats(); reqs != 2 {
+		t.Fatalf("server saw %d requests, want 2 (original + retry)", reqs)
+	}
+}
+
+// TestNoRetryForNonIdempotentOp: an insert whose response was lost may
+// have been applied — the client must surface the transport error, not
+// re-send.
+func TestNoRetryForNonIdempotentOp(t *testing.T) {
+	fs := newFakeServer(t, func(n int, f wire.Frame) (wire.Frame, bool) {
+		return wire.Frame{}, true // always sever after reading the request
+	})
+	c := fs.client(Config{Retries: 3, Backoff: time.Millisecond})
+	err := c.InsertDocument(context.Background(), "order-update-1.xml", []byte("<order/>"))
+	if err == nil {
+		t.Fatal("lost-response insert reported success")
+	}
+	if reqs, _ := fs.stats(); reqs != 1 {
+		t.Fatalf("server saw %d insert requests, want exactly 1", reqs)
+	}
+}
+
+// TestNoRetryOnProtocolRejection: overload is the server's explicit
+// backpressure — retrying it would defeat admission control, so exactly
+// one request reaches the server and the typed sentinel surfaces.
+func TestNoRetryOnProtocolRejection(t *testing.T) {
+	fs := newFakeServer(t, func(n int, f wire.Frame) (wire.Frame, bool) {
+		return wire.Frame{Kind: byte(wire.StatusOverloaded), Payload: []byte("busy")}, false
+	})
+	c := fs.client(Config{Retries: 5, Backoff: time.Millisecond})
+	_, err := c.Execute(context.Background(), core.Q1, nil)
+	if !errors.Is(err, wire.ErrOverloaded) {
+		t.Fatalf("err = %v, want wire.ErrOverloaded", err)
+	}
+	if reqs, _ := fs.stats(); reqs != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on rejection)", reqs)
+	}
+}
+
+// TestDialRetryHonorsContext: with nothing listening, the client backs
+// off between dial attempts but must abandon the wait the moment the
+// caller's context expires.
+func TestDialRetryHonorsContext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+	c := &Client{addr: addr, cfg: Config{Retries: 100, Backoff: time.Minute}.withDefaults()}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.roundTrip(ctx, wire.OpPing, nil, true)
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context-bounded retry took %v", elapsed)
+	}
+}
+
+// TestPoolReusesConnections: sequential requests ride one pooled
+// connection; Close drains the idle list.
+func TestPoolReusesConnections(t *testing.T) {
+	fs := newFakeServer(t, func(n int, f wire.Frame) (wire.Frame, bool) {
+		return okFrame(nil), false
+	})
+	c := fs.client(Config{PoolSize: 2})
+	for i := 0; i < 5; i++ {
+		if _, err := c.roundTrip(context.Background(), wire.OpPing, nil, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, conns := fs.stats(); conns != 1 {
+		t.Fatalf("5 sequential requests used %d connections, want 1", conns)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.roundTrip(context.Background(), wire.OpPing, nil, true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("request on closed client: %v, want ErrClosed", err)
+	}
+}
+
+// TestResponseIDMismatchPoisonsConnection: a desynchronized connection
+// (wrong response id) must not be pooled for the next request.
+func TestResponseIDMismatchPoisonsConnection(t *testing.T) {
+	fs := newFakeServer(t, func(n int, f wire.Frame) (wire.Frame, bool) {
+		resp := okFrame(nil)
+		if n == 1 {
+			return wire.Frame{Kind: resp.Kind, ID: f.ID + 999, Payload: nil}, false
+		}
+		return resp, false
+	})
+	c := fs.client(Config{Retries: -1})
+	if _, err := c.roundTrip(context.Background(), wire.OpPing, nil, true); err == nil {
+		t.Fatal("mismatched response id accepted")
+	}
+	if _, err := c.roundTrip(context.Background(), wire.OpPing, nil, true); err != nil {
+		t.Fatalf("second request after poisoned conn: %v", err)
+	}
+	if _, conns := fs.stats(); conns != 2 {
+		t.Fatalf("poisoned connection was reused: %d conns", conns)
+	}
+}

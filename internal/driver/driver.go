@@ -21,6 +21,7 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -126,8 +127,16 @@ type Report struct {
 	// Elapsed is the measured wall-clock window.
 	Elapsed time.Duration
 	// Ops and Errs count completed and failed queries across all clients.
+	// Errs excludes context cancellations and timeouts — those are the
+	// caller stopping the run (or a deadline firing), not the engine
+	// failing, and are counted in Canceled instead.
 	Ops  int64
 	Errs int64
+	// Canceled counts ops that ended with context.Canceled or
+	// context.DeadlineExceeded, reported as their own column so a remote
+	// sweep with per-request deadlines does not masquerade as query
+	// failures.
+	Canceled int64
 	// Throughput is Ops / Elapsed in queries per second.
 	Throughput float64
 	// Cells summarizes latency per query type, in query order.
@@ -135,7 +144,8 @@ type Report struct {
 	// ClientOps is the number of ops each client completed.
 	ClientOps []int
 	// Updates and UpdateErrs count completed and failed update ops in a
-	// mixed run (both are included in Ops and Errs).
+	// mixed run (included in Ops and Errs; canceled updates count in
+	// Canceled, not UpdateErrs).
 	Updates    int64
 	UpdateErrs int64
 	// UpdateCells summarizes update latency per op, in op order; empty
@@ -144,6 +154,14 @@ type Report struct {
 	// NextUpdateSeq is the first unconsumed update sequence number; feed
 	// it into the next run's Config.UpdateSeqBase when reusing the engine.
 	NextUpdateSeq int
+}
+
+// isContextErr reports whether an op error is a context cancellation or
+// deadline rather than an engine failure. Remote engines reconstruct the
+// context sentinels from wire status codes, so the check works
+// identically for in-process and networked runs.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // nextOp draws the next query of a client's mix. All mix randomness goes
@@ -273,7 +291,7 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 	}
 	params := workload.Params(class)
 
-	var ops, errs, updates, updateErrs atomic.Int64
+	var ops, errs, canceled, updates, updateErrs atomic.Int64
 	// updateSeq hands out globally unique document sequence numbers. The
 	// assignment order under concurrency is scheduling-dependent, but the
 	// op streams themselves stay deterministic — sequence numbers only
@@ -315,10 +333,6 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 					uhists[op.Update].Observe(m.Elapsed)
 					updates.Add(1)
 					err = m.Err
-					if err != nil {
-						updateErrs.Add(1)
-						uerrs[op.Update].Add(1)
-					}
 				} else {
 					t0 := time.Now()
 					_, err = e.Execute(ctx, op.Query, params)
@@ -326,8 +340,18 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 				}
 				ops.Add(1)
 				clientOps[client]++
-				if err != nil {
+				switch {
+				case err == nil:
+				case isContextErr(err):
+					// The caller canceled the run or a deadline fired:
+					// accounted separately and never treated as a failure.
+					canceled.Add(1)
+				default:
 					errs.Add(1)
+					if op.Update != 0 {
+						updateErrs.Add(1)
+						uerrs[op.Update].Add(1)
+					}
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -345,6 +369,7 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 
 	rep.Ops = ops.Load()
 	rep.Errs = errs.Load()
+	rep.Canceled = canceled.Load()
 	rep.ClientOps = clientOps
 	if rep.Elapsed > 0 {
 		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()

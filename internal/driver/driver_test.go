@@ -47,7 +47,7 @@ func (s *stubEngine) mutate(name string, data []byte, insert bool) error {
 	}
 	if insert {
 		if _, ok := s.docs[name]; ok {
-			return context.Canceled // any error will do for the stub
+			return errors.New("duplicate insert")
 		}
 	}
 	s.updates++
@@ -212,6 +212,43 @@ func TestRunSurfacesQueryErrors(t *testing.T) {
 	}
 	if rep.Errs != 6 {
 		t.Fatalf("Errs = %d, want 6", rep.Errs)
+	}
+}
+
+// TestRunCountsCancellationsSeparately: ops that die with a context
+// error land in Canceled, not Errs, do not fail the run, and surface as
+// their own column in every output format.
+func TestRunCountsCancellationsSeparately(t *testing.T) {
+	e := &stubEngine{execErr: context.DeadlineExceeded}
+	rep, err := Run(context.Background(), e, core.DCMD, Config{
+		Clients: 2, OpsPerClient: 3, Queries: testMix, NoWarmup: true, Think: -1,
+	})
+	if err != nil {
+		t.Fatalf("run with only timed-out ops reported error: %v", err)
+	}
+	if rep.Canceled != 6 || rep.Errs != 0 {
+		t.Fatalf("Canceled = %d, Errs = %d, want 6, 0", rep.Canceled, rep.Errs)
+	}
+
+	var table bytes.Buffer
+	WriteTable(&table, []Report{rep})
+	if !strings.Contains(table.String(), "canceled") {
+		t.Errorf("table missing canceled column:\n%s", table.String())
+	}
+	var csvb bytes.Buffer
+	if err := WriteCSV(&csvb, []Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csvb.String(), "\n", 2)[0]
+	if !strings.Contains(header, ",canceled,") {
+		t.Errorf("csv header missing canceled column: %q", header)
+	}
+	var jsb bytes.Buffer
+	if err := WriteJSON(&jsb, []Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsb.String(), `"canceled": 6`) {
+		t.Errorf("json missing canceled count:\n%s", jsb.String())
 	}
 }
 

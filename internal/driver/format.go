@@ -32,16 +32,16 @@ func WriteTable(w io.Writer, reports []Report) {
 	fmt.Fprintf(w, "Throughput: %s on %s (closed loop, %d query types in mix)\n",
 		r0.Engine, r0.Class, len(r0.Mix))
 	if mixed {
-		fmt.Fprintf(w, "%-8s %-10s %-8s %-8s %-6s %-10s\n", "clients", "qps", "ops", "updates", "errs", "elapsed")
+		fmt.Fprintf(w, "%-8s %-10s %-8s %-8s %-6s %-9s %-10s\n", "clients", "qps", "ops", "updates", "errs", "canceled", "elapsed")
 		for _, r := range reports {
-			fmt.Fprintf(w, "%-8d %-10.1f %-8d %-8d %-6d %-10s\n",
-				r.Clients, r.Throughput, r.Ops, r.Updates, r.Errs, r.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(w, "%-8d %-10.1f %-8d %-8d %-6d %-9d %-10s\n",
+				r.Clients, r.Throughput, r.Ops, r.Updates, r.Errs, r.Canceled, r.Elapsed.Round(time.Millisecond))
 		}
 	} else {
-		fmt.Fprintf(w, "%-8s %-10s %-8s %-6s %-10s\n", "clients", "qps", "ops", "errs", "elapsed")
+		fmt.Fprintf(w, "%-8s %-10s %-8s %-6s %-9s %-10s\n", "clients", "qps", "ops", "errs", "canceled", "elapsed")
 		for _, r := range reports {
-			fmt.Fprintf(w, "%-8d %-10.1f %-8d %-6d %-10s\n",
-				r.Clients, r.Throughput, r.Ops, r.Errs, r.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(w, "%-8d %-10.1f %-8d %-6d %-9d %-10s\n",
+				r.Clients, r.Throughput, r.Ops, r.Errs, r.Canceled, r.Elapsed.Round(time.Millisecond))
 		}
 	}
 	last := reports[len(reports)-1]
@@ -66,7 +66,7 @@ func WriteTable(w io.Writer, reports []Report) {
 func WriteCSV(w io.Writer, reports []Report) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"engine", "class", "clients", "query", "count", "errs",
+		"engine", "class", "clients", "query", "count", "errs", "canceled",
 		"qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
 	}); err != nil {
 		return err
@@ -75,6 +75,7 @@ func WriteCSV(w io.Writer, reports []Report) error {
 		row := []string{
 			r.Engine, r.Class.String(), strconv.Itoa(r.Clients), "",
 			strconv.FormatInt(r.Ops, 10), strconv.FormatInt(r.Errs, 10),
+			strconv.FormatInt(r.Canceled, 10),
 			strconv.FormatFloat(r.Throughput, 'f', 2, 64), "", "", "", "",
 		}
 		if err := cw.Write(row); err != nil {
@@ -83,7 +84,7 @@ func WriteCSV(w io.Writer, reports []Report) error {
 		for _, c := range r.Cells {
 			row := []string{
 				r.Engine, r.Class.String(), strconv.Itoa(r.Clients), c.Query.String(),
-				strconv.FormatInt(c.Count, 10), "", "",
+				strconv.FormatInt(c.Count, 10), "", "", "",
 				ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99),
 			}
 			if err := cw.Write(row); err != nil {
@@ -95,7 +96,7 @@ func WriteCSV(w io.Writer, reports []Report) error {
 		for _, c := range r.UpdateCells {
 			row := []string{
 				r.Engine, r.Class.String(), strconv.Itoa(r.Clients), c.Op.String(),
-				strconv.FormatInt(c.Count, 10), strconv.FormatInt(c.Errs, 10), "",
+				strconv.FormatInt(c.Count, 10), strconv.FormatInt(c.Errs, 10), "", "",
 				ms(c.Mean), ms(c.P50), ms(c.P95), ms(c.P99),
 			}
 			if err := cw.Write(row); err != nil {
@@ -118,6 +119,7 @@ type jsonReport struct {
 	ElapsedMS  float64    `json:"elapsed_ms"`
 	Ops        int64      `json:"ops"`
 	Errs       int64      `json:"errs"`
+	Canceled   int64      `json:"canceled"`
 	Throughput float64    `json:"qps"`
 	Cells      []jsonCell `json:"cells"`
 	ClientOps  []int      `json:"client_ops"`
@@ -152,6 +154,7 @@ func WriteJSON(w io.Writer, reports []Report) error {
 			ElapsedMS:  msf(r.Elapsed),
 			Ops:        r.Ops,
 			Errs:       r.Errs,
+			Canceled:   r.Canceled,
 			Throughput: r.Throughput,
 			Cells:      make([]jsonCell, 0, len(r.Cells)),
 			ClientOps:  r.ClientOps,

@@ -1,0 +1,439 @@
+// Package server is the network serving layer: it exposes any
+// core.Engine over the wire protocol of internal/wire, so the benchmark's
+// measurements can include the client/server path — connection handling,
+// admission control, per-request timeouts — instead of stopping at
+// library calls.
+//
+// Architecture: one accept loop, one goroutine per connection, requests
+// processed sequentially per connection (concurrency comes from many
+// connections; the pooling client in internal/client issues one request
+// per pooled connection at a time, so per-connection pipelining would buy
+// nothing). Every engine-touching request passes the admission
+// controller: a semaphore of MaxInflight slots with a bounded queue wait.
+// A request that cannot get a slot within QueueWait is rejected with
+// StatusOverloaded — load shedding, never queue collapse.
+//
+// Graceful drain (Shutdown): stop accepting connections, reject new
+// requests with StatusShutdown, let in-flight requests finish and their
+// responses flush, then close the connections and finally the engine.
+// The drain barrier is the semaphore itself: Shutdown acquires every
+// slot, which can only succeed once no request holds one.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xbench/internal/core"
+	"xbench/internal/metrics"
+	"xbench/internal/wire"
+)
+
+// Config controls one server.
+type Config struct {
+	// Addr is the TCP listen address; empty selects "127.0.0.1:0"
+	// (loopback, kernel-assigned port — read it back from Addr()).
+	Addr string
+	// MaxInflight caps concurrently executing engine requests (the
+	// admission semaphore size); <= 0 selects 64.
+	MaxInflight int
+	// QueueWait bounds how long a request may wait for an admission slot
+	// before it is rejected with StatusOverloaded; <= 0 selects 100ms.
+	QueueWait time.Duration
+	// RequestTimeout caps the server-side execution time of one request;
+	// <= 0 selects 30s. A tighter client deadline, carried in the request
+	// payload, wins.
+	RequestTimeout time.Duration
+	// Metrics receives the server's counters and wire-latency histograms;
+	// nil creates a private registry (readable via Metrics()).
+	Metrics *metrics.Registry
+}
+
+// withDefaults resolves zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	cfg Config
+	eng core.Engine
+
+	ln   net.Listener
+	sem  chan struct{} // admission semaphore, cap MaxInflight
+	done chan struct{} // closed when drain begins
+
+	reg        *metrics.Registry
+	cAccepted  *metrics.Counter // server.conn.accepted
+	cActive    *metrics.Counter // server.conn.active (level)
+	rAdmitted  *metrics.Counter // server.req.admitted
+	rRejected  *metrics.Counter // server.req.rejected (overload + shutdown)
+	rInflight  *metrics.Counter // server.req.inflight (level)
+	drainState atomic.Bool
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWg sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New wraps an engine in a server. The engine should already be loaded
+// (or the client will drive OpLoad over the wire). The server owns the
+// engine from here on: Shutdown/Close close it.
+func New(e core.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		eng:   e,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		done:  make(chan struct{}),
+		reg:   cfg.Metrics,
+		conns: map[net.Conn]struct{}{},
+	}
+	s.cAccepted = s.reg.Counter("server.conn.accepted")
+	s.cActive = s.reg.Counter("server.conn.active")
+	s.rAdmitted = s.reg.Counter("server.req.admitted")
+	s.rRejected = s.reg.Counter("server.req.rejected")
+	s.rInflight = s.reg.Counter("server.req.inflight")
+	return s
+}
+
+// Start binds the listen address and launches the accept loop. It
+// returns once the socket is bound; Addr() then reports the bound
+// address (useful with port 0).
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.connWg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Metrics returns the server's registry (counters documented on Config).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Inflight returns the number of requests currently holding an admission
+// slot. It is the invariant chaos tests assert returns to zero: every
+// admitted request releases its slot on every path.
+func (s *Server) Inflight() int64 { return s.rInflight.Value() }
+
+func (s *Server) acceptLoop() {
+	defer s.connWg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (drain or Close)
+		}
+		s.mu.Lock()
+		if s.drainState.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.cAccepted.Inc()
+		s.cActive.Add(1)
+		s.connWg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// dropConn unregisters and closes a connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.cActive.Add(-1)
+}
+
+// serveConn processes one connection's requests sequentially until the
+// peer hangs up, a framing error poisons the stream, or drain closes the
+// socket underneath a blocked read.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWg.Done()
+	defer s.dropConn(conn)
+	for {
+		req, err := wire.ReadFrame(conn)
+		if err != nil {
+			// Clean EOF, torn frame, checksum failure, or the socket was
+			// closed by drain: all terminal. A framing error cannot be
+			// answered — the request id is unreliable — so the connection
+			// is dropped and the client's read fails typed.
+			return
+		}
+		resp, done := s.handle(wire.Op(req.Kind), req.Payload)
+		resp.ID = req.ID
+		err = wire.WriteFrame(conn, resp)
+		// The admission slot is released only after the response write, so
+		// the drain barrier in Shutdown proves every admitted request's
+		// response reached the kernel before connections are severed.
+		done()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// admit acquires an admission slot, waiting at most QueueWait. It fails
+// with ErrShutdown once drain began and ErrOverloaded when the wait
+// deadline expires first.
+func (s *Server) admit() error {
+	select {
+	case <-s.done:
+		s.rRejected.Inc()
+		return wire.ErrShutdown
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.rAdmitted.Inc()
+		s.rInflight.Add(1)
+		return nil
+	case <-s.done:
+		s.rRejected.Inc()
+		return wire.ErrShutdown
+	case <-t.C:
+		s.rRejected.Inc()
+		return wire.ErrOverloaded
+	}
+}
+
+// release returns an admission slot.
+func (s *Server) release() {
+	s.rInflight.Add(-1)
+	<-s.sem
+}
+
+// reqCtx derives the per-request context: the server-side cap, tightened
+// by the client's deadline when one rode in on the payload. It is
+// deliberately not a child of the drain signal — in-flight requests run
+// to completion during a graceful drain.
+func (s *Server) reqCtx(clientTimeout time.Duration) (context.Context, context.CancelFunc) {
+	t := s.cfg.RequestTimeout
+	if clientTimeout > 0 && clientTimeout < t {
+		t = clientTimeout
+	}
+	return context.WithTimeout(context.Background(), t)
+}
+
+// noRelease is the done callback for requests that never held a slot.
+func noRelease() {}
+
+// handle dispatches one request to the engine and builds the response
+// frame (ID is filled in by the caller). The returned done callback must
+// be invoked after the response is written: admitted requests hold their
+// admission slot until then.
+func (s *Server) handle(op wire.Op, payload []byte) (wire.Frame, func()) {
+	// Liveness and cheap reads skip admission: they must answer even on a
+	// saturated server, or monitoring would be the first casualty.
+	switch op {
+	case wire.OpPing:
+		return okFrame([]byte(s.eng.Name())), noRelease
+	case wire.OpPageIO:
+		return okFrame(wire.EncodeInt64(s.eng.PageIO())), noRelease
+	case wire.OpSupports:
+		c, sz, err := wire.DecodeClassSize(payload)
+		if err != nil {
+			return badRequest(err), noRelease
+		}
+		return errFrame(s.eng.Supports(c, sz)), noRelease
+	}
+
+	if err := s.admit(); err != nil {
+		return errFrame(err), noRelease
+	}
+	start := time.Now()
+	f := s.execute(op, payload)
+	s.reg.Histogram("wire." + op.String()).Observe(time.Since(start))
+	return f, s.release
+}
+
+// execute runs an admitted request against the engine.
+func (s *Server) execute(op wire.Op, payload []byte) wire.Frame {
+	switch op {
+	case wire.OpQuery:
+		req, err := wire.DecodeQueryRequest(payload)
+		if err != nil {
+			return badRequest(err)
+		}
+		ctx, cancel := s.reqCtx(req.Timeout)
+		defer cancel()
+		res, err := s.eng.Execute(ctx, req.Query, req.Params)
+		if err != nil {
+			return errFrame(err)
+		}
+		return okFrame(wire.EncodeResult(res))
+
+	case wire.OpLoad:
+		req, err := wire.DecodeLoadRequest(payload)
+		if err != nil {
+			return badRequest(err)
+		}
+		ctx, cancel := s.reqCtx(req.Timeout)
+		defer cancel()
+		st, err := s.eng.Load(ctx, &req.DB)
+		if err != nil {
+			return errFrame(err)
+		}
+		return okFrame(wire.EncodeLoadStats(st))
+
+	case wire.OpIndexes:
+		specs, err := wire.DecodeIndexSpecs(payload)
+		if err != nil {
+			return badRequest(err)
+		}
+		return errFrame(s.eng.BuildIndexes(specs))
+
+	case wire.OpColdReset:
+		s.eng.ColdReset()
+		return okFrame(nil)
+
+	case wire.OpInsert, wire.OpReplace, wire.OpDelete:
+		req, err := wire.DecodeUpdateRequest(payload)
+		if err != nil {
+			return badRequest(err)
+		}
+		ctx, cancel := s.reqCtx(req.Timeout)
+		defer cancel()
+		switch op {
+		case wire.OpInsert:
+			err = s.eng.InsertDocument(ctx, req.Name, req.Data)
+		case wire.OpReplace:
+			err = s.eng.ReplaceDocument(ctx, req.Name, req.Data)
+		default:
+			err = s.eng.DeleteDocument(ctx, req.Name)
+		}
+		return errFrame(err)
+
+	default:
+		return badRequest(fmt.Errorf("unknown op %d", byte(op)))
+	}
+}
+
+func okFrame(payload []byte) wire.Frame {
+	return wire.Frame{Kind: byte(wire.StatusOK), Payload: payload}
+}
+
+// errFrame maps an engine error (or nil) onto a response frame.
+func errFrame(err error) wire.Frame {
+	if err == nil {
+		return okFrame(nil)
+	}
+	return wire.Frame{Kind: byte(wire.StatusFor(err)), Payload: []byte(err.Error())}
+}
+
+func badRequest(err error) wire.Frame {
+	return wire.Frame{Kind: byte(wire.StatusBadRequest), Payload: []byte(err.Error())}
+}
+
+// Shutdown drains the server gracefully: stop accepting, reject new
+// requests, wait (bounded by ctx) for in-flight requests to finish and
+// flush their responses, then close connections and the engine. It is
+// what the serve command runs on SIGTERM. Safe to call once; later calls
+// and Close after Shutdown are no-ops returning the first result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() { s.closeErr = s.shutdown(ctx) })
+	return s.closeErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.drainState.Store(true)
+	close(s.done) // new admissions now fail with ErrShutdown
+	if s.ln != nil {
+		s.ln.Close() // stop accepting
+	}
+
+	// Drain barrier: acquiring every semaphore slot proves no request is
+	// in flight — and, because a request's response is written before its
+	// handler loops back to read the next frame, that responses for
+	// everything admitted have been handed to the kernel.
+	drained := true
+	for i := 0; i < s.cfg.MaxInflight; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			drained = false
+		}
+		if !drained {
+			break
+		}
+	}
+
+	// In-flight responses are flushed (or the drain deadline expired):
+	// sever the connections so blocked reads return, and wait for the
+	// handlers to exit before closing the engine under them.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWg.Wait()
+
+	err := s.eng.Close()
+	if !drained {
+		return errors.Join(fmt.Errorf("server: drain deadline expired with %d requests in flight", s.Inflight()), err)
+	}
+	return err
+}
+
+// Close shuts the server down with a short drain (1s): in-flight
+// requests get a brief chance to finish, then everything is severed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// ListenAndServe is the blocking convenience used by `xbench serve`: it
+// starts the server, then waits for stop to fire and drains gracefully
+// (bounded by drainTimeout). It returns the drain result.
+func ListenAndServe(e core.Engine, cfg Config, stop <-chan struct{}, drainTimeout time.Duration) error {
+	s := New(e, cfg)
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+var _ io.Closer = (*Server)(nil)

@@ -1,0 +1,381 @@
+// Payload encodings for the remote engine operations. Every encoding is
+// hand-rolled varint/length-prefixed binary: deterministic (maps are
+// encoded in sorted key order), allocation-light, and versioned only by
+// the frame header — the payloads themselves never change shape within a
+// protocol version.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"time"
+
+	"xbench/internal/core"
+)
+
+// ErrTruncated marks a payload that ended before its declared contents.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// enc is a tiny append-only payload writer.
+type enc struct{ b []byte }
+
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) byte(v byte)      { e.b = append(e.b, v) }
+func (e *enc) bytes(v []byte)   { e.uvarint(uint64(len(v))); e.b = append(e.b, v...) }
+func (e *enc) string(v string)  { e.uvarint(uint64(len(v))); e.b = append(e.b, v...) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+func (e *enc) duration(v time.Duration) { e.varint(int64(v)) }
+
+// dec is the matching payload reader.
+type dec struct{ b []byte }
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) varint() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) byte() (byte, error) {
+	if len(d.b) < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v, nil
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.b)) < n {
+		return nil, ErrTruncated
+	}
+	v := d.b[:n:n]
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) string() (string, error) {
+	v, err := d.bytes()
+	return string(v), err
+}
+
+func (d *dec) bool() (bool, error) {
+	v, err := d.byte()
+	return v != 0, err
+}
+
+func (d *dec) duration() (time.Duration, error) {
+	v, err := d.varint()
+	return time.Duration(v), err
+}
+
+// QueryRequest is the OpQuery payload: one workload query with bound
+// parameters and the client's remaining deadline (0 = none), which the
+// server turns back into a context timeout so cancellation crosses the
+// wire.
+type QueryRequest struct {
+	Query   core.QueryID
+	Params  core.Params
+	Timeout time.Duration
+}
+
+// EncodeQueryRequest serializes a QueryRequest (params in sorted key order).
+func EncodeQueryRequest(r QueryRequest) []byte {
+	var e enc
+	e.varint(int64(r.Query))
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.string(k)
+		e.string(r.Params[k])
+	}
+	e.duration(r.Timeout)
+	return e.b
+}
+
+// DecodeQueryRequest parses an OpQuery payload.
+func DecodeQueryRequest(b []byte) (QueryRequest, error) {
+	d := dec{b}
+	var r QueryRequest
+	q, err := d.varint()
+	if err != nil {
+		return r, err
+	}
+	r.Query = core.QueryID(q)
+	n, err := d.uvarint()
+	if err != nil {
+		return r, err
+	}
+	if n > 0 {
+		r.Params = make(core.Params, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return r, err
+		}
+		v, err := d.string()
+		if err != nil {
+			return r, err
+		}
+		r.Params[k] = v
+	}
+	if r.Timeout, err = d.duration(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// EncodeResult serializes a core.Result (the OpQuery success payload).
+func EncodeResult(r core.Result) []byte {
+	var e enc
+	e.uvarint(uint64(len(r.Items)))
+	for _, it := range r.Items {
+		e.string(it)
+	}
+	e.bool(r.OrderGuaranteed)
+	e.bool(r.MixedContentLost)
+	e.varint(r.PageIO)
+	return e.b
+}
+
+// DecodeResult parses an OpQuery success payload.
+func DecodeResult(b []byte) (core.Result, error) {
+	d := dec{b}
+	var r core.Result
+	n, err := d.uvarint()
+	if err != nil {
+		return r, err
+	}
+	r.Items = make([]string, 0, min(n, 1<<16))
+	for i := uint64(0); i < n; i++ {
+		it, err := d.string()
+		if err != nil {
+			return r, err
+		}
+		r.Items = append(r.Items, it)
+	}
+	if r.OrderGuaranteed, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.MixedContentLost, err = d.bool(); err != nil {
+		return r, err
+	}
+	if r.PageIO, err = d.varint(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// UpdateRequest is the OpInsert/OpReplace/OpDelete payload (Data is empty
+// for deletes).
+type UpdateRequest struct {
+	Name    string
+	Data    []byte
+	Timeout time.Duration
+}
+
+// EncodeUpdateRequest serializes an UpdateRequest.
+func EncodeUpdateRequest(r UpdateRequest) []byte {
+	var e enc
+	e.string(r.Name)
+	e.bytes(r.Data)
+	e.duration(r.Timeout)
+	return e.b
+}
+
+// DecodeUpdateRequest parses an update payload.
+func DecodeUpdateRequest(b []byte) (UpdateRequest, error) {
+	d := dec{b}
+	var r UpdateRequest
+	var err error
+	if r.Name, err = d.string(); err != nil {
+		return r, err
+	}
+	if r.Data, err = d.bytes(); err != nil {
+		return r, err
+	}
+	if r.Timeout, err = d.duration(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// LoadRequest is the OpLoad payload: the full serialized database plus
+// the client's remaining deadline.
+type LoadRequest struct {
+	DB      core.Database
+	Timeout time.Duration
+}
+
+// EncodeLoadRequest serializes a LoadRequest.
+func EncodeLoadRequest(r LoadRequest) []byte {
+	var e enc
+	e.byte(byte(r.DB.Class))
+	e.byte(byte(r.DB.Size))
+	e.uvarint(uint64(len(r.DB.Docs)))
+	for _, doc := range r.DB.Docs {
+		e.string(doc.Name)
+		e.bytes(doc.Data)
+	}
+	e.duration(r.Timeout)
+	return e.b
+}
+
+// DecodeLoadRequest parses an OpLoad payload.
+func DecodeLoadRequest(b []byte) (LoadRequest, error) {
+	d := dec{b}
+	var r LoadRequest
+	c, err := d.byte()
+	if err != nil {
+		return r, err
+	}
+	s, err := d.byte()
+	if err != nil {
+		return r, err
+	}
+	r.DB.Class, r.DB.Size = core.Class(c), core.Size(s)
+	n, err := d.uvarint()
+	if err != nil {
+		return r, err
+	}
+	r.DB.Docs = make([]core.Doc, 0, min(n, 1<<16))
+	for i := uint64(0); i < n; i++ {
+		name, err := d.string()
+		if err != nil {
+			return r, err
+		}
+		data, err := d.bytes()
+		if err != nil {
+			return r, err
+		}
+		r.DB.Docs = append(r.DB.Docs, core.Doc{Name: name, Data: data})
+	}
+	if r.Timeout, err = d.duration(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// EncodeLoadStats serializes a core.LoadStats (the OpLoad success payload).
+func EncodeLoadStats(st core.LoadStats) []byte {
+	var e enc
+	e.varint(int64(st.Documents))
+	e.varint(int64(st.Rows))
+	e.varint(int64(st.Nodes))
+	e.varint(int64(st.Bytes))
+	e.varint(st.PageIO)
+	e.varint(int64(st.SkippedMixed))
+	return e.b
+}
+
+// DecodeLoadStats parses an OpLoad success payload.
+func DecodeLoadStats(b []byte) (core.LoadStats, error) {
+	d := dec{b}
+	var st core.LoadStats
+	for _, dst := range []*int{&st.Documents, &st.Rows, &st.Nodes, &st.Bytes} {
+		v, err := d.varint()
+		if err != nil {
+			return st, err
+		}
+		*dst = int(v)
+	}
+	v, err := d.varint()
+	if err != nil {
+		return st, err
+	}
+	st.PageIO = v
+	if v, err = d.varint(); err != nil {
+		return st, err
+	}
+	st.SkippedMixed = int(v)
+	return st, nil
+}
+
+// EncodeIndexSpecs serializes the OpIndexes payload.
+func EncodeIndexSpecs(specs []core.IndexSpec) []byte {
+	var e enc
+	e.uvarint(uint64(len(specs)))
+	for _, s := range specs {
+		e.byte(byte(s.Class))
+		e.string(s.Target)
+	}
+	return e.b
+}
+
+// DecodeIndexSpecs parses an OpIndexes payload.
+func DecodeIndexSpecs(b []byte) ([]core.IndexSpec, error) {
+	d := dec{b}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]core.IndexSpec, 0, min(n, 1<<12))
+	for i := uint64(0); i < n; i++ {
+		c, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, core.IndexSpec{Class: core.Class(c), Target: t})
+	}
+	return specs, nil
+}
+
+// EncodeClassSize serializes the OpSupports payload.
+func EncodeClassSize(c core.Class, s core.Size) []byte {
+	return []byte{byte(c), byte(s)}
+}
+
+// DecodeClassSize parses an OpSupports payload.
+func DecodeClassSize(b []byte) (core.Class, core.Size, error) {
+	if len(b) < 2 {
+		return 0, 0, ErrTruncated
+	}
+	return core.Class(b[0]), core.Size(b[1]), nil
+}
+
+// EncodeInt64 serializes a single counter (the OpPageIO success payload).
+func EncodeInt64(v int64) []byte {
+	var e enc
+	e.varint(v)
+	return e.b
+}
+
+// DecodeInt64 parses an OpPageIO success payload.
+func DecodeInt64(b []byte) (int64, error) {
+	d := dec{b}
+	return d.varint()
+}

@@ -1,0 +1,280 @@
+// Package wire defines the binary client/server protocol of the network
+// serving layer: a length-prefixed, checksummed frame format over TCP and
+// the payload encodings for every remote engine operation. The protocol
+// is deliberately tiny — no reflection, no schema negotiation — so a
+// request costs one buffered write and one frame read on each side, and
+// the benchmark's wire latency measures the engine plus the network, not
+// the serialization stack.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset size field
+//	0      2    magic 0x5842 ("XB")
+//	2      1    protocol version (currently 1)
+//	3      1    request: op kind / response: status code
+//	4      8    request id (echoed verbatim in the response)
+//	12     4    payload length
+//	16     4    CRC32 (IEEE) of the payload
+//	20     n    payload
+//
+// A torn frame (connection cut mid-frame) surfaces as
+// io.ErrUnexpectedEOF; a corrupted frame fails the CRC with ErrChecksum.
+// Both are terminal for the connection: framing state cannot be resynced.
+//
+// Error responses carry a one-byte status in the header and the message
+// text as payload; DecodeError maps status codes back onto the typed
+// sentinel errors (ErrOverloaded, core.ErrUnsupported, core.ErrNoQuery,
+// context.DeadlineExceeded, ...) so remote callers can errors.Is exactly
+// as in-process callers do.
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"xbench/internal/core"
+)
+
+// Magic is the two-byte frame preamble ("XB").
+const Magic uint16 = 0x5842
+
+// Version is the protocol version this package speaks. A server receiving
+// a frame with a different version rejects it with StatusBadRequest.
+const Version byte = 1
+
+// MaxPayload bounds a frame payload (64 MiB). A length field above it
+// fails with ErrTooLarge before any allocation, so a corrupt or hostile
+// length prefix cannot balloon memory.
+const MaxPayload = 64 << 20
+
+// headerSize is the fixed frame header length in bytes.
+const headerSize = 20
+
+// Op identifies a request operation. The set mirrors core.Engine: every
+// remote call is one op, so the client can satisfy the interface with one
+// round trip per method.
+type Op byte
+
+const (
+	// OpPing checks liveness; the response payload is the engine name.
+	OpPing Op = iota + 1
+	// OpQuery executes one workload query (payload: QueryRequest).
+	OpQuery
+	// OpLoad bulk-loads a database (payload: Database; response LoadStats).
+	OpLoad
+	// OpIndexes builds the Table 3 indexes (payload: IndexSpecs).
+	OpIndexes
+	// OpColdReset drops the engine's caches.
+	OpColdReset
+	// OpPageIO reads the engine's cumulative page I/O counter.
+	OpPageIO
+	// OpSupports asks whether the engine hosts a class/size combination.
+	OpSupports
+	// OpInsert is update workload U1 (payload: UpdateRequest).
+	OpInsert
+	// OpReplace is update workload U2 (payload: UpdateRequest).
+	OpReplace
+	// OpDelete is update workload U3 (payload: UpdateRequest, empty data).
+	OpDelete
+)
+
+// String returns the metric-friendly lowercase op name.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpQuery:
+		return "query"
+	case OpLoad:
+		return "load"
+	case OpIndexes:
+		return "indexes"
+	case OpColdReset:
+		return "coldreset"
+	case OpPageIO:
+		return "pageio"
+	case OpSupports:
+		return "supports"
+	case OpInsert:
+		return "u1"
+	case OpReplace:
+		return "u2"
+	case OpDelete:
+		return "u3"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Status is the one-byte response disposition.
+type Status byte
+
+const (
+	// StatusOK carries the operation's result payload.
+	StatusOK Status = iota
+	// StatusOverloaded: the admission controller rejected the request
+	// (queue full or queue-wait deadline expired).
+	StatusOverloaded
+	// StatusUnsupported maps core.ErrUnsupported.
+	StatusUnsupported
+	// StatusNoQuery maps core.ErrNoQuery.
+	StatusNoQuery
+	// StatusReadOnly maps core.ErrReadOnly.
+	StatusReadOnly
+	// StatusCanceled maps context.Canceled.
+	StatusCanceled
+	// StatusDeadline maps context.DeadlineExceeded (per-request timeout).
+	StatusDeadline
+	// StatusShutdown: the server is draining and accepts no new work.
+	StatusShutdown
+	// StatusBadRequest: the frame or payload could not be decoded.
+	StatusBadRequest
+	// StatusInternal carries any other engine error as text.
+	StatusInternal
+)
+
+// Typed protocol errors. ErrOverloaded and ErrShutdown are the two
+// admission-control rejections a well-behaved client must expect under
+// load; the rest are framing violations that poison the connection.
+var (
+	// ErrOverloaded is returned to callers the admission controller turned
+	// away. It is load shedding, not failure: the request was never started.
+	ErrOverloaded = errors.New("wire: server overloaded")
+	// ErrShutdown is returned for requests arriving while the server drains.
+	ErrShutdown = errors.New("wire: server shutting down")
+	// ErrChecksum marks a frame whose payload failed CRC verification.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrBadMagic marks a frame that does not start with the XB preamble.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrBadVersion marks a frame with an unknown protocol version.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrTooLarge marks a frame whose declared payload exceeds MaxPayload.
+	ErrTooLarge = errors.New("wire: frame payload too large")
+)
+
+// Frame is one protocol message. Kind holds the Op on requests and the
+// Status on responses; ID ties a response to its request.
+type Frame struct {
+	Kind    byte
+	ID      uint64
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w as a single buffered write.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	buf := make([]byte, headerSize+len(f.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = Version
+	buf[3] = f.Kind
+	binary.BigEndian.PutUint64(buf[4:12], f.ID)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(f.Payload))
+	copy(buf[headerSize:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and verifies one frame. A connection cut mid-frame
+// returns io.ErrUnexpectedEOF (io.EOF only on a clean boundary); a
+// payload failing its CRC returns ErrChecksum.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
+	}
+	f := Frame{Kind: hdr[3], ID: binary.BigEndian.Uint64(hdr[4:12])}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	sum := binary.BigEndian.Uint32(hdr[16:20])
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	if crc32.ChecksumIEEE(f.Payload) != sum {
+		return Frame{}, ErrChecksum
+	}
+	return f, nil
+}
+
+// StatusFor maps an engine/handler error to the response status carrying
+// it over the wire. Order matters: context errors are checked before the
+// engine sentinels because a timed-out engine call usually wraps both.
+func StatusFor(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, ErrShutdown):
+		return StatusShutdown
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline
+	case errors.Is(err, context.Canceled):
+		return StatusCanceled
+	case errors.Is(err, core.ErrUnsupported):
+		return StatusUnsupported
+	case errors.Is(err, core.ErrNoQuery):
+		return StatusNoQuery
+	case errors.Is(err, core.ErrReadOnly):
+		return StatusReadOnly
+	default:
+		return StatusInternal
+	}
+}
+
+// DecodeError reconstructs the typed error a non-OK response carries: the
+// message text from the payload wrapping the sentinel the status maps to,
+// so errors.Is works identically on both sides of the wire.
+func DecodeError(s Status, payload []byte) error {
+	msg := string(payload)
+	wrap := func(sentinel error) error {
+		if msg == "" {
+			return sentinel
+		}
+		return fmt.Errorf("%s: %w", msg, sentinel)
+	}
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusOverloaded:
+		return wrap(ErrOverloaded)
+	case StatusShutdown:
+		return wrap(ErrShutdown)
+	case StatusUnsupported:
+		return wrap(core.ErrUnsupported)
+	case StatusNoQuery:
+		return wrap(core.ErrNoQuery)
+	case StatusReadOnly:
+		return wrap(core.ErrReadOnly)
+	case StatusCanceled:
+		return wrap(context.Canceled)
+	case StatusDeadline:
+		return wrap(context.DeadlineExceeded)
+	case StatusBadRequest:
+		return fmt.Errorf("wire: bad request: %s", msg)
+	default:
+		if msg == "" {
+			msg = fmt.Sprintf("status %d", byte(s))
+		}
+		return fmt.Errorf("wire: remote: %s", msg)
+	}
+}

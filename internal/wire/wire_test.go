@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"xbench/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Kind: byte(OpQuery), ID: 42, Payload: []byte("hello frame")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("roundtrip: got %+v, want %+v", out, in)
+	}
+	// Empty payload is legal.
+	buf.Reset()
+	if err := WriteFrame(&buf, Frame{Kind: byte(OpPing), ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = ReadFrame(&buf); err != nil || len(out.Payload) != 0 {
+		t.Fatalf("empty payload roundtrip: %+v, %v", out, err)
+	}
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: byte(OpQuery), ID: 7, Payload: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted payload read: %v, want ErrChecksum", err)
+	}
+}
+
+func TestFrameTornMidPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: byte(OpQuery), ID: 7, Payload: []byte("a longer payload")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Cut the stream at every possible torn point: mid-header and
+	// mid-payload must fail ErrUnexpectedEOF, a clean boundary io.EOF.
+	for cut := 0; cut < len(raw); cut++ {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]))
+		if cut == 0 {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("cut at 0: %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(bytes.Repeat([]byte{0xAB}, 64))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage read: %v, want ErrBadMagic", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: byte(OpPing), ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99 // version
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("future version read: %v, want ErrBadVersion", err)
+	}
+	if err := WriteFrame(io.Discard, Frame{Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized write: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	in := QueryRequest{
+		Query:   core.Q17,
+		Params:  core.Params{"W": "word", "X": "I1", "PHRASE": "two words"},
+		Timeout: 1500 * time.Millisecond,
+	}
+	out, err := DecodeQueryRequest(EncodeQueryRequest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	// Nil params stay nil.
+	out, err = DecodeQueryRequest(EncodeQueryRequest(QueryRequest{Query: core.Q1}))
+	if err != nil || out.Params != nil {
+		t.Fatalf("nil params roundtrip: %+v, %v", out, err)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := core.Result{
+		Items:            []string{"<a>1</a>", "", "<b attr=\"x\">два</b>"},
+		OrderGuaranteed:  true,
+		MixedContentLost: false,
+		PageIO:           12345,
+	}
+	out, err := DecodeResult(EncodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestUpdateAndLoadRoundTrip(t *testing.T) {
+	u := UpdateRequest{Name: "order-update-3.xml", Data: []byte("<order/>"), Timeout: time.Second}
+	gotU, err := DecodeUpdateRequest(EncodeUpdateRequest(u))
+	if err != nil || !reflect.DeepEqual(u, gotU) {
+		t.Fatalf("update roundtrip: %+v, %v", gotU, err)
+	}
+
+	l := LoadRequest{
+		DB: core.Database{
+			Class: core.DCMD,
+			Size:  core.Small,
+			Docs: []core.Doc{
+				{Name: "order1.xml", Data: []byte("<order id=\"O1\"/>")},
+				{Name: "Customer.xml", Data: []byte("<customers/>")},
+			},
+		},
+		Timeout: 3 * time.Second,
+	}
+	gotL, err := DecodeLoadRequest(EncodeLoadRequest(l))
+	if err != nil || !reflect.DeepEqual(l, gotL) {
+		t.Fatalf("load roundtrip: %+v, %v", gotL, err)
+	}
+
+	st := core.LoadStats{Documents: 2, Rows: 10, Nodes: 0, Bytes: 999, PageIO: 55, SkippedMixed: 1}
+	gotS, err := DecodeLoadStats(EncodeLoadStats(st))
+	if err != nil || gotS != st {
+		t.Fatalf("stats roundtrip: %+v, %v", gotS, err)
+	}
+
+	specs := []core.IndexSpec{{Class: core.DCSD, Target: "item/@id"}, {Class: core.TCSD, Target: "hw"}}
+	gotSp, err := DecodeIndexSpecs(EncodeIndexSpecs(specs))
+	if err != nil || !reflect.DeepEqual(specs, gotSp) {
+		t.Fatalf("specs roundtrip: %+v, %v", gotSp, err)
+	}
+
+	c, sz, err := DecodeClassSize(EncodeClassSize(core.TCMD, core.Large))
+	if err != nil || c != core.TCMD || sz != core.Large {
+		t.Fatalf("class/size roundtrip: %v %v %v", c, sz, err)
+	}
+
+	n, err := DecodeInt64(EncodeInt64(-42))
+	if err != nil || n != -42 {
+		t.Fatalf("int64 roundtrip: %d, %v", n, err)
+	}
+}
+
+func TestTruncatedPayloadsFailTyped(t *testing.T) {
+	full := EncodeLoadRequest(LoadRequest{DB: core.Database{
+		Class: core.DCMD,
+		Docs:  []core.Doc{{Name: "a.xml", Data: []byte("<a/>")}},
+	}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeLoadRequest(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestErrorMappingRoundTrip pins the contract that remote errors satisfy
+// the same errors.Is checks as in-process ones.
+func TestErrorMappingRoundTrip(t *testing.T) {
+	cases := []struct {
+		err      error
+		status   Status
+		sentinel error
+	}{
+		{ErrOverloaded, StatusOverloaded, ErrOverloaded},
+		{ErrShutdown, StatusShutdown, ErrShutdown},
+		{core.ErrUnsupported, StatusUnsupported, core.ErrUnsupported},
+		{core.ErrNoQuery, StatusNoQuery, core.ErrNoQuery},
+		{core.ErrReadOnly, StatusReadOnly, core.ErrReadOnly},
+		{context.Canceled, StatusCanceled, context.Canceled},
+		{context.DeadlineExceeded, StatusDeadline, context.DeadlineExceeded},
+	}
+	for _, c := range cases {
+		got := StatusFor(c.err)
+		if got != c.status {
+			t.Errorf("StatusFor(%v) = %d, want %d", c.err, got, c.status)
+		}
+		back := DecodeError(c.status, []byte("ctx: "+c.err.Error()))
+		if !errors.Is(back, c.sentinel) {
+			t.Errorf("DecodeError(%d) = %v, does not wrap %v", c.status, back, c.sentinel)
+		}
+	}
+	// Wrapped errors map the same way.
+	wrapped := errors.Join(errors.New("engine: query failed"), core.ErrNoQuery)
+	if StatusFor(wrapped) != StatusNoQuery {
+		t.Errorf("wrapped ErrNoQuery mapped to %d", StatusFor(wrapped))
+	}
+	if StatusFor(errors.New("anything else")) != StatusInternal {
+		t.Error("unknown error did not map to StatusInternal")
+	}
+	if DecodeError(StatusOK, nil) != nil {
+		t.Error("StatusOK decoded to a non-nil error")
+	}
+}

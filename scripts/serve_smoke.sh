@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test: start `xbench serve` on a loopback port, run a
+# two-client remote throughput sweep and a remote update report against
+# it, then SIGTERM the server and require a graceful (exit 0) drain.
+# CI runs this (workflow job `serve-smoke`); `make smoke` runs it locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)/xbench"
+log="$(mktemp)"
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")" "$log"' EXIT
+
+go build -o "$bin" ./cmd/xbench
+
+# Port 0 => the kernel picks a free port; the serve banner names it.
+"$bin" serve --engine=x-hive --class=dcmd --size=small --addr=127.0.0.1:0 \
+    --max-inflight=16 --drain-timeout=10s >"$log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^serving .* on \([0-9.:]*\) .*/\1/p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "server died during startup:"; cat "$log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "server never printed its address:"; cat "$log"; exit 1; }
+echo "serving on $addr"
+
+"$bin" throughput --remote="$addr" --skip-load --class=dcmd \
+    --clients=1,2 --ops=20 --format=json | grep -q '"qps"' \
+    || { echo "remote sweep produced no report"; exit 1; }
+
+"$bin" updates --remote="$addr" --class=dcmd --repeat=2 | grep -q 'U3' \
+    || { echo "remote update report produced no U3 row"; exit 1; }
+
+kill -TERM "$server_pid"
+server_status=0
+wait "$server_pid" || server_status=$?
+cat "$log"
+if [ "$server_status" -ne 0 ]; then
+    echo "serve exited $server_status after SIGTERM (want graceful 0)"
+    exit 1
+fi
+grep -q 'drained' "$log" || { echo "serve exited without draining"; exit 1; }
+echo "serve smoke OK"

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"xbench/internal/bench"
+	"xbench/internal/client"
 	"xbench/internal/core"
 	"xbench/internal/driver"
 	"xbench/internal/engines/native"
@@ -41,6 +42,7 @@ import (
 	"xbench/internal/gen"
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
+	"xbench/internal/server"
 	"xbench/internal/workload"
 	"xbench/internal/xmldom"
 	"xbench/internal/xmlschema"
@@ -85,6 +87,16 @@ type (
 	ThroughputConfig = driver.Config
 	// ThroughputReport is one closed-loop driver run's result.
 	ThroughputReport = driver.Report
+	// Server exposes an Engine over TCP (see NewServer, DESIGN.md §11).
+	Server = server.Server
+	// ServerConfig tunes the server's address, admission control and
+	// per-request timeout cap.
+	ServerConfig = server.Config
+	// Client is a remote engine handle; it satisfies Engine, so drivers
+	// run unchanged against a served engine (see Connect).
+	Client = client.Client
+	// ClientConfig tunes the client's pool, dial timeout and retry policy.
+	ClientConfig = client.Config
 )
 
 // The four classes (paper Table 1).
@@ -282,6 +294,16 @@ func RunCold(ctx context.Context, e Engine, class Class, q QueryID) Measurement 
 func Throughput(ctx context.Context, e Engine, class Class, cfg ThroughputConfig) (ThroughputReport, error) {
 	return driver.Run(ctx, e, class, cfg)
 }
+
+// NewServer wraps an engine in a TCP server (not yet listening; call
+// Start, and Shutdown/Close to drain). A zero ServerConfig listens on an
+// ephemeral loopback port with the default admission control.
+func NewServer(e Engine, cfg ServerConfig) *Server { return server.New(e, cfg) }
+
+// Connect dials an xbench server (see NewServer or `xbench serve`) and
+// returns a remote Engine. Closing it releases the client's connections
+// only; the server and its engine keep running.
+func Connect(addr string, cfg ClientConfig) (*Client, error) { return client.Dial(addr, cfg) }
 
 // WorkloadQueries returns the query types instantiated for a class.
 func WorkloadQueries(class Class) []QueryID { return workload.QueryIDs(class) }

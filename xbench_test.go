@@ -143,3 +143,44 @@ func TestPublicSchemaXSD(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicServeConnect drives the network layer through the facade the
+// way the README shows: serve an engine, Connect, run the driver remote.
+func TestPublicServeConnect(t *testing.T) {
+	db, err := Generate(DCMD, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New("native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(e, ServerConfig{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Connect(srv.Addr().String(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Name() != e.Name() {
+		t.Fatalf("remote name %q, want %q", cl.Name(), e.Name())
+	}
+	if _, err := LoadAndIndex(context.Background(), cl, db); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Throughput(context.Background(), cl, DCMD, ThroughputConfig{
+		Clients: 2, OpsPerClient: 5, Think: -1, NoWarmup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 10 || rep.Errs != 0 {
+		t.Fatalf("remote driver run: ops=%d errs=%d", rep.Ops, rep.Errs)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+}
