@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos chaos-updates smoke verify
+.PHONY: build test vet race chaos chaos-updates torture smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,18 @@ chaos: build
 chaos-updates: build
 	$(GO) run ./cmd/xbench chaos --updates-only --crashes=2
 
+# Process-kill torture: a real `xbench serve --journal` child is
+# SIGKILLed and restarted 20 times at seeded points during a mixed
+# read/write storm; the journal must afterwards hold exactly the set of
+# acknowledged updates (no lost ack, no double-apply).
+torture:
+	$(GO) test -run 'TestProcessKillTorture|TestSupervisorKill' -v ./internal/chaos/
+
 # Serving-layer smoke: xbench serve on loopback, remote 2-client sweep +
-# remote updates, SIGTERM, require a graceful exit 0.
+# remote updates, kill -9 + journal-recovery restart, SIGTERM, require a
+# graceful exit 0.
 smoke:
 	bash scripts/serve_smoke.sh
 
 # The PR gate: everything that must be green before a change lands.
-verify: build vet test race chaos-updates smoke
+verify: build vet test race chaos-updates torture smoke

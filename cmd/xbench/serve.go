@@ -58,6 +58,7 @@ func cmdServe(args []string) error {
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side cap on one request's context deadline (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM")
 	noLoad := fs.Bool("no-load", false, "serve the engine empty; a remote client loads it over the wire")
+	journal := fs.String("journal", "", "durable update journal path; recovered before serving, so acknowledged updates survive a process kill")
 	seed := fs.Uint64("gen-seed", 0, "generation seed")
 	scale := fs.Int("scale", 1, "extra size multiplier")
 	fs.Parse(args)
@@ -69,25 +70,48 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !*noLoad {
-		db, err := gen.Config{Seed: *seed, SizeMultiplier: *scale}.Generate(class, size)
-		if err != nil {
-			return err
-		}
-		st, dur, err := workload.LoadAndIndex(context.Background(), e, db)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("loaded %s into %s (%d docs, %d bytes) in %v\n",
-			db.Instance(), e.Name(), st.Documents, st.Bytes, dur)
-	}
-
-	srv := server.New(e, server.Config{
+	cfg := server.Config{
 		Addr:           *addr,
 		MaxInflight:    *maxInflight,
 		QueueWait:      *queueWait,
 		RequestTimeout: *requestTimeout,
-	})
+	}
+	var srv *server.Server
+	if *journal != "" {
+		// Crash-safe path: regenerate the base database deterministically,
+		// then Reopen loads it, replays the journal's acknowledged updates
+		// and rebuilds the idempotency dedup table before the listener
+		// opens — a killed-and-restarted server answers a client's retry
+		// with the original outcome instead of re-applying it.
+		if *noLoad {
+			return fmt.Errorf("serve: --journal needs the base database (drop --no-load)")
+		}
+		db, err := gen.Config{Seed: *seed, SizeMultiplier: *scale}.Generate(class, size)
+		if err != nil {
+			return err
+		}
+		var replayed int
+		srv, replayed, err = server.Reopen(e, db, workload.Indexes(db.Class), *journal, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered %s into %s: %d journaled updates replayed from %s\n",
+			db.Instance(), e.Name(), replayed, *journal)
+	} else {
+		if !*noLoad {
+			db, err := gen.Config{Seed: *seed, SizeMultiplier: *scale}.Generate(class, size)
+			if err != nil {
+				return err
+			}
+			st, dur, err := workload.LoadAndIndex(context.Background(), e, db)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("loaded %s into %s (%d docs, %d bytes) in %v\n",
+				db.Instance(), e.Name(), st.Documents, st.Bytes, dur)
+		}
+		srv = server.New(e, cfg)
+	}
 	if err := srv.Start(); err != nil {
 		return err
 	}

@@ -1,0 +1,166 @@
+// Process-level chaos: where chaos.go kills a simulated engine inside
+// one address space, the Supervisor kills a REAL `xbench serve` child
+// with SIGKILL — no defers run, no buffers flush, the TCP listener
+// vanishes mid-connection — and restarts it. Combined with the server's
+// durable journal (`serve --journal`) and the client's keyed retries,
+// this is the end-to-end torture rig for the exactly-once guarantee: a
+// storm of updates runs THROUGH repeated process deaths and afterwards
+// the journal must contain every acknowledged update exactly once.
+//
+// The supervisor is deliberately dumb: spawn, wait for the port to
+// answer, SIGKILL, repeat at seeded intervals. All cleverness (recovery,
+// dedup, failover) belongs to the system under test.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"xbench/internal/stats"
+)
+
+// Supervisor manages one child server process across kill/restart
+// cycles. Configure the fields, then Start / Kill / Storm. Safe for use
+// from one goroutine at a time (the torture test's killer loop).
+type Supervisor struct {
+	// Binary is the path of the server executable (a built `xbench`).
+	Binary string
+	// Args is the full argument vector after the binary name — typically
+	// `serve --addr=... --journal=...`. The same vector is used for every
+	// restart, so recovery must be encoded in the flags, not the caller.
+	Args []string
+	// Addr is the address the child serves on; readiness = a TCP connect
+	// to it succeeding, which the server only allows after recovery.
+	Addr string
+	// ReadyTimeout bounds one restart's wait for the port to answer;
+	// <= 0 selects 30s.
+	ReadyTimeout time.Duration
+	// Log receives the child's stdout+stderr (nil discards). Handy when a
+	// torture run fails: the last child's recovery banner says how many
+	// journal records it replayed.
+	Log io.Writer
+
+	mu    sync.Mutex
+	cmd   *exec.Cmd
+	kills int
+}
+
+// Start spawns the child and blocks until its port answers (i.e. journal
+// recovery finished and the listener is open).
+func (s *Supervisor) Start() error {
+	s.mu.Lock()
+	if s.cmd != nil {
+		s.mu.Unlock()
+		return errors.New("chaos: child already running")
+	}
+	cmd := exec.Command(s.Binary, s.Args...)
+	if s.Log != nil {
+		cmd.Stdout, cmd.Stderr = s.Log, s.Log
+	}
+	if err := cmd.Start(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("chaos: spawn %s: %w", s.Binary, err)
+	}
+	s.cmd = cmd
+	s.mu.Unlock()
+	if err := s.waitReady(); err != nil {
+		s.Kill() // don't leak a half-started child
+		return err
+	}
+	return nil
+}
+
+// waitReady polls the serve port until a connect succeeds.
+func (s *Supervisor) waitReady() error {
+	timeout := s.ReadyTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", s.Addr, 250*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: child on %s not ready after %v: %w", s.Addr, timeout, err)
+		}
+		// The child may have died during startup (bad flags, port taken):
+		// surface its exit instead of polling a corpse.
+		s.mu.Lock()
+		cmd := s.cmd
+		s.mu.Unlock()
+		if cmd != nil && cmd.ProcessState != nil {
+			return fmt.Errorf("chaos: child exited during startup: %v", cmd.ProcessState)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Kill SIGKILLs the child — the unflushable, undeferrable death — and
+// reaps it. Killing a dead or never-started child is a no-op.
+func (s *Supervisor) Kill() error {
+	s.mu.Lock()
+	cmd := s.cmd
+	s.cmd = nil
+	if cmd != nil {
+		s.kills++
+	}
+	s.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil && !errors.Is(err, syscall.ESRCH) {
+		return fmt.Errorf("chaos: SIGKILL: %w", err)
+	}
+	cmd.Wait() // reap; exit status of a SIGKILLed child is expectedly non-nil
+	return nil
+}
+
+// Kills returns how many SIGKILLs have been delivered.
+func (s *Supervisor) Kills() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kills
+}
+
+// Running reports whether a child is currently managed.
+func (s *Supervisor) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cmd != nil
+}
+
+// Storm runs `cycles` SIGKILL/restart cycles at seeded intervals drawn
+// uniformly from [minGap, maxGap): let the update storm make progress,
+// kill the child mid-flight, restart it (recovery replays the journal),
+// repeat. The child is left RUNNING when Storm returns, so callers can
+// quiesce their workload and then inspect final state. The gap stream is
+// a Split of the run seed, so a torture failure replays exactly.
+func (s *Supervisor) Storm(cycles int, seed uint64, minGap, maxGap time.Duration) error {
+	if maxGap < minGap {
+		minGap, maxGap = maxGap, minGap
+	}
+	rng := stats.NewRNG(seed).Split(0x70726F63) // "proc"
+	for i := 0; i < cycles; i++ {
+		gap := minGap
+		if span := maxGap - minGap; span > 0 {
+			gap += time.Duration(rng.Intn(int(span)))
+		}
+		time.Sleep(gap)
+		if err := s.Kill(); err != nil {
+			return fmt.Errorf("chaos: storm cycle %d: %w", i, err)
+		}
+		if err := s.Start(); err != nil {
+			return fmt.Errorf("chaos: storm cycle %d restart: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Per-address circuit breakers for the failover client. Each endpoint of
+// the address list owns one breaker with the classic three states:
+//
+//	closed    — requests flow; consecutive transport failures are counted.
+//	open      — FailThreshold consecutive failures tripped it; requests
+//	            avoid the address until the cooldown elapses.
+//	half-open — cooldown elapsed; exactly one probe request is admitted.
+//	            Success closes the breaker, failure re-opens it for
+//	            another cooldown.
+//
+// Breakers only ever see TRANSPORT verdicts (dial errors, torn
+// connections, and shutdown rejections from a draining server). Engine
+// and admission errors travel over a healthy connection and count as
+// breaker successes — an overloaded server is alive, and steering every
+// client away from it the moment it sheds load would turn backpressure
+// into a self-inflicted outage.
+//
+// All methods are called under the client's endpoint lock; the breaker
+// itself holds no lock.
+package client
+
+import "time"
+
+// breaker is one address's circuit state. The zero value is closed.
+type breaker struct {
+	fails     int       // consecutive transport failures while closed
+	openUntil time.Time // non-zero while open / half-open
+	probing   bool      // a half-open probe is in flight
+}
+
+// allow reports whether a request may use this address now. In the
+// half-open state it admits exactly one probe (marking it in flight);
+// callers MUST later report success or failure so the probe slot frees.
+func (b *breaker) allow(now time.Time) bool {
+	if b.openUntil.IsZero() {
+		return true // closed
+	}
+	if now.Before(b.openUntil) {
+		return false // open, cooling down
+	}
+	if b.probing {
+		return false // half-open, probe already in flight
+	}
+	b.probing = true
+	return true
+}
+
+// open reports whether the breaker currently blocks ordinary traffic.
+func (b *breaker) open(now time.Time) bool {
+	return !b.openUntil.IsZero() && (now.Before(b.openUntil) || b.probing)
+}
+
+// success records a request that completed over a healthy transport,
+// closing the breaker from any state.
+func (b *breaker) success() { *b = breaker{} }
+
+// failure records a transport failure. A failed half-open probe re-opens
+// immediately; a closed breaker opens once threshold consecutive
+// failures accumulate.
+func (b *breaker) failure(now time.Time, threshold int, cooldown time.Duration) {
+	wasProbe := b.probing
+	b.probing = false
+	b.fails++
+	if wasProbe || b.fails >= threshold {
+		b.openUntil = now.Add(cooldown)
+	}
+}

@@ -1,28 +1,54 @@
 // Package client is the remote side of the network serving layer: a
-// connection-pooling, retrying TCP client for internal/server that
-// satisfies core.Engine, so every existing harness — the closed-loop
-// driver, the update workload, the verify command — runs unchanged over
-// the wire. Point the driver at a Client instead of a local engine and
-// the p50/p95/p99 cells include connection handling, framing and
-// admission control.
+// connection-pooling, retrying, failing-over TCP client for
+// internal/server that satisfies core.Engine, so every existing harness —
+// the closed-loop driver, the update workload, the verify command — runs
+// unchanged over the wire. Point the driver at a Client instead of a
+// local engine and the p50/p95/p99 cells include connection handling,
+// framing and admission control.
 //
-// Pooling: completed requests park their connection in a bounded idle
-// list (Config.PoolSize); a request takes an idle connection if one is
-// free and dials otherwise, so total connections track the caller's
-// concurrency (like net/http.Transport, idle is bounded, in-flight is
-// not — the server's admission controller is the load limiter).
+// Pooling: completed requests park their connection in a bounded
+// per-address idle list (Config.PoolSize); a request takes an idle
+// connection if one is free and dials otherwise, so total connections
+// track the caller's concurrency (like net/http.Transport, idle is
+// bounded, in-flight is not — the server's admission controller is the
+// load limiter).
 //
-// Retry: transient dial errors are always retried with exponential
-// backoff. I/O errors mid-request are retried only for idempotent
-// operations (ping, query, supports, page-I/O) — an insert whose
-// response was lost may have been applied, and retrying it would turn
-// one logical U1 into two. Admission rejections (ErrOverloaded,
-// ErrShutdown) are never retried: they are the server's explicit
-// backpressure, and the driver counts them.
+// Exactly-once updates: every update (U1–U3) carries an idempotency key —
+// the client's random 64-bit identity plus a per-client sequence number —
+// generated once per logical operation and re-sent verbatim on every
+// retry leg. The server's dedup table (rebuilt from its durable journal
+// across restarts) recognizes the key and answers a retry with the
+// original outcome instead of re-applying, which is what makes updates
+// safe to retry at all: a lost response no longer forces the client to
+// choose between surfacing a spurious error and double-applying.
+//
+// Retry: transient dial errors are always retried. I/O errors mid-request
+// are retried for idempotent operations — queries, pings, and (thanks to
+// the idempotency keys) all three update ops. StatusOverloaded and
+// StatusShutdown are pre-execution rejections; for idempotent operations
+// they are retried with backoff (overload is backpressure, so the backoff
+// is the polite response; shutdown steers the retry to another address).
+// Backoff doubles per attempt with seeded jitter drawn from the same
+// PCG32 generator family as the driver's per-client streams, so
+// concurrent clients never synchronize their retry storms yet tests
+// replay deterministically.
+//
+// Failover: the client holds an ordered address list (DialAddrs). Each
+// address owns a circuit breaker (breaker.go) that opens after
+// Config.FailThreshold consecutive transport errors and admits a single
+// half-open probe after Config.Cooldown. Requests prefer the first
+// address whose breaker admits them, so traffic drains away from a dead
+// or draining server within one threshold's worth of failures and
+// returns after one successful probe. When every breaker is open the
+// client forces the least-recently-condemned address rather than
+// failing — a fully-partitioned client keeps probing, it never locks
+// itself out.
 package client
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -31,21 +57,41 @@ import (
 	"time"
 
 	"xbench/internal/core"
+	"xbench/internal/stats"
 	"xbench/internal/wire"
 )
 
 // Config controls a client.
 type Config struct {
-	// PoolSize bounds the idle connections kept for reuse; <= 0 selects 4.
+	// PoolSize bounds the idle connections kept for reuse per address;
+	// <= 0 selects 4.
 	PoolSize int
 	// DialTimeout bounds one TCP dial; <= 0 selects 2s.
 	DialTimeout time.Duration
 	// Retries is the number of additional attempts after a transient
 	// failure; < 0 disables retry, 0 selects 3.
 	Retries int
-	// Backoff is the first retry delay, doubling per attempt; <= 0
-	// selects 10ms.
+	// Backoff is the first retry delay, doubling per attempt with seeded
+	// jitter in [0.5x, 1.5x); <= 0 selects 10ms.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling, so a large retry budget (riding out a
+	// server restart) polls steadily instead of sleeping for minutes;
+	// <= 0 selects 500ms.
+	MaxBackoff time.Duration
+	// FailThreshold is the number of consecutive transport errors that
+	// opens an address's circuit breaker; <= 0 selects 3.
+	FailThreshold int
+	// Cooldown is how long an open breaker blocks an address before
+	// admitting a half-open probe; <= 0 selects 500ms.
+	Cooldown time.Duration
+	// ClientID is the 64-bit identity stamped into update idempotency
+	// keys; 0 draws a random one. Set it only for deterministic tests —
+	// two live clients sharing an identity would dedup each other.
+	ClientID uint64
+	// Seed seeds the retry-jitter stream; 0 derives it from the client
+	// identity, so concurrent clients de-synchronize by default while a
+	// fixed (ClientID, Seed) pair replays exactly.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,60 +110,174 @@ func (c Config) withDefaults() Config {
 	if c.Backoff <= 0 {
 		c.Backoff = 10 * time.Millisecond
 	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 500 * time.Millisecond
+	}
+	if c.MaxBackoff < c.Backoff {
+		c.MaxBackoff = c.Backoff
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
 	return c
 }
 
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("client: closed")
 
-// Client is a remote engine handle. It is safe for concurrent use; each
-// in-flight request occupies one pooled connection.
-type Client struct {
+// endpoint is one server address with its idle-connection pool and
+// circuit breaker. Guarded by Client.mu.
+type endpoint struct {
 	addr string
+	idle []net.Conn
+	brk  breaker
+}
+
+// Client is a remote engine handle. It is safe for concurrent use; each
+// in-flight request occupies one pooled connection on one address.
+type Client struct {
 	cfg  Config
 	name string // remote engine name, fetched at Dial time
+	id   uint64 // idempotency-key identity
 
 	nextID atomic.Uint64
+	seq    atomic.Uint64 // idempotency-key sequence
+
+	jmu    sync.Mutex
+	jitter *stats.RNG
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	eps    []*endpoint
 	closed bool
+}
+
+// newClient builds an unconnected client (shared by Dial and tests).
+func newClient(addrs []string, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{cfg: cfg, id: cfg.ClientID}
+	for c.id == 0 {
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			panic("client: crypto/rand unavailable: " + err.Error())
+		}
+		c.id = binary.BigEndian.Uint64(b[:])
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = c.id
+	}
+	c.jitter = stats.NewRNG(seed)
+	for _, a := range addrs {
+		c.eps = append(c.eps, &endpoint{addr: a})
+	}
+	return c
 }
 
 // Dial connects to a server, verifies liveness with a ping, and caches
 // the remote engine's name (Name() returns it verbatim, so reports keep
 // the same engine labels in remote and in-process runs).
 func Dial(addr string, cfg Config) (*Client, error) {
-	c := &Client{addr: addr, cfg: cfg.withDefaults()}
-	payload, err := c.roundTrip(context.Background(), wire.OpPing, nil, true)
+	return DialAddrs([]string{addr}, cfg)
+}
+
+// DialAddrs connects with a failover list: addrs are equivalent servers
+// (typically replicas serving the same load), preferred in order. The
+// liveness ping may be answered by any of them.
+func DialAddrs(addrs []string, cfg Config) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: empty address list")
+	}
+	c := newClient(addrs, cfg)
+	payload, err := c.roundTrip(context.Background(), wire.OpPing, nilPayload, true)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("client: dial %v: %w", addrs, err)
 	}
 	c.name = string(payload)
 	return c, nil
 }
 
+// nilPayload is the payload builder of body-less requests.
+func nilPayload(time.Duration) []byte { return nil }
+
 // Name returns the remote engine's name.
 func (c *Client) Name() string { return c.name }
 
-// Addr returns the server address the client dials.
-func (c *Client) Addr() string { return c.addr }
+// Addr returns the primary (first) server address.
+func (c *Client) Addr() string { return c.eps[0].addr }
 
-// getConn returns a pooled idle connection or dials a fresh one.
-func (c *Client) getConn() (net.Conn, error) {
+// Addrs returns the failover list, in preference order.
+func (c *Client) Addrs() []string {
+	out := make([]string, len(c.eps))
+	for i, ep := range c.eps {
+		out[i] = ep.addr
+	}
+	return out
+}
+
+// ClientID returns the identity stamped into this client's idempotency
+// keys.
+func (c *Client) ClientID() uint64 { return c.id }
+
+// nextKey mints the idempotency key of one logical update.
+func (c *Client) nextKey() wire.IdemKey {
+	return wire.IdemKey{Client: c.id, Seq: c.seq.Add(1)}
+}
+
+// pickEndpoint chooses the address for the next attempt: the first whose
+// breaker admits traffic, or — when every breaker is open — the one whose
+// cooldown expires soonest, forced, so the client always makes progress.
+func (c *Client) pickEndpoint() (*endpoint, error) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	for _, ep := range c.eps {
+		if ep.brk.allow(now) {
+			return ep, nil
+		}
+	}
+	forced := c.eps[0]
+	for _, ep := range c.eps[1:] {
+		if ep.brk.openUntil.Before(forced.brk.openUntil) {
+			forced = ep
+		}
+	}
+	return forced, nil
+}
+
+// epSuccess / epFailure feed the endpoint's breaker.
+func (c *Client) epSuccess(ep *endpoint) {
+	c.mu.Lock()
+	ep.brk.success()
+	c.mu.Unlock()
+}
+
+func (c *Client) epFailure(ep *endpoint) {
+	c.mu.Lock()
+	ep.brk.failure(time.Now(), c.cfg.FailThreshold, c.cfg.Cooldown)
+	c.mu.Unlock()
+}
+
+// getConn returns a pooled idle connection for ep or dials a fresh one.
+func (c *Client) getConn(ep *endpoint) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
+	if n := len(ep.idle); n > 0 {
+		conn := ep.idle[n-1]
+		ep.idle = ep.idle[:n-1]
 		c.mu.Unlock()
 		return conn, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	conn, err := net.DialTimeout("tcp", ep.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, &dialError{err}
 	}
@@ -126,10 +286,10 @@ func (c *Client) getConn() (net.Conn, error) {
 
 // putConn parks a healthy connection for reuse, or closes it when the
 // idle list is full or the client closed meanwhile.
-func (c *Client) putConn(conn net.Conn) {
+func (c *Client) putConn(ep *endpoint, conn net.Conn) {
 	c.mu.Lock()
-	if !c.closed && len(c.idle) < c.cfg.PoolSize {
-		c.idle = append(c.idle, conn)
+	if !c.closed && len(ep.idle) < c.cfg.PoolSize {
+		ep.idle = append(ep.idle, conn)
 		c.mu.Unlock()
 		return
 	}
@@ -144,9 +304,10 @@ type dialError struct{ err error }
 func (e *dialError) Error() string { return e.err.Error() }
 func (e *dialError) Unwrap() error { return e.err }
 
-// transient reports whether err may be retried for an op. Dial failures
-// are retriable for every op; transport failures after the request was
-// written only for idempotent ops.
+// transient reports whether a transport error may be retried for an op.
+// Dial failures are retriable for every op; transport failures after the
+// request was written only for idempotent ops — which includes keyed
+// updates, whose retry the server dedups.
 func transient(err error, idempotent bool) bool {
 	var de *dialError
 	if errors.As(err, &de) {
@@ -155,43 +316,92 @@ func transient(err error, idempotent bool) bool {
 	return idempotent
 }
 
-// roundTrip performs one request with pooling and retry-with-backoff.
-// It returns the response payload of a StatusOK frame or the typed
-// remote error. Protocol-level rejections (overload, shutdown, engine
-// errors) are terminal — only transport failures retry.
-func (c *Client) roundTrip(ctx context.Context, op wire.Op, payload []byte, idempotent bool) ([]byte, error) {
+// sleepBackoff waits one jittered backoff period (or until ctx fires).
+// Jitter draws from the client's seeded PCG32 stream: uniform in
+// [0.5x, 1.5x), so synchronized clients spread out instead of retrying in
+// lockstep.
+func (c *Client) sleepBackoff(ctx context.Context, backoff time.Duration) error {
+	c.jmu.Lock()
+	f := c.jitter.Float64()
+	c.jmu.Unlock()
+	d := backoff/2 + time.Duration(f*float64(backoff))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// roundTrip performs one request with pooling, failover and
+// retry-with-backoff. build produces the payload for each attempt from
+// the context's REMAINING deadline budget, so a retry leg carries the
+// time actually left, not the budget the first leg saw. It returns the
+// response payload of a StatusOK frame or the typed remote error.
+// Admission rejections (overload, shutdown) retry for idempotent ops —
+// they are pre-execution, so nothing was applied; engine errors are
+// terminal.
+func (c *Client) roundTrip(ctx context.Context, op wire.Op, build func(remaining time.Duration) []byte, idempotent bool) ([]byte, error) {
 	backoff := c.cfg.Backoff
 	var lastErr error
+	var lastAddr string
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		resp, err := c.attempt(op, payload)
-		if err == nil {
+		ep, err := c.pickEndpoint()
+		if err != nil {
+			return nil, err
+		}
+		lastAddr = ep.addr
+		resp, err := c.attempt(ep, op, build(timeoutOf(ctx)))
+		retryable := false
+		switch {
+		case err == nil && wire.Status(resp.Kind) == wire.StatusOK:
+			c.epSuccess(ep)
+			return resp.Payload, nil
+		case err == nil:
 			status := wire.Status(resp.Kind)
-			if status == wire.StatusOK {
-				return resp.Payload, nil
+			lastErr = wire.DecodeError(status, resp.Payload)
+			switch {
+			case status == wire.StatusOverloaded && idempotent:
+				// Backpressure from a healthy server: back off, retry.
+				c.epSuccess(ep)
+				retryable = true
+			case status == wire.StatusShutdown && idempotent:
+				// The server is draining away; steer the retry elsewhere.
+				c.epFailure(ep)
+				retryable = true
+			default:
+				c.epSuccess(ep)
+				return nil, lastErr
 			}
-			return nil, wire.DecodeError(status, resp.Payload)
+		case errors.Is(err, ErrClosed):
+			return nil, err
+		default:
+			c.epFailure(ep)
+			lastErr = err
+			retryable = transient(err, idempotent)
 		}
-		lastErr = err
-		if errors.Is(err, ErrClosed) || !transient(err, idempotent) || attempt >= c.cfg.Retries {
-			return nil, fmt.Errorf("client: %s %s: %w", op, c.addr, lastErr)
+		if !retryable || attempt >= c.cfg.Retries {
+			return nil, fmt.Errorf("client: %s %s: %w", op, lastAddr, lastErr)
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if err := c.sleepBackoff(ctx, backoff); err != nil {
+			return nil, err
 		}
-		backoff *= 2
+		if backoff *= 2; backoff > c.cfg.MaxBackoff {
+			backoff = c.cfg.MaxBackoff
+		}
 	}
 }
 
-// attempt runs one request on one connection. Any error poisons the
-// connection (framing state is unrecoverable), so it is closed rather
-// than pooled.
-func (c *Client) attempt(op wire.Op, payload []byte) (wire.Frame, error) {
-	conn, err := c.getConn()
+// attempt runs one request on one connection of one endpoint. Any error
+// poisons the connection (framing state is unrecoverable), so it is
+// closed rather than pooled.
+func (c *Client) attempt(ep *endpoint, op wire.Op, payload []byte) (wire.Frame, error) {
+	conn, err := c.getConn(ep)
 	if err != nil {
 		return wire.Frame{}, err
 	}
@@ -209,7 +419,7 @@ func (c *Client) attempt(op wire.Op, payload []byte) (wire.Frame, error) {
 		conn.Close()
 		return wire.Frame{}, fmt.Errorf("client: response id %d for request %d", resp.ID, id)
 	}
-	c.putConn(conn)
+	c.putConn(ep, conn)
 	return resp, nil
 }
 
@@ -228,12 +438,15 @@ func timeoutOf(ctx context.Context) time.Duration {
 }
 
 // Close releases the pooled connections. It closes the client handle
-// only — the remote server and its engine keep running (stop them with
-// the server's Shutdown, not from a client).
+// only — the remote servers and their engines keep running (stop them
+// with the server's Shutdown, not from a client).
 func (c *Client) Close() error {
 	c.mu.Lock()
-	idle := c.idle
-	c.idle = nil
+	var idle []net.Conn
+	for _, ep := range c.eps {
+		idle = append(idle, ep.idle...)
+		ep.idle = nil
+	}
 	c.closed = true
 	c.mu.Unlock()
 	for _, conn := range idle {
@@ -246,14 +459,18 @@ func (c *Client) Close() error {
 
 // Supports asks the remote engine whether it hosts the combination.
 func (c *Client) Supports(cl core.Class, s core.Size) error {
-	_, err := c.roundTrip(context.Background(), wire.OpSupports, wire.EncodeClassSize(cl, s), true)
+	payload := wire.EncodeClassSize(cl, s)
+	_, err := c.roundTrip(context.Background(), wire.OpSupports, func(time.Duration) []byte { return payload }, true)
 	return err
 }
 
-// Load ships the database over the wire and bulk-loads it remotely.
+// Load ships the database over the wire and bulk-loads it remotely. Not
+// retried after the request was written: a re-load is safe but enormous,
+// so the caller decides.
 func (c *Client) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
-	payload := wire.EncodeLoadRequest(wire.LoadRequest{DB: *db, Timeout: timeoutOf(ctx)})
-	resp, err := c.roundTrip(ctx, wire.OpLoad, payload, false)
+	resp, err := c.roundTrip(ctx, wire.OpLoad, func(remaining time.Duration) []byte {
+		return wire.EncodeLoadRequest(wire.LoadRequest{DB: *db, Timeout: remaining})
+	}, false)
 	if err != nil {
 		return core.LoadStats{}, err
 	}
@@ -262,16 +479,18 @@ func (c *Client) Load(ctx context.Context, db *core.Database) (core.LoadStats, e
 
 // BuildIndexes builds the Table 3 indexes remotely.
 func (c *Client) BuildIndexes(specs []core.IndexSpec) error {
-	_, err := c.roundTrip(context.Background(), wire.OpIndexes, wire.EncodeIndexSpecs(specs), false)
+	payload := wire.EncodeIndexSpecs(specs)
+	_, err := c.roundTrip(context.Background(), wire.OpIndexes, func(time.Duration) []byte { return payload }, false)
 	return err
 }
 
 // Execute runs one workload query remotely. The context's remaining
-// deadline rides along and is enforced server-side at page-fetch
-// granularity, exactly like an in-process engine.
+// deadline rides along on every retry leg and is enforced server-side at
+// page-fetch granularity, exactly like an in-process engine.
 func (c *Client) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
-	payload := wire.EncodeQueryRequest(wire.QueryRequest{Query: q, Params: p, Timeout: timeoutOf(ctx)})
-	resp, err := c.roundTrip(ctx, wire.OpQuery, payload, true)
+	resp, err := c.roundTrip(ctx, wire.OpQuery, func(remaining time.Duration) []byte {
+		return wire.EncodeQueryRequest(wire.QueryRequest{Query: q, Params: p, Timeout: remaining})
+	}, true)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -282,13 +501,13 @@ func (c *Client) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 func (c *Client) ColdReset() {
 	// The Engine interface makes ColdReset infallible; a transport error
 	// here surfaces on the next query instead.
-	_, _ = c.roundTrip(context.Background(), wire.OpColdReset, nil, false)
+	_, _ = c.roundTrip(context.Background(), wire.OpColdReset, nilPayload, false)
 }
 
 // PageIO reads the remote engine's cumulative page I/O counter (0 when
 // the server is unreachable).
 func (c *Client) PageIO() int64 {
-	resp, err := c.roundTrip(context.Background(), wire.OpPageIO, nil, true)
+	resp, err := c.roundTrip(context.Background(), wire.OpPageIO, nilPayload, true)
 	if err != nil {
 		return 0
 	}
@@ -299,26 +518,30 @@ func (c *Client) PageIO() int64 {
 	return v
 }
 
-// InsertDocument applies update workload U1 remotely. Not retried on
-// transport failure: a lost response may mean the insert applied.
+// update performs one keyed update op: the idempotency key is minted once
+// and re-sent verbatim on every retry leg, so the server can dedup a
+// retry whose original was applied but whose response was lost.
+func (c *Client) update(ctx context.Context, op wire.Op, name string, data []byte) error {
+	key := c.nextKey()
+	_, err := c.roundTrip(ctx, op, func(remaining time.Duration) []byte {
+		return wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Timeout: remaining, Key: key})
+	}, true)
+	return err
+}
+
+// InsertDocument applies update workload U1 remotely, exactly once.
 func (c *Client) InsertDocument(ctx context.Context, name string, data []byte) error {
-	payload := wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Timeout: timeoutOf(ctx)})
-	_, err := c.roundTrip(ctx, wire.OpInsert, payload, false)
-	return err
+	return c.update(ctx, wire.OpInsert, name, data)
 }
 
-// ReplaceDocument applies update workload U2 remotely.
+// ReplaceDocument applies update workload U2 remotely, exactly once.
 func (c *Client) ReplaceDocument(ctx context.Context, name string, data []byte) error {
-	payload := wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Timeout: timeoutOf(ctx)})
-	_, err := c.roundTrip(ctx, wire.OpReplace, payload, false)
-	return err
+	return c.update(ctx, wire.OpReplace, name, data)
 }
 
-// DeleteDocument applies update workload U3 remotely.
+// DeleteDocument applies update workload U3 remotely, exactly once.
 func (c *Client) DeleteDocument(ctx context.Context, name string) error {
-	payload := wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Timeout: timeoutOf(ctx)})
-	_, err := c.roundTrip(ctx, wire.OpDelete, payload, false)
-	return err
+	return c.update(ctx, wire.OpDelete, name, nil)
 }
 
 var _ core.Engine = (*Client)(nil)

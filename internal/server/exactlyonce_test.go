@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/server"
+	"xbench/internal/wire"
+)
+
+// rawConn speaks frames directly so tests can replay byte-identical
+// requests — the exact thing a retrying client does after a lost
+// response.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	id   uint64
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn}
+}
+
+func (r *rawConn) do(op wire.Op, payload []byte) wire.Frame {
+	r.t.Helper()
+	r.id++
+	if err := wire.WriteFrame(r.conn, wire.Frame{Kind: byte(op), ID: r.id, Payload: payload}); err != nil {
+		r.t.Fatal(err)
+	}
+	resp, err := wire.ReadFrame(r.conn)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return resp
+}
+
+func updatePayload(op wire.Op, name string, data []byte, key wire.IdemKey) []byte {
+	return wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Key: key})
+}
+
+// TestDedupReplaysOriginalResult: re-sending a keyed insert (the wire
+// image of a client retry) answers StatusOK from the dedup table instead
+// of re-applying — the stub would reject a second insert of the same
+// name, so a non-OK second response means the dedup missed.
+func TestDedupReplaysOriginalResult(t *testing.T) {
+	eng := newStub()
+	srv, _ := startServer(t, eng, server.Config{})
+	rc := dialRaw(t, srv.Addr().String())
+
+	key := wire.IdemKey{Client: 0xC0FFEE, Seq: 1}
+	payload := updatePayload(wire.OpInsert, "order-update-1.xml", []byte("<order/>"), key)
+	if resp := rc.do(wire.OpInsert, payload); wire.Status(resp.Kind) != wire.StatusOK {
+		t.Fatalf("first insert: status %d (%s)", resp.Kind, resp.Payload)
+	}
+	for i := 0; i < 3; i++ { // retries, byte-identical
+		if resp := rc.do(wire.OpInsert, payload); wire.Status(resp.Kind) != wire.StatusOK {
+			t.Fatalf("retry %d re-applied or failed: status %d (%s)", i, resp.Kind, resp.Payload)
+		}
+	}
+	if got := srv.Metrics().Counter("server.req.deduped").Value(); got != 3 {
+		t.Fatalf("deduped counter = %d, want 3", got)
+	}
+	eng.mu.Lock()
+	n := len(eng.docs)
+	eng.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("engine holds %d documents, want 1", n)
+	}
+
+	// A different seq is a different logical update and must re-execute:
+	// the stub rejects the duplicate name, proving the engine was reached.
+	fresh := updatePayload(wire.OpInsert, "order-update-1.xml", []byte("<order/>"), wire.IdemKey{Client: 0xC0FFEE, Seq: 2})
+	if resp := rc.do(wire.OpInsert, fresh); wire.Status(resp.Kind) == wire.StatusOK {
+		t.Fatal("distinct key was deduped")
+	}
+}
+
+// TestUnkeyedUpdatesBypassDedup: v1-style updates (no key) keep their old
+// semantics — every send reaches the engine.
+func TestUnkeyedUpdatesBypassDedup(t *testing.T) {
+	eng := newStub()
+	srv, _ := startServer(t, eng, server.Config{})
+	rc := dialRaw(t, srv.Addr().String())
+	payload := updatePayload(wire.OpInsert, "a.xml", []byte("<a/>"), wire.IdemKey{})
+	if resp := rc.do(wire.OpInsert, payload); wire.Status(resp.Kind) != wire.StatusOK {
+		t.Fatalf("first unkeyed insert: status %d", resp.Kind)
+	}
+	if resp := rc.do(wire.OpInsert, payload); wire.Status(resp.Kind) == wire.StatusOK {
+		t.Fatal("second unkeyed insert of the same name succeeded (was deduped?)")
+	}
+	if got := srv.Metrics().Counter("server.req.deduped").Value(); got != 0 {
+		t.Fatalf("deduped counter = %d, want 0", got)
+	}
+}
+
+// TestReopenRecoversJournalAndDedup: acknowledged updates and their
+// idempotency keys survive a full server death. A second Reopen on the
+// same journal rebuilds engine state (load + replay) and the dedup table,
+// so a client retrying across the restart gets the original answer and
+// the update applies exactly once.
+func TestReopenRecoversJournalAndDedup(t *testing.T) {
+	db := &core.Database{Class: core.DCMD, Size: core.Small, Docs: []core.Doc{
+		{Name: "seed.xml", Data: []byte("<seed/>")},
+	}}
+	journal := filepath.Join(t.TempDir(), "updates.journal")
+
+	e1 := newStub()
+	srv1, n, err := server.Reopen(e1, db, nil, journal, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh journal replayed %d records", n)
+	}
+	if err := srv1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rc := dialRaw(t, srv1.Addr().String())
+	ins := updatePayload(wire.OpInsert, "order-update-1.xml", []byte("<order rev='0'/>"), wire.IdemKey{Client: 5, Seq: 1})
+	for i, p := range [][]byte{
+		ins,
+		updatePayload(wire.OpReplace, "order-update-1.xml", []byte("<order rev='1'/>"), wire.IdemKey{Client: 5, Seq: 2}),
+		updatePayload(wire.OpInsert, "order-update-2.xml", []byte("<order/>"), wire.IdemKey{Client: 5, Seq: 3}),
+		updatePayload(wire.OpDelete, "order-update-2.xml", nil, wire.IdemKey{Client: 5, Seq: 4}),
+	} {
+		op := []wire.Op{wire.OpInsert, wire.OpReplace, wire.OpInsert, wire.OpDelete}[i]
+		if resp := rc.do(op, p); wire.Status(resp.Kind) != wire.StatusOK {
+			t.Fatalf("update %d: status %d (%s)", i, resp.Kind, resp.Payload)
+		}
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh engine, same journal.
+	e2 := newStub()
+	srv2, n, err := server.Reopen(e2, db, nil, journal, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("replayed %d records, want 4", n)
+	}
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	e2.mu.Lock()
+	rev1, ok1 := e2.docs["order-update-1.xml"]
+	_, ok2 := e2.docs["order-update-2.xml"]
+	e2.mu.Unlock()
+	if !ok1 || string(rev1) != "<order rev='1'/>" {
+		t.Fatalf("order-update-1.xml after recovery: %q (present=%v)", rev1, ok1)
+	}
+	if ok2 {
+		t.Fatal("deleted order-update-2.xml resurrected by recovery")
+	}
+
+	// A retry of the pre-crash insert must dedup, not re-apply.
+	rc2 := dialRaw(t, srv2.Addr().String())
+	if resp := rc2.do(wire.OpInsert, ins); wire.Status(resp.Kind) != wire.StatusOK {
+		t.Fatalf("cross-restart retry re-applied: status %d (%s)", resp.Kind, resp.Payload)
+	}
+	if got := srv2.Metrics().Counter("server.req.deduped").Value(); got != 1 {
+		t.Fatalf("deduped counter after restart retry = %d, want 1", got)
+	}
+}

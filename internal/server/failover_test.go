@@ -1,0 +1,64 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/driver"
+	"xbench/internal/server"
+	"xbench/internal/workload"
+)
+
+// TestDriverSweepSurvivesDeadPrimary is the failover acceptance check: a
+// full closed-loop driver run against a TWO-address client whose primary
+// server is already dead must complete with zero driver-visible errors —
+// the dial failures trip the primary's breaker and every op lands on the
+// live secondary, invisibly to the workload.
+func TestDriverSweepSurvivesDeadPrimary(t *testing.T) {
+	// Two equivalent replicas; the primary dies before the sweep starts.
+	primary, _ := startServer(t, newStub(), server.Config{})
+	secondary, _ := startServer(t, newStub(), server.Config{})
+	primaryAddr := primary.Addr().String()
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.DialAddrs([]string{primaryAddr, secondary.Addr().String()}, client.Config{
+		Retries:       8,
+		Backoff:       time.Millisecond,
+		FailThreshold: 2,
+		Cooldown:      time.Hour, // dead primary stays condemned for the whole run
+		DialTimeout:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialAddrs with dead primary: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	rep, err := driver.Run(context.Background(), c, core.DCMD, driver.Config{
+		Clients:        4,
+		OpsPerClient:   25,
+		Seed:           9,
+		Queries:        []core.QueryID{core.Q1, core.Q5},
+		NoWarmup:       true,
+		Think:          -1,
+		UpdateFraction: 0.3,
+		UpdateOps:      []workload.UpdateOp{workload.U1, workload.U2},
+	})
+	if err != nil {
+		t.Fatalf("driver run over failover client: %v", err)
+	}
+	if rep.Errs != 0 || rep.UpdateErrs != 0 || rep.Canceled != 0 {
+		t.Fatalf("driver saw errors through failover: errs=%d updateErrs=%d canceled=%d",
+			rep.Errs, rep.UpdateErrs, rep.Canceled)
+	}
+	if rep.Ops != 100 {
+		t.Fatalf("ops = %d, want 100", rep.Ops)
+	}
+	if rep.Updates == 0 {
+		t.Fatal("mixed run performed no updates; the keyed-update failover path went unexercised")
+	}
+}

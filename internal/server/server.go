@@ -32,6 +32,7 @@ import (
 
 	"xbench/internal/core"
 	"xbench/internal/metrics"
+	"xbench/internal/updatelog"
 	"xbench/internal/wire"
 )
 
@@ -53,6 +54,9 @@ type Config struct {
 	// Metrics receives the server's counters and wire-latency histograms;
 	// nil creates a private registry (readable via Metrics()).
 	Metrics *metrics.Registry
+	// DedupPerClient bounds the idempotency dedup window kept per client
+	// (see dedup.go); <= 0 selects 4096.
+	DedupPerClient int
 }
 
 // withDefaults resolves zero-value fields.
@@ -90,7 +94,16 @@ type Server struct {
 	rAdmitted  *metrics.Counter // server.req.admitted
 	rRejected  *metrics.Counter // server.req.rejected (overload + shutdown)
 	rInflight  *metrics.Counter // server.req.inflight (level)
+	rDeduped   *metrics.Counter // server.req.deduped (idempotent replays)
 	drainState atomic.Bool
+
+	// Exactly-once update machinery: dedup answers retries with the
+	// original result; journal (optional, see Reopen) makes acknowledged
+	// updates durable across process death; updMu serializes apply +
+	// journal append so journal order is apply order.
+	dedup   *dedupTable
+	journal *updatelog.FileLog
+	updMu   sync.Mutex
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -112,13 +125,57 @@ func New(e core.Engine, cfg Config) *Server {
 		done:  make(chan struct{}),
 		reg:   cfg.Metrics,
 		conns: map[net.Conn]struct{}{},
+		dedup: newDedupTable(cfg.DedupPerClient),
 	}
 	s.cAccepted = s.reg.Counter("server.conn.accepted")
 	s.cActive = s.reg.Counter("server.conn.active")
 	s.rAdmitted = s.reg.Counter("server.req.admitted")
 	s.rRejected = s.reg.Counter("server.req.rejected")
 	s.rInflight = s.reg.Counter("server.req.inflight")
+	s.rDeduped = s.reg.Counter("server.req.deduped")
 	return s
+}
+
+// Reopen is the crash-recovery constructor: it opens (or creates) the
+// durable update journal at journalPath, loads db into the engine, re-
+// applies the journal's committed updates in commit order, rebuilds the
+// Table 3 indexes, and seeds the idempotency dedup table from the keyed
+// records — all BEFORE the server exists to accept a connection. A client
+// retrying an update it never got an answer for therefore finds either
+// the original outcome (the update committed before the crash: dedup hit,
+// no re-apply) or a clean miss (it never committed: the retry applies it
+// once). The returned server journals every subsequent acknowledged
+// update to the same file, so the next Reopen sees those too.
+//
+// On a fresh journal (no file, or no committed records) Reopen degrades
+// to plain load + index + New — `xbench serve --journal=...` uses it
+// unconditionally for both first start and restart.
+func Reopen(e core.Engine, db *core.Database, specs []core.IndexSpec, journalPath string, cfg Config) (*Server, int, error) {
+	jl, recs, err := updatelog.OpenFile(journalPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := context.Background()
+	if _, err := e.Load(ctx, db); err != nil {
+		jl.Close()
+		return nil, 0, fmt.Errorf("server: reopen load: %w", err)
+	}
+	if err := updatelog.Apply(ctx, e, recs); err != nil {
+		jl.Close()
+		return nil, 0, fmt.Errorf("server: reopen replay: %w", err)
+	}
+	if err := e.BuildIndexes(specs); err != nil {
+		jl.Close()
+		return nil, 0, fmt.Errorf("server: reopen index rebuild: %w", err)
+	}
+	s := New(e, cfg)
+	s.journal = jl
+	for _, r := range recs {
+		if r.Keyed() {
+			s.dedup.record(wire.IdemKey{Client: r.Client, Seq: r.Seq}, okFrame(nil))
+		}
+	}
+	return s, len(recs), nil
 }
 
 // Start binds the listen address and launches the accept loop. It
@@ -331,21 +388,76 @@ func (s *Server) execute(op wire.Op, payload []byte) wire.Frame {
 		if err != nil {
 			return badRequest(err)
 		}
-		ctx, cancel := s.reqCtx(req.Timeout)
-		defer cancel()
-		switch op {
-		case wire.OpInsert:
-			err = s.eng.InsertDocument(ctx, req.Name, req.Data)
-		case wire.OpReplace:
-			err = s.eng.ReplaceDocument(ctx, req.Name, req.Data)
-		default:
-			err = s.eng.DeleteDocument(ctx, req.Name)
-		}
-		return errFrame(err)
+		return s.executeUpdate(op, req)
 
 	default:
 		return badRequest(fmt.Errorf("unknown op %d", byte(op)))
 	}
+}
+
+// executeUpdate runs one update with exactly-once semantics. A keyed
+// retry whose original succeeded gets the original response without
+// touching the engine; a fresh update applies, is journaled (the durable
+// commit point when a journal is attached), then remembered in the dedup
+// table.
+//
+// Only successes are remembered and journaled: the engines' update
+// protocol is exactly-old-or-new, so an error return means the update did
+// not happen and a retry is safe to re-execute (a deterministic failure
+// simply fails the same way again). The one ambiguous case — the update
+// applied but its journal append failed — is surfaced as an internal
+// error WITHOUT a dedup entry, the same contract as a lost response: the
+// client may retry and the retry's outcome (here, a duplicate-name error
+// for inserts) is honest about the store's state.
+func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
+	if req.Key.Valid() {
+		if f, ok := s.dedup.lookup(req.Key); ok {
+			s.rDeduped.Inc()
+			return f
+		}
+	}
+	ctx, cancel := s.reqCtx(req.Timeout)
+	defer cancel()
+
+	s.updMu.Lock()
+	// Re-check under the lock: two in-flight retries of the same key must
+	// not both apply.
+	if req.Key.Valid() {
+		if f, ok := s.dedup.lookup(req.Key); ok {
+			s.updMu.Unlock()
+			s.rDeduped.Inc()
+			return f
+		}
+	}
+	var err error
+	var kind updatelog.Kind
+	switch op {
+	case wire.OpInsert:
+		kind = updatelog.KindInsert
+		err = s.eng.InsertDocument(ctx, req.Name, req.Data)
+	case wire.OpReplace:
+		kind = updatelog.KindReplace
+		err = s.eng.ReplaceDocument(ctx, req.Name, req.Data)
+	default:
+		kind = updatelog.KindDelete
+		err = s.eng.DeleteDocument(ctx, req.Name)
+	}
+	if err == nil && s.journal != nil {
+		if jerr := s.journal.Append(updatelog.Record{
+			Kind: kind, Name: req.Name, Data: req.Data,
+			Client: req.Key.Client, Seq: req.Key.Seq,
+		}); jerr != nil {
+			s.updMu.Unlock()
+			return errFrame(fmt.Errorf("update applied but journal append failed (outcome not durable): %w", jerr))
+		}
+	}
+	s.updMu.Unlock()
+
+	f := errFrame(err)
+	if err == nil && req.Key.Valid() {
+		s.dedup.record(req.Key, f)
+	}
+	return f
 }
 
 func okFrame(payload []byte) wire.Frame {
@@ -408,6 +520,9 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.connWg.Wait()
 
 	err := s.eng.Close()
+	if s.journal != nil {
+		err = errors.Join(err, s.journal.Close())
+	}
 	if !drained {
 		return errors.Join(fmt.Errorf("server: drain deadline expired with %d requests in flight", s.Inflight()), err)
 	}

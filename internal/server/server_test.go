@@ -227,10 +227,17 @@ func TestPerRequestTimeout(t *testing.T) {
 func TestOverloadSheds(t *testing.T) {
 	eng := newStub()
 	eng.gate = make(chan struct{})
-	srv, c := startServer(t, eng, server.Config{
+	srv, _ := startServer(t, eng, server.Config{
 		MaxInflight: 1,
 		QueueWait:   20 * time.Millisecond,
 	})
+	// Retries disabled: this test counts server-side rejections 1:1 with
+	// client-visible errors, so the client's overload-retry must be off.
+	c, err := client.Dial(srv.Addr().String(), client.Config{Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
 
 	const n = 4
 	errs := make(chan error, n)

@@ -1,0 +1,114 @@
+// FileLog is the operating-system-file sibling of Log: the same
+// checksummed record codec, appended to a real file and fsynced per
+// record. The pager-backed Log protects engines against the *simulated*
+// crashes of the fault-injection harness; its pages live in process
+// memory, so a real process kill (SIGKILL, OOM, power) loses them. The
+// serving layer therefore journals acknowledged updates through a FileLog:
+// after a process death, server.Reopen reads the committed prefix back,
+// re-applies it to a freshly loaded engine, and rebuilds the idempotency
+// dedup table from the keyed records — making every acknowledged update
+// exactly-once across real restarts, not just simulated ones.
+package updatelog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileLog is an append-only, fsync-per-record journal on the real
+// filesystem. It is safe for concurrent Append; the caller (the server's
+// update path) serializes apply+append so journal order matches apply
+// order.
+type FileLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	recs int // records appended or recovered, for reporting
+}
+
+// OpenFile opens (or creates) the journal at path and prepares it for
+// appending. An existing file is scanned for its committed prefix — the
+// longest run of intact records — and truncated to it, so a record torn
+// by a crash mid-append never leaves garbage in front of later appends.
+// The committed records are returned for replay.
+func OpenFile(path string) (*FileLog, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("updatelog: open %s: %w", path, err)
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("updatelog: read %s: %w", path, err)
+	}
+	var recs []Record
+	committed := 0
+	rest := buf
+	for len(rest) > 0 {
+		r, sz, ok := decodeRecord(rest)
+		if !ok {
+			break // torn tail: the record was mid-append at the crash
+		}
+		recs = append(recs, r)
+		committed += sz
+		rest = rest[sz:]
+	}
+	if committed < len(buf) {
+		if err := f.Truncate(int64(committed)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("updatelog: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(committed), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("updatelog: seek %s: %w", path, err)
+	}
+	return &FileLog{f: f, path: path, recs: len(recs)}, recs, nil
+}
+
+// Path returns the journal's file path.
+func (l *FileLog) Path() string { return l.path }
+
+// Records returns the number of records committed so far (recovered plus
+// appended this run).
+func (l *FileLog) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
+}
+
+// Append journals one record and fsyncs. The sync is the commit point:
+// once Append returns nil the record survives a process kill and Reopen
+// will replay it; on error the record is torn or absent and recovery
+// treats the update as never acknowledged.
+func (l *FileLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("updatelog: append on closed file log")
+	}
+	if _, err := l.f.Write(encodeRecord(r)); err != nil {
+		return fmt.Errorf("updatelog: append %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("updatelog: commit sync %s: %w", l.path, err)
+	}
+	l.recs++
+	return nil
+}
+
+// Close releases the file handle. Committed records stay on disk for the
+// next Reopen.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

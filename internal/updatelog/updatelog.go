@@ -64,23 +64,41 @@ func (k Kind) String() string {
 }
 
 // Record is one journaled update: the operation, the document name it
-// targets, and (for insert/replace) the full serialized document.
+// targets, (for insert/replace) the full serialized document, and — for
+// server-side journals — the idempotency key of the client request that
+// caused it. The key is what makes retried updates exactly-once across a
+// crash: recovery rebuilds the server's dedup table from the keyed
+// records, so a replayed retry after restart answers with the original
+// result instead of re-applying. Engine-internal journals leave the key
+// zero.
 type Record struct {
 	Kind Kind
 	Name string
 	Data []byte
+	// Client and Seq form the idempotency key (zero when unkeyed).
+	Client uint64
+	Seq    uint64
 }
 
-// recMagic guards every record; a zeroed or torn page fails the check and
-// ends the committed prefix.
-const recMagic = 0x55504431 // "UPD1"
+// Keyed reports whether the record carries an idempotency key.
+func (r Record) Keyed() bool { return r.Client != 0 }
 
-// record layout: magic(4) kind(1) nameLen(4) dataLen(4) name data sum(8)
-const recHeaderSize = 4 + 1 + 4 + 4
+// recMagic guards every record; a zeroed or torn page fails the check and
+// ends the committed prefix. "UPD2" added the idempotency-key fields.
+const recMagic = 0x55504432 // "UPD2"
+
+// record layout:
+//
+//	magic(4) kind(1) client(8) seq(8) nameLen(4) dataLen(4) name data sum(8)
+const recHeaderSize = 4 + 1 + 8 + 8 + 4 + 4
 
 func checksum(r Record) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte{byte(r.Kind)})
+	var key [17]byte
+	key[0] = byte(r.Kind)
+	binary.BigEndian.PutUint64(key[1:9], r.Client)
+	binary.BigEndian.PutUint64(key[9:17], r.Seq)
+	h.Write(key[:])
 	h.Write([]byte(r.Name))
 	h.Write(r.Data)
 	return h.Sum64()
@@ -90,8 +108,10 @@ func encodeRecord(r Record) []byte {
 	buf := make([]byte, recHeaderSize+len(r.Name)+len(r.Data)+8)
 	binary.BigEndian.PutUint32(buf[0:4], recMagic)
 	buf[4] = byte(r.Kind)
-	binary.BigEndian.PutUint32(buf[5:9], uint32(len(r.Name)))
-	binary.BigEndian.PutUint32(buf[9:13], uint32(len(r.Data)))
+	binary.BigEndian.PutUint64(buf[5:13], r.Client)
+	binary.BigEndian.PutUint64(buf[13:21], r.Seq)
+	binary.BigEndian.PutUint32(buf[21:25], uint32(len(r.Name)))
+	binary.BigEndian.PutUint32(buf[25:29], uint32(len(r.Data)))
 	n := copy(buf[recHeaderSize:], r.Name)
 	copy(buf[recHeaderSize+n:], r.Data)
 	binary.BigEndian.PutUint64(buf[len(buf)-8:], checksum(r))
@@ -113,8 +133,10 @@ func decodeRecord(buf []byte) (Record, int, bool) {
 	if r.Kind < KindInsert || r.Kind > KindDelete {
 		return Record{}, 0, false
 	}
-	nameLen := int(binary.BigEndian.Uint32(buf[5:9]))
-	dataLen := int(binary.BigEndian.Uint32(buf[9:13]))
+	r.Client = binary.BigEndian.Uint64(buf[5:13])
+	r.Seq = binary.BigEndian.Uint64(buf[13:21])
+	nameLen := int(binary.BigEndian.Uint32(buf[21:25]))
+	dataLen := int(binary.BigEndian.Uint32(buf[25:29]))
 	total := recHeaderSize + nameLen + dataLen + 8
 	if nameLen < 0 || dataLen < 0 || total > len(buf) {
 		return Record{}, 0, false
@@ -244,6 +266,14 @@ func Replay(ctx context.Context, e core.Engine, l *Log, db *core.Database) error
 	if _, err := e.Load(ctx, db); err != nil {
 		return fmt.Errorf("updatelog: replay reload: %w", err)
 	}
+	return Apply(ctx, e, recs)
+}
+
+// Apply re-applies committed records, in commit order, through an
+// engine's public update methods. It is the replay half shared by engine
+// recovery (Replay) and the server's restart path, which rebuilds its
+// idempotency dedup table from the keyed records as it goes.
+func Apply(ctx context.Context, e core.Engine, recs []Record) error {
 	for _, r := range recs {
 		var err error
 		switch r.Kind {

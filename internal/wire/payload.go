@@ -8,6 +8,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -196,24 +197,53 @@ func DecodeResult(b []byte) (core.Result, error) {
 	return r, nil
 }
 
+// IdemKey identifies one logical update exactly once across retries:
+// Client is the issuing client's random 64-bit identity, Seq its
+// per-client monotonic sequence number. A retry re-sends the identical
+// key, so the server can recognize a duplicate and answer with the
+// original outcome instead of re-applying. The zero key (Client == 0)
+// means "no key" — the pre-v2 wire format, or a caller that opted out.
+type IdemKey struct {
+	Client uint64
+	Seq    uint64
+}
+
+// Valid reports whether the key identifies an update (non-zero client).
+func (k IdemKey) Valid() bool { return k.Client != 0 }
+
+// String formats the key the way journals and logs print it.
+func (k IdemKey) String() string {
+	return fmt.Sprintf("%016x/%d", k.Client, k.Seq)
+}
+
 // UpdateRequest is the OpInsert/OpReplace/OpDelete payload (Data is empty
-// for deletes).
+// for deletes). Key is the optional idempotency key (zero on protocol v1
+// frames, which predate it).
 type UpdateRequest struct {
 	Name    string
 	Data    []byte
 	Timeout time.Duration
+	Key     IdemKey
 }
 
-// EncodeUpdateRequest serializes an UpdateRequest.
+// EncodeUpdateRequest serializes an UpdateRequest. The idempotency key is
+// a self-delimiting optional tail (protocol v2): a zero key encodes
+// nothing, so the payload is byte-identical to the v1 encoding and v1
+// peers decode it unchanged.
 func EncodeUpdateRequest(r UpdateRequest) []byte {
 	var e enc
 	e.string(r.Name)
 	e.bytes(r.Data)
 	e.duration(r.Timeout)
+	if r.Key.Valid() {
+		e.uvarint(r.Key.Client)
+		e.uvarint(r.Key.Seq)
+	}
 	return e.b
 }
 
-// DecodeUpdateRequest parses an update payload.
+// DecodeUpdateRequest parses an update payload. A v1 payload (no key
+// tail) decodes with the zero key.
 func DecodeUpdateRequest(b []byte) (UpdateRequest, error) {
 	d := dec{b}
 	var r UpdateRequest
@@ -226,6 +256,14 @@ func DecodeUpdateRequest(b []byte) (UpdateRequest, error) {
 	}
 	if r.Timeout, err = d.duration(); err != nil {
 		return r, err
+	}
+	if len(d.b) > 0 { // v2 idempotency-key tail
+		if r.Key.Client, err = d.uvarint(); err != nil {
+			return r, err
+		}
+		if r.Key.Seq, err = d.uvarint(); err != nil {
+			return r, err
+		}
 	}
 	return r, nil
 }

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// v1Frame hand-builds a protocol-version-1 frame around payload, byte for
+// byte what a pre-idempotency-key peer would put on the wire.
+func v1Frame(kind byte, id uint64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = 1 // protocol version 1
+	buf[3] = kind
+	binary.BigEndian.PutUint64(buf[4:12], id)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// TestVersion1FramesStillDecode: the v2 reader accepts v1 frames, and a
+// v1 update payload (no key tail) decodes with the zero key — the version
+// gate for the idempotency-key rollout.
+func TestVersion1FramesStillDecode(t *testing.T) {
+	payload := EncodeUpdateRequest(UpdateRequest{Name: "a.xml", Data: []byte("<a/>"), Timeout: time.Second})
+	f, err := ReadFrame(bytes.NewReader(v1Frame(byte(OpInsert), 9, payload)))
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	req, err := DecodeUpdateRequest(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Key.Valid() {
+		t.Fatalf("v1 payload decoded a key: %v", req.Key)
+	}
+	if req.Name != "a.xml" || string(req.Data) != "<a/>" || req.Timeout != time.Second {
+		t.Fatalf("v1 payload fields: %+v", req)
+	}
+}
+
+// TestFrameCapRejectedBeforeAllocation: a header declaring a payload over
+// MaxPayload fails ErrTooLarge without the reader attempting to read (or
+// allocate) the declared 64 MiB + 1.
+func TestFrameCapRejectedBeforeAllocation(t *testing.T) {
+	hdr := v1Frame(byte(OpQuery), 1, nil)[:headerSize]
+	binary.BigEndian.PutUint32(hdr[12:16], MaxPayload+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized declared payload: %v, want ErrTooLarge", err)
+	}
+	// The write side enforces the same cap symmetrically.
+	if err := WriteFrame(&bytes.Buffer{}, Frame{Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized write: %v, want ErrTooLarge", err)
+	}
+}
+
+// TestUpdateRequestKeyRoundTrip pins the optional-tail encoding: a valid
+// key rides along and round-trips; the zero key encodes nothing, keeping
+// the payload byte-identical to the v1 format.
+func TestUpdateRequestKeyRoundTrip(t *testing.T) {
+	keyed := UpdateRequest{
+		Name:    "order-update-7.xml",
+		Data:    []byte("<order/>"),
+		Timeout: 250 * time.Millisecond,
+		Key:     IdemKey{Client: 0xfeedface, Seq: 41},
+	}
+	got, err := DecodeUpdateRequest(EncodeUpdateRequest(keyed))
+	if err != nil || !reflect.DeepEqual(keyed, got) {
+		t.Fatalf("keyed roundtrip: %+v, %v", got, err)
+	}
+
+	bare := UpdateRequest{Name: "a.xml", Timeout: time.Second}
+	enc := EncodeUpdateRequest(bare)
+	legacy := EncodeUpdateRequest(UpdateRequest{Name: "a.xml", Timeout: time.Second, Key: IdemKey{}})
+	if !bytes.Equal(enc, legacy) {
+		t.Fatal("zero key changed the encoding")
+	}
+	if got, err = DecodeUpdateRequest(enc); err != nil || got.Key.Valid() {
+		t.Fatalf("bare roundtrip: %+v, %v", got, err)
+	}
+}
+
+// TestUpdateRequestTruncatedKeyTail: every cut through the key tail fails
+// typed, never panics and never silently drops half a key.
+func TestUpdateRequestTruncatedKeyTail(t *testing.T) {
+	full := EncodeUpdateRequest(UpdateRequest{
+		Name: "a.xml", Data: []byte("<a/>"),
+		Key: IdemKey{Client: 1<<63 + 12345, Seq: 1 << 40}, // multi-byte varints
+	})
+	bare := len(EncodeUpdateRequest(UpdateRequest{Name: "a.xml", Data: []byte("<a/>")}))
+	for cut := bare + 1; cut < len(full); cut++ {
+		if _, err := DecodeUpdateRequest(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestTruncatedVarintFailsTyped: an unterminated varint (all continuation
+// bits) and a varint cut mid-value both decode to ErrTruncated.
+func TestTruncatedVarintFailsTyped(t *testing.T) {
+	// Name length runs off the end of the payload: continuation bytes only.
+	unterminated := bytes.Repeat([]byte{0x80}, 4)
+	if _, err := DecodeUpdateRequest(unterminated); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("unterminated varint: %v, want ErrTruncated", err)
+	}
+	// Over-long varint (> 10 bytes of continuation) overflows uint64.
+	overflow := bytes.Repeat([]byte{0xFF}, 11)
+	if _, err := DecodeUpdateRequest(overflow); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overflowing varint: %v, want ErrTruncated", err)
+	}
+	// A declared length larger than the remaining bytes.
+	var e enc
+	e.uvarint(1 << 20)
+	if _, err := DecodeUpdateRequest(e.b); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overlong declared name: %v, want ErrTruncated", err)
+	}
+}
+
+// FuzzUpdateRequestRoundTrip fuzzes the update codec over the full field
+// space, including the idempotency-key tail: encode(decode(encode(x)))
+// must be stable and lossless.
+func FuzzUpdateRequestRoundTrip(f *testing.F) {
+	f.Add("a.xml", []byte("<a/>"), int64(time.Second), uint64(1), uint64(1))
+	f.Add("", []byte(nil), int64(0), uint64(0), uint64(99))
+	f.Add("order-update-3.xml", []byte{0, 1, 2, 0xFF}, int64(-5), uint64(1<<63), uint64(1<<62))
+	f.Fuzz(func(t *testing.T, name string, data []byte, timeout int64, client, seq uint64) {
+		in := UpdateRequest{
+			Name:    name,
+			Data:    data,
+			Timeout: time.Duration(timeout),
+			Key:     IdemKey{Client: client, Seq: seq},
+		}
+		enc1 := EncodeUpdateRequest(in)
+		out, err := DecodeUpdateRequest(enc1)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		// A zero-client key does not survive the wire (it encodes as "no
+		// key"); the seq is deliberately dropped with it.
+		want := in
+		if !in.Key.Valid() {
+			want.Key = IdemKey{}
+		}
+		if len(out.Data) == 0 {
+			out.Data = nil
+		}
+		if len(want.Data) == 0 {
+			want.Data = nil
+		}
+		if !reflect.DeepEqual(want, out) {
+			t.Fatalf("roundtrip: got %+v, want %+v", out, want)
+		}
+		if enc2 := EncodeUpdateRequest(out); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("re-encode unstable: %x vs %x", enc1, enc2)
+		}
+	})
+}
+
+// FuzzDecodeUpdateRequest feeds arbitrary bytes to the decoder: it must
+// return cleanly (typed error or value), never panic or over-read.
+func FuzzDecodeUpdateRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeUpdateRequest(UpdateRequest{Name: "a.xml", Key: IdemKey{Client: 3, Seq: 7}}))
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := DecodeUpdateRequest(b)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("non-typed decode error: %v", err)
+			}
+			return
+		}
+		// Whatever decoded must re-encode without error.
+		_ = EncodeUpdateRequest(req)
+	})
+}

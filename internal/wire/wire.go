@@ -10,7 +10,7 @@
 //
 //	offset size field
 //	0      2    magic 0x5842 ("XB")
-//	2      1    protocol version (currently 1)
+//	2      1    protocol version (currently 2; readers accept 1 and 2)
 //	3      1    request: op kind / response: status code
 //	4      8    request id (echoed verbatim in the response)
 //	12     4    payload length
@@ -42,9 +42,17 @@ import (
 // Magic is the two-byte frame preamble ("XB").
 const Magic uint16 = 0x5842
 
-// Version is the protocol version this package speaks. A server receiving
-// a frame with a different version rejects it with StatusBadRequest.
-const Version byte = 1
+// Version is the protocol version this package writes. Version 2 added
+// the optional idempotency-key tail to update payloads; the frame layout
+// itself is unchanged, so readers accept every version from MinVersion to
+// Version and the payload codecs treat the key as a self-delimiting
+// optional suffix — old frames still decode (with a zero key), and old
+// readers never see a version they do not speak from this package.
+const Version byte = 2
+
+// MinVersion is the oldest protocol version a reader accepts. Version 1
+// frames differ only in lacking the idempotency-key tail on updates.
+const MinVersion byte = 1
 
 // MaxPayload bounds a frame payload (64 MiB). A length field above it
 // fails with ErrTooLarge before any allocation, so a corrupt or hostile
@@ -191,8 +199,8 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
 		return Frame{}, ErrBadMagic
 	}
-	if hdr[2] != Version {
-		return Frame{}, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], Version)
+	if hdr[2] < MinVersion || hdr[2] > Version {
+		return Frame{}, fmt.Errorf("%w: got %d, want %d..%d", ErrBadVersion, hdr[2], MinVersion, Version)
 	}
 	f := Frame{Kind: hdr[3], ID: binary.BigEndian.Uint64(hdr[4:12])}
 	n := binary.BigEndian.Uint32(hdr[12:16])
