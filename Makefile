@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos chaos-updates torture smoke verify
+.PHONY: build test vet race chaos chaos-updates torture smoke bench-baseline perf-check verify
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,20 @@ torture:
 # graceful exit 0.
 smoke:
 	bash scripts/serve_smoke.sh
+
+# Regenerate the archived hot-path perf baselines (full-size cells; see
+# EXPERIMENTS.md "performance regression protocol"). Commit the updated
+# results/BENCH_pr7_*.json alongside any change that moves them.
+bench-baseline:
+	$(GO) run ./cmd/xbench perf --cell=all --out='results/BENCH_pr7_<cell>.json'
+
+# Regression gate: re-measure every cell at CI scale and fail if an
+# improvement RATIO fell more than 20% below its committed baseline.
+# Ratios (hit rate, updates/fsync, pipelined-vs-pooled speedup) are
+# compared rather than absolute throughput, so a slower CI machine does
+# not read as a regression.
+perf-check:
+	$(GO) run ./cmd/xbench perf --cell=all --short --check
 
 # The PR gate: everything that must be green before a change lands.
 verify: build vet test race chaos-updates torture smoke

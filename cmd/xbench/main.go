@@ -21,6 +21,7 @@
 //	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--remote=ADDR] [--repeat=N] [--format=table|json|csv]
 //	xbench throughput --engine=x-hive --class=dcmd --size=small [--remote=ADDR] [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--update-fraction=F] [--format=table|json|csv]
 //	xbench serve     --engine=x-hive --class=dcmd --size=small [--addr=HOST:PORT] [--max-inflight=N] [--queue-wait=D] [--request-timeout=D] [--drain-timeout=D] [--no-load]
+//	xbench perf      [--cell=pager|wire|journal|all] [--short] [--check] [--tolerance=F] [--out=FILE] [--baseline-dir=DIR] [--label=S]
 package main
 
 import (
@@ -71,6 +72,7 @@ var commands = []command{
 	{"updates", "update workload (U1-U3): per-op p50/p95/p99 with I/O breakdown", cmdUpdates},
 	{"throughput", "closed-loop multi-client driver: qps + per-query percentiles", cmdThroughput},
 	{"serve", "serve one engine over TCP for remote throughput/updates runs", cmdServe},
+	{"perf", "hot-path before/after perf cells with archived baselines", cmdPerf},
 }
 
 func main() {

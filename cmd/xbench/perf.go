@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xbench/internal/bench"
+)
+
+// cmdPerf runs the hot-path perf cells (DESIGN.md §13): each cell
+// measures one optimization's workload with the optimization off and on
+// and reports the improvement ratio. With --out the result is archived
+// as JSON (the committed baselines live at results/BENCH_pr7_<cell>.json);
+// with --check the fresh ratio is compared against the committed baseline
+// and the command fails on a >tolerance regression. EXPERIMENTS.md
+// documents the regeneration protocol.
+func cmdPerf(args []string) error {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	cell := fs.String("cell", "all", "perf cell to run: pager | wire | journal | all")
+	short := fs.Bool("short", false, "CI-scale workload (seconds, not minutes)")
+	check := fs.Bool("check", false, "compare against the committed baseline and fail on regression")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional drop of the improvement ratio under --check")
+	out := fs.String("out", "", "write result JSON to this path (--cell=all: '<cell>' in the path expands per cell)")
+	baseDir := fs.String("baseline-dir", "results", "directory holding BENCH_pr7_<cell>.json baselines for --check")
+	label := fs.String("label", "", "free-form label recorded in the result (e.g. a commit id)")
+	fs.Parse(args)
+
+	cells := bench.PerfCellNames
+	if *cell != "all" {
+		cells = []string{*cell}
+	}
+	var failures []string
+	for _, name := range cells {
+		res, err := bench.RunPerfCell(name, *short)
+		if err != nil {
+			return fmt.Errorf("cell %s: %w", name, err)
+		}
+		res.Label = *label
+		fmt.Printf("cell %-8s %-38s before %10.0f ops/s  after %10.0f ops/s  improvement %.2fx (%s)\n",
+			name, res.Workload, res.Before.OpsPerSec, res.After.OpsPerSec, res.Improvement, res.ImprovementMetric)
+		for k, v := range res.After.Extra {
+			fmt.Printf("  after.%s = %.2f\n", k, v)
+		}
+		if *out != "" {
+			path := strings.ReplaceAll(*out, "<cell>", name)
+			if err := bench.WritePerfResult(path, res); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+		if *check {
+			base := filepath.Join(*baseDir, "BENCH_pr7_"+name+".json")
+			if err := bench.CheckPerfRegression(res, base, *tolerance); err != nil {
+				failures = append(failures, err.Error())
+				fmt.Fprintf(os.Stderr, "  REGRESSION: %v\n", err)
+			} else {
+				fmt.Printf("  check ok vs %s\n", base)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d perf cell(s) regressed", len(failures))
+	}
+	return nil
+}

@@ -20,9 +20,11 @@ import (
 )
 
 // dialRemote connects to an `xbench serve` instance with the CLI's
-// default client tuning.
+// default client tuning: the pipelined transport, so a multi-worker
+// driver shares a few multiplexed connections instead of one socket
+// per in-flight request.
 func dialRemote(addr string) (*client.Client, error) {
-	return client.Dial(addr, client.Config{})
+	return client.Dial(addr, client.Config{Pipeline: true})
 }
 
 // unreachableEngine stands in for a remote row whose re-dial failed; it

@@ -1,0 +1,420 @@
+// Perf cells: small, self-contained before/after measurements for the
+// three hot-path optimizations of the raw-speed pass (DESIGN.md §13) —
+// the scan-resistant buffer pool, the pipelined wire transport, and the
+// journal's group commit. Each cell runs the SAME workload twice, once
+// with the optimization disabled (the "before" configuration, which every
+// subsystem still supports as a switch) and once enabled, and reports an
+// improvement ratio. Ratios, not absolute times, are what the regression
+// gate compares across machines: "pipelining is 2x a dedicated-connection
+// transport on this workload" transfers between hosts in a way "14,000
+// requests per second" never does. EXPERIMENTS.md documents the protocol;
+// `xbench perf` is the driver; results/BENCH_pr7_*.json are the archived
+// baselines.
+package bench
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/pager"
+	"xbench/internal/server"
+	"xbench/internal/updatelog"
+)
+
+// PerfCellNames lists the defined cells in run order.
+var PerfCellNames = []string{"pager", "wire", "journal"}
+
+// MachineSpec is the disclosure block every archived cell carries, per
+// the EXPERIMENTS.md machine-spec checklist: enough to judge whether a
+// baseline is comparable, without pretending absolute numbers transfer.
+type MachineSpec struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+func machineSpec() MachineSpec {
+	return MachineSpec{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// PerfMetrics is one side (before or after) of a cell.
+type PerfMetrics struct {
+	Ops       int64              `json:"ops"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	OpsPerSec float64            `json:"ops_per_sec"`
+	Extra     map[string]float64 `json:"extra,omitempty"`
+}
+
+// PerfResult is one archived cell: the same workload measured with the
+// optimization off (Before) and on (After).
+type PerfResult struct {
+	Cell        string      `json:"cell"`
+	Label       string      `json:"label,omitempty"`
+	Date        string      `json:"date"`
+	Short       bool        `json:"short"`
+	Machine     MachineSpec `json:"machine"`
+	Workload    string      `json:"workload"`
+	Before      PerfMetrics `json:"before"`
+	After       PerfMetrics `json:"after"`
+	Improvement float64     `json:"improvement"`
+	// ImprovementMetric names what Improvement is a ratio of — the one
+	// number the regression gate tracks.
+	ImprovementMetric string `json:"improvement_metric"`
+}
+
+// RunPerfCell runs one named cell. Short mode shrinks the workload to CI
+// scale (a couple of seconds) without changing its shape.
+func RunPerfCell(name string, short bool) (PerfResult, error) {
+	var (
+		res PerfResult
+		err error
+	)
+	switch name {
+	case "pager":
+		res, err = perfPager(short)
+	case "wire":
+		res, err = perfWire(short)
+	case "journal":
+		res, err = perfJournal(short)
+	default:
+		return PerfResult{}, fmt.Errorf("unknown perf cell %q (have %v)", name, PerfCellNames)
+	}
+	if err != nil {
+		return PerfResult{}, err
+	}
+	res.Cell = name
+	res.Short = short
+	res.Date = time.Now().UTC().Format("2006-01-02")
+	res.Machine = machineSpec()
+	return res, nil
+}
+
+// perfPager: the scan-interleaved-with-hot-set workload from the
+// eviction tests, at benchmark scale. A hot working set is re-read
+// between repeated sequential scans of a file several times the pool
+// size. Plain CLOCK (scan protection off) lets every scan flush the hot
+// set and pays a blind miss for every scan page; the GCLOCK policy keeps
+// the hot set resident and readahead turns scan misses into prefetch
+// hits. The improvement ratio is the buffer-pool hit rate, after over
+// before — fully deterministic (the pager's disk is simulated, so no
+// clock enters it) and bounded, unlike a ratio of residual miss counts.
+func perfPager(short bool) (PerfResult, error) {
+	pool, hot, scanPages, rounds := 256, 64, 2048, 8
+	if short {
+		pool, hot, scanPages, rounds = 64, 16, 512, 4
+	}
+	run := func(protect bool) (PerfMetrics, error) {
+		p := pager.New(pool)
+		defer p.Close()
+		p.SetScanProtection(protect)
+		buf := make([]byte, 8)
+		scan := p.Create("scan.dat")
+		for i := 0; i < scanPages; i++ {
+			no, err := p.Append(scan)
+			if err != nil {
+				return PerfMetrics{}, err
+			}
+			binary.LittleEndian.PutUint64(buf, uint64(i))
+			if err := p.Write(scan, no, buf); err != nil {
+				return PerfMetrics{}, err
+			}
+		}
+		hotF := p.Create("hot.dat")
+		for i := 0; i < hot; i++ {
+			if _, err := p.Append(hotF); err != nil {
+				return PerfMetrics{}, err
+			}
+		}
+		if err := p.SyncAll(); err != nil {
+			return PerfMetrics{}, err
+		}
+		p.ColdReset()
+		p.ResetStats()
+
+		start := time.Now()
+		var ops int64
+		for r := 0; r < rounds; r++ {
+			// Touch the hot set a few times (make it provably hot) ...
+			for pass := 0; pass < 3; pass++ {
+				for i := 0; i < hot; i++ {
+					if _, err := p.Read(hotF, uint32(i)); err != nil {
+						return PerfMetrics{}, err
+					}
+					ops++
+				}
+			}
+			// ... then a full sequential scan tries to flush it.
+			for i := 0; i < scanPages; i++ {
+				if _, err := p.Read(scan, uint32(i)); err != nil {
+					return PerfMetrics{}, err
+				}
+				ops++
+			}
+		}
+		elapsed := time.Since(start)
+		st := p.Stats()
+		total := st.Hits + st.Reads
+		m := PerfMetrics{
+			Ops:       ops,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+			OpsPerSec: float64(ops) / elapsed.Seconds(),
+			Extra: map[string]float64{
+				"disk_reads": float64(st.Reads),
+				"hit_rate":   float64(st.Hits) / float64(total),
+				"prefetched": float64(st.Prefetched),
+			},
+		}
+		return m, nil
+	}
+	before, err := run(false)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	after, err := run(true)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	return PerfResult{
+		Workload: fmt.Sprintf("pool=%d hot=%d scan=%d rounds=%d: hot-set re-reads interleaved with sequential scans", pool, hot, scanPages, rounds),
+		Before:   before, After: after,
+		Improvement:       after.Extra["hit_rate"] / before.Extra["hit_rate"],
+		ImprovementMetric: "hit_rate_after_over_before",
+	}, nil
+}
+
+// perfWire: C concurrent clients run no-op queries against an in-process
+// TCP server in a closed loop. The engine answers instantly, so the cell
+// isolates the serving path itself: framing, syscalls, admission,
+// connection handling. Before is the dedicated-connection pooled
+// transport; after is the pipelined mux (Config.Pipeline) riding 2
+// shared connections with batched flushes and concurrent server-side
+// dispatch. The client count is deliberately high: pipelining pays for
+// its extra goroutine hand-offs with syscall amortization, which needs
+// enough concurrent riders per connection to form deep batches — at low
+// concurrency (a handful of clients) the pooled transport's
+// one-socket-per-caller simplicity is already near-optimal on loopback.
+func perfWire(short bool) (PerfResult, error) {
+	clients, opsPer := 32, 4000
+	if short {
+		opsPer = 800
+	}
+	run := func(pipeline bool) (PerfMetrics, error) {
+		srv := server.New(nullEngine{}, server.Config{})
+		if err := srv.Start(); err != nil {
+			return PerfMetrics{}, err
+		}
+		defer srv.Close()
+		c, err := client.Dial(srv.Addr().String(), client.Config{Pipeline: pipeline})
+		if err != nil {
+			return PerfMetrics{}, err
+		}
+		defer c.Close()
+		ctx := context.Background()
+		if _, err := c.Execute(ctx, core.Q1, nil); err != nil { // warm the first connection
+			return PerfMetrics{}, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < opsPer; j++ {
+					if _, err := c.Execute(ctx, core.Q1, nil); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return PerfMetrics{}, err
+			}
+		}
+		ops := int64(clients) * int64(opsPer)
+		return PerfMetrics{
+			Ops:       ops,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+			OpsPerSec: float64(ops) / elapsed.Seconds(),
+		}, nil
+	}
+	before, err := run(false)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	after, err := run(true)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	return PerfResult{
+		Workload: fmt.Sprintf("%d concurrent clients x %d no-op queries, closed loop, loopback TCP", clients, opsPer),
+		Before:   before, After: after,
+		Improvement:       after.OpsPerSec / before.OpsPerSec,
+		ImprovementMetric: "ops_per_sec_after_over_before",
+	}, nil
+}
+
+// perfJournal: W concurrent writers append keyed records to a FileLog,
+// each waiting for durability — the server's update ack path in
+// miniature. Before is the legacy one-fsync-per-record mode; after is
+// group commit with a small group window. The window matters in this
+// cell: on a real disk the multi-millisecond fsync itself forms the
+// group naturally, but benchmark containers often land /tmp on memory-
+// backed filesystems where an fsync returns faster than a parked writer
+// can be rescheduled, so natural batches degenerate to depth 1. A 250µs
+// window restores the coalescing the mechanism is built to exploit. The
+// updates-per-fsync ratio (records / syncs) is the cell's witness that
+// acks are actually being shared.
+func perfJournal(short bool) (PerfResult, error) {
+	writers, opsPer := 8, 300
+	if short {
+		opsPer = 60
+	}
+	dir, err := os.MkdirTemp("", "xbench-perf-journal")
+	if err != nil {
+		return PerfResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	run := func(group bool, path string) (PerfMetrics, error) {
+		l, _, err := updatelog.OpenFile(path)
+		if err != nil {
+			return PerfMetrics{}, err
+		}
+		defer l.Close()
+		l.SetGroupCommit(group)
+		if group {
+			l.SetGroupWindow(250 * time.Microsecond)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				data := []byte("<order><id>7</id></order>")
+				for j := 0; j < opsPer; j++ {
+					err := l.Append(updatelog.Record{
+						Kind: updatelog.KindInsert,
+						Name: fmt.Sprintf("doc-%d-%d.xml", i, j),
+						Data: data, Client: uint64(i + 1), Seq: uint64(j + 1),
+					})
+					if err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return PerfMetrics{}, err
+			}
+		}
+		ops := int64(writers) * int64(opsPer)
+		return PerfMetrics{
+			Ops:       ops,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+			OpsPerSec: float64(ops) / elapsed.Seconds(),
+			Extra: map[string]float64{
+				"fsyncs":           float64(l.Syncs()),
+				"updates_per_sync": float64(ops) / float64(l.Syncs()),
+			},
+		}, nil
+	}
+	before, err := run(false, filepath.Join(dir, "legacy.journal"))
+	if err != nil {
+		return PerfResult{}, err
+	}
+	after, err := run(true, filepath.Join(dir, "group.journal"))
+	if err != nil {
+		return PerfResult{}, err
+	}
+	return PerfResult{
+		Workload: fmt.Sprintf("%d concurrent writers x %d durable appends each", writers, opsPer),
+		Before:   before, After: after,
+		// The gate metric is the coalescing ratio, not wall-clock: fsync
+		// cost varies by orders of magnitude across hosts (memory-backed
+		// /tmp vs a real disk), but "W writers share one sync" is the
+		// mechanism itself. before.updates_per_sync is 1 by construction.
+		Improvement:       after.Extra["updates_per_sync"] / before.Extra["updates_per_sync"],
+		ImprovementMetric: "updates_per_sync_after_over_before",
+	}, nil
+}
+
+// WritePerfResult archives one cell as indented JSON at path.
+func WritePerfResult(path string, res PerfResult) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// CheckPerfRegression compares a fresh run against an archived baseline.
+// It compares improvement RATIOS, which are machine-independent, with a
+// tolerance: the run regresses if its ratio fell below (1 - tolerance) of
+// the baseline's. Absolute throughput is deliberately not compared — a
+// slower CI machine is not a regression.
+func CheckPerfRegression(res PerfResult, baselinePath string, tolerance float64) error {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf baseline %s: %w (run `make bench-baseline` to create it)", baselinePath, err)
+	}
+	var base PerfResult
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("perf baseline %s: %w", baselinePath, err)
+	}
+	if base.Cell != res.Cell {
+		return fmt.Errorf("baseline %s is for cell %q, not %q", baselinePath, base.Cell, res.Cell)
+	}
+	floor := base.Improvement * (1 - tolerance)
+	if res.Improvement < floor {
+		return fmt.Errorf("cell %s regressed: improvement ratio %.2f < %.2f (baseline %.2f - %d%% tolerance)",
+			res.Cell, res.Improvement, floor, base.Improvement, int(tolerance*100))
+	}
+	return nil
+}
+
+// nullEngine answers nothing but its name: the wire perf cell pings it so
+// the measurement isolates the serving path from any engine cost.
+type nullEngine struct{}
+
+func (nullEngine) Name() string                         { return "null" }
+func (nullEngine) Supports(core.Class, core.Size) error { return nil }
+func (nullEngine) Load(context.Context, *core.Database) (core.LoadStats, error) {
+	return core.LoadStats{}, nil
+}
+func (nullEngine) Execute(context.Context, core.QueryID, core.Params) (core.Result, error) {
+	return core.Result{}, nil
+}
+func (nullEngine) BuildIndexes([]core.IndexSpec) error                  { return nil }
+func (nullEngine) InsertDocument(context.Context, string, []byte) error { return nil }
+func (nullEngine) ReplaceDocument(context.Context, string, []byte) error {
+	return nil
+}
+func (nullEngine) DeleteDocument(context.Context, string) error { return nil }
+func (nullEngine) PageIO() int64                                { return 0 }
+func (nullEngine) ColdReset()                                   {}
+func (nullEngine) Close() error                                 { return nil }

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPerfPagerCell: the pager cell is fully deterministic (simulated
+// disk), so its improvement ratio is a stable invariant, not a timing:
+// scan protection + readahead must lift the hit rate severalfold on the
+// hot-set-vs-scan workload.
+func TestPerfPagerCell(t *testing.T) {
+	res, err := RunPerfCell("pager", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell != "pager" || !res.Short {
+		t.Fatalf("result mislabeled: %+v", res)
+	}
+	if res.Improvement < 2 {
+		t.Fatalf("pager improvement ratio %.2f, want >= 2 (hit rate %.3f -> %.3f)",
+			res.Improvement, res.Before.Extra["hit_rate"], res.After.Extra["hit_rate"])
+	}
+	if res.Machine.GoVersion == "" || res.Machine.NumCPU <= 0 {
+		t.Fatalf("machine spec not populated: %+v", res.Machine)
+	}
+}
+
+// TestCheckPerfRegression: the gate compares ratios with tolerance and
+// fails on a drop below the floor.
+func TestCheckPerfRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := PerfResult{Cell: "pager", Improvement: 8.0}
+	path := filepath.Join(dir, "BENCH_pr7_pager.json")
+	if err := WritePerfResult(path, base); err != nil {
+		t.Fatal(err)
+	}
+	ok := PerfResult{Cell: "pager", Improvement: 7.0}
+	if err := CheckPerfRegression(ok, path, 0.20); err != nil {
+		t.Fatalf("7.0 vs baseline 8.0 at 20%% tolerance should pass: %v", err)
+	}
+	bad := PerfResult{Cell: "pager", Improvement: 6.0}
+	if err := CheckPerfRegression(bad, path, 0.20); err == nil {
+		t.Fatal("6.0 vs baseline 8.0 at 20% tolerance should fail")
+	}
+	wrong := PerfResult{Cell: "wire", Improvement: 9.0}
+	if err := CheckPerfRegression(wrong, path, 0.20); err == nil || !strings.Contains(err.Error(), "cell") {
+		t.Fatalf("cell mismatch not rejected: %v", err)
+	}
+	missing := PerfResult{Cell: "pager", Improvement: 9.0}
+	if err := CheckPerfRegression(missing, filepath.Join(dir, "nope.json"), 0.20); err == nil {
+		t.Fatal("missing baseline not rejected")
+	}
+}

@@ -13,6 +13,13 @@
 // bounded, in-flight is not — the server's admission controller is the
 // load limiter).
 //
+// Pipelining: Config.Pipeline switches to the multiplexed transport
+// (mux.go) — concurrent requests share a few connections per address,
+// writes coalesce into batched flushes and responses route back by frame
+// ID, so N-client sweeps stop paying a connection and two syscalls per
+// request. Retry, failover and breaker behavior are identical in both
+// modes; only the bytes-on-the-wire strategy changes.
+//
 // Exactly-once updates: every update (U1–U3) carries an idempotency key —
 // the client's random 64-bit identity plus a per-client sequence number —
 // generated once per logical operation and re-sent verbatim on every
@@ -92,6 +99,20 @@ type Config struct {
 	// identity, so concurrent clients de-synchronize by default while a
 	// fixed (ClientID, Seed) pair replays exactly.
 	Seed uint64
+	// Pipeline enables the multiplexed transport (mux.go): concurrent
+	// requests share MuxConns connections per address, writes coalesce
+	// into batched flushes, and responses are routed back by frame ID.
+	// Off (the zero value) keeps the one-request-per-connection pooled
+	// transport.
+	Pipeline bool
+	// MuxConns is the number of multiplexed connections per address when
+	// Pipeline is on; <= 0 selects 2.
+	MuxConns int
+	// BatchWindow is how long the pipelined writer waits after a flush
+	// signal for more requests to coalesce; <= 0 flushes immediately and
+	// relies on natural batching (requests arriving during the previous
+	// flush syscall share the next one). Ignored unless Pipeline is on.
+	BatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -122,18 +143,31 @@ func (c Config) withDefaults() Config {
 	if c.Cooldown <= 0 {
 		c.Cooldown = 500 * time.Millisecond
 	}
+	if c.MuxConns <= 0 {
+		c.MuxConns = 2
+	}
 	return c
 }
 
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("client: closed")
 
-// endpoint is one server address with its idle-connection pool and
-// circuit breaker. Guarded by Client.mu.
+// endpoint is one server address with its idle-connection pool (or, in
+// Pipeline mode, its multiplexed connections) and circuit breaker.
+// Guarded by Client.mu.
 type endpoint struct {
 	addr string
 	idle []net.Conn
 	brk  breaker
+
+	// mux slots (Pipeline mode): dialed lazily, failed entries replaced
+	// in place; muxNext round-robins requests across the live ones.
+	// muxMu serializes dials (it is its own lock, never held with
+	// Client.mu below it released) so a cold start or a mux death doesn't
+	// stampede the server with one connection per concurrent caller.
+	mux     []*muxConn
+	muxNext int
+	muxMu   sync.Mutex
 }
 
 // Client is a remote engine handle. It is safe for concurrent use; each
@@ -356,7 +390,12 @@ func (c *Client) roundTrip(ctx context.Context, op wire.Op, build func(remaining
 			return nil, err
 		}
 		lastAddr = ep.addr
-		resp, err := c.attempt(ep, op, build(timeoutOf(ctx)))
+		var resp wire.Frame
+		if c.cfg.Pipeline {
+			resp, err = c.attemptMux(ctx, ep, op, build(timeoutOf(ctx)))
+		} else {
+			resp, err = c.attempt(ep, op, build(timeoutOf(ctx)))
+		}
 		retryable := false
 		switch {
 		case err == nil && wire.Status(resp.Kind) == wire.StatusOK:
@@ -379,6 +418,10 @@ func (c *Client) roundTrip(ctx context.Context, op wire.Op, build func(remaining
 				return nil, lastErr
 			}
 		case errors.Is(err, ErrClosed):
+			return nil, err
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The caller's context fired locally (pipelined wait); not the
+			// endpoint's fault and not retryable.
 			return nil, err
 		default:
 			c.epFailure(ep)
@@ -443,14 +486,24 @@ func timeoutOf(ctx context.Context) time.Duration {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	var idle []net.Conn
+	var muxes []*muxConn
 	for _, ep := range c.eps {
 		idle = append(idle, ep.idle...)
 		ep.idle = nil
+		for _, m := range ep.mux {
+			if m != nil {
+				muxes = append(muxes, m)
+			}
+		}
+		ep.mux = nil
 	}
 	c.closed = true
 	c.mu.Unlock()
 	for _, conn := range idle {
 		conn.Close()
+	}
+	for _, m := range muxes {
+		m.fail(ErrClosed)
 	}
 	return nil
 }
@@ -488,8 +541,17 @@ func (c *Client) BuildIndexes(specs []core.IndexSpec) error {
 // deadline rides along on every retry leg and is enforced server-side at
 // page-fetch granularity, exactly like an in-process engine.
 func (c *Client) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	// The request payload is encoded into a pooled buffer, rebuilt in
+	// place on each retry leg. Both transports copy the payload out
+	// before returning (WriteFrame into its own scratch buffer, the mux
+	// into its batch), so releasing it after roundTrip cannot alias an
+	// in-flight frame.
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
 	resp, err := c.roundTrip(ctx, wire.OpQuery, func(remaining time.Duration) []byte {
-		return wire.EncodeQueryRequest(wire.QueryRequest{Query: q, Params: p, Timeout: remaining})
+		b := wire.AppendQueryRequest((*bp)[:0], wire.QueryRequest{Query: q, Params: p, Timeout: remaining})
+		*bp = b
+		return b
 	}, true)
 	if err != nil {
 		return core.Result{}, err
@@ -523,8 +585,12 @@ func (c *Client) PageIO() int64 {
 // retry whose original was applied but whose response was lost.
 func (c *Client) update(ctx context.Context, op wire.Op, name string, data []byte) error {
 	key := c.nextKey()
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
 	_, err := c.roundTrip(ctx, op, func(remaining time.Duration) []byte {
-		return wire.EncodeUpdateRequest(wire.UpdateRequest{Name: name, Data: data, Timeout: remaining, Key: key})
+		b := wire.AppendUpdateRequest((*bp)[:0], wire.UpdateRequest{Name: name, Data: data, Timeout: remaining, Key: key})
+		*bp = b
+		return b
 	}, true)
 	return err
 }

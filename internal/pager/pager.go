@@ -19,9 +19,23 @@
 // the latch shared, so concurrent readers proceed in parallel; misses,
 // writes, syncs and ColdReset take it exclusive. I/O statistics are
 // atomic counters, so Stats (and the engines' PageIO) never block behind
-// a query. The CLOCK reference bit is set with an atomic store under the
-// shared latch; all other frame state changes happen under the exclusive
-// latch.
+// a query. The GCLOCK reference count is bumped with an atomic CAS under
+// the shared latch; all other frame state changes happen under the
+// exclusive latch.
+//
+// Eviction (DESIGN.md §13): the pool is scan-resistant. Replacement is
+// GCLOCK — a CLOCK hand over per-frame reference *counts* capped at
+// maxRef, so repeatedly-hit pages survive several hand sweeps (ARC-style
+// frequency protection) while one-touch pages decay to victims in one.
+// On top of that, consecutive read misses on a file are detected as a
+// sequential stream: stream pages recycle a small ring of frames the
+// stream itself owns instead of running the hand, so a one-pass scan of
+// a file larger than the pool evicts its own previous pages and leaves
+// the hot working set alone — and each detected stream prefetches the
+// next ReadaheadWindow pages in one batch, so the scan's demand reads
+// become pool hits. SetScanProtection(false) restores the plain CLOCK
+// of earlier revisions (maxRef 1, no streams, no readahead); the perf
+// baseline cells measure exactly that before/after pair.
 package pager
 
 import (
@@ -55,6 +69,11 @@ type Stats struct {
 	TornWrites int64
 	// WALAppends counts write-ahead log records appended.
 	WALAppends int64
+	// Prefetched counts pages read ahead of demand by sequential-stream
+	// readahead. They are disk reads (already included in Reads).
+	Prefetched int64
+	// PrefetchHits counts demand reads served by a prefetched frame.
+	PrefetchHits int64
 }
 
 // IO returns total disk operations (reads + writes).
@@ -64,13 +83,15 @@ func (s Stats) IO() int64 { return s.Reads + s.Writes }
 // counted outside any latch; the rest under the exclusive latch — atomics
 // keep Stats() coherent either way.
 type statCells struct {
-	reads       atomic.Int64
-	writes      atomic.Int64
-	hits        atomic.Int64
-	readFaults  atomic.Int64
-	readRetries atomic.Int64
-	tornWrites  atomic.Int64
-	walAppends  atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
+	hits         atomic.Int64
+	readFaults   atomic.Int64
+	readRetries  atomic.Int64
+	tornWrites   atomic.Int64
+	walAppends   atomic.Int64
+	prefetched   atomic.Int64
+	prefetchHits atomic.Int64
 }
 
 // Pager owns a set of simulated files and a shared buffer pool.
@@ -82,11 +103,17 @@ type Pager struct {
 	next  FileID
 	stats statCells
 
-	// buffer pool (CLOCK replacement, write-back)
+	// buffer pool (GCLOCK replacement, write-back)
 	capacity int
 	frames   []frame
 	table    map[pageKey]int // pageKey -> frame index
 	hand     int
+
+	// scan resistance + readahead (see the package comment). maxRef is 1
+	// when protection is off, which degenerates GCLOCK to plain CLOCK.
+	scanProtect bool
+	maxRef      uint32
+	streams     map[FileID]*seqStream
 
 	// fault injection + write-ahead log (fault.go, wal.go); nil when the
 	// disk is perfect.
@@ -101,15 +128,20 @@ type Pager struct {
 	// reg receives per-event counters alongside stats; the cached
 	// counters keep the hot paths at one atomic add per event. All are
 	// nil (and inert) until SetMetrics is called.
-	reg        *metrics.Registry
-	cRead      *metrics.Counter // pager.read: disk reads (pool misses)
-	cWrite     *metrics.Counter // pager.write: disk writes (write-backs)
-	cHit       *metrics.Counter // pager.hit: pool hits
-	cEvict     *metrics.Counter // pager.evict: frames evicted by CLOCK
-	cWALAppend *metrics.Counter // pager.wal.append: WAL records
-	cReadFault *metrics.Counter // pager.read.fault: injected transient faults
-	cReadRetry *metrics.Counter // pager.read.retry: retry attempts
-	cTornWrite *metrics.Counter // pager.write.torn: torn in-place writes
+	reg         *metrics.Registry
+	cRead       *metrics.Counter // pager.read: demand disk reads (pool misses)
+	cWrite      *metrics.Counter // pager.write: disk writes (write-backs)
+	cHit        *metrics.Counter // pager.hit: pool hits
+	cEvict      *metrics.Counter // pager.evict: frames evicted (all causes)
+	cEvictDirty *metrics.Counter // pager.evict.dirty: evictions that wrote back
+	cEvictScan  *metrics.Counter // pager.evict.scan: stream-ring recycles
+	cRAIssued   *metrics.Counter // pager.readahead.issued: pages prefetched
+	cRAHit      *metrics.Counter // pager.readahead.hit: demand hits on prefetched frames
+	cRAWasted   *metrics.Counter // pager.readahead.wasted: prefetched frames evicted unused
+	cWALAppend  *metrics.Counter // pager.wal.append: WAL records
+	cReadFault  *metrics.Counter // pager.read.fault: injected transient faults
+	cReadRetry  *metrics.Counter // pager.read.retry: retry attempts
+	cTornWrite  *metrics.Counter // pager.write.torn: torn in-place writes
 }
 
 type pageKey struct {
@@ -120,12 +152,36 @@ type pageKey struct {
 type frame struct {
 	key  pageKey
 	data []byte
-	// used is the CLOCK reference bit. It is the one frame field touched
-	// under the shared latch (atomically, by concurrent pool hits); the
-	// exclusive latch covers every other access.
-	used  uint32
-	dirty bool
-	valid bool
+	// ref is the GCLOCK reference count, capped at the pager's maxRef.
+	// It and prefetched are the two frame fields touched under the shared
+	// latch (atomically, by concurrent pool hits); the exclusive latch
+	// covers every other access.
+	ref uint32
+	// prefetched is 1 while the frame holds a readahead page no demand
+	// read has consumed yet (cleared atomically by the first hit).
+	prefetched uint32
+	dirty      bool
+	valid      bool
+}
+
+// seqStream tracks one file's sequential read pattern: the last missed
+// page, the current run of consecutive misses, and the small ring of
+// frames the stream recycles once it is detected. All fields are guarded
+// by the pager's exclusive latch.
+type seqStream struct {
+	lastNo   uint32
+	started  bool // lastNo is meaningful
+	streak   int  // consecutive +1 misses
+	ring     []ringSlot
+	ringNext int
+}
+
+// ringSlot remembers a frame the stream installed and the page it put
+// there; if the main hand reassigned the frame meanwhile, the slot is
+// stale and the stream falls back to a normal acquisition.
+type ringSlot struct {
+	idx int
+	key pageKey
 }
 
 type file struct {
@@ -145,11 +201,42 @@ func New(poolPages int) *Pager {
 		poolPages = DefaultPoolPages
 	}
 	return &Pager{
-		files:    make(map[FileID]*file),
-		capacity: poolPages,
-		frames:   make([]frame, poolPages),
-		table:    make(map[pageKey]int, poolPages),
+		files:       make(map[FileID]*file),
+		capacity:    poolPages,
+		frames:      make([]frame, poolPages),
+		table:       make(map[pageKey]int, poolPages),
+		scanProtect: true,
+		maxRef:      protectedMaxRef,
+		streams:     make(map[FileID]*seqStream),
 	}
+}
+
+// protectedMaxRef is the GCLOCK reference-count cap with scan protection
+// on: a page must be missed by the hand this many times before it is
+// evictable, so the hot working set survives several full sweeps.
+const protectedMaxRef = 3
+
+// seqThreshold is the number of consecutive +1-page read misses that
+// promotes a file's access pattern to a detected sequential stream.
+const seqThreshold = 3
+
+// SetScanProtection toggles the scan-resistant GCLOCK policy and
+// sequential readahead (both on by default). Off restores the plain
+// CLOCK of earlier revisions: reference counts cap at 1, and sequential
+// streams are neither detected nor prefetched — the before/after perf
+// baseline measures exactly this pair. Cached pages stay cached across
+// the toggle; reference counts above a lowered cap decay as the hand
+// passes them.
+func (p *Pager) SetScanProtection(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.scanProtect = on
+	if on {
+		p.maxRef = protectedMaxRef
+	} else {
+		p.maxRef = 1
+	}
+	p.streams = make(map[FileID]*seqStream)
 }
 
 // SetMetrics attaches a metrics registry: every subsequent disk read,
@@ -164,6 +251,11 @@ func (p *Pager) SetMetrics(reg *metrics.Registry) {
 	p.cWrite = reg.Counter("pager.write")
 	p.cHit = reg.Counter("pager.hit")
 	p.cEvict = reg.Counter("pager.evict")
+	p.cEvictDirty = reg.Counter("pager.evict.dirty")
+	p.cEvictScan = reg.Counter("pager.evict.scan")
+	p.cRAIssued = reg.Counter("pager.readahead.issued")
+	p.cRAHit = reg.Counter("pager.readahead.hit")
+	p.cRAWasted = reg.Counter("pager.readahead.wasted")
 	p.cWALAppend = reg.Counter("pager.wal.append")
 	p.cReadFault = reg.Counter("pager.read.fault")
 	p.cReadRetry = reg.Counter("pager.read.retry")
@@ -214,6 +306,7 @@ func (p *Pager) Close() error {
 	p.files = make(map[FileID]*file)
 	p.frames = nil
 	p.table = nil
+	p.streams = nil
 	p.fault = nil
 	return nil
 }
@@ -249,6 +342,7 @@ func (p *Pager) Truncate(fid FileID) error {
 			p.frames[i] = frame{}
 		}
 	}
+	delete(p.streams, fid)
 	return nil
 }
 
@@ -332,7 +426,7 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 		return nil, ErrCrashed // even pool hits: the machine is down
 	}
 	if i, ok := p.table[key]; ok {
-		atomic.StoreUint32(&p.frames[i].used, 1)
+		p.bumpRef(&p.frames[i])
 		data := p.outPage(p.frames[i].data)
 		cHit := p.cHit
 		p.mu.RUnlock()
@@ -349,7 +443,7 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 	}
 	// Another reader may have faulted the page in while we waited.
 	if i, ok := p.table[key]; ok {
-		p.frames[i].used = 1
+		p.bumpRef(&p.frames[i])
 		p.stats.hits.Add(1)
 		p.cHit.Inc()
 		return p.outPage(p.frames[i].data), nil
@@ -365,10 +459,37 @@ func (p *Pager) readOnce(fid FileID, no uint32) ([]byte, error) {
 	p.cRead.Inc()
 	data := make([]byte, PageSize)
 	copy(data, f.pages[no])
-	if err := p.install(key, data, false); err != nil {
+	if st := p.noteMiss(fid, no); st != nil {
+		if err := p.installScan(st, key, data, false); err != nil {
+			return nil, err
+		}
+		p.readahead(f, fid, st, no)
+	} else if err := p.install(key, data, false); err != nil {
 		return nil, err
 	}
 	return p.outPage(data), nil
+}
+
+// bumpRef increments a frame's GCLOCK reference count (capped at the
+// pager's maxRef) and consumes its prefetched flag, counting a readahead
+// hit the first time a demand read lands on a prefetched page. Callers
+// hold at least the shared latch, so the frame fields are touched
+// atomically (concurrent hits race on them) while maxRef — only written
+// under the exclusive latch — is read plainly.
+func (p *Pager) bumpRef(fr *frame) {
+	for {
+		r := atomic.LoadUint32(&fr.ref)
+		if r >= p.maxRef {
+			break
+		}
+		if atomic.CompareAndSwapUint32(&fr.ref, r, r+1) {
+			break
+		}
+	}
+	if atomic.SwapUint32(&fr.prefetched, 0) == 1 {
+		p.stats.prefetchHits.Add(1)
+		p.cRAHit.Inc()
+	}
 }
 
 // outPage applies the copy-on-read option to a page leaving the pool.
@@ -407,40 +528,201 @@ func (p *Pager) Write(fid FileID, no uint32, data []byte) error {
 	return p.install(pageKey{fid, no}, pg, true)
 }
 
-// install places a page into the buffer pool, evicting with CLOCK and
+// install places a page into the buffer pool, evicting with GCLOCK and
 // writing back the victim if dirty. It fails only when the eviction
 // write-back does (crash); the pool is left unchanged then. Callers hold
 // the exclusive latch, so frame fields may be accessed plainly here.
 func (p *Pager) install(key pageKey, data []byte, dirty bool) error {
 	if i, ok := p.table[key]; ok {
 		p.frames[i].data = data
-		p.frames[i].used = 1
+		p.bumpRef(&p.frames[i])
 		p.frames[i].dirty = p.frames[i].dirty || dirty
 		return nil
 	}
+	idx, err := p.acquireFrame()
+	if err != nil {
+		return err
+	}
+	p.frames[idx] = frame{key: key, data: data, ref: 1, dirty: dirty, valid: true}
+	p.table[key] = idx
+	return nil
+}
+
+// acquireFrame runs the GCLOCK hand to a victim frame, writes back a
+// dirty victim, evicts it, and returns the now-free frame index. The
+// hand decrements each nonzero reference count it passes, so a page at
+// maxRef survives maxRef full sweeps without a hit. Callers hold the
+// exclusive latch.
+func (p *Pager) acquireFrame() (int, error) {
 	for {
 		fr := &p.frames[p.hand]
 		if !fr.valid {
 			break
 		}
-		if fr.used != 0 {
-			fr.used = 0
+		if fr.ref != 0 {
+			fr.ref--
 			p.hand = (p.hand + 1) % p.capacity
 			continue
 		}
 		if fr.dirty {
 			if err := p.writeBack(fr); err != nil {
-				return err
+				return 0, err
 			}
+			p.cEvictDirty.Inc()
+		}
+		if fr.prefetched == 1 {
+			p.cRAWasted.Inc()
 		}
 		delete(p.table, fr.key)
 		p.cEvict.Inc()
 		break
 	}
-	p.frames[p.hand] = frame{key: key, data: data, used: 1, dirty: dirty, valid: true}
-	p.table[key] = p.hand
+	idx := p.hand
 	p.hand = (p.hand + 1) % p.capacity
+	return idx, nil
+}
+
+// readaheadWindow returns the prefetch batch size for this pool: up to 8
+// pages, shrunk for small pools, and 0 (readahead and stream detection
+// disabled) when the pool is too small for a stream ring to do anything
+// but pollute it.
+func (p *Pager) readaheadWindow() int {
+	w := 8
+	if c := p.capacity / 4; c < w {
+		w = c
+	}
+	if w < 2 {
+		return 0
+	}
+	return w
+}
+
+// noteMiss records a demand read miss in the file's stream tracker and,
+// once the pattern is sequential (seqThreshold consecutive +1 misses),
+// returns the stream so the caller installs into the stream's ring and
+// prefetches ahead. Any non-sequential miss resets the tracker and
+// releases the ring back to normal replacement. Callers hold the
+// exclusive latch.
+func (p *Pager) noteMiss(fid FileID, no uint32) *seqStream {
+	if !p.scanProtect || p.readaheadWindow() == 0 {
+		return nil
+	}
+	st := p.streams[fid]
+	if st == nil {
+		st = &seqStream{}
+		p.streams[fid] = st
+	}
+	if st.started && no == st.lastNo+1 {
+		st.streak++
+	} else {
+		st.streak = 0
+		st.ring = nil
+		st.ringNext = 0
+	}
+	st.started = true
+	st.lastNo = no
+	if st.streak < seqThreshold {
+		return nil
+	}
+	if st.ring == nil {
+		// Ring capacity 2× the readahead window: enough frames for the
+		// in-flight prefetch batch plus the pages the scan just consumed.
+		st.ring = make([]ringSlot, 0, 2*p.readaheadWindow())
+	}
+	return st
+}
+
+// installScan places a sequential-stream page into the buffer pool,
+// recycling a frame from the stream's own ring when one is available so
+// the scan evicts its own trail instead of running the GCLOCK hand over
+// the hot working set. A ring slot is reusable only if it still holds
+// the page the stream put there, clean and at most once-referenced —
+// otherwise (the hand reassigned it, or another query is keeping it hot)
+// the stream falls back to a normal acquisition and takes the frame
+// over. Callers hold the exclusive latch.
+func (p *Pager) installScan(st *seqStream, key pageKey, data []byte, prefetch bool) error {
+	if i, ok := p.table[key]; ok {
+		p.frames[i].data = data
+		if !prefetch {
+			p.bumpRef(&p.frames[i])
+		}
+		return nil
+	}
+	idx := -1
+	if len(st.ring) == cap(st.ring) && cap(st.ring) > 0 {
+		slot := st.ring[st.ringNext]
+		fr := &p.frames[slot.idx]
+		if fr.valid && fr.key == slot.key && fr.ref <= 1 && !fr.dirty {
+			if fr.prefetched == 1 {
+				p.cRAWasted.Inc()
+			}
+			delete(p.table, fr.key)
+			p.cEvict.Inc()
+			p.cEvictScan.Inc()
+			idx = slot.idx
+		}
+	}
+	if idx < 0 {
+		var err error
+		idx, err = p.acquireFrame()
+		if err != nil {
+			return err
+		}
+	}
+	fr := frame{key: key, data: data, ref: 1, valid: true}
+	if prefetch {
+		fr.ref = 0
+		fr.prefetched = 1
+	}
+	p.frames[idx] = fr
+	p.table[key] = idx
+	if len(st.ring) < cap(st.ring) {
+		st.ring = append(st.ring, ringSlot{idx: idx, key: key})
+	} else if cap(st.ring) > 0 {
+		st.ring[st.ringNext] = ringSlot{idx: idx, key: key}
+		st.ringNext = (st.ringNext + 1) % cap(st.ring)
+	}
 	return nil
+}
+
+// readahead prefetches the next window pages of a detected stream in one
+// batch: each is a disk read installed at reference count 0 with the
+// prefetched flag set, so the stream's own demand reads turn into pool
+// hits and unused prefetches are the first frames recycled. Prefetch
+// I/O errors are swallowed — readahead is an optimization, never a
+// correctness dependency (the demand read that triggered it has already
+// succeeded). Callers hold the exclusive latch.
+func (p *Pager) readahead(f *file, fid FileID, st *seqStream, no uint32) {
+	w := p.readaheadWindow()
+	last := no
+	for i := 1; i <= w; i++ {
+		next := no + uint32(i)
+		if next >= uint32(len(f.pages)) {
+			break
+		}
+		if _, ok := p.table[pageKey{fid, next}]; ok {
+			continue
+		}
+		if err := p.diskOp(opRead); err != nil {
+			break
+		}
+		p.stats.reads.Add(1)
+		p.cRead.Inc()
+		p.stats.prefetched.Add(1)
+		p.cRAIssued.Inc()
+		data := make([]byte, PageSize)
+		copy(data, f.pages[next])
+		if err := p.installScan(st, pageKey{fid, next}, data, true); err != nil {
+			break
+		}
+		last = next
+	}
+	// Advance the stream cursor past the prefetched run: the demand reads
+	// that follow are pool hits (never seen by noteMiss), so the next
+	// miss at last+1 must still read as sequential.
+	if last > st.lastNo {
+		st.lastNo = last
+	}
 }
 
 // writeBack persists one dirty frame, counting a disk write. With fault
@@ -530,6 +812,7 @@ func (p *Pager) ColdReset() {
 	}
 	p.table = make(map[pageKey]int, p.capacity)
 	p.hand = 0
+	p.streams = make(map[FileID]*seqStream)
 }
 
 // Stats returns the accumulated I/O counters. It is lock-free and safe
@@ -537,13 +820,15 @@ func (p *Pager) ColdReset() {
 // so a snapshot taken mid-operation may be skewed by the op in flight.
 func (p *Pager) Stats() Stats {
 	return Stats{
-		Reads:       p.stats.reads.Load(),
-		Writes:      p.stats.writes.Load(),
-		Hits:        p.stats.hits.Load(),
-		ReadFaults:  p.stats.readFaults.Load(),
-		ReadRetries: p.stats.readRetries.Load(),
-		TornWrites:  p.stats.tornWrites.Load(),
-		WALAppends:  p.stats.walAppends.Load(),
+		Reads:        p.stats.reads.Load(),
+		Writes:       p.stats.writes.Load(),
+		Hits:         p.stats.hits.Load(),
+		ReadFaults:   p.stats.readFaults.Load(),
+		ReadRetries:  p.stats.readRetries.Load(),
+		TornWrites:   p.stats.tornWrites.Load(),
+		WALAppends:   p.stats.walAppends.Load(),
+		Prefetched:   p.stats.prefetched.Load(),
+		PrefetchHits: p.stats.prefetchHits.Load(),
 	}
 }
 
@@ -556,4 +841,6 @@ func (p *Pager) ResetStats() {
 	p.stats.readRetries.Store(0)
 	p.stats.tornWrites.Store(0)
 	p.stats.walAppends.Store(0)
+	p.stats.prefetched.Store(0)
+	p.stats.prefetchHits.Store(0)
 }

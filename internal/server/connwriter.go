@@ -1,0 +1,109 @@
+package server
+
+import (
+	"net"
+	"sync"
+
+	"xbench/internal/wire"
+)
+
+// connWriter batches a connection's response frames: concurrent request
+// goroutines append their frames to the forming batch, and a single
+// flusher goroutine writes each sealed batch with one syscall. Responses
+// produced while a flush is in progress accumulate into the next batch,
+// so batching deepens exactly when the connection is busiest — the
+// server-side mirror of the client mux's writeLoop (see DESIGN.md §13).
+//
+// write blocks until the batch containing the caller's frame has been
+// handed to the kernel. That property is what lets serveConn keep the
+// drain-barrier contract: a request's admission slot is released only
+// after write returns, so Shutdown's semaphore sweep still proves every
+// admitted request's response reached the socket before connections are
+// severed.
+//
+// Batch buffers cycle through wire.GetBuf/PutBuf. Response payloads are
+// copied into the batch inside write, so callers may recycle pooled
+// payload buffers as soon as write returns. (Request payloads are never
+// pooled at all: decoded requests alias them — see internal/wire
+// dec.bytes — and the dedup table retains recorded update frames
+// indefinitely.)
+type connWriter struct {
+	conn net.Conn
+
+	mu       sync.Mutex
+	cur      *respBatch // forming batch, nil when none
+	flushing bool       // a flushLoop goroutine is draining batches
+	err      error      // first failure; poisons the writer
+}
+
+// respBatch is one sealed-together group of response frames.
+type respBatch struct {
+	buf  *[]byte
+	done chan struct{} // closed after the batch's conn.Write returned
+	err  error         // set before done is closed
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	return &connWriter{conn: conn}
+}
+
+// write appends f to the forming batch and blocks until that batch has
+// been written to the connection. An encoding failure (oversized frame)
+// poisons the writer — the stream cannot carry the response, so the
+// connection must drop, exactly as a failed WriteFrame did when
+// responses were written one at a time.
+func (w *connWriter) write(f wire.Frame) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.cur == nil {
+		w.cur = &respBatch{buf: wire.GetBuf(), done: make(chan struct{})}
+	}
+	b, err := wire.AppendFrame(*w.cur.buf, f)
+	if err != nil {
+		w.err = err // AppendFrame left the batch intact; other riders still flush
+		w.mu.Unlock()
+		return err
+	}
+	*w.cur.buf = b
+	bt := w.cur
+	if !w.flushing {
+		w.flushing = true
+		go w.flushLoop()
+	}
+	w.mu.Unlock()
+	<-bt.done
+	return bt.err
+}
+
+// flushLoop drains forming batches one at a time until none formed while
+// the previous write was in flight, then exits — an idle connection
+// costs no flusher goroutine.
+func (w *connWriter) flushLoop() {
+	for {
+		w.mu.Lock()
+		bt := w.cur
+		w.cur = nil
+		if bt == nil {
+			w.flushing = false
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+		_, err := w.conn.Write(*bt.buf)
+		wire.PutBuf(bt.buf)
+		bt.buf = nil
+		if err != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = err
+			}
+			w.mu.Unlock()
+		}
+		bt.err = err
+		close(bt.done)
+	}
+}

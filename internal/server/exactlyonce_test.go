@@ -3,7 +3,9 @@ package server_test
 import (
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"xbench/internal/core"
 	"xbench/internal/server"
@@ -98,6 +100,118 @@ func TestUnkeyedUpdatesBypassDedup(t *testing.T) {
 	}
 	if got := srv.Metrics().Counter("server.req.deduped").Value(); got != 0 {
 		t.Fatalf("deduped counter = %d, want 0", got)
+	}
+}
+
+// TestConcurrentRetriesApplyOnce: simultaneous byte-identical keyed
+// retries — the wire image of an impatient client re-sending before the
+// original answered — must apply exactly once, even while the original
+// is still inside its commit window (applied, journal batch syncing).
+// Racing retries either hit the dedup table or join the in-flight
+// commit; both paths answer with the original's result and count as
+// deduped. This is the regression test for the window where the update
+// had applied but was not yet recorded.
+func TestConcurrentRetriesApplyOnce(t *testing.T) {
+	db := &core.Database{Class: core.DCMD, Size: core.Small}
+	journal := filepath.Join(t.TempDir(), "updates.journal")
+	eng := newStub()
+	srv, _, err := server.Reopen(eng, db, nil, journal, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	payload := updatePayload(wire.OpInsert, "order-update-1.xml", []byte("<order/>"), wire.IdemKey{Client: 9, Seq: 1})
+	const retries = 16
+	var wg sync.WaitGroup
+	statuses := make([]wire.Status, retries)
+	for i := 0; i < retries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			if err := wire.WriteFrame(conn, wire.Frame{Kind: byte(wire.OpInsert), ID: 1, Payload: payload}); err != nil {
+				return
+			}
+			resp, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			statuses[i] = wire.Status(resp.Kind)
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != wire.StatusOK {
+			t.Fatalf("retry %d: status %d, want OK (a racing retry re-applied)", i, st)
+		}
+	}
+	eng.mu.Lock()
+	n := len(eng.docs)
+	eng.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("engine holds %d documents after %d racing retries, want 1", n, retries)
+	}
+	if got := srv.Metrics().Counter("server.req.deduped").Value(); got != retries-1 {
+		t.Fatalf("deduped counter = %d, want %d", got, retries-1)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal must hold the update exactly once.
+	_, n2, err := server.Reopen(newStub(), db, nil, journal, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 1 {
+		t.Fatalf("journal replayed %d records, want 1", n2)
+	}
+}
+
+// TestPipelinedConnRespondsOutOfOrder: a connection carrying several
+// in-flight requests is served concurrently — a later cheap request
+// (ping) must be answered while an earlier gated query is still
+// executing, and responses are matched by frame ID, not arrival order. A
+// sequential per-connection server deadlocks here.
+func TestPipelinedConnRespondsOutOfOrder(t *testing.T) {
+	eng := newStub()
+	eng.gate = make(chan struct{})
+	srv, _ := startServer(t, eng, server.Config{})
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	gated := wire.EncodeQueryRequest(wire.QueryRequest{Query: core.Q1})
+	if err := wire.WriteFrame(conn, wire.Frame{Kind: byte(wire.OpQuery), ID: 1, Payload: gated}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.Frame{Kind: byte(wire.OpPing), ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("ping behind a blocked query never answered: %v", err)
+	}
+	if resp.ID != 2 {
+		t.Fatalf("first response has ID %d, want 2 (the ping)", resp.ID)
+	}
+	eng.gate <- struct{}{} // release the query
+	resp, err = wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 1 {
+		t.Fatalf("second response has ID %d, want 1 (the released query)", resp.ID)
 	}
 }
 

@@ -4,14 +4,23 @@
 // admission control, per-request timeouts — instead of stopping at
 // library calls.
 //
-// Architecture: one accept loop, one goroutine per connection, requests
-// processed sequentially per connection (concurrency comes from many
-// connections; the pooling client in internal/client issues one request
-// per pooled connection at a time, so per-connection pipelining would buy
-// nothing). Every engine-touching request passes the admission
-// controller: a semaphore of MaxInflight slots with a bounded queue wait.
-// A request that cannot get a slot within QueueWait is rejected with
-// StatusOverloaded — load shedding, never queue collapse.
+// Architecture: one accept loop, one read goroutine per connection, one
+// bounded goroutine per in-flight request. A connection's requests
+// execute concurrently and its responses — matched to requests by frame
+// ID, so they may return in any order — are coalesced by a per-connection
+// batched writer (connwriter.go) into one syscall per flush. That is what
+// makes the pipelined client transport (internal/client Config.Pipeline)
+// pay off: a mux connection carrying many in-flight requests is served by
+// many engine goroutines, not a serial loop. One-request-at-a-time
+// clients (the pooled transport, raw test connections) see the old
+// behavior: one frame in, one frame out. Every engine-touching request
+// passes the admission controller: a semaphore of MaxInflight slots with
+// a bounded queue wait. A request that cannot get a slot within QueueWait
+// is rejected with StatusOverloaded — load shedding, never queue
+// collapse. A per-connection pipeline cap (connPipeline) additionally
+// stops any single connection from parking unbounded goroutines in the
+// admission queue: past the cap the server simply stops reading and TCP
+// backpressure does the rest.
 //
 // Graceful drain (Shutdown): stop accepting connections, reject new
 // requests with StatusShutdown, let in-flight requests finish and their
@@ -21,6 +30,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -100,10 +110,15 @@ type Server struct {
 	// Exactly-once update machinery: dedup answers retries with the
 	// original result; journal (optional, see Reopen) makes acknowledged
 	// updates durable across process death; updMu serializes apply +
-	// journal append so journal order is apply order.
-	dedup   *dedupTable
-	journal *updatelog.FileLog
-	updMu   sync.Mutex
+	// journal enqueue so journal order is apply order (the fsync itself
+	// happens outside updMu, shared across writers by group commit);
+	// inflight holds keyed updates that applied but are not yet durable,
+	// so a concurrent retry of the same key joins the pending commit
+	// instead of re-applying.
+	dedup    *dedupTable
+	journal  *updatelog.FileLog
+	updMu    sync.Mutex
+	inflight map[wire.IdemKey]*pendingUpdate
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -126,6 +141,8 @@ func New(e core.Engine, cfg Config) *Server {
 		reg:   cfg.Metrics,
 		conns: map[net.Conn]struct{}{},
 		dedup: newDedupTable(cfg.DedupPerClient),
+
+		inflight: map[wire.IdemKey]*pendingUpdate{},
 	}
 	s.cAccepted = s.reg.Counter("server.conn.accepted")
 	s.cActive = s.reg.Counter("server.conn.active")
@@ -239,14 +256,30 @@ func (s *Server) dropConn(conn net.Conn) {
 	s.cActive.Add(-1)
 }
 
-// serveConn processes one connection's requests sequentially until the
-// peer hangs up, a framing error poisons the stream, or drain closes the
-// socket underneath a blocked read.
+// connPipeline caps how many of one connection's requests may be in
+// flight at once. Past the cap serveConn stops reading frames, letting
+// TCP backpressure pace the client; the server-wide admission semaphore
+// still governs how many of those requests execute.
+const connPipeline = 128
+
+// serveConn reads one connection's requests until the peer hangs up, a
+// framing error poisons the stream, or drain closes the socket underneath
+// a blocked read. Each request executes in its own goroutine (bounded by
+// connPipeline) and responds through the connection's batched writer, so
+// a pipelined client's requests run concurrently and responses return in
+// completion order, routed by frame ID.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWg.Done()
 	defer s.dropConn(conn)
+	w := newConnWriter(conn)
+	slots := make(chan struct{}, connPipeline)
+	var wg sync.WaitGroup
+	defer wg.Wait() // request goroutines must not outlive engine shutdown
+	// Buffered reads: a pipelined client flushes requests in batches, so
+	// one kernel read pulls many frames instead of two syscalls per frame.
+	br := bufio.NewReader(conn)
 	for {
-		req, err := wire.ReadFrame(conn)
+		req, err := wire.ReadFrame(br)
 		if err != nil {
 			// Clean EOF, torn frame, checksum failure, or the socket was
 			// closed by drain: all terminal. A framing error cannot be
@@ -254,16 +287,32 @@ func (s *Server) serveConn(conn net.Conn) {
 			// is dropped and the client's read fails typed.
 			return
 		}
-		resp, done := s.handle(wire.Op(req.Kind), req.Payload)
-		resp.ID = req.ID
-		err = wire.WriteFrame(conn, resp)
-		// The admission slot is released only after the response write, so
-		// the drain barrier in Shutdown proves every admitted request's
-		// response reached the kernel before connections are severed.
-		done()
-		if err != nil {
-			return
-		}
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(req wire.Frame) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			// scratch backs pooled response payloads (query results); it is
+			// reusable once write has copied the frame into the batch. The
+			// REQUEST payload is deliberately never pooled: decoded requests
+			// alias it (wire dec.bytes) and updates may outlive this frame.
+			scratch := wire.GetBuf()
+			resp, done := s.handle(wire.Op(req.Kind), req.Payload, scratch)
+			resp.ID = req.ID
+			err := w.write(resp)
+			wire.PutBuf(scratch)
+			// The admission slot is released only after the batch holding
+			// this response was written, so the drain barrier in Shutdown
+			// proves every admitted request's response reached the kernel
+			// before connections are severed.
+			done()
+			if err != nil {
+				// The response could not be sent (dead peer or an
+				// unencodable frame): sever the connection so the read
+				// loop exits and the client's pending reads fail typed.
+				conn.Close()
+			}
+		}(req)
 	}
 }
 
@@ -317,8 +366,11 @@ func noRelease() {}
 // handle dispatches one request to the engine and builds the response
 // frame (ID is filled in by the caller). The returned done callback must
 // be invoked after the response is written: admitted requests hold their
-// admission slot until then.
-func (s *Server) handle(op wire.Op, payload []byte) (wire.Frame, func()) {
+// admission slot until then. scratch, when non-nil, is a pooled buffer
+// owned by the caller that large transient response payloads (query
+// results) are encoded into; frames that outlive the response write —
+// dedup-recorded update results — must never use it.
+func (s *Server) handle(op wire.Op, payload []byte, scratch *[]byte) (wire.Frame, func()) {
 	// Liveness and cheap reads skip admission: they must answer even on a
 	// saturated server, or monitoring would be the first casualty.
 	switch op {
@@ -338,13 +390,13 @@ func (s *Server) handle(op wire.Op, payload []byte) (wire.Frame, func()) {
 		return errFrame(err), noRelease
 	}
 	start := time.Now()
-	f := s.execute(op, payload)
+	f := s.execute(op, payload, scratch)
 	s.reg.Histogram("wire." + op.String()).Observe(time.Since(start))
 	return f, s.release
 }
 
 // execute runs an admitted request against the engine.
-func (s *Server) execute(op wire.Op, payload []byte) wire.Frame {
+func (s *Server) execute(op wire.Op, payload []byte, scratch *[]byte) wire.Frame {
 	switch op {
 	case wire.OpQuery:
 		req, err := wire.DecodeQueryRequest(payload)
@@ -356,6 +408,11 @@ func (s *Server) execute(op wire.Op, payload []byte) wire.Frame {
 		res, err := s.eng.Execute(ctx, req.Query, req.Params)
 		if err != nil {
 			return errFrame(err)
+		}
+		if scratch != nil {
+			b := wire.AppendResult((*scratch)[:0], res)
+			*scratch = b
+			return okFrame(b)
 		}
 		return okFrame(wire.EncodeResult(res))
 
@@ -395,20 +452,40 @@ func (s *Server) execute(op wire.Op, payload []byte) wire.Frame {
 	}
 }
 
+// pendingUpdate is a keyed update that applied but whose acknowledgment
+// has not been released yet (its journal batch is still syncing). A
+// concurrent retry of the same key waits on done and returns f instead
+// of re-applying.
+type pendingUpdate struct {
+	done chan struct{}
+	f    wire.Frame // set before done is closed
+}
+
 // executeUpdate runs one update with exactly-once semantics. A keyed
 // retry whose original succeeded gets the original response without
-// touching the engine; a fresh update applies, is journaled (the durable
-// commit point when a journal is attached), then remembered in the dedup
-// table.
+// touching the engine; a retry that races the original's commit window
+// joins the pending commit and shares its outcome; a fresh update
+// applies, is journaled (the durable commit point when a journal is
+// attached), then remembered in the dedup table.
+//
+// Locking: apply + journal Enqueue happen under updMu, so journal order
+// is apply order. The fsync is waited for OUTSIDE updMu — concurrent
+// writers stack into one group commit (updatelog.FileLog) instead of
+// serializing on the disk. The key's inflight entry is registered before
+// updMu is released and removed only after the dedup table holds the
+// final frame, so at every instant a retry finds the key in exactly one
+// place: dedup (committed), inflight (committing), or neither (never
+// applied). No acknowledgment — original or joined retry — is released
+// before the journal batch's fsync returned.
 //
 // Only successes are remembered and journaled: the engines' update
 // protocol is exactly-old-or-new, so an error return means the update did
 // not happen and a retry is safe to re-execute (a deterministic failure
 // simply fails the same way again). The one ambiguous case — the update
-// applied but its journal append failed — is surfaced as an internal
-// error WITHOUT a dedup entry, the same contract as a lost response: the
-// client may retry and the retry's outcome (here, a duplicate-name error
-// for inserts) is honest about the store's state.
+// applied but its journal append or sync failed — is surfaced as an
+// internal error WITHOUT a dedup entry, the same contract as a lost
+// response: the client may retry and the retry's outcome (here, a
+// duplicate-name error for inserts) is honest about the store's state.
 func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
 	if req.Key.Valid() {
 		if f, ok := s.dedup.lookup(req.Key); ok {
@@ -420,13 +497,20 @@ func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
 	defer cancel()
 
 	s.updMu.Lock()
-	// Re-check under the lock: two in-flight retries of the same key must
-	// not both apply.
 	if req.Key.Valid() {
+		// Re-check under the lock: two in-flight retries of the same key
+		// must not both apply. A committed original is in dedup; one
+		// mid-commit is in inflight — join it and share its outcome.
 		if f, ok := s.dedup.lookup(req.Key); ok {
 			s.updMu.Unlock()
 			s.rDeduped.Inc()
 			return f
+		}
+		if p := s.inflight[req.Key]; p != nil {
+			s.updMu.Unlock()
+			<-p.done
+			s.rDeduped.Inc()
+			return p.f
 		}
 	}
 	var err error
@@ -442,20 +526,40 @@ func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
 		kind = updatelog.KindDelete
 		err = s.eng.DeleteDocument(ctx, req.Name)
 	}
+	var batch *updatelog.Batch
 	if err == nil && s.journal != nil {
-		if jerr := s.journal.Append(updatelog.Record{
+		var jerr error
+		batch, jerr = s.journal.Enqueue(updatelog.Record{
 			Kind: kind, Name: req.Name, Data: req.Data,
 			Client: req.Key.Client, Seq: req.Key.Seq,
-		}); jerr != nil {
+		})
+		if jerr != nil {
 			s.updMu.Unlock()
 			return errFrame(fmt.Errorf("update applied but journal append failed (outcome not durable): %w", jerr))
 		}
 	}
+	var p *pendingUpdate
+	if err == nil && req.Key.Valid() {
+		p = &pendingUpdate{done: make(chan struct{})}
+		s.inflight[req.Key] = p
+	}
 	s.updMu.Unlock()
 
+	if batch != nil {
+		if jerr := s.journal.WaitDurable(batch); jerr != nil {
+			err = fmt.Errorf("update applied but journal append failed (outcome not durable): %w", jerr)
+		}
+	}
 	f := errFrame(err)
-	if err == nil && req.Key.Valid() {
-		s.dedup.record(req.Key, f)
+	if p != nil {
+		if err == nil {
+			s.dedup.record(req.Key, f)
+		}
+		s.updMu.Lock()
+		delete(s.inflight, req.Key)
+		s.updMu.Unlock()
+		p.f = f
+		close(p.done)
 	}
 	return f
 }

@@ -1,0 +1,44 @@
+// Pooled scratch buffers for the hot serialization paths. The client's
+// pipelined transport and the server's batched response writer encode
+// every frame into a buffer drawn from this pool, so steady-state request
+// traffic allocates no per-frame garbage.
+//
+// Ownership contract: a buffer obtained from GetBuf is owned exclusively
+// by the caller until PutBuf, and PutBuf transfers ownership back to the
+// pool — the caller must not retain the buffer, any slice of it, or
+// anything decoded in place over it past the Put. Frames whose payloads
+// are recorded elsewhere (the server's dedup table, decoded request
+// views) must NOT come from the pool; see DESIGN.md §13 for the audit of
+// which paths pool and which deliberately do not.
+package wire
+
+import "sync"
+
+// maxPooledBuf caps the capacity of buffers returned to the pool (1 MiB).
+// A giant load payload would otherwise pin its allocation forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length scratch buffer with pooled capacity. The
+// extra indirection (pointer to slice) lets PutBuf return grown buffers
+// without allocating a new header per cycle.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool. Passing nil is a no-op; buffers
+// grown beyond maxPooledBuf are dropped for the GC instead.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}

@@ -107,7 +107,14 @@ type QueryRequest struct {
 
 // EncodeQueryRequest serializes a QueryRequest (params in sorted key order).
 func EncodeQueryRequest(r QueryRequest) []byte {
-	var e enc
+	return AppendQueryRequest(nil, r)
+}
+
+// AppendQueryRequest appends the QueryRequest encoding to dst and returns
+// the extended slice — the allocation-free form the pipelined client uses
+// with pooled buffers.
+func AppendQueryRequest(dst []byte, r QueryRequest) []byte {
+	e := enc{dst}
 	e.varint(int64(r.Query))
 	keys := make([]string, 0, len(r.Params))
 	for k := range r.Params {
@@ -158,7 +165,13 @@ func DecodeQueryRequest(b []byte) (QueryRequest, error) {
 
 // EncodeResult serializes a core.Result (the OpQuery success payload).
 func EncodeResult(r core.Result) []byte {
-	var e enc
+	return AppendResult(nil, r)
+}
+
+// AppendResult appends the core.Result encoding to dst and returns the
+// extended slice — used by the server with pooled response buffers.
+func AppendResult(dst []byte, r core.Result) []byte {
+	e := enc{dst}
 	e.uvarint(uint64(len(r.Items)))
 	for _, it := range r.Items {
 		e.string(it)
@@ -231,7 +244,13 @@ type UpdateRequest struct {
 // nothing, so the payload is byte-identical to the v1 encoding and v1
 // peers decode it unchanged.
 func EncodeUpdateRequest(r UpdateRequest) []byte {
-	var e enc
+	return AppendUpdateRequest(nil, r)
+}
+
+// AppendUpdateRequest appends the UpdateRequest encoding to dst and
+// returns the extended slice.
+func AppendUpdateRequest(dst []byte, r UpdateRequest) []byte {
+	e := enc{dst}
 	e.string(r.Name)
 	e.bytes(r.Data)
 	e.duration(r.Timeout)

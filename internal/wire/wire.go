@@ -171,20 +171,40 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame writes one frame to w as a single buffered write.
-func WriteFrame(w io.Writer, f Frame) error {
+// AppendFrame appends one encoded frame (header, CRC, payload) to dst and
+// returns the extended slice. It is WriteFrame without the write: batching
+// callers encode several frames into one pooled buffer and flush them with
+// a single Write, amortizing the syscall and keeping the CRC pass inside
+// the same buffer walk.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
-		return ErrTooLarge
+		return dst, ErrTooLarge
 	}
-	buf := make([]byte, headerSize+len(f.Payload))
-	binary.BigEndian.PutUint16(buf[0:2], Magic)
-	buf[2] = Version
-	buf[3] = f.Kind
-	binary.BigEndian.PutUint64(buf[4:12], f.ID)
-	binary.BigEndian.PutUint32(buf[12:16], uint32(len(f.Payload)))
-	binary.BigEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(f.Payload))
-	copy(buf[headerSize:], f.Payload)
-	_, err := w.Write(buf)
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = f.Kind
+	binary.BigEndian.PutUint64(hdr[4:12], f.ID)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(f.Payload))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	return dst, nil
+}
+
+// WriteFrame writes one frame to w as a single buffered write. The
+// scratch buffer is pooled, so a frame write allocates nothing once the
+// pool is warm.
+func WriteFrame(w io.Writer, f Frame) error {
+	bp := GetBuf()
+	buf, err := AppendFrame(*bp, f)
+	*bp = buf[:0]
+	if err != nil {
+		PutBuf(bp)
+		return err
+	}
+	_, err = w.Write(buf)
+	PutBuf(bp)
 	return err
 }
 
