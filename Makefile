@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos chaos-updates torture smoke bench-baseline perf-check verify
+.PHONY: build test vet race chaos chaos-updates torture smoke bench-baseline perf-check plan-check plan-golden verify
 
 build:
 	$(GO) build ./...
@@ -55,5 +55,16 @@ bench-baseline:
 perf-check:
 	$(GO) run ./cmd/xbench perf --cell=all --short --check
 
+# Plan regression gate: the costed EXPLAIN tree of every (class, query)
+# cell, planned over fixture statistics, must match the checked-in corpus
+# under results/plans/ byte for byte.
+plan-check:
+	$(GO) test -run TestGoldenPlans ./internal/plan/
+
+# Refresh the EXPLAIN corpus after an intended planner change; commit the
+# diff alongside the change that caused it.
+plan-golden:
+	$(GO) test -run TestGoldenPlans -update-plans ./internal/plan/
+
 # The PR gate: everything that must be green before a change lands.
-verify: build vet test race chaos-updates torture smoke
+verify: build vet test race chaos-updates torture smoke plan-check

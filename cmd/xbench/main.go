@@ -17,6 +17,7 @@
 //	xbench shape     [--sizes=...]         (paper-vs-measured shape checks)
 //	xbench load      --engine=x-hive --class=dcmd --size=small
 //	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
+//	xbench explain   --engine=x-hive --class=dcsd --size=small --query=5 [--remote=ADDR]
 //	xbench workload  --engine=x-hive --class=dcmd --size=small
 //	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--remote=ADDR] [--repeat=N] [--format=table|json|csv]
 //	xbench throughput --engine=x-hive --class=dcmd --size=small [--remote=ADDR] [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--update-fraction=F] [--format=table|json|csv]
@@ -68,6 +69,7 @@ var commands = []command{
 	{"shape", "machine-checked paper-vs-measured shape comparison", cmdShape},
 	{"load", "bulk-load one engine and report load statistics", cmdLoad},
 	{"query", "run one workload query on one engine", cmdQuery},
+	{"explain", "print the costed physical plan for one workload query", cmdExplain},
 	{"workload", "run every defined query of a class on one engine", cmdWorkload},
 	{"updates", "update workload (U1-U3): per-op p50/p95/p99 with I/O breakdown", cmdUpdates},
 	{"throughput", "closed-loop multi-client driver: qps + per-query percentiles", cmdThroughput},
@@ -525,6 +527,60 @@ func cmdQuery(args []string) error {
 			fmt.Printf("  [%d] %s\n", i+1, item)
 		}
 	}
+	return nil
+}
+
+// cmdExplain prints the costed physical plan an engine would execute for
+// one workload query, either against a freshly loaded local engine or a
+// served engine over the wire (OpExplain).
+func cmdExplain(args []string) error {
+	ctx := context.Background()
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
+	engineStr := fs.String("engine", "x-hive", "engine name (local mode)")
+	qNum := fs.Int("query", 5, "query number (1-20)")
+	remote := fs.String("remote", "", "address of an `xbench serve` instance")
+	seed := fs.Uint64("seed", 0, "generation seed (local mode)")
+	fs.Parse(args)
+	class, size, err := parseClassSize(*classStr, *sizeStr)
+	if err != nil {
+		return err
+	}
+	q := core.QueryID(*qNum)
+	var (
+		node *core.PlanNode
+		name string
+	)
+	if *remote != "" {
+		cl, err := dialRemote(*remote)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		name = cl.Name()
+		node, err = cl.Explain(ctx, q, workload.Params(class))
+		if err != nil {
+			return err
+		}
+	} else {
+		e, err := engineByFlag(*engineStr)
+		if err != nil {
+			return err
+		}
+		db, err := gen.Config{Seed: *seed}.Generate(class, size)
+		if err != nil {
+			return err
+		}
+		if _, _, err := workload.LoadAndIndex(ctx, e, db); err != nil {
+			return err
+		}
+		name = e.Name()
+		node, err = core.Explain(ctx, e, q, workload.Params(class))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s %s/Q%d:\n%s", name, class, *qNum, node.Format())
 	return nil
 }
 

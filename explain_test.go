@@ -1,0 +1,51 @@
+package xbench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestExplainFacade: every built-in engine explains its plans through
+// the facade, and the DC/SD Q5 plan shows the limit pushdown the paper's
+// ordered-access cell depends on.
+func TestExplainFacade(t *testing.T) {
+	ctx := context.Background()
+	db, err := Generate(DCSD, Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{NewNativeEngine(0), NewXcollectionEngine(0, 0), NewSQLServerEngine(0)} {
+		if _, err := LoadAndIndex(ctx, e, db); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		node, err := Explain(ctx, e, Q5, QueryParams(DCSD))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		out := node.Format()
+		if !strings.Contains(out, "limit 1 [limit-pushdown]") {
+			t.Errorf("%s: Q5 plan lost the limit pushdown:\n%s", e.Name(), out)
+		}
+		// Asking about a query the class does not define is an
+		// ErrNoQuery, not a panic.
+		if _, err := Explain(ctx, e, QueryID(99), nil); !errors.Is(err, ErrNoQuery) {
+			t.Errorf("%s: undefined query err = %v, want ErrNoQuery", e.Name(), err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExplainV1Fallback: legacy EngineV1 wrappers never implement
+// Explainer; Explain degrades to the ErrNoExplain sentinel instead of
+// failing opaquely.
+func TestExplainV1Fallback(t *testing.T) {
+	e := AdaptV1(fakeV1{})
+	_, err := Explain(context.Background(), e, Q1, nil)
+	if !errors.Is(err, ErrNoExplain) {
+		t.Fatalf("err = %v, want ErrNoExplain", err)
+	}
+}

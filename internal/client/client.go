@@ -559,6 +559,30 @@ func (c *Client) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	return wire.DecodeResult(resp)
 }
 
+// Explain fetches the costed physical plan for one workload query from
+// the remote engine, implementing core.Explainer over the wire. Servers
+// predating OpExplain answer StatusBadRequest; that degrades to
+// core.ErrNoExplain so callers need only one sentinel check whether the
+// gap is in the engine or in the protocol.
+func (c *Client) Explain(ctx context.Context, q core.QueryID, p core.Params) (*core.PlanNode, error) {
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	resp, err := c.roundTrip(ctx, wire.OpExplain, func(remaining time.Duration) []byte {
+		b := wire.AppendQueryRequest((*bp)[:0], wire.QueryRequest{Query: q, Params: p, Timeout: remaining})
+		*bp = b
+		return b
+	}, true)
+	if err != nil {
+		if errors.Is(err, wire.ErrBadRequest) {
+			return nil, fmt.Errorf("client: server predates OpExplain: %w", core.ErrNoExplain)
+		}
+		return nil, err
+	}
+	return wire.DecodePlanNode(resp)
+}
+
+var _ core.Explainer = (*Client)(nil)
+
 // ColdReset drops the remote engine's caches.
 func (c *Client) ColdReset() {
 	// The Engine interface makes ColdReset infallible; a transport error

@@ -40,6 +40,7 @@ import (
 	"xbench/internal/core"
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
+	"xbench/internal/plan"
 	"xbench/internal/queries"
 	"xbench/internal/updatelog"
 	"xbench/internal/xmldom"
@@ -493,7 +494,11 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	}
 	reg := e.Metrics()
 	before := e.p.Stats()
-	coll, err := e.buildCollection(ctx, def, p)
+	ph, err := plan.Plan(def, e.statValues())
+	if err != nil {
+		return core.Result{}, err
+	}
+	coll, err := e.buildCollection(ctx, ph, p)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -520,11 +525,45 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	}, nil
 }
 
-// buildCollection materializes the documents the query needs: the
-// index-selected subset when a hint applies, a single named document for
-// doc()-based queries, or the whole database otherwise. The catalog is
-// always read from disk (cold-run cost proportional to document count).
-func (e *Engine) buildCollection(ctx context.Context, def *queries.Def, p core.Params) (*xquery.Collection, error) {
+// statValues derives planner statistics from the loaded store: document
+// heap pages, catalog entry count, and the heights of the live value
+// indexes. Callers hold at least the read lock.
+func (e *Engine) statValues() plan.StatValues {
+	st := plan.StatValues{
+		DataPages: e.docs.Pages(),
+		DataRows:  int64(e.catalog.Count()),
+		Indexes:   make(map[string]int, len(e.indexes)),
+	}
+	for target, ix := range e.indexes {
+		st.Indexes[target] = ix.Height()
+	}
+	return st
+}
+
+// Explain implements core.Explainer: the costed physical plan Execute
+// would run, over the store's live statistics.
+func (e *Engine) Explain(_ context.Context, q core.QueryID, _ core.Params) (*core.PlanNode, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	def := queries.Lookup(e.class, q)
+	if def == nil {
+		return nil, core.ErrNoQuery
+	}
+	ph, err := plan.Plan(def, e.statValues())
+	if err != nil {
+		return nil, err
+	}
+	return ph.Root, nil
+}
+
+var _ core.Explainer = (*Engine)(nil)
+
+// buildCollection materializes the documents the physical plan's access
+// path selects: an index-probed subset (equality or range), a single
+// named document for doc()-based queries, or the whole database for
+// scans. The catalog is always read from disk (cold-run cost
+// proportional to document count).
+func (e *Engine) buildCollection(ctx context.Context, ph *plan.Physical, p core.Params) (*xquery.Collection, error) {
 	reg := e.Metrics()
 	coll := xquery.NewCollection()
 	addDoc := func(en docEntry, segs []int) error {
@@ -540,7 +579,7 @@ func (e *Engine) buildCollection(ctx context.Context, def *queries.Def, p core.P
 
 	// doc("...") queries need only the named document, but locating it
 	// still walks the on-disk catalog.
-	if docName := p.Get("DOC"); docName != "" && strings.Contains(def.XQuery, "doc(") {
+	if docName := p.Get("DOC"); docName != "" && ph.Access == plan.AccessDoc {
 		found := false
 		scanSpan := reg.StartSpan(metrics.PhaseScan)
 		err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
@@ -560,10 +599,23 @@ func (e *Engine) buildCollection(ctx context.Context, def *queries.Def, p core.P
 		return coll, nil
 	}
 
-	if ix, ok := e.indexes[def.IndexTarget]; ok && def.IndexTarget != "" {
-		key := p.Get(def.IndexParam)
+	if ix, ok := e.indexes[ph.IndexTarget]; ok && ph.Access == plan.AccessIndex {
 		probeSpan := reg.StartSpan(metrics.PhaseIndexProbe)
-		locs, err := ix.Search(ctx, key)
+		var (
+			locs []uint64
+			err  error
+		)
+		if ph.IndexParam != "" {
+			locs, err = ix.Search(ctx, p.Get(ph.IndexParam))
+		} else {
+			// Range probe (date windows): the value index is ordered, so
+			// the locators of every in-range value come from one range
+			// traversal instead of a full scan.
+			err = ix.Range(ctx, p.Get(ph.LoParam), p.Get(ph.HiParam), func(_ string, v uint64) bool {
+				locs = append(locs, v)
+				return true
+			})
+		}
 		probeSpan.End()
 		if err != nil {
 			return nil, err

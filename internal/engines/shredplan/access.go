@@ -1,0 +1,129 @@
+package shredplan
+
+import (
+	"context"
+
+	"xbench/internal/core"
+	"xbench/internal/plan"
+	"xbench/internal/queries"
+	"xbench/internal/relational"
+	"xbench/internal/shredder"
+)
+
+// This file connects the hand-translated relational plans to the
+// cost-based planner: Execute plans each query over the store's live
+// statistics, and the primary-table lookups below honor the planner's
+// index-vs-scan choice and pushed-down limit instead of hard-coding
+// LookupEq calls.
+
+// primaryTable names the table whose size drives the scan cost of a
+// class's queries: the table the root element shreds into.
+func primaryTable(class core.Class) string {
+	switch class {
+	case core.DCSD:
+		return "item_tab"
+	case core.DCMD:
+		return "order_tab"
+	case core.TCSD:
+		return "entry_tab"
+	case core.TCMD:
+		return "article_tab"
+	}
+	return ""
+}
+
+// StoreStats derives planner statistics from the shredded store: pages
+// and rows of the class's primary table, plus the heights of the value
+// indexes actually built (Table 3 targets, and the customer key index
+// that makes Q19's inner side an index nested loop).
+func StoreStats(s *shredder.Store) plan.StatValues {
+	st := plan.StatValues{Indexes: map[string]int{}}
+	if name := primaryTable(s.Class); name != "" {
+		t := s.DB.Table(name)
+		st.DataPages = t.HeapPages()
+		st.DataRows = int64(t.Count())
+	}
+	for _, spec := range queries.Indexes(s.Class) {
+		table, col, ok := shredder.TargetColumn(s.Class, spec.Target)
+		if !ok {
+			continue
+		}
+		if h := s.DB.Table(table).IndexHeight(col); h > 0 {
+			st.Indexes[spec.Target] = h
+		}
+	}
+	if s.Class == core.DCMD {
+		if h := s.DB.Table("customer_tab").IndexHeight("id"); h > 0 {
+			st.Indexes["customer/@id"] = h
+		}
+	}
+	return st
+}
+
+// Physical returns the costed physical plan for (class, q) over the
+// store's live statistics — the tree the shredding engines serve
+// through core.Explainer.
+func Physical(s *shredder.Store, q core.QueryID) (*plan.Physical, error) {
+	def := queries.Lookup(s.Class, q)
+	if def == nil {
+		return nil, core.ErrNoQuery
+	}
+	return plan.Plan(def, StoreStats(s))
+}
+
+// access carries the physical plan's decisions into the per-query
+// relational plans. A zero access (nil plan) behaves like the old
+// hard-coded paths.
+type access struct {
+	ph *plan.Physical
+}
+
+// forceScan reports that the cost model rejected the index.
+func (a access) forceScan() bool {
+	return a.ph != nil && a.ph.Access == plan.AccessScan
+}
+
+func (a access) limit() int {
+	if a.ph == nil {
+		return 0
+	}
+	return a.ph.Limit
+}
+
+// eq fetches the rows where col == val along the planned access path:
+// an index probe normally, a forced sequential filter when the plan
+// chose the scan.
+func (a access) eq(ctx context.Context, t *relational.Table, col, val string) ([]relational.Row, error) {
+	if a.forceScan() {
+		return t.ScanEq(ctx, col, val)
+	}
+	return t.LookupEq(ctx, col, val)
+}
+
+// first fetches the first row where col == val. When the plan pushed a
+// [1] positional down (Limit == 1), only one row is read from the
+// index; otherwise it falls back to fetch-all-take-first.
+func (a access) first(ctx context.Context, t *relational.Table, col, val string) (relational.Row, error) {
+	var (
+		rows []relational.Row
+		err  error
+	)
+	if a.limit() == 1 && !a.forceScan() {
+		rows, err = t.LookupEqN(ctx, col, val, 1)
+	} else {
+		rows, err = a.eq(ctx, t, col, val)
+	}
+	if err != nil || len(rows) == 0 {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// rng fetches the rows with lo <= col <= hi along the planned access
+// path.
+func (a access) rng(ctx context.Context, t *relational.Table, col, lo, hi string) ([]relational.Row, error) {
+	if a.forceScan() {
+		return t.ScanRange(ctx, col, lo, hi)
+	}
+	return t.LookupRange(ctx, col, lo, hi)
+}

@@ -21,14 +21,14 @@ import (
 
 // ------------------------------------------------------------------ DC/SD
 
-func execDCSDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCSDExtended(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	items, authors := s.DB.Table("item_tab"), s.DB.Table("item_author_tab")
 	switch q {
 	case core.Q1:
 		// The whole item, reconstructed by joining the item, author and
 		// publisher tables. DC/SD has no mixed content, so unlike the
 		// dictionary entry this reconstruction is exact.
-		rows, err := items.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, items, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
@@ -39,7 +39,7 @@ func execDCSDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p 
 		return []string{xml(item)}, nil
 	case core.Q2:
 		// Titles of items with an author of the given last name.
-		rows, err := authors.LookupEq(ctx, "last_name", p.Get("Y"))
+		rows, err := a.eq(ctx, authors, "last_name", p.Get("Y"))
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +177,7 @@ func titlesOfItems(ctx context.Context, items *relational.Table, want map[string
 
 // ------------------------------------------------------------------ DC/MD
 
-func execDCMDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCMDExtended(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	orders, lines := s.DB.Table("order_tab"), s.DB.Table("order_line_tab")
 	switch q {
 	case core.Q2:
@@ -258,14 +258,14 @@ func orderIDs(ctx context.Context, orders *relational.Table, want map[string]boo
 
 // ------------------------------------------------------------------ TC/SD
 
-func execTCSDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCSDExtended(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	entries, senses := s.DB.Table("entry_tab"), s.DB.Table("sense_tab")
 	quotes, crs := s.DB.Table("quote_tab"), s.DB.Table("cr_tab")
 	switch q {
 	case core.Q1:
 		// The whole entry, reconstructed: the expensive multi-table join
 		// the paper describes. qp groupings and inline markup are gone.
-		erows, err := entries.LookupEq(ctx, "hw", p.Get("W"))
+		erows, err := a.eq(ctx, entries, "hw", p.Get("W"))
 		if err != nil || len(erows) == 0 {
 			return nil, err
 		}
@@ -327,7 +327,7 @@ func execTCSDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p 
 		return headwordsOf(ctx, entries, want)
 	case core.Q11:
 		// Quotation authors and dates of word W, sorted by date.
-		erows, err := entries.LookupEq(ctx, "hw", p.Get("W"))
+		erows, err := a.eq(ctx, entries, "hw", p.Get("W"))
 		if err != nil || len(erows) == 0 {
 			return nil, err
 		}
@@ -390,7 +390,7 @@ func headwordsOf(ctx context.Context, entries *relational.Table, want map[string
 
 // ------------------------------------------------------------------ TC/MD
 
-func execTCMDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCMDExtended(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	arts, artAuthors := s.DB.Table("article_tab"), s.DB.Table("art_author_tab")
 	switch q {
 	case core.Q2:
@@ -434,7 +434,7 @@ func execTCMDExtended(ctx context.Context, s *shredder.Store, q core.QueryID, p 
 	case core.Q13:
 		// Summary construction, with the abstract rebuilt from its
 		// shredded paragraphs.
-		rows, err := arts.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, arts, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}

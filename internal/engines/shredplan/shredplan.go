@@ -18,6 +18,7 @@ import (
 	"strconv"
 
 	"xbench/internal/core"
+	"xbench/internal/plan"
 	"xbench/internal/queries"
 	"xbench/internal/relational"
 	"xbench/internal/shredder"
@@ -25,25 +26,30 @@ import (
 	"xbench/internal/xquery"
 )
 
-// Execute runs the plan for (class, q) over the shredded store.
+// Execute runs the plan for (class, q) over the shredded store. Each
+// query is first planned cost-based over the store's live statistics;
+// the relational plans below route their primary-table lookups through
+// the resulting access decisions.
 func Execute(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) (core.Result, error) {
 	def := queries.Lookup(s.Class, q)
 	if def == nil {
 		return core.Result{}, core.ErrNoQuery
 	}
-	var (
-		items []string
-		err   error
-	)
+	ph, err := plan.Plan(def, StoreStats(s))
+	if err != nil {
+		return core.Result{}, err
+	}
+	a := access{ph: ph}
+	var items []string
 	switch s.Class {
 	case core.DCSD:
-		items, err = execDCSD(ctx, s, q, p)
+		items, err = execDCSD(ctx, s, a, q, p)
 	case core.DCMD:
-		items, err = execDCMD(ctx, s, q, p)
+		items, err = execDCMD(ctx, s, a, q, p)
 	case core.TCSD:
-		items, err = execTCSD(ctx, s, q, p)
+		items, err = execTCSD(ctx, s, a, q, p)
 	case core.TCMD:
-		items, err = execTCMD(ctx, s, q, p)
+		items, err = execTCMD(ctx, s, a, q, p)
 	default:
 		err = core.ErrNoQuery
 	}
@@ -69,21 +75,22 @@ func xml(n *xmldom.Node) string { return n.XML() }
 
 // ------------------------------------------------------------------ DC/SD
 
-func execDCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCSD(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	items := s.DB.Table("item_tab")
 	authors := s.DB.Table("item_author_tab")
 	pubs := s.DB.Table("item_publisher_tab")
 	switch q {
 	case core.Q5:
 		// First author of item X, reconstructed from the author table in
-		// insertion order (no order column in the mapping).
-		rows, err := authors.LookupEq(ctx, "item_id", p.Get("X"))
-		if err != nil || len(rows) == 0 {
+		// insertion order (no order column in the mapping). The planner's
+		// limit pushdown fetches only that one row.
+		row, err := a.first(ctx, authors, "item_id", p.Get("X"))
+		if err != nil || row == nil {
 			return nil, err
 		}
-		return []string{xml(reconstructAuthor(authors, rows[0]))}, nil
+		return []string{xml(reconstructAuthor(authors, row))}, nil
 	case core.Q8:
-		rows, err := items.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, items, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -95,16 +102,16 @@ func execDCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q12:
-		rows, err := authors.LookupEq(ctx, "item_id", p.Get("X"))
-		if err != nil || len(rows) == 0 {
+		row, err := a.first(ctx, authors, "item_id", p.Get("X"))
+		if err != nil || row == nil {
 			return nil, err
 		}
-		return []string{xml(reconstructMailingAddress(authors, rows[0]))}, nil
+		return []string{xml(reconstructMailingAddress(authors, row))}, nil
 	case core.Q14:
 		// Date range via the date_of_release index (Table 3); the missing
 		// FAX_number check requires scanning the publisher rows of the
 		// qualifying items (no index on the missing element, per §3.2.3).
-		inRange, err := items.LookupRange(ctx, "date_of_release", p.Get("LO"), p.Get("HI"))
+		inRange, err := a.rng(ctx, items, "date_of_release", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +139,7 @@ func execDCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		return out, nil
 	case core.Q10:
 		// Sorting on a string column over a date range.
-		rows, err := items.LookupRange(ctx, "date_of_release", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, items, "date_of_release", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +191,7 @@ func execDCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	}
-	return execDCSDExtended(ctx, s, q, p)
+	return execDCSDExtended(ctx, s, a, q, p)
 }
 
 func reconstructAuthor(t *relational.Table, r relational.Row) *xmldom.Node {
@@ -226,13 +233,13 @@ func numGreater(a, b string) bool {
 
 // ------------------------------------------------------------------ DC/MD
 
-func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execDCMD(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	orders := s.DB.Table("order_tab")
 	lines := s.DB.Table("order_line_tab")
 	custs := s.DB.Table("customer_tab")
 	switch q {
 	case core.Q1:
-		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, orders, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -244,13 +251,13 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q5:
-		rows, err := lines.LookupEq(ctx, "order_id", p.Get("X"))
-		if err != nil || len(rows) == 0 {
+		row, err := a.first(ctx, lines, "order_id", p.Get("X"))
+		if err != nil || row == nil {
 			return nil, err
 		}
-		return []string{xml(reconstructOrderLine(lines, rows[0]))}, nil
+		return []string{xml(reconstructOrderLine(lines, row))}, nil
 	case core.Q8:
-		rows, err := lines.LookupEq(ctx, "order_id", p.Get("X"))
+		rows, err := a.eq(ctx, lines, "order_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +269,7 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q9:
-		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, orders, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +284,7 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q10:
-		rows, err := orders.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, orders, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -293,13 +300,13 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q12:
-		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, orders, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
 		return []string{xml(reconstructCCXacts(orders, rows[0]))}, nil
 	case core.Q14:
-		rows, err := orders.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, orders, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +320,7 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 	case core.Q16:
 		// Retrieval of the whole order document: the expensive multi-join
 		// reconstruction the paper describes.
-		rows, err := orders.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, orders, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
@@ -338,7 +345,9 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q19:
-		orows, err := orders.LookupEq(ctx, "id", p.Get("X"))
+		// Join-reordered by the planner: the probeable order side is the
+		// outer loop, each match probing customers (index nested loop).
+		orows, err := a.eq(ctx, orders, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +371,7 @@ func execDCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	}
-	return execDCMDExtended(ctx, s, q, p)
+	return execDCMDExtended(ctx, s, a, q, p)
 }
 
 func reconstructOrderLine(t *relational.Table, r relational.Row) *xmldom.Node {
@@ -412,16 +421,16 @@ func reconstructOrder(orders, lines *relational.Table, o relational.Row, lrows [
 
 // ------------------------------------------------------------------ TC/SD
 
-func execTCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCSD(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	entries := s.DB.Table("entry_tab")
 	senses := s.DB.Table("sense_tab")
 	quotes := s.DB.Table("quote_tab")
 	entryID := func() (string, error) {
-		rows, err := entries.LookupEq(ctx, "hw", p.Get("W"))
-		if err != nil || len(rows) == 0 {
+		row, err := a.first(ctx, entries, "hw", p.Get("W"))
+		if err != nil || row == nil {
 			return "", err
 		}
-		return rows[0][entries.Col("id")], nil
+		return row[entries.Col("id")], nil
 	}
 	switch q {
 	case core.Q5:
@@ -555,7 +564,7 @@ func execTCSD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	}
-	return execTCSDExtended(ctx, s, q, p)
+	return execTCSDExtended(ctx, s, a, q, p)
 }
 
 func reconstructQuote(t *relational.Table, r relational.Row) *xmldom.Node {
@@ -572,12 +581,12 @@ func reconstructQuote(t *relational.Table, r relational.Row) *xmldom.Node {
 
 // ------------------------------------------------------------------ TC/MD
 
-func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Params) ([]string, error) {
+func execTCMD(ctx context.Context, s *shredder.Store, a access, q core.QueryID, p core.Params) ([]string, error) {
 	arts := s.DB.Table("article_tab")
 	secs := s.DB.Table("sec_tab")
 	switch q {
 	case core.Q1:
-		rows, err := arts.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, arts, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -589,7 +598,7 @@ func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q5:
-		rows, err := secs.LookupEq(ctx, "article_id", p.Get("X"))
+		rows, err := a.eq(ctx, secs, "article_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -606,7 +615,7 @@ func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return nil, nil
 	case core.Q8:
-		rows, err := secs.LookupEq(ctx, "article_id", p.Get("X"))
+		rows, err := a.eq(ctx, secs, "article_id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -620,7 +629,7 @@ func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	case core.Q12:
-		rows, err := arts.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, arts, "id", p.Get("X"))
 		if err != nil || len(rows) == 0 {
 			return nil, err
 		}
@@ -635,7 +644,7 @@ func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return []string{xml(ab)}, nil
 	case core.Q14:
-		rows, err := arts.LookupRange(ctx, "date", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, arts, "date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -719,7 +728,7 @@ func execTCMD(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Par
 		}
 		return out, nil
 	}
-	return execTCMDExtended(ctx, s, q, p)
+	return execTCMDExtended(ctx, s, a, q, p)
 }
 
 // sortByIDSuffix stably orders rows by the numeric suffix of an id column

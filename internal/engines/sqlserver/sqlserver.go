@@ -195,6 +195,23 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	return res, nil
 }
 
+// Explain implements core.Explainer: the costed physical plan for q
+// over the shredded store's live statistics.
+func (e *Engine) Explain(_ context.Context, q core.QueryID, _ core.Params) (*core.PlanNode, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.store == nil {
+		return nil, fmt.Errorf("sqlserver: Explain before Load")
+	}
+	ph, err := shredplan.Physical(e.store, q)
+	if err != nil {
+		return nil, err
+	}
+	return ph.Root, nil
+}
+
+var _ core.Explainer = (*Engine)(nil)
+
 // ColdReset implements core.Engine. It quiesces: in-flight queries
 // finish before the pool is dropped, and queries submitted during the
 // reset wait for it.

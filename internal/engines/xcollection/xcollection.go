@@ -210,29 +210,11 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 
 // TargetColumn maps a Table 3 index target to the shredded (table, column)
 // it lands on. Shared with the SQL Server engine.
+//
+// Deprecated: the mapping moved to shredder.TargetColumn so the planner
+// layer can reach it; this alias stays for callers of the old API.
 func TargetColumn(class core.Class, target string) (table, col string, ok bool) {
-	switch class {
-	case core.TCSD:
-		if target == "hw" {
-			return "entry_tab", "hw", true
-		}
-	case core.TCMD:
-		if target == "article/@id" {
-			return "article_tab", "id", true
-		}
-	case core.DCSD:
-		switch target {
-		case "item/@id":
-			return "item_tab", "id", true
-		case "date_of_release":
-			return "item_tab", "date_of_release", true
-		}
-	case core.DCMD:
-		if target == "order/@id" {
-			return "order_tab", "id", true
-		}
-	}
-	return "", "", false
+	return shredder.TargetColumn(class, target)
 }
 
 // Execute implements core.Engine. It is safe to call from many
@@ -253,6 +235,23 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	res.PageIO = e.p.Stats().IO() - before.IO()
 	return res, nil
 }
+
+// Explain implements core.Explainer: the costed physical plan for q
+// over the shredded store's live statistics.
+func (e *Engine) Explain(_ context.Context, q core.QueryID, _ core.Params) (*core.PlanNode, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.store == nil {
+		return nil, fmt.Errorf("xcollection: Explain before Load")
+	}
+	ph, err := shredplan.Physical(e.store, q)
+	if err != nil {
+		return nil, err
+	}
+	return ph.Root, nil
+}
+
+var _ core.Explainer = (*Engine)(nil)
 
 // ColdReset implements core.Engine. It quiesces: in-flight queries
 // finish before the pool is dropped, and queries submitted during the

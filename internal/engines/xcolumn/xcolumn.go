@@ -25,6 +25,7 @@ import (
 	"xbench/internal/core"
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
+	"xbench/internal/plan"
 	"xbench/internal/queries"
 	"xbench/internal/relational"
 	"xbench/internal/updatelog"
@@ -319,19 +320,22 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	if e.db == nil {
 		return core.Result{}, fmt.Errorf("xcolumn: Execute before Load")
 	}
-	if queries.Lookup(e.class, q) == nil {
+	def := queries.Lookup(e.class, q)
+	if def == nil {
 		return core.Result{}, core.ErrNoQuery
 	}
+	ph, err := plan.Plan(def, e.statValues())
+	if err != nil {
+		return core.Result{}, err
+	}
+	a := access{ph: ph}
 	before := e.p.Stats()
-	var (
-		items []string
-		err   error
-	)
+	var items []string
 	switch e.class {
 	case core.DCMD:
-		items, err = e.execDCMD(ctx, q, p)
+		items, err = e.execDCMD(ctx, a, q, p)
 	case core.TCMD:
-		items, err = e.execTCMD(ctx, q, p)
+		items, err = e.execTCMD(ctx, a, q, p)
 	}
 	if err != nil {
 		return core.Result{}, err
@@ -346,22 +350,94 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	}, nil
 }
 
+// statValues derives planner statistics from the loaded database: the
+// CLOB heap drives scan cost (every unindexed query rereads the
+// documents), and the side-table key indexes are the only probe paths.
+func (e *Engine) statValues() plan.StatValues {
+	st := plan.StatValues{
+		DataPages: e.clobs.Pages(),
+		DataRows:  int64(len(e.rids)),
+		Indexes:   map[string]int{},
+	}
+	for _, spec := range queries.Indexes(e.class) {
+		var table string
+		switch {
+		case e.class == core.DCMD && spec.Target == "order/@id":
+			table = "order_side"
+		case e.class == core.TCMD && spec.Target == "article/@id":
+			table = "article_side"
+		default:
+			continue
+		}
+		if h := e.db.Table(table).IndexHeight("id"); h > 0 {
+			st.Indexes[spec.Target] = h
+		}
+	}
+	return st
+}
+
+// Explain implements core.Explainer: the costed physical plan for q
+// over the loaded database's live statistics.
+func (e *Engine) Explain(_ context.Context, q core.QueryID, _ core.Params) (*core.PlanNode, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.db == nil {
+		return nil, fmt.Errorf("xcolumn: Explain before Load")
+	}
+	def := queries.Lookup(e.class, q)
+	if def == nil {
+		return nil, core.ErrNoQuery
+	}
+	ph, err := plan.Plan(def, e.statValues())
+	if err != nil {
+		return nil, err
+	}
+	return ph.Root, nil
+}
+
+var _ core.Explainer = (*Engine)(nil)
+
+// access carries the physical plan's index-vs-scan decision into the
+// side-table fetches below.
+type access struct {
+	ph *plan.Physical
+}
+
+func (a access) forceScan() bool {
+	return a.ph != nil && a.ph.Access == plan.AccessScan
+}
+
+func (a access) eq(ctx context.Context, t *relational.Table, col, val string) ([]relational.Row, error) {
+	if a.forceScan() {
+		return t.ScanEq(ctx, col, val)
+	}
+	return t.LookupEq(ctx, col, val)
+}
+
+func (a access) rng(ctx context.Context, t *relational.Table, col, lo, hi string) ([]relational.Row, error) {
+	if a.forceScan() {
+		return t.ScanRange(ctx, col, lo, hi)
+	}
+	return t.LookupRange(ctx, col, lo, hi)
+}
+
 // docOf finds the CLOB reference for a key via the side table (indexed
-// when Table 3 covers it).
-func (e *Engine) docOf(ctx context.Context, table, col, key string) (string, relational.Row, error) {
+// when Table 3 covers it, a forced scan when the plan rejects the
+// probe).
+func (e *Engine) docOf(ctx context.Context, a access, table, col, key string) (string, relational.Row, error) {
 	t := e.db.Table(table)
-	rows, err := t.LookupEq(ctx, col, key)
+	rows, err := a.eq(ctx, t, col, key)
 	if err != nil || len(rows) == 0 {
 		return "", nil, err
 	}
 	return rows[0][t.Col("doc")], rows[0], nil
 }
 
-func (e *Engine) execDCMD(ctx context.Context, q core.QueryID, p core.Params) ([]string, error) {
+func (e *Engine) execDCMD(ctx context.Context, a access, q core.QueryID, p core.Params) ([]string, error) {
 	orderSide := e.db.Table("order_side")
 	switch q {
 	case core.Q1, core.Q5, core.Q8, core.Q9, core.Q12, core.Q16:
-		doc, _, err := e.docOf(ctx, "order_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, a, "order_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
@@ -393,7 +469,7 @@ func (e *Engine) execDCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 			return []string{root.XML()}, nil
 		}
 	case core.Q10:
-		rows, err := orderSide.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, orderSide, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -409,7 +485,7 @@ func (e *Engine) execDCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 		}
 		return out, nil
 	case core.Q14:
-		rows, err := orderSide.LookupRange(ctx, "order_date", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, orderSide, "order_date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}
@@ -435,7 +511,7 @@ func (e *Engine) execDCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 			return "", false
 		})
 	case core.Q19:
-		doc, orow, err := e.docOf(ctx, "order_side", "id", p.Get("X"))
+		doc, orow, err := e.docOf(ctx, a, "order_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
@@ -468,12 +544,12 @@ func (e *Engine) execDCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 	return nil, core.ErrNoQuery
 }
 
-func (e *Engine) execTCMD(ctx context.Context, q core.QueryID, p core.Params) ([]string, error) {
+func (e *Engine) execTCMD(ctx context.Context, a access, q core.QueryID, p core.Params) ([]string, error) {
 	artSide := e.db.Table("article_side")
 	secSide := e.db.Table("sec_side")
 	switch q {
 	case core.Q1:
-		rows, err := artSide.LookupEq(ctx, "id", p.Get("X"))
+		rows, err := a.eq(ctx, artSide, "id", p.Get("X"))
 		if err != nil {
 			return nil, err
 		}
@@ -485,7 +561,7 @@ func (e *Engine) execTCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 		}
 		return out, nil
 	case core.Q5, core.Q8:
-		doc, _, err := e.docOf(ctx, "article_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, a, "article_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
@@ -533,7 +609,7 @@ func (e *Engine) execTCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 		}
 		return out, nil
 	case core.Q12:
-		doc, _, err := e.docOf(ctx, "article_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, a, "article_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
@@ -547,7 +623,7 @@ func (e *Engine) execTCMD(ctx context.Context, q core.QueryID, p core.Params) ([
 		}
 		return []string{ab.XML()}, nil
 	case core.Q14:
-		rows, err := artSide.LookupRange(ctx, "date", p.Get("LO"), p.Get("HI"))
+		rows, err := a.rng(ctx, artSide, "date", p.Get("LO"), p.Get("HI"))
 		if err != nil {
 			return nil, err
 		}

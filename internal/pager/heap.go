@@ -43,6 +43,15 @@ func (h *Heap) Count() int { return h.count }
 // Bytes returns the total size of record data including prefixes.
 func (h *Heap) Bytes() uint64 { return h.end }
 
+// Pages returns the number of pages the heap's records occupy — the
+// sequential-scan cost the query planner feeds its cost model.
+func (h *Heap) Pages() int64 {
+	if h.end == 0 {
+		return 0
+	}
+	return int64((h.end + PageSize - 1) / PageSize)
+}
+
 // Insert appends a record and returns its RID.
 func (h *Heap) Insert(rec []byte) (RID, error) {
 	rid := RID(h.end)

@@ -1,0 +1,87 @@
+package plan
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/queries"
+)
+
+// updatePlans rewrites the golden plan files instead of diffing them:
+//
+//	go test ./internal/plan -run TestGoldenPlans -update-plans
+var updatePlans = flag.Bool("update-plans", false, "rewrite results/plans golden files")
+
+// goldenDir is the checked-in EXPLAIN corpus, one file per (class,
+// query) cell, planned over fixture statistics so the output is
+// machine-independent. `make plan-check` diffs it in CI.
+const goldenDir = "../../results/plans"
+
+func classSlug(c core.Class) string {
+	return strings.ToLower(strings.ReplaceAll(c.String(), "/", ""))
+}
+
+func goldenText(class core.Class, def *queries.Def, ph *Physical) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s %s\n", class, def.ID)
+	if len(ph.Rules) > 0 {
+		fmt.Fprintf(&b, "# rules: %s\n", strings.Join(ph.Rules, ", "))
+	}
+	b.WriteString(ph.Root.Format())
+	return b.String()
+}
+
+// TestGoldenPlans plans every defined (class, query) cell over fixture
+// statistics and diffs the printable tree against results/plans. A diff
+// means the planner's output changed: inspect it, then refresh with
+// -update-plans if the change is intended.
+func TestGoldenPlans(t *testing.T) {
+	if *updatePlans {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells := 0
+	for _, class := range core.Classes {
+		st := FixtureStats(class)
+		for q := core.Q1; q <= core.Q20; q++ {
+			def := queries.Lookup(class, q)
+			if def == nil {
+				continue
+			}
+			ph, err := Plan(def, st)
+			if err != nil {
+				t.Fatalf("%s %s: %v", class, q, err)
+			}
+			cells++
+			got := goldenText(class, def, ph)
+			path := filepath.Join(goldenDir, fmt.Sprintf("%s_q%02d.txt", classSlug(class), int(q)))
+			if *updatePlans {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("%s %s: missing golden %s (run with -update-plans): %v", class, q, path, err)
+				continue
+			}
+			if got != string(want) {
+				t.Errorf("%s %s: plan drifted from %s\n--- got\n%s--- want\n%s",
+					class, q, path, got, want)
+			}
+		}
+	}
+	// The corpus must cover every cell (the workload defines 59): a
+	// planner regression that makes Plan error out would otherwise
+	// shrink the diff surface silently.
+	if cells < 59 {
+		t.Errorf("planned only %d cells, expected the full workload grid", cells)
+	}
+}

@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"xbench/internal/core"
+	"xbench/internal/queries"
+)
+
+// TestCostFlip: the index-vs-scan choice must follow the cost model, not
+// the Def hints. On a tiny table the sequential scan undercuts the probe
+// (scanCost = DataPages < height+1); on a big one the index wins.
+func TestCostFlip(t *testing.T) {
+	def := queries.Lookup(core.DCMD, core.Q1)
+	if def == nil {
+		t.Fatal("no DCMD Q1")
+	}
+	small := StatValues{DataPages: 2, DataRows: 16, Indexes: map[string]int{"order/@id": 2}}
+	ph, err := Plan(def, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Access != AccessScan {
+		t.Fatalf("2-page table: got %v, want scan (plan:\n%s)", ph.Access, ph.Root.Format())
+	}
+	big := StatValues{DataPages: 512, DataRows: 4096, Indexes: map[string]int{"order/@id": 2}}
+	ph, err = Plan(def, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Access != AccessIndex || ph.IndexTarget != "order/@id" {
+		t.Fatalf("512-page table: got %v/%q, want index on order/@id (plan:\n%s)",
+			ph.Access, ph.IndexTarget, ph.Root.Format())
+	}
+	if ph.EstCost >= float64(big.DataPages) {
+		t.Errorf("index cost %.1f not cheaper than the %d-page scan", ph.EstCost, big.DataPages)
+	}
+}
+
+// TestLimitPushdown: DCSD Q5's positional predicate ([1]) must surface as
+// Limit 1 with a limit node atop the probe.
+func TestLimitPushdown(t *testing.T) {
+	def := queries.Lookup(core.DCSD, core.Q5)
+	ph, err := Plan(def, FixtureStats(core.DCSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Limit != 1 {
+		t.Fatalf("Limit = %d, want 1", ph.Limit)
+	}
+	out := ph.Root.Format()
+	for _, want := range []string{"limit 1 [limit-pushdown]", "index-probe item/@id"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+	if !hasRule(ph, "limit-pushdown(n=1)") {
+		t.Errorf("rules = %v, want limit-pushdown(n=1)", ph.Rules)
+	}
+}
+
+// TestRangePushdown: DCSD Q10 has no Def hint at all, yet the planner
+// must push its date range into an index probe.
+func TestRangePushdown(t *testing.T) {
+	def := queries.Lookup(core.DCSD, core.Q10)
+	if def.IndexTarget != "" {
+		t.Fatal("test premise broken: Q10 grew a hint")
+	}
+	ph, err := Plan(def, FixtureStats(core.DCSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Access != AccessIndex || ph.IndexTarget != "date_of_release" {
+		t.Fatalf("got %v/%q, want range probe on date_of_release", ph.Access, ph.IndexTarget)
+	}
+	if ph.LoParam != "LO" || ph.HiParam != "HI" {
+		t.Fatalf("range params = %q..%q, want LO..HI", ph.LoParam, ph.HiParam)
+	}
+}
+
+// TestJoinReorder: DCMD Q19 joins order with customer; the side with the
+// equality probe must become the outer.
+func TestJoinReorder(t *testing.T) {
+	def := queries.Lookup(core.DCMD, core.Q19)
+	ph, err := Plan(def, FixtureStats(core.DCMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasRule(ph, "join-reorder(outer=order)") {
+		t.Fatalf("rules = %v, want join-reorder(outer=order)", ph.Rules)
+	}
+	if out := ph.Root.Format(); !strings.Contains(out, "join order x customer") {
+		t.Errorf("plan missing join node:\n%s", out)
+	}
+}
+
+// TestHintDrift: the deprecated Def hints survive as assertions — under
+// fixture statistics (big table, all Table 3 indexes built) the planner
+// must reproduce every hinted access path exactly.
+func TestHintDrift(t *testing.T) {
+	for _, class := range core.Classes {
+		st := FixtureStats(class)
+		for q := core.Q1; q <= core.Q20; q++ {
+			def := queries.Lookup(class, q)
+			if def == nil || def.IndexTarget == "" {
+				continue
+			}
+			ph, err := Plan(def, st)
+			if err != nil {
+				t.Fatalf("%s %s: %v", class, q, err)
+			}
+			if ph.Access != AccessIndex {
+				t.Errorf("%s %s: hint %q not reproduced: access %v",
+					class, q, def.IndexTarget, ph.Access)
+				continue
+			}
+			if ph.IndexTarget != def.IndexTarget || ph.IndexParam != def.IndexParam {
+				t.Errorf("%s %s: planner chose %s/$%s, hint says %s/$%s",
+					class, q, ph.IndexTarget, ph.IndexParam, def.IndexTarget, def.IndexParam)
+			}
+		}
+	}
+}
+
+// TestPlanPure: planning twice (and with perturbed stats in between)
+// yields identical plans — the memoized query shape must never be
+// mutated by a planning pass.
+func TestPlanPure(t *testing.T) {
+	def := queries.Lookup(core.DCMD, core.Q19)
+	first, err := Plan(def, FixtureStats(core.DCMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Plan(def, StatValues{DataPages: 1, DataRows: 1, Indexes: nil}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Plan(def, FixtureStats(core.DCMD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := first.Root.Format(), again.Root.Format(); a != b {
+		t.Fatalf("replanning drifted:\n--- first\n%s\n--- again\n%s", a, b)
+	}
+}
+
+func hasRule(ph *Physical, rule string) bool {
+	for _, r := range ph.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}

@@ -22,10 +22,17 @@ type Def struct {
 	// Params lists the external variable names the query requires.
 	Params []string
 	// IndexTarget optionally names a Table 3 index (e.g. "order/@id")
-	// whose key equals the named parameter; engines use it to select
-	// candidate documents instead of scanning.
+	// whose key equals the named parameter.
+	//
+	// Deprecated: engines no longer read these hints — the cost-based
+	// planner (internal/plan) derives the access path from the XQuery
+	// text and live statistics. The hints survive only as assertions the
+	// planner must reproduce (see internal/plan TestHintDrift).
 	IndexTarget string
-	IndexParam  string
+	// IndexParam names the parameter probed against IndexTarget.
+	//
+	// Deprecated: see IndexTarget.
+	IndexParam string
 	// OrderSensitive marks queries whose correctness depends on document
 	// order (the paper's Q5/Q12 caveat for shredded engines).
 	OrderSensitive bool

@@ -359,6 +359,87 @@ func (t *Table) LookupRange(ctx context.Context, col, lo, hi string) ([]Row, err
 	return rows, err
 }
 
+// LookupEqN is LookupEq with a row cap: the planner's limit pushdown
+// (positional [1] access) fetches only the first n matches instead of
+// materializing every row and discarding the rest. n <= 0 means no cap.
+func (t *Table) LookupEqN(ctx context.Context, col, val string, n int) ([]Row, error) {
+	if n <= 0 {
+		return t.LookupEq(ctx, col, val)
+	}
+	if ix, ok := t.index(col); ok {
+		reg := t.reg()
+		reg.Counter("relational.probe").Inc()
+		sp := reg.StartSpan(metrics.PhaseIndexProbe)
+		rids, err := ix.Search(ctx, val)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		if len(rids) > n {
+			rids = rids[:n]
+		}
+		rows := make([]Row, 0, len(rids))
+		for _, r := range rids {
+			row, err := t.Get(ctx, pager.RID(r))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+	ci := t.Col(col)
+	var rows []Row
+	err := t.Scan(ctx, func(r Row) bool {
+		if r[ci] == val {
+			rows = append(rows, r)
+		}
+		return len(rows) < n
+	})
+	return rows, err
+}
+
+// ScanEq filters sequentially for col == val even when an index exists:
+// the executor's path for plans whose cost model chose the scan.
+func (t *Table) ScanEq(ctx context.Context, col, val string) ([]Row, error) {
+	ci := t.Col(col)
+	var rows []Row
+	err := t.Scan(ctx, func(r Row) bool {
+		if r[ci] == val {
+			rows = append(rows, r)
+		}
+		return true
+	})
+	return rows, err
+}
+
+// ScanRange filters sequentially for lo <= col <= hi even when an index
+// exists, mirroring ScanEq for range plans.
+func (t *Table) ScanRange(ctx context.Context, col, lo, hi string) ([]Row, error) {
+	ci := t.Col(col)
+	var rows []Row
+	err := t.Scan(ctx, func(r Row) bool {
+		if !IsNull(r[ci]) && r[ci] >= lo && r[ci] <= hi {
+			rows = append(rows, r)
+		}
+		return true
+	})
+	return rows, err
+}
+
+// HeapPages returns the page count of the table's record heap, the
+// planner's sequential-scan cost.
+func (t *Table) HeapPages() int64 { return t.heap.Pages() }
+
+// IndexHeight returns the btree height of col's index, 0 when the
+// column is unindexed.
+func (t *Table) IndexHeight(col string) int {
+	if ix, ok := t.index(col); ok {
+		return ix.Height()
+	}
+	return 0
+}
+
 // encodeRow serializes values as length-prefixed strings.
 func encodeRow(row Row) []byte {
 	n := 2

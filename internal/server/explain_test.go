@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/server"
+)
+
+// explainStub is the stub engine plus core.Explainer: it answers a fixed
+// plan tree and records the query it was asked about.
+type explainStub struct {
+	*stubEngine
+	node *core.PlanNode
+}
+
+func (s *explainStub) Explain(_ context.Context, q core.QueryID, _ core.Params) (*core.PlanNode, error) {
+	if q == core.Q20 {
+		return nil, core.ErrNoQuery
+	}
+	return s.node, nil
+}
+
+func testPlan() *core.PlanNode {
+	return &core.PlanNode{
+		Op: "limit", Target: "1", Detail: "limit-pushdown",
+		Children: []*core.PlanNode{{
+			Op: "index-probe", Target: "item/@id", Detail: "@id = $X",
+			EstPages: 3, EstRows: 1,
+		}},
+	}
+}
+
+// TestExplainOverWire: a remote Explain returns the engine's plan tree
+// bit-for-bit, over both the plain and the pipelined transport.
+func TestExplainOverWire(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		eng := &explainStub{stubEngine: newStub(), node: testPlan()}
+		srv := server.New(eng, server.Config{})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := client.Dial(srv.Addr().String(), client.Config{Pipeline: pipeline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		got, err := c.Explain(context.Background(), core.Q5, core.Params{"X": "I1"})
+		if err != nil {
+			t.Fatalf("pipeline=%v: %v", pipeline, err)
+		}
+		if !reflect.DeepEqual(got, eng.node) {
+			t.Fatalf("pipeline=%v: plan drifted:\ngot  %+v\nwant %+v", pipeline, got, eng.node)
+		}
+		// Engine errors still cross typed.
+		if _, err := c.Explain(context.Background(), core.Q20, nil); !errors.Is(err, core.ErrNoQuery) {
+			t.Fatalf("pipeline=%v: Q20 err = %v, want ErrNoQuery", pipeline, err)
+		}
+	}
+}
+
+// TestExplainEngineWithoutExplainer: serving an engine that cannot
+// explain answers StatusNoExplain, which the client surfaces as
+// core.ErrNoExplain — same sentinel as a local opaque engine.
+func TestExplainEngineWithoutExplainer(t *testing.T) {
+	_, c := startServer(t, newStub(), server.Config{})
+	_, err := c.Explain(context.Background(), core.Q5, nil)
+	if !errors.Is(err, core.ErrNoExplain) {
+		t.Fatalf("err = %v, want ErrNoExplain", err)
+	}
+}

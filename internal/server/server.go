@@ -416,6 +416,24 @@ func (s *Server) execute(op wire.Op, payload []byte, scratch *[]byte) wire.Frame
 		}
 		return okFrame(wire.EncodeResult(res))
 
+	case wire.OpExplain:
+		req, err := wire.DecodeQueryRequest(payload)
+		if err != nil {
+			return badRequest(err)
+		}
+		ctx, cancel := s.reqCtx(req.Timeout)
+		defer cancel()
+		node, err := core.Explain(ctx, s.eng, req.Query, req.Params)
+		if err != nil {
+			return errFrame(err)
+		}
+		if scratch != nil {
+			b := wire.AppendPlanNode((*scratch)[:0], node)
+			*scratch = b
+			return okFrame(b)
+		}
+		return okFrame(wire.EncodePlanNode(node))
+
 	case wire.OpLoad:
 		req, err := wire.DecodeLoadRequest(payload)
 		if err != nil {

@@ -212,6 +212,35 @@ func (s *Store) Truncate() error {
 // unit documents of the multi-document classes — one document per
 // logical entity, so document-granularity insert/replace/delete maps to
 // a clean relational cascade keyed by that id. Other roots (the shared
+// TargetColumn maps a Table 3 index target ("hw", "item/@id") to the
+// shredded (table, column) it lands on. The shredding engines build
+// their indexes through it, and the planner uses it to route costed
+// index probes to the right table.
+func TargetColumn(class core.Class, target string) (table, col string, ok bool) {
+	switch class {
+	case core.TCSD:
+		if target == "hw" {
+			return "entry_tab", "hw", true
+		}
+	case core.TCMD:
+		if target == "article/@id" {
+			return "article_tab", "id", true
+		}
+	case core.DCSD:
+		switch target {
+		case "item/@id":
+			return "item_tab", "id", true
+		case "date_of_release":
+			return "item_tab", "date_of_release", true
+		}
+	case core.DCMD:
+		if target == "order/@id" {
+			return "order_tab", "id", true
+		}
+	}
+	return "", "", false
+}
+
 // customers/items/... documents of DC/MD) return ok=false: they shred
 // into rows for many entities and have no single delete key.
 func UnitDocID(class core.Class, doc *xmldom.Node) (string, bool) {

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -435,4 +436,94 @@ func EncodeInt64(v int64) []byte {
 func DecodeInt64(b []byte) (int64, error) {
 	d := dec{b}
 	return d.varint()
+}
+
+// maxPlanDepth bounds DecodePlanNode recursion so a malicious or corrupt
+// payload cannot blow the stack.
+const maxPlanDepth = 64
+
+// EncodePlanNode serializes a plan tree (the OpExplain success payload):
+// a recursive preorder encoding of op/target/detail, the cost estimates
+// as IEEE-754 bit patterns, and the child count.
+func EncodePlanNode(n *core.PlanNode) []byte { return AppendPlanNode(nil, n) }
+
+// AppendPlanNode appends the EncodePlanNode encoding of n to dst.
+func AppendPlanNode(dst []byte, n *core.PlanNode) []byte {
+	e := enc{b: dst}
+	appendPlanNode(&e, n)
+	return e.b
+}
+
+func appendPlanNode(e *enc, n *core.PlanNode) {
+	if n == nil {
+		n = &core.PlanNode{}
+	}
+	e.string(n.Op)
+	e.string(n.Target)
+	e.string(n.Detail)
+	e.uvarint(math.Float64bits(n.EstPages))
+	e.uvarint(math.Float64bits(n.EstRows))
+	e.uvarint(uint64(len(n.Children)))
+	for _, c := range n.Children {
+		appendPlanNode(e, c)
+	}
+}
+
+// DecodePlanNode parses an OpExplain success payload.
+func DecodePlanNode(b []byte) (*core.PlanNode, error) {
+	d := dec{b}
+	n, err := decodePlanNode(&d, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after plan tree", len(d.b))
+	}
+	return n, nil
+}
+
+func decodePlanNode(d *dec, depth int) (*core.PlanNode, error) {
+	if depth > maxPlanDepth {
+		return nil, fmt.Errorf("wire: plan tree deeper than %d", maxPlanDepth)
+	}
+	n := &core.PlanNode{}
+	var err error
+	if n.Op, err = d.string(); err != nil {
+		return nil, err
+	}
+	if n.Target, err = d.string(); err != nil {
+		return nil, err
+	}
+	if n.Detail, err = d.string(); err != nil {
+		return nil, err
+	}
+	pages, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n.EstPages, n.EstRows = math.Float64frombits(pages), math.Float64frombits(rows)
+	kids, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each child encodes to at least one byte; a count beyond the
+	// remaining payload is corruption, not a big tree.
+	if kids > uint64(len(d.b)) {
+		return nil, ErrTruncated
+	}
+	if kids > 0 {
+		n.Children = make([]*core.PlanNode, 0, kids)
+	}
+	for i := uint64(0); i < kids; i++ {
+		c, err := decodePlanNode(d, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
 }

@@ -88,6 +88,11 @@ const (
 	OpReplace
 	// OpDelete is update workload U3 (payload: UpdateRequest, empty data).
 	OpDelete
+	// OpExplain returns the costed physical plan for one workload query
+	// without executing it (payload: QueryRequest; response PlanNode).
+	// Servers predating this op answer StatusBadRequest, which the client
+	// maps back to core.ErrNoExplain.
+	OpExplain
 )
 
 // String returns the metric-friendly lowercase op name.
@@ -113,6 +118,8 @@ func (o Op) String() string {
 		return "u2"
 	case OpDelete:
 		return "u3"
+	case OpExplain:
+		return "explain"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -142,6 +149,9 @@ const (
 	StatusBadRequest
 	// StatusInternal carries any other engine error as text.
 	StatusInternal
+	// StatusNoExplain maps core.ErrNoExplain (the engine executes queries
+	// but cannot describe their plans).
+	StatusNoExplain
 )
 
 // Typed protocol errors. ErrOverloaded and ErrShutdown are the two
@@ -161,6 +171,11 @@ var (
 	ErrBadVersion = errors.New("wire: unsupported protocol version")
 	// ErrTooLarge marks a frame whose declared payload exceeds MaxPayload.
 	ErrTooLarge = errors.New("wire: frame payload too large")
+	// ErrBadRequest is the typed form of a StatusBadRequest response: the
+	// server could not decode the frame or payload. Old servers also answer
+	// it for ops they predate, so the client probes feature support with
+	// errors.Is(err, ErrBadRequest).
+	ErrBadRequest = errors.New("wire: bad request")
 )
 
 // Frame is one protocol message. Kind holds the Op on requests and the
@@ -264,6 +279,8 @@ func StatusFor(err error) Status {
 		return StatusNoQuery
 	case errors.Is(err, core.ErrReadOnly):
 		return StatusReadOnly
+	case errors.Is(err, core.ErrNoExplain):
+		return StatusNoExplain
 	default:
 		return StatusInternal
 	}
@@ -297,8 +314,10 @@ func DecodeError(s Status, payload []byte) error {
 		return wrap(context.Canceled)
 	case StatusDeadline:
 		return wrap(context.DeadlineExceeded)
+	case StatusNoExplain:
+		return wrap(core.ErrNoExplain)
 	case StatusBadRequest:
-		return fmt.Errorf("wire: bad request: %s", msg)
+		return wrap(ErrBadRequest)
 	default:
 		if msg == "" {
 			msg = fmt.Sprintf("status %d", byte(s))

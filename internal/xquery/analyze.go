@@ -1,0 +1,328 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the planner's view into the AST. The AST itself stays
+// unexported; Analyze distills the structural facts the cost-based
+// planner in internal/plan needs: which collections the query reads,
+// which predicates gate the primary access, whether a positional [1]
+// caps the result, and which evaluation features (order by, aggregates,
+// constructors, text search) appear.
+
+// Pred is one comparison predicate extracted from a path step or a
+// FLWOR source: Path op Param, with Path relative to the step's element
+// (attributes spelled "@name") and Param either "$var", a "$var/path"
+// join reference, or a literal.
+type Pred struct {
+	Path  string
+	Op    string
+	Param string
+}
+
+// Source is one rooted collection access (a '//elem[...]' path or a
+// FLWOR for-clause over one).
+type Source struct {
+	// Var is the FLWOR variable bound to this source ("" for a plain
+	// path expression).
+	Var string
+	// RootElem is the first named element step ("item", "order", ...).
+	RootElem string
+	// Preds are the comparison predicates on that step.
+	Preds []Pred
+	// Positional is the value of the first numeric positional
+	// predicate on a later step ("/sense[1]"), 0 if none. A positional
+	// k means at most k items of the inner path are needed per match —
+	// the limit-pushdown rewrite keys off it.
+	Positional int
+	// Residual counts predicates on the root step that are not simple
+	// comparisons (quantifiers, empty(), text search): they must be
+	// re-evaluated after the access path, whatever it is.
+	Residual int
+}
+
+// Shape summarizes a parsed query for the planner.
+type Shape struct {
+	// Sources lists rooted collection accesses in query order. More
+	// than one means a join (Q19's order x customer reconstruction).
+	Sources []Source
+	// OrderBy is true when a FLWOR sorts its results.
+	OrderBy bool
+	// Aggregate names a top-level aggregate call (count/avg/sum/...),
+	// "" if none.
+	Aggregate string
+	// Constructs is true when the query builds new elements.
+	Constructs bool
+	// UsesDoc is true for doc($X) document lookups.
+	UsesDoc bool
+	// TextSearch is true when contains()/contains-word() appears: the
+	// access path cannot be an equality index probe.
+	TextSearch bool
+	// Quantified is true for some/every predicates.
+	Quantified bool
+}
+
+// Joins returns the number of joined sources (0 or 1 means no join).
+func (s *Shape) Joins() int { return len(s.Sources) }
+
+// Primary returns the first source, or nil when the query reads no
+// rooted collection path (pure doc() lookups).
+func (s *Shape) Primary() *Source {
+	if len(s.Sources) == 0 {
+		return nil
+	}
+	return &s.Sources[0]
+}
+
+// Analyze parses src and summarizes its structure. It never fails on a
+// parseable query: shapes it does not recognize simply come back with
+// fewer facts (no sources, no preds), which the planner treats as a
+// full scan.
+func Analyze(src string) (*Shape, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("xquery: analyze: %w", err)
+	}
+	sh := &Shape{}
+	(&analyzer{sh: sh}).walk(q.root, "")
+	return sh, nil
+}
+
+type analyzer struct {
+	sh *Shape
+}
+
+// walk traverses the expression tree. bindVar is the FLWOR variable the
+// current expression is bound to (for-clause sources), "" otherwise.
+func (a *analyzer) walk(e expr, bindVar string) {
+	switch v := e.(type) {
+	case literal, varRef, contextItem, nil:
+	case seqExpr:
+		for _, it := range v.items {
+			a.walk(it, "")
+		}
+	case pathExpr:
+		if v.fromRoot {
+			a.source(v, bindVar)
+			return
+		}
+		a.walk(v.input, "")
+		for _, st := range v.steps {
+			for _, p := range st.preds {
+				a.walk(p, "")
+			}
+		}
+		for _, p := range v.preds {
+			a.walk(p, "")
+		}
+	case binary:
+		a.walk(v.l, "")
+		a.walk(v.r, "")
+	case unary:
+		a.walk(v.operand, "")
+	case call:
+		switch v.name {
+		case "doc":
+			a.sh.UsesDoc = true
+		case "contains", "contains-word":
+			a.sh.TextSearch = true
+		case "count", "avg", "sum", "min", "max":
+			if a.sh.Aggregate == "" {
+				a.sh.Aggregate = v.name
+			}
+		}
+		for _, arg := range v.args {
+			// distinct-values(//loc) and sum(//order/total) feed a
+			// rooted path straight into a call: the path is still the
+			// query's source, so the bind variable passes through.
+			a.walk(arg, bindVar)
+		}
+	case flwor:
+		for _, cl := range v.clauses {
+			if cl.isLet {
+				a.walk(cl.src, "")
+			} else {
+				a.walk(cl.src, cl.varName)
+			}
+		}
+		if v.where != nil {
+			a.walk(v.where, "")
+		}
+		if len(v.orderBy) > 0 {
+			a.sh.OrderBy = true
+		}
+		a.walk(v.ret, "")
+	case quantified:
+		a.sh.Quantified = true
+		a.walk(v.src, "")
+		a.walk(v.cond, "")
+	case ifExpr:
+		a.walk(v.cond, "")
+		a.walk(v.then, "")
+		a.walk(v.els, "")
+	case elemCtor:
+		a.sh.Constructs = true
+		for _, at := range v.attrs {
+			for _, part := range at.parts {
+				if ex, ok := part.(expr); ok {
+					a.walk(ex, "")
+				}
+			}
+		}
+		for _, part := range v.content {
+			if ex, ok := part.(expr); ok {
+				a.walk(ex, "")
+			}
+		}
+	}
+}
+
+// source records a rooted path as a Source: root element, predicates on
+// it, and any positional cap on the trailing steps. Predicates are also
+// walked so text search and quantifiers inside them are seen.
+func (a *analyzer) source(p pathExpr, bindVar string) {
+	src := Source{Var: bindVar}
+	primary := -1
+	for i, st := range p.steps {
+		if st.name != "" && st.name != "*" && st.axis != axisAttribute {
+			primary = i
+			src.RootElem = st.name
+			break
+		}
+	}
+	for i, st := range p.steps {
+		for _, pr := range st.preds {
+			if i == primary {
+				got := collectPreds(pr)
+				if len(got) == 0 {
+					src.Residual++
+				}
+				src.Preds = append(src.Preds, got...)
+			}
+			if i > primary && src.Positional == 0 {
+				if n, ok := positional(pr); ok {
+					src.Positional = n
+				}
+			}
+			a.walk(pr, "")
+		}
+	}
+	for _, pr := range p.preds {
+		a.walk(pr, "")
+	}
+	a.sh.Sources = append(a.sh.Sources, src)
+}
+
+// collectPreds flattens an 'and' tree of comparisons into Preds,
+// skipping anything that is not a simple path-vs-param comparison
+// (quantifiers, empty(), function predicates).
+func collectPreds(e expr) []Pred {
+	switch v := e.(type) {
+	case binary:
+		switch v.op {
+		case "and":
+			return append(collectPreds(v.l), collectPreds(v.r)...)
+		case "=", "!=", "<", "<=", ">", ">=":
+			path, ok := relPath(v.l)
+			if !ok {
+				return nil
+			}
+			param, ok := paramRef(v.r)
+			if !ok {
+				return nil
+			}
+			return []Pred{{Path: path, Op: v.op, Param: param}}
+		}
+	}
+	return nil
+}
+
+// positional reports a bare numeric predicate [n].
+func positional(e expr) (int, bool) {
+	lit, ok := e.(literal)
+	if !ok || !lit.isNum {
+		return 0, false
+	}
+	n := int(lit.num)
+	if float64(n) != lit.num || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// relPath renders a relative path expression ("hw", "@id",
+// "prolog/dateline/date") and unwraps string()/number() around one.
+func relPath(e expr) (string, bool) {
+	switch v := e.(type) {
+	case call:
+		if (v.name == "string" || v.name == "number") && len(v.args) == 1 {
+			return relPath(v.args[0])
+		}
+	case pathExpr:
+		if v.fromRoot || len(v.preds) != 0 {
+			return "", false
+		}
+		switch v.input.(type) {
+		case nil, contextItem:
+		default:
+			return "", false
+		}
+		return renderSteps(v.steps)
+	}
+	return "", false
+}
+
+// paramRef renders the comparison's right side: "$X" for variables,
+// "$o/customer_id" for join references into another binding, or the
+// literal text. string()/number() wrappers are transparent.
+func paramRef(e expr) (string, bool) {
+	switch v := e.(type) {
+	case varRef:
+		return "$" + v.name, true
+	case literal:
+		if v.isNum {
+			return strconv.FormatFloat(v.num, 'g', -1, 64), true
+		}
+		return strconv.Quote(v.str), true
+	case call:
+		if (v.name == "string" || v.name == "number") && len(v.args) == 1 {
+			return paramRef(v.args[0])
+		}
+	case pathExpr:
+		vr, ok := v.input.(varRef)
+		if !ok || v.fromRoot || len(v.preds) != 0 {
+			return "", false
+		}
+		tail, ok := renderSteps(v.steps)
+		if !ok {
+			return "", false
+		}
+		return "$" + vr.name + "/" + tail, true
+	}
+	return "", false
+}
+
+func renderSteps(steps []step) (string, bool) {
+	parts := make([]string, 0, len(steps))
+	for _, st := range steps {
+		if len(st.preds) != 0 || st.name == "" {
+			return "", false
+		}
+		switch st.axis {
+		case axisChild, axisDescendant:
+			parts = append(parts, st.name)
+		case axisAttribute:
+			parts = append(parts, "@"+st.name)
+		case axisSelf:
+		default:
+			return "", false
+		}
+	}
+	if len(parts) == 0 {
+		return "", false
+	}
+	return strings.Join(parts, "/"), true
+}

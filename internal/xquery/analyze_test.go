@@ -1,0 +1,85 @@
+package xquery
+
+import "testing"
+
+// TestAnalyzeSimplePredicate: a root path with an equality predicate
+// yields one source with the predicate extracted for pushdown.
+func TestAnalyzeSimplePredicate(t *testing.T) {
+	sh, err := Analyze(`//entry[hw = $W]/sense[1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sh.Primary()
+	if src == nil || src.RootElem != "entry" {
+		t.Fatalf("primary = %+v, want entry", src)
+	}
+	if len(src.Preds) != 1 || src.Preds[0].Path != "hw" || src.Preds[0].Op != "=" || src.Preds[0].Param != "$W" {
+		t.Fatalf("preds = %+v, want hw = $W", src.Preds)
+	}
+	if src.Positional != 1 {
+		t.Fatalf("positional = %d, want 1 (sense[1])", src.Positional)
+	}
+}
+
+// TestAnalyzeRange: paired inequality predicates survive as two preds on
+// the same path, the planner's raw material for a range probe.
+func TestAnalyzeRange(t *testing.T) {
+	sh, err := Analyze(`//item[date_of_release >= $LO and date_of_release <= $HI]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sh.Primary()
+	if src == nil || len(src.Preds) != 2 {
+		t.Fatalf("primary = %+v, want 2 preds", src)
+	}
+	ops := map[string]string{}
+	for _, p := range src.Preds {
+		if p.Path != "date_of_release" {
+			t.Fatalf("pred path %q, want date_of_release", p.Path)
+		}
+		ops[p.Op] = p.Param
+	}
+	if ops[">="] != "$LO" || ops["<="] != "$HI" {
+		t.Fatalf("ops = %v, want >=$LO and <=$HI", ops)
+	}
+}
+
+// TestAnalyzeJoin: a two-variable FLWOR yields two bound sources — the
+// shape the join reorderer keys on.
+func TestAnalyzeJoin(t *testing.T) {
+	sh, err := Analyze(`for $o in //order[@id = $X], $c in //customer[@id = string($o/customer_id)]
+		return <r>{$c/c_phone}</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Joins() != 2 || len(sh.Sources) != 2 {
+		t.Fatalf("sources = %+v, want 2 bound sources", sh.Sources)
+	}
+	for _, src := range sh.Sources {
+		if src.Var == "" {
+			t.Fatalf("source %+v not bound to a variable", src)
+		}
+	}
+	if !sh.Constructs {
+		t.Error("element constructor not detected")
+	}
+}
+
+// TestAnalyzeDocAndAggregate: doc() access and aggregate calls are
+// flagged so the planner can special-case them.
+func TestAnalyzeDocAndAggregate(t *testing.T) {
+	sh, err := Analyze(`doc($DOC)//account_information`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.UsesDoc {
+		t.Error("doc() not detected")
+	}
+	sh, err = Analyze(`count(//item[@id = $X])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Aggregate != "count" {
+		t.Errorf("aggregate = %q, want count", sh.Aggregate)
+	}
+}

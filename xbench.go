@@ -71,6 +71,12 @@ type (
 	LoadStats = core.LoadStats
 	// IndexSpec is a Table 3 value index definition.
 	IndexSpec = core.IndexSpec
+	// PlanNode is one operator of a costed physical query plan
+	// (see Explain).
+	PlanNode = core.PlanNode
+	// Explainer is the optional Engine extension that describes query
+	// plans without executing them.
+	Explainer = core.Explainer
 	// GenConfig controls database generation scale and seed.
 	GenConfig = gen.Config
 	// Measurement is one cold query measurement.
@@ -144,6 +150,11 @@ var ErrUnsupported = core.ErrUnsupported
 
 // ErrNoQuery marks workload queries a class does not instantiate.
 var ErrNoQuery = core.ErrNoQuery
+
+// ErrNoExplain marks engines (or old servers) that execute queries but
+// cannot describe their plans; Explain wraps it so callers can degrade
+// gracefully with errors.Is.
+var ErrNoExplain = core.ErrNoExplain
 
 // Classes lists all four classes in the paper's table order.
 var Classes = core.Classes
@@ -282,6 +293,14 @@ func LoadAndIndex(ctx context.Context, e Engine, db *Database) (LoadStats, error
 
 // QueryParams returns the deterministic parameter bindings for a class.
 func QueryParams(class Class) Params { return workload.Params(class) }
+
+// Explain returns the costed physical plan the engine would execute for
+// q, as a printable tree (PlanNode.Format). Engines that cannot explain
+// — including EngineV1 adapters and remote servers predating OpExplain —
+// return an error wrapping ErrNoExplain.
+func Explain(ctx context.Context, e Engine, q QueryID, p Params) (*PlanNode, error) {
+	return core.Explain(ctx, e, q, p)
+}
 
 // RunCold executes one workload query cold (caches dropped first).
 func RunCold(ctx context.Context, e Engine, class Class, q QueryID) Measurement {
