@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos chaos-updates torture smoke bench-baseline perf-check plan-check plan-golden verify
+.PHONY: build test vet race chaos chaos-updates torture smoke bench-baseline perf-check plan-check plan-golden mvcc-sweep verify
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,15 @@ bench-baseline:
 # not read as a regression.
 perf-check:
 	$(GO) run ./cmd/xbench perf --cell=all --short --check
+
+# MVCC snapshot-read smoke: read p99 must stay within 2x the read-only
+# p99 at 30% updates when snapshots pin readers off the engine write
+# lock (DESIGN.md §15). Large per-point samples so the p99 is a real
+# quantile, not the single worst scheduler hiccup; no baseline sweep —
+# the gate pins the snapshot curve only, CI time stays bounded.
+mvcc-sweep: build
+	$(GO) run ./cmd/xbench mvcc-sweep --clients=2 --ops=400 \
+		--fractions=0,0.3 --baseline=false --check
 
 # Plan regression gate: the costed EXPLAIN tree of every (class, query)
 # cell, planned over fixture statistics, must match the checked-in corpus

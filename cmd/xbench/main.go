@@ -73,6 +73,7 @@ var commands = []command{
 	{"workload", "run every defined query of a class on one engine", cmdWorkload},
 	{"updates", "update workload (U1-U3): per-op p50/p95/p99 with I/O breakdown", cmdUpdates},
 	{"throughput", "closed-loop multi-client driver: qps + per-query percentiles", cmdThroughput},
+	{"mvcc-sweep", "read p99 vs update fraction, MVCC snapshots vs write-lock baseline", cmdMVCCSweep},
 	{"serve", "serve one engine over TCP for remote throughput/updates runs", cmdServe},
 	{"perf", "hot-path before/after perf cells with archived baselines", cmdPerf},
 }

@@ -279,10 +279,20 @@ func (t *Tree) Search(ctx context.Context, key string) ([]uint64, error) {
 func (t *Tree) Range(ctx context.Context, lo, hi string, fn func(key string, val uint64) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return rangeScan(ctx, t.readNode, t.root, lo, hi, fn)
+}
+
+// rangeScan is the shared range traversal: descend from root to the
+// leftmost leaf that can contain lo, then walk the leaf chain. read
+// abstracts the page fetch so the live Tree (pool reads under its shared
+// latch) and a TreeView (epoch-pinned versioned reads, no latch) use the
+// same logic.
+func rangeScan(ctx context.Context, read func(context.Context, uint32) (*node, error),
+	root uint32, lo, hi string, fn func(key string, val uint64) bool) error {
 	lo, hi = trunc(lo), trunc(hi)
-	pageNo := t.root
+	pageNo := root
 	for {
-		nd, err := t.readNode(ctx, pageNo)
+		nd, err := read(ctx, pageNo)
 		if err != nil {
 			return err
 		}
@@ -296,7 +306,7 @@ func (t *Tree) Range(ctx context.Context, lo, hi string, fn func(key string, val
 		pageNo = nd.kids[ci]
 	}
 	for pageNo != 0 {
-		nd, err := t.readNode(ctx, pageNo)
+		nd, err := read(ctx, pageNo)
 		if err != nil {
 			return err
 		}
@@ -374,6 +384,10 @@ func (t *Tree) readNode(ctx context.Context, pageNo uint32) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeNode(pg), nil
+}
+
+func decodeNode(pg []byte) *node {
 	n := &node{leaf: pg[0] == 0}
 	n.next = binary.BigEndian.Uint32(pg[1:5])
 	nk := int(binary.BigEndian.Uint16(pg[5:7]))
@@ -389,7 +403,7 @@ func (t *Tree) readNode(ctx context.Context, pageNo uint32) (*node, error) {
 			n.vals[i] = binary.BigEndian.Uint64(pg[off : off+8])
 			off += 8
 		}
-		return n, nil
+		return n
 	}
 	n.kids = make([]uint32, 1, nk+1)
 	n.kids[0] = binary.BigEndian.Uint32(pg[off : off+4])
@@ -403,5 +417,5 @@ func (t *Tree) readNode(ctx context.Context, pageNo uint32) (*node, error) {
 		n.kids = append(n.kids, binary.BigEndian.Uint32(pg[off:off+4]))
 		off += 4
 	}
-	return n, nil
+	return n
 }

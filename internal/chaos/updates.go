@@ -235,6 +235,43 @@ func runUpdateCrashPoint(newEngine func() core.Engine, db *core.Database, op wor
 	default:
 		return fmt.Errorf("recovered to neither pre- nor post-update state: %d item(s) for %s", len(got), id)
 	}
+	return checkRecoveredEpoch(ctx, e, p, db, seq, id, got)
+}
+
+// checkRecoveredEpoch requires recovery to land on a consistent latest
+// commit epoch (DESIGN.md §15): replay must leave no mutation bracket
+// open — so with pins drained, GC reclaims every page version — and
+// the commit path must still work, with a fresh update advancing the
+// epoch without disturbing the recovered answer.
+func checkRecoveredEpoch(ctx context.Context, e core.Engine, p *pager.Pager,
+	db *core.Database, seq int, id string, recovered []string) error {
+	if n := p.PinnedSnapshots(); n != 0 {
+		return fmt.Errorf("epoch check: %d snapshots pinned after recovery", n)
+	}
+	p.GC()
+	if n := p.LiveVersions(); n != 0 {
+		return fmt.Errorf("epoch check: %d page versions survive recovery with no pins (bracket left open?)", n)
+	}
+	// The recovered epoch must accept new commits: soft faults off — the
+	// grid already proved fault tolerance, this proves the MVCC commit
+	// path — then one fresh insert has to advance the epoch.
+	p.SetFaultPolicy(pager.FaultPolicy{})
+	before := p.SnapshotEpoch()
+	if err := applyUpdate(ctx, e, db.Class, workload.U1, seq+1); err != nil {
+		return fmt.Errorf("epoch check: post-recovery update: %w", err)
+	}
+	if after := p.SnapshotEpoch(); after <= before {
+		return fmt.Errorf("epoch check: commit did not advance the epoch (%d -> %d)", before, after)
+	}
+	// Snapshot reads at the new epoch still answer the recovered state
+	// for the original target.
+	again, err := verifyItems(ctx, e, id)
+	if err != nil {
+		return fmt.Errorf("epoch check: re-verification: %w", err)
+	}
+	if err := sameItems(recovered, again); err != nil {
+		return fmt.Errorf("epoch check: recovered answer changed after an unrelated commit: %w", err)
+	}
 	return nil
 }
 

@@ -44,7 +44,10 @@ type Config struct {
 	OpsPerClient int
 	// Duration bounds the run by wall clock (ignored when OpsPerClient > 0).
 	Duration time.Duration
-	// Seed drives the per-client deterministic query mix; 0 selects 1.
+	// Seed drives the per-client deterministic query mix. 0 is an explicit
+	// sentinel selecting DefaultSeed — it is not a usable seed value, and
+	// OpSequence/MixedOpSequence apply the same substitution, so replaying
+	// a Seed-0 run with OpSequence(0, ...) agrees with what Run executed.
 	Seed uint64
 	// Queries restricts the mix; nil selects every query the class defines
 	// and the engine answers (probed during warmup).
@@ -71,6 +74,12 @@ type Config struct {
 	UpdateSeqBase int
 }
 
+// DefaultSeed is the seed a zero Config.Seed resolves to. It is a named
+// constant (rather than a silent coercion buried in WithDefaults) so
+// callers replaying a run's op stream know exactly which seed a Seed-0
+// run used.
+const DefaultSeed uint64 = 1
+
 // WithDefaults resolves zero-value fields to their defaults.
 func (c Config) WithDefaults() Config {
 	if c.Clients <= 0 {
@@ -80,7 +89,7 @@ func (c Config) WithDefaults() Config {
 		c.OpsPerClient = 50
 	}
 	if c.Seed == 0 {
-		c.Seed = 1
+		c.Seed = DefaultSeed
 	}
 	switch {
 	case c.Think < 0:
@@ -139,6 +148,14 @@ type Report struct {
 	Canceled int64
 	// Throughput is Ops / Elapsed in queries per second.
 	Throughput float64
+	// ReadCount counts the query (non-update) ops, and ReadP50/P95/P99
+	// summarize their latency aggregated across the whole mix — the
+	// headline numbers of the update-fraction sweep, where the question
+	// is what updates do to reads as a population, not per query type.
+	ReadCount int64
+	ReadP50   time.Duration
+	ReadP95   time.Duration
+	ReadP99   time.Duration
 	// Cells summarizes latency per query type, in query order.
 	Cells []CellStats
 	// ClientOps is the number of ops each client completed.
@@ -195,7 +212,13 @@ func nextMixedOp(rng *stats.RNG, mix []core.QueryID, frac float64, ups []workloa
 }
 
 // clientRNG returns client c's dedicated stream for a run seeded seed.
+// Seed 0 resolves to DefaultSeed here — not only in WithDefaults — so
+// the exported sequence replayers agree with Run about what a Seed-0
+// run executes.
 func clientRNG(seed uint64, client int) *stats.RNG {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
 	return stats.NewRNG(seed).Split(uint64(client) + 1)
 }
 
@@ -283,6 +306,7 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 	for _, q := range mix {
 		hists[q] = metrics.NewHistogram()
 	}
+	readHist := metrics.NewHistogram()
 	uhists := make(map[workload.UpdateOp]*metrics.Histogram, len(cfg.UpdateOps))
 	uerrs := make(map[workload.UpdateOp]*atomic.Int64, len(cfg.UpdateOps))
 	for _, u := range cfg.UpdateOps {
@@ -336,7 +360,9 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 				} else {
 					t0 := time.Now()
 					_, err = e.Execute(ctx, op.Query, params)
-					hists[op.Query].Observe(time.Since(t0))
+					d := time.Since(t0)
+					hists[op.Query].Observe(d)
+					readHist.Observe(d)
 				}
 				ops.Add(1)
 				clientOps[client]++
@@ -377,6 +403,10 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 	rep.Updates = updates.Load()
 	rep.UpdateErrs = updateErrs.Load()
 	rep.NextUpdateSeq = int(updateSeq.Load())
+	rep.ReadCount = readHist.Count()
+	rep.ReadP50 = readHist.P50()
+	rep.ReadP95 = readHist.P95()
+	rep.ReadP99 = readHist.P99()
 	qs := append([]core.QueryID(nil), mix...)
 	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
 	for _, q := range qs {
@@ -408,6 +438,38 @@ func Run(ctx context.Context, e core.Engine, class core.Class, cfg Config) (Repo
 		return rep, fmt.Errorf("driver: %d/%d queries failed, first: %w", rep.Errs, rep.Ops, firstErr)
 	}
 	return rep, nil
+}
+
+// FractionPoint is one step of an update-fraction sweep: the driver run
+// at one update fraction.
+type FractionPoint struct {
+	Fraction float64
+	Report   Report
+}
+
+// FractionSweep runs the driver once per update fraction over the same
+// loaded engine, holding everything else (clients, ops, seed, think)
+// fixed. It is the measurement behind `xbench mvcc-sweep`: with MVCC
+// snapshots on, Report.ReadP99 should stay roughly flat as the update
+// fraction grows, because readers never wait for the engine write lock;
+// with snapshots off, reads queue behind U1-U3 and the same curve
+// degrades. The warm mix and the update document sequence are threaded
+// across steps exactly like Sweep does for client counts.
+func FractionSweep(ctx context.Context, e core.Engine, class core.Class, fractions []float64, cfg Config) ([]FractionPoint, error) {
+	var out []FractionPoint
+	for _, f := range fractions {
+		c := cfg
+		c.UpdateFraction = f
+		rep, err := Run(ctx, e, class, c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, FractionPoint{Fraction: f, Report: rep})
+		cfg.NoWarmup = true
+		cfg.Queries = rep.Mix
+		cfg.UpdateSeqBase = rep.NextUpdateSeq
+	}
+	return out, nil
 }
 
 // Sweep runs the driver once per client count over the same loaded engine

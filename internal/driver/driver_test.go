@@ -135,6 +135,35 @@ func TestOpSequenceDeterministic(t *testing.T) {
 	}
 }
 
+// TestSeedZeroSelectsDefaultSeed pins the Seed-0 contract: zero is an
+// explicit sentinel for DefaultSeed everywhere — WithDefaults resolves
+// it, and the sequence replayers substitute it the same way, so
+// OpSequence(0, ...) describes exactly what a Seed-0 run executed
+// (previously Run coerced 0 to 1 but OpSequence did not, and the two
+// disagreed).
+func TestSeedZeroSelectsDefaultSeed(t *testing.T) {
+	if got := (Config{}).WithDefaults().Seed; got != DefaultSeed {
+		t.Fatalf("WithDefaults resolved Seed 0 to %d, want DefaultSeed %d", got, DefaultSeed)
+	}
+	if got := (Config{Seed: 42}).WithDefaults().Seed; got != 42 {
+		t.Fatalf("WithDefaults rewrote explicit seed 42 to %d", got)
+	}
+	zero := OpSequence(0, 0, testMix, 100)
+	def := OpSequence(DefaultSeed, 0, testMix, 100)
+	for i := range zero {
+		if zero[i] != def[i] {
+			t.Fatalf("op %d: OpSequence(0) %s != OpSequence(DefaultSeed) %s", i, zero[i], def[i])
+		}
+	}
+	mzero := MixedOpSequence(0, 0, testMix, nil, 0.5, 100)
+	mdef := MixedOpSequence(DefaultSeed, 0, testMix, nil, 0.5, 100)
+	for i := range mzero {
+		if mzero[i] != mdef[i] {
+			t.Fatalf("mixed op %d: seed 0 %s != DefaultSeed %s", i, mzero[i], mdef[i])
+		}
+	}
+}
+
 // TestRunFollowsOpSequence: with one client the engine must see exactly
 // the sequence OpSequence predicts.
 func TestRunFollowsOpSequence(t *testing.T) {

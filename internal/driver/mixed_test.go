@@ -141,6 +141,52 @@ func TestSweepThreadsUpdateSeq(t *testing.T) {
 	}
 }
 
+// TestFractionSweep: the update-fraction sweep runs one driver step per
+// fraction against the same warm engine, threads the update sequence
+// across steps, and reports aggregate read latency per point.
+func TestFractionSweep(t *testing.T) {
+	e := &stubEngine{}
+	fractions := []float64{0, 0.3, 0.5}
+	points, err := FractionSweep(context.Background(), e, core.DCMD, fractions, Config{
+		Clients: 2, OpsPerClient: 40, Queries: testMix, Think: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(fractions) {
+		t.Fatalf("%d points, want %d", len(points), len(fractions))
+	}
+	prevSeq := 0
+	for i, pt := range points {
+		rep := pt.Report
+		if pt.Fraction != fractions[i] {
+			t.Fatalf("point %d fraction %v, want %v", i, pt.Fraction, fractions[i])
+		}
+		if rep.Errs != 0 {
+			t.Fatalf("fraction %v: %d errors (update seq not threaded?)", pt.Fraction, rep.Errs)
+		}
+		if rep.ReadCount == 0 || rep.ReadP99 <= 0 {
+			t.Fatalf("fraction %v: no aggregate read latency (count %d, p99 %v)",
+				pt.Fraction, rep.ReadCount, rep.ReadP99)
+		}
+		if rep.ReadCount+rep.Updates != rep.Ops {
+			t.Fatalf("fraction %v: reads %d + updates %d != ops %d",
+				pt.Fraction, rep.ReadCount, rep.Updates, rep.Ops)
+		}
+		if pt.Fraction == 0 && rep.Updates != 0 {
+			t.Fatalf("read-only point issued %d updates", rep.Updates)
+		}
+		if pt.Fraction > 0 && rep.Updates == 0 {
+			t.Fatalf("fraction %v issued no updates", pt.Fraction)
+		}
+		if rep.NextUpdateSeq != prevSeq+int(rep.Updates) {
+			t.Fatalf("fraction %v: NextUpdateSeq %d, want base %d + %d",
+				pt.Fraction, rep.NextUpdateSeq, prevSeq, rep.Updates)
+		}
+		prevSeq = rep.NextUpdateSeq
+	}
+}
+
 func TestMixedFormatters(t *testing.T) {
 	e := &stubEngine{}
 	reports, err := Sweep(context.Background(), e, core.DCMD, []int{1, 2}, Config{

@@ -1,0 +1,89 @@
+// Package engsnap implements the snapshot publication protocol the four
+// engines share (DESIGN.md §15): a writer publishes an immutable query
+// state per commit epoch, and readers pin a pager snapshot plus the
+// matching state without ever taking the engine write lock.
+//
+// The pairing is a seqlock over two atomics: the pager's committed epoch
+// (observed by PinSnapshot) and the published state pointer. A reader
+// pins first, then loads the state; if the state's epoch is not the
+// pinned epoch the writer is mid-publish (the window between
+// EndMutation and Publish is a few instructions), so the reader releases
+// and retries. A bounded number of retries falls back to the caller's
+// locked path, so a writer stalled inside that window can never wedge
+// readers.
+package engsnap
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"xbench/internal/pager"
+)
+
+// GCInterval is the background version-GC cadence engines pass to
+// pager.StartGC. Inline pruning on snapshot release and commit already
+// reclaims most versions; the ticker only mops up after bursts that end
+// with a pin still outstanding.
+const GCInterval = 2 * time.Second
+
+// maxPinRetries bounds the seqlock retry loop. The mismatch window is
+// publish-side and tiny; if it persists this long something is wrong and
+// the caller's locked path is the safe answer.
+const maxPinRetries = 1000
+
+// stateBox pairs a published state with the commit epoch it describes.
+type stateBox struct {
+	epoch uint64
+	val   any
+}
+
+// Published is one engine's snapshot state cell. The zero value is
+// usable: snapshots disabled, nothing published.
+type Published struct {
+	enabled atomic.Bool
+	state   atomic.Pointer[stateBox]
+}
+
+// SetEnabled toggles snapshot reads (facade WithSnapshots). Disabled,
+// Pin always reports no state and the engine serves queries under its
+// read latch as before.
+func (pb *Published) SetEnabled(on bool) { pb.enabled.Store(on) }
+
+// Enabled reports whether snapshot reads are on.
+func (pb *Published) Enabled() bool { return pb.enabled.Load() }
+
+// Publish installs the query state describing the given commit epoch.
+// Writers call it at every commit boundary (after pager.EndMutation,
+// after Load under BlockPins, after BuildIndexes). A nil val publishes
+// "no state" (empty engine), making Pin fall back.
+func (pb *Published) Publish(epoch uint64, val any) {
+	pb.state.Store(&stateBox{epoch: epoch, val: val})
+}
+
+// Pin pins the pager's current snapshot and returns the published state
+// matching the pinned epoch. ok is false — and nothing stays pinned —
+// when snapshots are disabled, no state is published, or the seqlock
+// retry budget runs out; the caller must then use its locked read path.
+// On ok the caller owns the returned Snap and must Release it when done
+// with the state.
+func (pb *Published) Pin(p *pager.Pager) (snap *pager.Snap, val any, ok bool) {
+	if !pb.enabled.Load() {
+		return nil, nil, false
+	}
+	for i := 0; i < maxPinRetries; i++ {
+		snap := p.PinSnapshot()
+		box := pb.state.Load()
+		if box == nil || box.val == nil {
+			snap.Release()
+			return nil, nil, false
+		}
+		if box.epoch == snap.Epoch() {
+			return snap, box.val, true
+		}
+		// Writer is between EndMutation and Publish; yield and retry.
+		snap.Release()
+		runtime.Gosched()
+	}
+	return nil, nil, false
+}

@@ -38,6 +38,7 @@ import (
 
 	"xbench/internal/btree"
 	"xbench/internal/core"
+	"xbench/internal/engines/engsnap"
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
 	"xbench/internal/plan"
@@ -86,9 +87,74 @@ type Engine struct {
 	docs    *pager.Heap // serialized documents/segments
 	catalog *pager.Heap // catalog records in load order
 	indexes map[string]*btree.Tree
-	journal *updatelog.Log // logical redo journal for U1-U3
+	journal *updatelog.Log    // logical redo journal for U1-U3
+	snap    engsnap.Published // MVCC snapshot state for lock-free reads
+	planFB  plan.Feedback     // observed range selectivities for the cost model
 	loaded  bool
 }
+
+// heapReader is the read surface shared by the live *pager.Heap and a
+// frozen pager.HeapView, letting one query path serve both.
+type heapReader interface {
+	Get(ctx context.Context, rid pager.RID) ([]byte, error)
+	Scan(ctx context.Context, fn func(rid pager.RID, rec []byte) bool) error
+	Pages() int64
+	Count() int
+}
+
+// view is the read surface of the store at one moment: either the live
+// heaps and trees (caller holds the read latch) or frozen snapshot
+// views pinned at a commit epoch (lock-free).
+type view struct {
+	class   core.Class
+	docs    heapReader
+	catalog heapReader
+	indexes map[string]btree.Reader
+}
+
+// liveView wraps the live store. Caller holds at least the read latch.
+func (e *Engine) liveView() *view {
+	ixs := make(map[string]btree.Reader, len(e.indexes))
+	for t, ix := range e.indexes {
+		ixs[t] = ix
+	}
+	return &view{class: e.class, docs: e.docs, catalog: e.catalog, indexes: ixs}
+}
+
+// publishLocked freezes the store at epoch and publishes it for
+// snapshot readers. The caller holds the write lock and has synced the
+// heaps, so the views freeze without flushing anything.
+func (e *Engine) publishLocked(epoch uint64) error {
+	if !e.loaded {
+		e.snap.Publish(epoch, nil)
+		return nil
+	}
+	docs, err := e.docs.View(epoch)
+	if err != nil {
+		e.snap.Publish(epoch, nil)
+		return err
+	}
+	catalog, err := e.catalog.View(epoch)
+	if err != nil {
+		e.snap.Publish(epoch, nil)
+		return err
+	}
+	ixs := make(map[string]btree.Reader, len(e.indexes))
+	for t, ix := range e.indexes {
+		ixs[t] = ix.ViewAt(epoch)
+	}
+	e.snap.Publish(epoch, &view{class: e.class, docs: docs, catalog: catalog, indexes: ixs})
+	return nil
+}
+
+// SetSnapshots toggles MVCC snapshot reads (default on). Disabled,
+// Execute falls back to the engine read latch and quiesces behind
+// writers — the pre-MVCC baseline the update-fraction sweep compares
+// against.
+func (e *Engine) SetSnapshots(on bool) { e.snap.SetEnabled(on) }
+
+// SnapshotsEnabled reports whether snapshot reads are on.
+func (e *Engine) SnapshotsEnabled() bool { return e.snap.Enabled() }
 
 // New returns an empty native engine with the given buffer pool size in
 // pages (<= 0 selects the default), storing persistent DOM pages at
@@ -114,14 +180,17 @@ func NewWithOptions(poolPages int, opts Options) (*Engine, error) {
 	}
 	p := pager.New(poolPages)
 	p.SetMetrics(metrics.NewRegistry())
-	return &Engine{
+	e := &Engine{
 		p:       p,
 		opts:    opts,
 		docs:    pager.NewHeap(p, "documents"),
 		catalog: pager.NewHeap(p, "catalog"),
 		indexes: map[string]*btree.Tree{},
 		journal: updatelog.New(p, "updates"),
-	}, nil
+	}
+	e.snap.SetEnabled(true)
+	p.StartGC(engsnap.GCInterval)
+	return e, nil
 }
 
 // Name implements core.Engine.
@@ -188,8 +257,11 @@ func (e *Engine) Pager() *pager.Pager { return e.p }
 func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
 // reset empties the store so Load is idempotent: a repeated or resumed
-// load never sees leftovers from an earlier attempt.
+// load never sees leftovers from an earlier attempt. The published
+// snapshot is withdrawn first so readers fall back to the locked path
+// rather than chase views into truncated files.
 func (e *Engine) reset() error {
+	e.snap.Publish(e.p.SnapshotEpoch(), nil)
 	e.indexes = map[string]*btree.Tree{}
 	e.loaded = false
 	if err := e.docs.Reset(); err != nil {
@@ -216,9 +288,14 @@ func (e *Engine) abortLoad(err error) error {
 // Load implements core.Engine: parse (well-formedness check, as the paper
 // does with validation off) and persist each document. A failed load
 // leaves an empty, loadable database (see abortLoad).
+// Load drains pinned snapshots before truncating: a reader holding a
+// pre-load snapshot would otherwise race the wholesale truncate, whose
+// pre-images are deliberately not versioned.
 func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.p.BlockPins()
+	defer e.p.UnblockPins()
 	if err := e.reset(); err != nil {
 		return core.LoadStats{}, err
 	}
@@ -227,6 +304,9 @@ func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, e
 		return st, e.abortLoad(err)
 	}
 	e.loaded = true
+	if err := e.publishLocked(e.p.AdvanceEpoch()); err != nil {
+		return st, e.abortLoad(err)
+	}
 	return st, nil
 }
 
@@ -305,9 +385,9 @@ func (e *Engine) storeDocument(name string, doc *xmldom.Node, raw []byte) (docEn
 	return en, nil
 }
 
-// decodeRecord rebuilds a node tree from one stored record.
-func (e *Engine) decodeRecord(ctx context.Context, rid pager.RID) (*xmldom.Node, error) {
-	data, err := e.docs.Get(ctx, rid)
+// decodeRecord rebuilds a node tree from one stored record of v.
+func (e *Engine) decodeRecord(ctx context.Context, v *view, rid pager.RID) (*xmldom.Node, error) {
+	data, err := v.docs.Get(ctx, rid)
 	if err != nil {
 		return nil, err
 	}
@@ -321,9 +401,9 @@ func (e *Engine) decodeRecord(ctx context.Context, rid pager.RID) (*xmldom.Node,
 // segments (1-based segment numbers; nil means all). Partial assembly is
 // only valid for queries that select top-level subtrees by value — which
 // is what the index locators guarantee.
-func (e *Engine) assembleDoc(ctx context.Context, en docEntry, segs []int) (*xmldom.Node, error) {
+func (e *Engine) assembleDoc(ctx context.Context, v *view, en docEntry, segs []int) (*xmldom.Node, error) {
 	if !en.segmented {
-		node, err := e.decodeRecord(ctx, en.rids[0])
+		node, err := e.decodeRecord(ctx, v, en.rids[0])
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +415,7 @@ func (e *Engine) assembleDoc(ctx context.Context, en docEntry, segs []int) (*xml
 		doc.Renumber()
 		return doc, nil
 	}
-	header, err := e.decodeRecord(ctx, en.rids[0])
+	header, err := e.decodeRecord(ctx, v, en.rids[0])
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +423,7 @@ func (e *Engine) assembleDoc(ctx context.Context, en docEntry, segs []int) (*xml
 	root := doc.Append(header)
 	if segs == nil {
 		for i := 1; i < len(en.rids); i++ {
-			child, err := e.decodeRecord(ctx, en.rids[i])
+			child, err := e.decodeRecord(ctx, v, en.rids[i])
 			if err != nil {
 				return nil, err
 			}
@@ -355,7 +435,7 @@ func (e *Engine) assembleDoc(ctx context.Context, en docEntry, segs []int) (*xml
 			if s < 1 || s >= len(en.rids) {
 				return nil, fmt.Errorf("native: segment %d out of range", s)
 			}
-			child, err := e.decodeRecord(ctx, en.rids[s])
+			child, err := e.decodeRecord(ctx, v, en.rids[s])
 			if err != nil {
 				return nil, err
 			}
@@ -384,6 +464,8 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ctx := context.Background()
+	v := e.liveView()
+	e.p.BeginMutation()
 	for _, spec := range specs {
 		if _, dup := e.indexes[spec.Target]; dup {
 			continue
@@ -393,9 +475,9 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			return err
 		}
 		elem, attr := splitTarget(spec.Target)
-		err = e.scanCatalog(ctx, func(docPos int, en docEntry) (bool, error) {
+		err = e.scanCatalog(ctx, v, func(docPos int, en docEntry) (bool, error) {
 			if !en.segmented {
-				doc, err := e.decodeRecord(ctx, en.rids[0])
+				doc, err := e.decodeRecord(ctx, v, en.rids[0])
 				if err != nil {
 					return false, err
 				}
@@ -407,7 +489,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 				return true, nil
 			}
 			for seg := 0; seg < len(en.rids); seg++ {
-				node, err := e.decodeRecord(ctx, en.rids[seg])
+				node, err := e.decodeRecord(ctx, v, en.rids[seg])
 				if err != nil {
 					return false, err
 				}
@@ -429,7 +511,10 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 		}
 		e.indexes[spec.Target] = ix
 	}
-	return e.p.SyncAll()
+	if err := e.p.SyncAll(); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // splitTarget parses Table 3 notation: "hw", "article/@id".
@@ -456,11 +541,11 @@ func extractValues(doc *xmldom.Node, elem, attr string) []string {
 	return vals
 }
 
-// scanCatalog walks the on-disk catalog in load order.
-func (e *Engine) scanCatalog(ctx context.Context, fn func(docPos int, en docEntry) (bool, error)) error {
+// scanCatalog walks v's on-disk catalog in load order.
+func (e *Engine) scanCatalog(ctx context.Context, v *view, fn func(docPos int, en docEntry) (bool, error)) error {
 	var inner error
 	pos := 0
-	err := e.catalog.Scan(ctx, func(_ pager.RID, rec []byte) bool {
+	err := v.catalog.Scan(ctx, func(_ pager.RID, rec []byte) bool {
 		en, err := decodeCatalogEntry(rec)
 		if err != nil {
 			inner = err
@@ -485,20 +570,33 @@ func (e *Engine) scanCatalog(ctx context.Context, fn func(docPos int, en docEntr
 // document set when the query has a usable hint. It is safe to call from
 // many goroutines; cancellation via ctx is honored at page-fetch
 // granularity while documents are materialized.
+// With snapshots on (the default), a query pins a commit epoch and runs
+// against frozen heap and index views without touching the engine write
+// lock, so U1-U3 updates never stall it.
 func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	if snap, val, ok := e.snap.Pin(e.p); ok {
+		defer snap.Release()
+		return e.run(ctx, val.(*view), q, p)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	def := queries.Lookup(e.class, q)
+	return e.run(ctx, e.liveView(), q, p)
+}
+
+// run executes q against v, which is either the live store (caller
+// holds the read latch) or a pinned snapshot view (lock-free).
+func (e *Engine) run(ctx context.Context, v *view, q core.QueryID, p core.Params) (core.Result, error) {
+	def := queries.Lookup(v.class, q)
 	if def == nil {
 		return core.Result{}, core.ErrNoQuery
 	}
 	reg := e.Metrics()
 	before := e.p.Stats()
-	ph, err := plan.Plan(def, e.statValues())
+	ph, err := plan.Plan(def, e.statValues(v))
 	if err != nil {
 		return core.Result{}, err
 	}
-	coll, err := e.buildCollection(ctx, ph, p)
+	coll, err := e.buildCollection(ctx, v, ph, p)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -506,7 +604,7 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	compiled, err := xquery.Parse(def.XQuery)
 	parseSpan.End()
 	if err != nil {
-		return core.Result{}, fmt.Errorf("native: %s/%s: %w", e.class, q, err)
+		return core.Result{}, fmt.Errorf("native: %s/%s: %w", v.class, q, err)
 	}
 	vars := map[string]xquery.Seq{}
 	for k, v := range p {
@@ -516,7 +614,7 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	seq, err := compiled.EvalWithVars(coll, vars)
 	evalSpan.End()
 	if err != nil {
-		return core.Result{}, fmt.Errorf("native: %s/%s: %w", e.class, q, err)
+		return core.Result{}, fmt.Errorf("native: %s/%s: %w", v.class, q, err)
 	}
 	return core.Result{
 		Items:           xquery.SerializeSeq(seq),
@@ -525,18 +623,19 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	}, nil
 }
 
-// statValues derives planner statistics from the loaded store: document
-// heap pages, catalog entry count, and the heights of the live value
-// indexes. Callers hold at least the read lock.
-func (e *Engine) statValues() plan.StatValues {
+// statValues derives planner statistics from v: document heap pages,
+// catalog entry count, the heights of the value indexes, and the range
+// selectivities execution has observed so far.
+func (e *Engine) statValues(v *view) plan.StatValues {
 	st := plan.StatValues{
-		DataPages: e.docs.Pages(),
-		DataRows:  int64(e.catalog.Count()),
-		Indexes:   make(map[string]int, len(e.indexes)),
+		DataPages: v.docs.Pages(),
+		DataRows:  int64(v.catalog.Count()),
+		Indexes:   make(map[string]int, len(v.indexes)),
 	}
-	for target, ix := range e.indexes {
+	for target, ix := range v.indexes {
 		st.Indexes[target] = ix.Height()
 	}
+	st.RangeSelectivity = e.planFB.Selectivity()
 	return st
 }
 
@@ -549,7 +648,7 @@ func (e *Engine) Explain(_ context.Context, q core.QueryID, _ core.Params) (*cor
 	if def == nil {
 		return nil, core.ErrNoQuery
 	}
-	ph, err := plan.Plan(def, e.statValues())
+	ph, err := plan.Plan(def, e.statValues(e.liveView()))
 	if err != nil {
 		return nil, err
 	}
@@ -563,12 +662,12 @@ var _ core.Explainer = (*Engine)(nil)
 // named document for doc()-based queries, or the whole database for
 // scans. The catalog is always read from disk (cold-run cost
 // proportional to document count).
-func (e *Engine) buildCollection(ctx context.Context, ph *plan.Physical, p core.Params) (*xquery.Collection, error) {
+func (e *Engine) buildCollection(ctx context.Context, v *view, ph *plan.Physical, p core.Params) (*xquery.Collection, error) {
 	reg := e.Metrics()
 	coll := xquery.NewCollection()
 	addDoc := func(en docEntry, segs []int) error {
 		sp := reg.StartSpan(metrics.PhaseMaterialize)
-		doc, err := e.assembleDoc(ctx, en, segs)
+		doc, err := e.assembleDoc(ctx, v, en, segs)
 		sp.End()
 		if err != nil {
 			return err
@@ -582,7 +681,7 @@ func (e *Engine) buildCollection(ctx context.Context, ph *plan.Physical, p core.
 	if docName := p.Get("DOC"); docName != "" && ph.Access == plan.AccessDoc {
 		found := false
 		scanSpan := reg.StartSpan(metrics.PhaseScan)
-		err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
+		err := e.scanCatalog(ctx, v, func(_ int, en docEntry) (bool, error) {
 			if en.name == docName {
 				found = true
 				return false, addDoc(en, nil)
@@ -599,7 +698,7 @@ func (e *Engine) buildCollection(ctx context.Context, ph *plan.Physical, p core.
 		return coll, nil
 	}
 
-	if ix, ok := e.indexes[ph.IndexTarget]; ok && ph.Access == plan.AccessIndex {
+	if ix, ok := v.indexes[ph.IndexTarget]; ok && ph.Access == plan.AccessIndex {
 		probeSpan := reg.StartSpan(metrics.PhaseIndexProbe)
 		var (
 			locs []uint64
@@ -632,17 +731,24 @@ func (e *Engine) buildCollection(ctx context.Context, ph *plan.Physical, p core.
 				wantSegs[docPos] = append(wantSegs[docPos], seg)
 			}
 		}
+		if ph.LoParam != "" {
+			// Range probe: feed the observed selectivity (documents the
+			// window kept / documents in the catalog) back to the cost
+			// model for the next Plan call.
+			e.planFB.Observe(ph.FeedbackTarget,
+				int64(len(wantAll)+len(wantSegs)), int64(v.catalog.Count()))
+		}
 		// Some queries join against other documents (Q19 joins orders with
 		// the flat customers document); always include the flat documents
 		// of multi-document DC databases.
 		scanSpan := reg.StartSpan(metrics.PhaseScan)
-		err = e.scanCatalog(ctx, func(docPos int, en docEntry) (bool, error) {
+		err = e.scanCatalog(ctx, v, func(docPos int, en docEntry) (bool, error) {
 			switch {
 			case wantAll[docPos]:
 				return true, addDoc(en, nil)
 			case len(wantSegs[docPos]) > 0:
 				return true, addDoc(en, wantSegs[docPos])
-			case e.class == core.DCMD && !strings.HasPrefix(en.name, "order"):
+			case v.class == core.DCMD && !strings.HasPrefix(en.name, "order"):
 				return true, addDoc(en, nil)
 			}
 			return true, nil
@@ -653,7 +759,7 @@ func (e *Engine) buildCollection(ctx context.Context, ph *plan.Physical, p core.
 
 	// Sequential scan: materialize everything.
 	scanSpan := reg.StartSpan(metrics.PhaseScan)
-	err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
+	err := e.scanCatalog(ctx, v, func(_ int, en docEntry) (bool, error) {
 		return true, addDoc(en, nil)
 	})
 	scanSpan.End()
@@ -678,6 +784,7 @@ func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.snap.Publish(e.p.SnapshotEpoch(), nil)
 	e.loaded = false
 	e.indexes = map[string]*btree.Tree{}
 	return e.p.Close()
@@ -715,6 +822,7 @@ func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) e
 	if exists {
 		return fmt.Errorf("native: insert %s: document already exists", name)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindInsert, Name: name, Data: data}); err != nil {
 		return err
 	}
@@ -732,7 +840,7 @@ func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) e
 		return err
 	}
 	e.indexes = map[string]*btree.Tree{}
-	return nil
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // ReplaceDocument replaces the named document with new content, or adds
@@ -748,10 +856,14 @@ func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) 
 	if err != nil {
 		return fmt.Errorf("native: replace %s: %w", name, err)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindReplace, Name: name, Data: data}); err != nil {
 		return err
 	}
-	return e.rewriteCatalog(ctx, name, parsed, data, true)
+	if err := e.rewriteCatalog(ctx, name, parsed, data, true); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // DeleteDocument removes the named document (U3). It returns an error
@@ -769,10 +881,14 @@ func (e *Engine) DeleteDocument(ctx context.Context, name string) error {
 	if !exists {
 		return fmt.Errorf("native: document %q not found", name)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindDelete, Name: name}); err != nil {
 		return err
 	}
-	return e.rewriteCatalog(ctx, name, nil, nil, false)
+	if err := e.rewriteCatalog(ctx, name, nil, nil, false); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // RecoverUpdates restores the document store after a crash. Call pager
@@ -787,7 +903,7 @@ func (e *Engine) RecoverUpdates(ctx context.Context, db *core.Database) error {
 // Caller holds the write lock.
 func (e *Engine) hasDocument(ctx context.Context, name string) (bool, error) {
 	found := false
-	err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
+	err := e.scanCatalog(ctx, e.liveView(), func(_ int, en docEntry) (bool, error) {
 		if en.name == name {
 			found = true
 			return false, nil
@@ -804,7 +920,7 @@ func (e *Engine) hasDocument(ctx context.Context, name string) (bool, error) {
 func (e *Engine) rewriteCatalog(ctx context.Context, name string, parsed *xmldom.Node, raw []byte, upsert bool) error {
 	var entries []docEntry
 	found := false
-	err := e.scanCatalog(ctx, func(_ int, en docEntry) (bool, error) {
+	err := e.scanCatalog(ctx, e.liveView(), func(_ int, en docEntry) (bool, error) {
 		if en.name == name {
 			found = true
 			return true, nil // drop the old entry
@@ -851,4 +967,7 @@ func (e *Engine) DropIndexes() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.indexes = map[string]*btree.Tree{}
+	// Republish at the unchanged epoch so snapshot readers also stop
+	// probing the dropped indexes; no pages moved, so views stay valid.
+	_ = e.publishLocked(e.p.SnapshotEpoch())
 }

@@ -57,6 +57,7 @@ func StoreStats(s *shredder.Store) plan.StatValues {
 			st.Indexes["customer/@id"] = h
 		}
 	}
+	st.RangeSelectivity = s.Feedback.Selectivity()
 	return st
 }
 
@@ -76,6 +77,10 @@ func Physical(s *shredder.Store, q core.QueryID) (*plan.Physical, error) {
 // hard-coded paths.
 type access struct {
 	ph *plan.Physical
+	// fb receives observed range selectivities (rows kept / rows in
+	// the probed table) so the next Plan call costs the range with
+	// what execution saw instead of the fixed prior.
+	fb *plan.Feedback
 }
 
 // forceScan reports that the cost model rejected the index.
@@ -120,10 +125,22 @@ func (a access) first(ctx context.Context, t *relational.Table, col, val string)
 }
 
 // rng fetches the rows with lo <= col <= hi along the planned access
-// path.
+// path, then feeds the observed selectivity back to the planner. The
+// feedback fires on both branches — a range the cost model demoted to
+// a scan keeps reporting, so it can be re-promoted when the data
+// shifts back under it.
 func (a access) rng(ctx context.Context, t *relational.Table, col, lo, hi string) ([]relational.Row, error) {
+	var (
+		rows []relational.Row
+		err  error
+	)
 	if a.forceScan() {
-		return t.ScanRange(ctx, col, lo, hi)
+		rows, err = t.ScanRange(ctx, col, lo, hi)
+	} else {
+		rows, err = t.LookupRange(ctx, col, lo, hi)
 	}
-	return t.LookupRange(ctx, col, lo, hi)
+	if err == nil && a.ph != nil {
+		a.fb.Observe(a.ph.FeedbackTarget, int64(len(rows)), int64(t.Count()))
+	}
+	return rows, err
 }

@@ -39,7 +39,7 @@ func Execute(ctx context.Context, s *shredder.Store, q core.QueryID, p core.Para
 	if err != nil {
 		return core.Result{}, err
 	}
-	a := access{ph: ph}
+	a := access{ph: ph, fb: s.Feedback}
 	var items []string
 	switch s.Class {
 	case core.DCSD:

@@ -9,6 +9,7 @@ import (
 	"xbench/internal/core"
 	"xbench/internal/gen"
 	"xbench/internal/pager"
+	"xbench/internal/plan"
 	"xbench/internal/relational"
 	"xbench/internal/shredder"
 	"xbench/internal/xmldom"
@@ -152,6 +153,87 @@ func TestQ3Aggregates(t *testing.T) {
 	ot.Scan(context.Background(), func(relational.Row) bool { n++; return true })
 	if n == 0 {
 		t.Fatal("no orders")
+	}
+}
+
+// TestRangeFeedbackRecostsPlan: executing a range query must feed its
+// observed selectivity back into the store's statistics, and the
+// planner must act on it — a window that keeps every row flips the
+// next Q10 plan from the index probe to the scan, and narrow windows
+// afterwards decay the estimate until the probe wins again.
+func TestRangeFeedbackRecostsPlan(t *testing.T) {
+	ctx := context.Background()
+	// A bigger item table than loadStore's: the premise needs the probe
+	// to beat the scan under the default prior, which takes enough heap
+	// pages for 0.25*scanCost to dominate the btree descent.
+	cfg := gen.Config{DictEntries: 30, Articles: 6, Items: 120, Orders: 30}
+	db, err := cfg.Generate(core.DCSD, core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shredder.NewStore(core.DCSD, relational.NewDB(pager.New(256)), shredder.Options{})
+	for _, d := range db.Docs {
+		doc, err := xmldom.Parse(d.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ShredDocument(d.Name, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DB.Table("item_tab").CreateIndex("date_of_release"); err != nil {
+		t.Fatal(err)
+	}
+	ph, err := Physical(s, core.Q10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Access != plan.AccessIndex {
+		st := StoreStats(s)
+		t.Fatalf("premise broken: default prior picked %v over stats %+v, want index probe", ph.Access, st)
+	}
+
+	// A window covering every generated date: observed selectivity ~1.
+	all := core.Params{"LO": "0000-01-01", "HI": "9999-12-31"}
+	res, err := Execute(ctx, s, core.Q10, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) == 0 {
+		t.Fatal("full-window Q10 returned nothing")
+	}
+	if n := s.Feedback.Observations("date_of_release"); n == 0 {
+		t.Fatal("range execution recorded no selectivity feedback")
+	}
+	if sel := s.Feedback.Selectivity()["date_of_release"]; sel < 0.9 {
+		t.Fatalf("full-window selectivity observed as %v, want ~1", sel)
+	}
+	ph, err = Physical(s, core.Q10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Access != plan.AccessScan {
+		t.Fatalf("after observing a full-table range the plan kept %v, want scan", ph.Access)
+	}
+
+	// The scan path must keep observing: empty windows decay the
+	// estimate back below the flip point and re-promote the probe.
+	empty := core.Params{"LO": "0001-01-01", "HI": "0001-01-02"}
+	for i := 0; i < 10; i++ {
+		if _, err := Execute(ctx, s, core.Q10, empty); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ph, err = Physical(s, core.Q10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Access != plan.AccessIndex {
+		t.Fatalf("narrow windows did not re-promote the probe: %v (selectivity %v)",
+			ph.Access, s.Feedback.Selectivity()["date_of_release"])
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"xbench/internal/core"
+	"xbench/internal/engines/engsnap"
 	"xbench/internal/engines/shredplan"
 	"xbench/internal/engines/xcollection"
 	"xbench/internal/metrics"
@@ -38,13 +39,43 @@ type Engine struct {
 	store   *shredder.Store
 	docIDs  map[string]string // document name -> unit-document root id
 	journal *updatelog.Log    // logical redo journal for U1-U3
+	snap    engsnap.Published // MVCC snapshot state for lock-free reads
 }
 
 // New returns an empty engine.
 func New(poolPages int) *Engine {
 	p := pager.New(poolPages)
 	p.SetMetrics(metrics.NewRegistry())
-	return &Engine{p: p, journal: updatelog.New(p, "updates")}
+	e := &Engine{p: p, journal: updatelog.New(p, "updates")}
+	e.snap.SetEnabled(true)
+	p.StartGC(engsnap.GCInterval)
+	return e
+}
+
+// SetSnapshots toggles MVCC snapshot reads (default on). Disabled,
+// Execute falls back to the engine read latch and quiesces behind
+// writers — the pre-MVCC baseline the update-fraction sweep compares
+// against.
+func (e *Engine) SetSnapshots(on bool) { e.snap.SetEnabled(on) }
+
+// SnapshotsEnabled reports whether snapshot reads are on.
+func (e *Engine) SnapshotsEnabled() bool { return e.snap.Enabled() }
+
+// publishLocked snapshots the store at epoch and publishes it for
+// snapshot readers. The caller holds the write lock and has synced the
+// store, so the snapshot's views freeze without flushing anything.
+func (e *Engine) publishLocked(epoch uint64) error {
+	if e.store == nil {
+		e.snap.Publish(epoch, nil)
+		return nil
+	}
+	s, err := e.store.Snapshot(epoch)
+	if err != nil {
+		e.snap.Publish(epoch, nil)
+		return err
+	}
+	e.snap.Publish(epoch, s)
+	return nil
 }
 
 // Name implements core.Engine.
@@ -60,8 +91,11 @@ func (e *Engine) Pager() *pager.Pager { return e.p }
 // shredded-table indexes and query path.
 func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
-// reset empties the store so Load is idempotent.
+// reset empties the store so Load is idempotent. The published snapshot
+// is withdrawn first so readers fall back to the locked path rather
+// than chase views into truncated files.
 func (e *Engine) reset() error {
+	e.snap.Publish(e.p.SnapshotEpoch(), nil)
 	e.docIDs = nil
 	if err := e.journal.Reset(); err != nil {
 		return err
@@ -87,15 +121,22 @@ func (e *Engine) abortLoad(err error) error {
 }
 
 // Load implements core.Engine. A failed load leaves an empty, loadable
-// database.
+// database. Load drains pinned snapshots before truncating: a reader
+// holding a pre-load snapshot would otherwise race the wholesale
+// truncate, whose pre-images are deliberately not versioned.
 func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.p.BlockPins()
+	defer e.p.UnblockPins()
 	if err := e.reset(); err != nil {
 		return core.LoadStats{}, err
 	}
 	st, err := e.loadDocs(ctx, db)
 	if err != nil {
+		return st, e.abortLoad(err)
+	}
+	if err := e.publishLocked(e.p.AdvanceEpoch()); err != nil {
 		return st, e.abortLoad(err)
 	}
 	return st, nil
@@ -164,6 +205,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 	if e.store == nil {
 		return fmt.Errorf("sqlserver: BuildIndexes before Load")
 	}
+	e.p.BeginMutation()
 	for _, spec := range specs {
 		table, col, ok := xcollection.TargetColumn(e.store.Class, spec.Target)
 		if !ok {
@@ -173,20 +215,37 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			return err
 		}
 	}
-	return e.p.SyncAll()
+	if err := e.p.SyncAll(); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // Execute implements core.Engine. It is safe to call from many
 // goroutines; cancellation via ctx is honored at page-fetch granularity.
+// With snapshots on (the default), a query pins a commit epoch and runs
+// against the published snapshot store without touching the engine write
+// lock, so U1-U3 updates never stall it; otherwise it quiesces under
+// the read latch as before.
 func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	if snap, st, ok := e.snap.Pin(e.p); ok {
+		defer snap.Release()
+		return e.run(ctx, st.(*shredder.Store), q, p)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.store == nil {
 		return core.Result{}, fmt.Errorf("sqlserver: Execute before Load")
 	}
+	return e.run(ctx, e.store, q, p)
+}
+
+// run executes q against st, which is either the live store (caller
+// holds the read latch) or a pinned snapshot store (lock-free).
+func (e *Engine) run(ctx context.Context, st *shredder.Store, q core.QueryID, p core.Params) (core.Result, error) {
 	before := e.p.Stats()
 	planSpan := e.Metrics().StartSpan(metrics.PhasePlan)
-	res, err := shredplan.Execute(ctx, e.store, q, p)
+	res, err := shredplan.Execute(ctx, st, q, p)
 	planSpan.End()
 	if err != nil {
 		return core.Result{}, err
@@ -230,6 +289,7 @@ func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.snap.Publish(e.p.SnapshotEpoch(), nil)
 	e.store = nil
 	e.docIDs = nil
 	return e.p.Close()
@@ -242,6 +302,11 @@ func (e *Engine) Close() error {
 // root id, so document-granularity delete is a clean relational cascade
 // (shredder.DeleteDocumentRows). After a crash, RecoverUpdates reloads
 // and re-applies the committed journal.
+//
+// Each update also runs inside a pager mutation bracket: every page it
+// overwrites is versioned with its pre-image at the next commit epoch,
+// so pinned snapshot readers keep the pre-update state, and EndMutation
+// followed by publishLocked makes the update visible to new readers.
 
 // InsertDocument implements core.Engine (U1: shred-table insert).
 func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) error {
@@ -257,10 +322,14 @@ func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) e
 	if _, exists := e.docIDs[name]; exists {
 		return fmt.Errorf("sqlserver: insert %s: document already exists", name)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindInsert, Name: name, Data: data}); err != nil {
 		return err
 	}
-	return e.applyInsert(name, id, doc)
+	if err := e.applyInsert(name, id, doc); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // ReplaceDocument implements core.Engine (U2: upsert — delete the old
@@ -275,6 +344,7 @@ func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) 
 	if err != nil {
 		return err
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindReplace, Name: name, Data: data}); err != nil {
 		return err
 	}
@@ -284,7 +354,10 @@ func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) 
 		}
 		delete(e.docIDs, name)
 	}
-	return e.applyInsert(name, id, doc)
+	if err := e.applyInsert(name, id, doc); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // DeleteDocument implements core.Engine (U3: shred-table delete cascade
@@ -302,6 +375,7 @@ func (e *Engine) DeleteDocument(ctx context.Context, name string) error {
 	if !exists {
 		return fmt.Errorf("sqlserver: document %q not found", name)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindDelete, Name: name}); err != nil {
 		return err
 	}
@@ -309,7 +383,7 @@ func (e *Engine) DeleteDocument(ctx context.Context, name string) error {
 		return err
 	}
 	delete(e.docIDs, name)
-	return nil
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // RecoverUpdates restores the store after a crash. Call pager Recover

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"xbench/internal/core"
+	"xbench/internal/engines/engsnap"
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
 	"xbench/internal/plan"
@@ -44,15 +45,75 @@ type Engine struct {
 	rids    []pager.RID          // CLOB rids in load order
 	names   map[string]pager.RID // document name -> CLOB rid
 	db      *relational.DB
-	journal *updatelog.Log // logical redo journal for U1-U3
+	journal *updatelog.Log    // logical redo journal for U1-U3
+	snap    engsnap.Published // MVCC snapshot state for lock-free reads
+	planFB  plan.Feedback     // observed range selectivities for the cost model
 }
 
 // New returns an empty engine.
 func New(poolPages int) *Engine {
 	p := pager.New(poolPages)
 	p.SetMetrics(metrics.NewRegistry())
-	return &Engine{p: p, clobs: pager.NewHeap(p, "clobs"), journal: updatelog.New(p, "updates")}
+	e := &Engine{p: p, clobs: pager.NewHeap(p, "clobs"), journal: updatelog.New(p, "updates")}
+	e.snap.SetEnabled(true)
+	p.StartGC(engsnap.GCInterval)
+	return e
 }
+
+// clobReader is the read surface shared by the live CLOB heap and a
+// frozen pager.HeapView.
+type clobReader interface {
+	Get(ctx context.Context, rid pager.RID) ([]byte, error)
+	Pages() int64
+}
+
+// view is the read surface of the store at one moment: either the live
+// heap, rid list and tables (caller holds the read latch) or frozen
+// snapshot views pinned at a commit epoch (lock-free — the rid slice is
+// copied at publish time and the DB is a snapshot clone).
+type view struct {
+	class core.Class
+	clobs clobReader
+	rids  []pager.RID
+	db    *relational.DB
+}
+
+// liveView wraps the live store. Caller holds at least the read latch.
+func (e *Engine) liveView() *view {
+	return &view{class: e.class, clobs: e.clobs, rids: e.rids, db: e.db}
+}
+
+// publishLocked freezes the store at epoch and publishes it for
+// snapshot readers. The caller holds the write lock and has synced the
+// heaps, so the views freeze without flushing anything.
+func (e *Engine) publishLocked(epoch uint64) error {
+	if e.db == nil {
+		e.snap.Publish(epoch, nil)
+		return nil
+	}
+	cv, err := e.clobs.View(epoch)
+	if err != nil {
+		e.snap.Publish(epoch, nil)
+		return err
+	}
+	dbSnap, err := e.db.Snapshot(epoch)
+	if err != nil {
+		e.snap.Publish(epoch, nil)
+		return err
+	}
+	rids := append([]pager.RID(nil), e.rids...)
+	e.snap.Publish(epoch, &view{class: e.class, clobs: cv, rids: rids, db: dbSnap})
+	return nil
+}
+
+// SetSnapshots toggles MVCC snapshot reads (default on). Disabled,
+// Execute falls back to the engine read latch and quiesces behind
+// writers — the pre-MVCC baseline the update-fraction sweep compares
+// against.
+func (e *Engine) SetSnapshots(on bool) { e.snap.SetEnabled(on) }
+
+// SnapshotsEnabled reports whether snapshot reads are on.
+func (e *Engine) SnapshotsEnabled() bool { return e.snap.Enabled() }
 
 // Name implements core.Engine.
 func (e *Engine) Name() string { return "Xcolumn" }
@@ -74,8 +135,11 @@ func (e *Engine) Pager() *pager.Pager { return e.p }
 // side-table indexes and query path.
 func (e *Engine) Metrics() *metrics.Registry { return e.p.Metrics() }
 
-// reset empties the store so Load is idempotent.
+// reset empties the store so Load is idempotent. The published snapshot
+// is withdrawn first so readers fall back to the locked path rather
+// than chase views into truncated files.
 func (e *Engine) reset() error {
+	e.snap.Publish(e.p.SnapshotEpoch(), nil)
 	e.rids = nil
 	e.names = nil
 	if err := e.clobs.Reset(); err != nil {
@@ -107,6 +171,9 @@ func (e *Engine) abortLoad(err error) error {
 // Load implements core.Engine: store each document as a CLOB and populate
 // the side tables for the searchable elements. A failed load leaves an
 // empty, loadable database.
+// Load drains pinned snapshots before truncating: a reader holding a
+// pre-load snapshot would otherwise race the wholesale truncate, whose
+// pre-images are deliberately not versioned.
 func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -114,11 +181,16 @@ func (e *Engine) Load(ctx context.Context, db *core.Database) (core.LoadStats, e
 	if err := e.Supports(db.Class, db.Size); err != nil {
 		return st, err
 	}
+	e.p.BlockPins()
+	defer e.p.UnblockPins()
 	if err := e.reset(); err != nil {
 		return st, err
 	}
 	st, err := e.loadDocs(ctx, db)
 	if err != nil {
+		return st, e.abortLoad(err)
+	}
+	if err := e.publishLocked(e.p.AdvanceEpoch()); err != nil {
 		return st, e.abortLoad(err)
 	}
 	return st, nil
@@ -282,6 +354,7 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 	if e.db == nil {
 		return fmt.Errorf("xcolumn: BuildIndexes before Load")
 	}
+	e.p.BeginMutation()
 	for _, spec := range specs {
 		switch {
 		case e.class == core.DCMD && spec.Target == "order/@id":
@@ -294,18 +367,21 @@ func (e *Engine) BuildIndexes(specs []core.IndexSpec) error {
 			}
 		}
 	}
-	return e.p.SyncAll()
+	if err := e.p.SyncAll(); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // fetchDoc reads and parses the CLOB referenced by a side-table doc value.
-func (e *Engine) fetchDoc(ctx context.Context, doc string) (*xmldom.Node, error) {
+func (e *Engine) fetchDoc(ctx context.Context, v *view, doc string) (*xmldom.Node, error) {
 	rid, err := strconv.ParseUint(doc, 10, 64)
 	if err != nil {
 		return nil, fmt.Errorf("xcolumn: bad doc reference %q", doc)
 	}
 	sp := e.Metrics().StartSpan(metrics.PhaseMaterialize)
 	defer sp.End()
-	data, err := e.clobs.Get(ctx, pager.RID(rid))
+	data, err := v.clobs.Get(ctx, pager.RID(rid))
 	if err != nil {
 		return nil, err
 	}
@@ -314,28 +390,41 @@ func (e *Engine) fetchDoc(ctx context.Context, doc string) (*xmldom.Node, error)
 
 // Execute implements core.Engine. It is safe to call from many
 // goroutines; cancellation via ctx is honored at page-fetch granularity.
+// With snapshots on (the default), a query pins a commit epoch and runs
+// against frozen heap, rid-list and side-table views without touching
+// the engine write lock, so U1-U3 updates never stall it.
 func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	if snap, val, ok := e.snap.Pin(e.p); ok {
+		defer snap.Release()
+		return e.run(ctx, val.(*view), q, p)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.db == nil {
 		return core.Result{}, fmt.Errorf("xcolumn: Execute before Load")
 	}
-	def := queries.Lookup(e.class, q)
+	return e.run(ctx, e.liveView(), q, p)
+}
+
+// run executes q against v, which is either the live store (caller
+// holds the read latch) or a pinned snapshot view (lock-free).
+func (e *Engine) run(ctx context.Context, v *view, q core.QueryID, p core.Params) (core.Result, error) {
+	def := queries.Lookup(v.class, q)
 	if def == nil {
 		return core.Result{}, core.ErrNoQuery
 	}
-	ph, err := plan.Plan(def, e.statValues())
+	ph, err := plan.Plan(def, e.statValues(v))
 	if err != nil {
 		return core.Result{}, err
 	}
-	a := access{ph: ph}
+	a := access{ph: ph, fb: &e.planFB}
 	before := e.p.Stats()
 	var items []string
-	switch e.class {
+	switch v.class {
 	case core.DCMD:
-		items, err = e.execDCMD(ctx, a, q, p)
+		items, err = e.execDCMD(ctx, v, a, q, p)
 	case core.TCMD:
-		items, err = e.execTCMD(ctx, a, q, p)
+		items, err = e.execTCMD(ctx, v, a, q, p)
 	}
 	if err != nil {
 		return core.Result{}, err
@@ -350,29 +439,30 @@ func (e *Engine) Execute(ctx context.Context, q core.QueryID, p core.Params) (co
 	}, nil
 }
 
-// statValues derives planner statistics from the loaded database: the
-// CLOB heap drives scan cost (every unindexed query rereads the
-// documents), and the side-table key indexes are the only probe paths.
-func (e *Engine) statValues() plan.StatValues {
+// statValues derives planner statistics from v: the CLOB heap drives
+// scan cost (every unindexed query rereads the documents), and the
+// side-table key indexes are the only probe paths.
+func (e *Engine) statValues(v *view) plan.StatValues {
 	st := plan.StatValues{
-		DataPages: e.clobs.Pages(),
-		DataRows:  int64(len(e.rids)),
+		DataPages: v.clobs.Pages(),
+		DataRows:  int64(len(v.rids)),
 		Indexes:   map[string]int{},
 	}
-	for _, spec := range queries.Indexes(e.class) {
+	for _, spec := range queries.Indexes(v.class) {
 		var table string
 		switch {
-		case e.class == core.DCMD && spec.Target == "order/@id":
+		case v.class == core.DCMD && spec.Target == "order/@id":
 			table = "order_side"
-		case e.class == core.TCMD && spec.Target == "article/@id":
+		case v.class == core.TCMD && spec.Target == "article/@id":
 			table = "article_side"
 		default:
 			continue
 		}
-		if h := e.db.Table(table).IndexHeight("id"); h > 0 {
+		if h := v.db.Table(table).IndexHeight("id"); h > 0 {
 			st.Indexes[spec.Target] = h
 		}
 	}
+	st.RangeSelectivity = e.planFB.Selectivity()
 	return st
 }
 
@@ -388,7 +478,7 @@ func (e *Engine) Explain(_ context.Context, q core.QueryID, _ core.Params) (*cor
 	if def == nil {
 		return nil, core.ErrNoQuery
 	}
-	ph, err := plan.Plan(def, e.statValues())
+	ph, err := plan.Plan(def, e.statValues(e.liveView()))
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +491,8 @@ var _ core.Explainer = (*Engine)(nil)
 // side-table fetches below.
 type access struct {
 	ph *plan.Physical
+	// fb receives observed range selectivities for the cost model.
+	fb *plan.Feedback
 }
 
 func (a access) forceScan() bool {
@@ -415,17 +507,26 @@ func (a access) eq(ctx context.Context, t *relational.Table, col, val string) ([
 }
 
 func (a access) rng(ctx context.Context, t *relational.Table, col, lo, hi string) ([]relational.Row, error) {
+	var (
+		rows []relational.Row
+		err  error
+	)
 	if a.forceScan() {
-		return t.ScanRange(ctx, col, lo, hi)
+		rows, err = t.ScanRange(ctx, col, lo, hi)
+	} else {
+		rows, err = t.LookupRange(ctx, col, lo, hi)
 	}
-	return t.LookupRange(ctx, col, lo, hi)
+	if err == nil && a.ph != nil && a.fb != nil {
+		a.fb.Observe(a.ph.FeedbackTarget, int64(len(rows)), int64(t.Count()))
+	}
+	return rows, err
 }
 
 // docOf finds the CLOB reference for a key via the side table (indexed
 // when Table 3 covers it, a forced scan when the plan rejects the
 // probe).
-func (e *Engine) docOf(ctx context.Context, a access, table, col, key string) (string, relational.Row, error) {
-	t := e.db.Table(table)
+func (e *Engine) docOf(ctx context.Context, v *view, a access, table, col, key string) (string, relational.Row, error) {
+	t := v.db.Table(table)
 	rows, err := a.eq(ctx, t, col, key)
 	if err != nil || len(rows) == 0 {
 		return "", nil, err
@@ -433,15 +534,15 @@ func (e *Engine) docOf(ctx context.Context, a access, table, col, key string) (s
 	return rows[0][t.Col("doc")], rows[0], nil
 }
 
-func (e *Engine) execDCMD(ctx context.Context, a access, q core.QueryID, p core.Params) ([]string, error) {
-	orderSide := e.db.Table("order_side")
+func (e *Engine) execDCMD(ctx context.Context, v *view, a access, q core.QueryID, p core.Params) ([]string, error) {
+	orderSide := v.db.Table("order_side")
 	switch q {
 	case core.Q1, core.Q5, core.Q8, core.Q9, core.Q12, core.Q16:
-		doc, _, err := e.docOf(ctx, a, "order_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, v, a, "order_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
-		parsed, err := e.fetchDoc(ctx, doc)
+		parsed, err := e.fetchDoc(ctx, v, doc)
 		if err != nil {
 			return nil, err
 		}
@@ -498,7 +599,7 @@ func (e *Engine) execDCMD(ctx context.Context, a access, q core.QueryID, p core.
 		return out, nil
 	case core.Q17:
 		// No full-text side table: scan every CLOB (the Table 7 blow-up).
-		return e.clobWordSearch(ctx, p.Get("W2"), func(root *xmldom.Node) (string, bool) {
+		return e.clobWordSearch(ctx, v, p.Get("W2"), func(root *xmldom.Node) (string, bool) {
 			if root.Name != "order" {
 				return "", false
 			}
@@ -511,16 +612,16 @@ func (e *Engine) execDCMD(ctx context.Context, a access, q core.QueryID, p core.
 			return "", false
 		})
 	case core.Q19:
-		doc, orow, err := e.docOf(ctx, a, "order_side", "id", p.Get("X"))
+		doc, orow, err := e.docOf(ctx, v, a, "order_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
-		parsed, err := e.fetchDoc(ctx, doc)
+		parsed, err := e.fetchDoc(ctx, v, doc)
 		if err != nil {
 			return nil, err
 		}
 		custID := parsed.Root().FirstChild("customer_id").Text()
-		custSide := e.db.Table("customer_side")
+		custSide := v.db.Table("customer_side")
 		var out []string
 		if err := custSide.Scan(ctx, func(r relational.Row) bool {
 			if r[custSide.Col("id")] == custID {
@@ -544,9 +645,9 @@ func (e *Engine) execDCMD(ctx context.Context, a access, q core.QueryID, p core.
 	return nil, core.ErrNoQuery
 }
 
-func (e *Engine) execTCMD(ctx context.Context, a access, q core.QueryID, p core.Params) ([]string, error) {
-	artSide := e.db.Table("article_side")
-	secSide := e.db.Table("sec_side")
+func (e *Engine) execTCMD(ctx context.Context, v *view, a access, q core.QueryID, p core.Params) ([]string, error) {
+	artSide := v.db.Table("article_side")
+	secSide := v.db.Table("sec_side")
 	switch q {
 	case core.Q1:
 		rows, err := a.eq(ctx, artSide, "id", p.Get("X"))
@@ -561,7 +662,7 @@ func (e *Engine) execTCMD(ctx context.Context, a access, q core.QueryID, p core.
 		}
 		return out, nil
 	case core.Q5, core.Q8:
-		doc, _, err := e.docOf(ctx, a, "article_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, v, a, "article_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
@@ -609,11 +710,11 @@ func (e *Engine) execTCMD(ctx context.Context, a access, q core.QueryID, p core.
 		}
 		return out, nil
 	case core.Q12:
-		doc, _, err := e.docOf(ctx, a, "article_side", "id", p.Get("X"))
+		doc, _, err := e.docOf(ctx, v, a, "article_side", "id", p.Get("X"))
 		if err != nil || doc == "" {
 			return nil, err
 		}
-		parsed, err := e.fetchDoc(ctx, doc)
+		parsed, err := e.fetchDoc(ctx, v, doc)
 		if err != nil {
 			return nil, err
 		}
@@ -637,7 +738,7 @@ func (e *Engine) execTCMD(ctx context.Context, a access, q core.QueryID, p core.
 		}
 		return out, nil
 	case core.Q17:
-		return e.clobWordSearch(ctx, p.Get("W2"), func(root *xmldom.Node) (string, bool) {
+		return e.clobWordSearch(ctx, v, p.Get("W2"), func(root *xmldom.Node) (string, bool) {
 			if root.Name != "article" {
 				return "", false
 			}
@@ -669,12 +770,12 @@ func idSuffix(id string) int {
 
 // clobWordSearch scans every stored CLOB: a cheap raw-byte prefilter, then
 // a full parse of candidate documents to extract the result.
-func (e *Engine) clobWordSearch(ctx context.Context, word string, extract func(root *xmldom.Node) (string, bool)) ([]string, error) {
+func (e *Engine) clobWordSearch(ctx context.Context, v *view, word string, extract func(root *xmldom.Node) (string, bool)) ([]string, error) {
 	reg := e.Metrics()
 	defer reg.StartSpan(metrics.PhaseScan).End()
 	var out []string
-	for _, rid := range e.rids {
-		data, err := e.clobs.Get(ctx, rid)
+	for _, rid := range v.rids {
+		data, err := v.clobs.Get(ctx, rid)
 		if err != nil {
 			return nil, err
 		}
@@ -712,6 +813,7 @@ func (e *Engine) PageIO() int64 { return e.p.Stats().IO() }
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.snap.Publish(e.p.SnapshotEpoch(), nil)
 	e.db = nil
 	e.names = nil
 	e.rids = nil
@@ -743,10 +845,14 @@ func (e *Engine) InsertDocument(ctx context.Context, name string, data []byte) e
 	if _, exists := e.names[name]; exists {
 		return fmt.Errorf("xcolumn: insert %s: document already exists", name)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindInsert, Name: name, Data: data}); err != nil {
 		return err
 	}
-	return e.applyInsert(name, data, parsed)
+	if err := e.applyInsert(name, data, parsed); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // ReplaceDocument implements core.Engine (U2: upsert; side-table rows are
@@ -764,6 +870,7 @@ func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) 
 	if err != nil {
 		return fmt.Errorf("xcolumn: replace %s: %w", name, err)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindReplace, Name: name, Data: data}); err != nil {
 		return err
 	}
@@ -772,7 +879,10 @@ func (e *Engine) ReplaceDocument(ctx context.Context, name string, data []byte) 
 			return err
 		}
 	}
-	return e.applyInsert(name, data, parsed)
+	if err := e.applyInsert(name, data, parsed); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // DeleteDocument implements core.Engine (U3: drop the CLOB reference and
@@ -789,10 +899,14 @@ func (e *Engine) DeleteDocument(ctx context.Context, name string) error {
 	if _, exists := e.names[name]; !exists {
 		return fmt.Errorf("xcolumn: document %q not found", name)
 	}
+	e.p.BeginMutation()
 	if err := e.journal.Append(updatelog.Record{Kind: updatelog.KindDelete, Name: name}); err != nil {
 		return err
 	}
-	return e.applyDelete(ctx, name)
+	if err := e.applyDelete(ctx, name); err != nil {
+		return err
+	}
+	return e.publishLocked(e.p.EndMutation())
 }
 
 // RecoverUpdates restores the store after a crash. Call pager Recover
@@ -837,12 +951,15 @@ func (e *Engine) applyDelete(ctx context.Context, name string) error {
 		}
 	}
 	delete(e.names, name)
-	for i, r := range e.rids {
-		if r == rid {
-			e.rids = append(e.rids[:i], e.rids[i+1:]...)
-			break
+	// Copy-on-write: the previous slice may still back a published
+	// snapshot view, so never shift it in place.
+	rids := make([]pager.RID, 0, len(e.rids))
+	for _, r := range e.rids {
+		if r != rid {
+			rids = append(rids, r)
 		}
 	}
+	e.rids = rids
 	return e.p.SyncAll()
 }
 

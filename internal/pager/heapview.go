@@ -1,0 +1,120 @@
+package pager
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+)
+
+// HeapView is an immutable snapshot of a Heap: the record extent frozen
+// at view time, with every page read served as of a commit epoch
+// (pager.ReadAt). A view never consults the heap's in-memory tail or
+// mutable cursors, so it is safe to use from any goroutine while the
+// owning engine's writer keeps inserting, truncating or rewriting the
+// live heap — as long as the reader holds a Snap pinned at the view's
+// epoch (otherwise GC may reclaim the page versions the view depends on).
+//
+// Views are built by the writer at state-publish time (engines publish
+// one per heap inside their snapshot state) and by tests.
+type HeapView struct {
+	p     *Pager
+	fid   FileID
+	end   uint64
+	count int
+	epoch uint64
+}
+
+// View freezes the heap's current extent as of the given commit epoch.
+// A buffered-but-unflushed tail page would be invisible to the pager, so
+// View flushes it first; engines call View after their per-update syncs,
+// making this a no-op in practice.
+func (h *Heap) View(epoch uint64) (HeapView, error) {
+	if h.tailDirty {
+		if err := h.Flush(); err != nil {
+			return HeapView{}, err
+		}
+	}
+	return HeapView{p: h.p, fid: h.fid, end: h.end, count: h.count, epoch: epoch}, nil
+}
+
+// LiveView freezes the heap's extent with live (unversioned) page reads —
+// the degenerate view used when snapshots are disabled.
+func (h *Heap) LiveView() (HeapView, error) { return h.View(LiveEpoch) }
+
+// Epoch returns the view's commit epoch (LiveEpoch for a live view).
+func (v HeapView) Epoch() uint64 { return v.epoch }
+
+// Count returns the number of records in the view.
+func (v HeapView) Count() int { return v.count }
+
+// Bytes returns the record extent of the view.
+func (v HeapView) Bytes() uint64 { return v.end }
+
+// Pages returns the page count of the view's extent — the scan cost the
+// planner sees for this snapshot.
+func (v HeapView) Pages() int64 {
+	if v.end == 0 {
+		return 0
+	}
+	return int64((v.end + PageSize - 1) / PageSize)
+}
+
+// readAt fills buf starting at offset, reading pages as of the view's
+// epoch. Cancellation is honored at page-fetch granularity, like
+// Heap.readAt.
+func (v HeapView) readAt(ctx context.Context, buf []byte, off uint64) error {
+	for len(buf) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pg, err := v.p.ReadAt(v.fid, uint32(off/PageSize), v.epoch)
+		if err != nil {
+			return err
+		}
+		n := copy(buf, pg[off%PageSize:])
+		if n == 0 {
+			return fmt.Errorf("pager: heap view read stalled at offset %d", off)
+		}
+		buf = buf[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// Get returns a fresh copy of the record stored at rid, as of the view.
+func (v HeapView) Get(ctx context.Context, rid RID) ([]byte, error) {
+	off := uint64(rid)
+	if off+4 > v.end {
+		return nil, fmt.Errorf("pager: rid %d beyond heap view end %d", rid, v.end)
+	}
+	var pfx [4]byte
+	if err := v.readAt(ctx, pfx[:], off); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if off+4+uint64(n) > v.end {
+		return nil, fmt.Errorf("pager: rid %d has corrupt length %d in view", rid, n)
+	}
+	rec := make([]byte, n)
+	if err := v.readAt(ctx, rec, off+4); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Scan visits every record of the view in insertion order; returning
+// false stops early.
+func (v HeapView) Scan(ctx context.Context, fn func(rid RID, rec []byte) bool) error {
+	off := uint64(0)
+	for off < v.end {
+		rec, err := v.Get(ctx, RID(off))
+		if err != nil {
+			return err
+		}
+		if !fn(RID(off), rec) {
+			return nil
+		}
+		off += 4 + uint64(len(rec))
+	}
+	return nil
+}

@@ -1,0 +1,490 @@
+// MVCC snapshot layer (DESIGN.md §15): copy-on-write page versions that
+// let readers traverse a consistent epoch of the database while a writer
+// mutates it — without the engine write lock ever appearing on the read
+// path.
+//
+// The model is single-writer / multi-reader, matching the engines' update
+// protocol (updates already serialize on the engine mutex; queries do
+// not). Time is divided into commit epochs:
+//
+//   - The pager holds a current committed epoch E. A reader pins E
+//     (PinSnapshot) and reads every page "as of E" with ReadAt.
+//   - A writer brackets one update in BeginMutation/EndMutation. The
+//     mutation targets epoch E+1: the first in-place Write (or Truncate)
+//     of each page captures the page's pre-image as a version superseded
+//     at E+1. EndMutation publishes E+1 as the new committed epoch.
+//   - ReadAt(fid, no, S) returns the oldest version with supersededAt > S,
+//     or the live page when no version covers S. Because the journal-first
+//     update protocol makes the journal append the commit point and the
+//     mutation the redo apply, a reader pinned at E sees exactly the
+//     pre-update database for the whole mutation, and readers pinning
+//     after EndMutation see exactly the post-update database.
+//   - GC reclaims versions whose supersededAt is <= the lowest pinned
+//     epoch, clamped to the committed epoch so an open bracket's
+//     pre-images survive until their commit even with no pins held. It
+//     runs inline on unpin and commit, and optionally in the background
+//     (StartGC) so long-pinned snapshots don't defer all reclamation to
+//     the releasing reader.
+//
+// Version buffers alias the buffers they supersede: the pool replaces
+// page buffers wholesale and never mutates them in place (the documented
+// Read aliasing contract), so a captured pre-image stays immutable
+// without a copy.
+//
+// Quiesce: Load and ColdReset must not race pinned snapshots — they call
+// BlockPins, which waits for every outstanding pin to be released and
+// holds new PinSnapshot calls until UnblockPins. This replaces the old
+// "no concurrent readers because of the engine write lock" assumption.
+package pager
+
+import (
+	"sync"
+	"time"
+
+	"xbench/internal/metrics"
+)
+
+// LiveEpoch is the sentinel epoch meaning "read the current page, no
+// snapshot": ReadAt(fid, no, LiveEpoch) is exactly Read(fid, no).
+const LiveEpoch = ^uint64(0)
+
+// pageVersion is one superseded pre-image of a page: its content was
+// current up to (but excluding) epoch supersededAt.
+type pageVersion struct {
+	supersededAt uint64
+	data         []byte // immutable; aliases a replaced pool/disk buffer
+}
+
+// mvccState carries the snapshot machinery. It has its own mutex so pin
+// and version bookkeeping never contend with the buffer-pool latch; lock
+// order is p.mu before mvcc.mu (ReadAt takes them strictly in sequence,
+// never nested the other way).
+type mvccState struct {
+	mu   sync.Mutex
+	cond *sync.Cond // signals pin-count drops and unblocks
+
+	epoch     uint64 // current committed epoch
+	mutTarget uint64 // epoch the active mutation commits as; 0 = none
+	mutActive bool
+
+	pins    map[uint64]int // pinned epoch -> pin count
+	blocked bool           // BlockPins in force: new pins wait
+
+	versions map[pageKey][]pageVersion // ascending supersededAt
+	// newPages tracks pages appended inside the active mutation: they did
+	// not exist at any pinned epoch, so their writes need no pre-image.
+	newPages map[pageKey]struct{}
+
+	gcStop chan struct{}
+	gcDone chan struct{}
+
+	// cached metrics (nil-safe); bound by SetMetrics.
+	cPin     *metrics.Counter // pager.snap.pin: snapshots pinned
+	cCapture *metrics.Counter // pager.snap.capture: page versions captured
+	cVRead   *metrics.Counter // pager.snap.read.version: reads served from a version
+	cGC      *metrics.Counter // pager.snap.gc: versions reclaimed
+}
+
+func (m *mvccState) init() {
+	if m.cond == nil {
+		m.cond = sync.NewCond(&m.mu)
+	}
+	if m.pins == nil {
+		m.pins = make(map[uint64]int)
+	}
+	if m.versions == nil {
+		m.versions = make(map[pageKey][]pageVersion)
+	}
+}
+
+// Snap is one pinned snapshot. Release is idempotent.
+type Snap struct {
+	p        *Pager
+	epoch    uint64
+	released bool
+}
+
+// Epoch returns the pinned commit epoch.
+func (s *Snap) Epoch() uint64 { return s.epoch }
+
+// Release unpins the snapshot, making its versions reclaimable.
+func (s *Snap) Release() {
+	if s == nil || s.p == nil {
+		return
+	}
+	m := &s.p.mvcc
+	m.mu.Lock()
+	if s.released {
+		m.mu.Unlock()
+		return
+	}
+	s.released = true
+	if n := m.pins[s.epoch]; n <= 1 {
+		delete(m.pins, s.epoch)
+	} else {
+		m.pins[s.epoch] = n - 1
+	}
+	m.pruneLocked()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// PinSnapshot pins the current committed epoch and returns the snapshot
+// handle. While BlockPins is in force (Load, ColdReset) it waits for
+// UnblockPins, so readers pin either the state before the exclusive
+// operation or the state after it, never a half-built one.
+func (p *Pager) PinSnapshot() *Snap {
+	m := &p.mvcc
+	m.mu.Lock()
+	m.init()
+	for m.blocked {
+		m.cond.Wait()
+	}
+	e := m.epoch
+	m.pins[e]++
+	m.cPin.Inc()
+	m.mu.Unlock()
+	return &Snap{p: p, epoch: e}
+}
+
+// SnapshotEpoch returns the current committed epoch.
+func (p *Pager) SnapshotEpoch() uint64 {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// PinnedSnapshots returns the number of outstanding pins (for tests and
+// GC introspection).
+func (p *Pager) PinnedSnapshots() int {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.pins {
+		n += c
+	}
+	return n
+}
+
+// LiveVersions returns the number of retained page versions.
+func (p *Pager) LiveVersions() int {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, vs := range m.versions {
+		n += len(vs)
+	}
+	return n
+}
+
+// BlockPins waits for every outstanding snapshot pin to be released and
+// then holds new PinSnapshot calls until UnblockPins. It is the quiesce
+// primitive for Load and ColdReset: with no pins outstanding every page
+// version is dead, so the version store is emptied too.
+func (p *Pager) BlockPins() {
+	m := &p.mvcc
+	m.mu.Lock()
+	m.init()
+	for m.blocked { // serialize concurrent blockers
+		m.cond.Wait()
+	}
+	m.blocked = true
+	for len(m.pins) > 0 {
+		m.cond.Wait()
+	}
+	// No pins and no open bracket (callers hold the engine write lock),
+	// so every version is <= the committed epoch and this drops them all.
+	m.pruneLocked()
+	m.mu.Unlock()
+}
+
+// UnblockPins lifts BlockPins and wakes waiting readers.
+func (p *Pager) UnblockPins() {
+	m := &p.mvcc
+	m.mu.Lock()
+	m.blocked = false
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// BeginMutation starts the single writer's copy-on-write bracket: page
+// writes until EndMutation capture pre-images superseded at the returned
+// target epoch. Mutations do not nest; the engines serialize writers on
+// their own mutex.
+func (p *Pager) BeginMutation() uint64 {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.init()
+	// A mutation abandoned by a failed apply (the caller surfaces the
+	// error; recovery is the journal's job) leaves mutActive set; the next
+	// bracket reuses the same target so its pre-images stay first-wins.
+	m.mutActive = true
+	m.mutTarget = m.epoch + 1
+	m.newPages = make(map[pageKey]struct{})
+	return m.mutTarget
+}
+
+// EndMutation commits the bracket: the target epoch becomes the current
+// committed epoch, visible to subsequent PinSnapshot calls. It returns
+// the committed epoch.
+func (p *Pager) EndMutation() uint64 {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.mutActive {
+		return m.epoch
+	}
+	m.epoch = m.mutTarget
+	m.mutActive = false
+	m.newPages = nil
+	m.pruneLocked()
+	return m.epoch
+}
+
+// AdvanceEpoch bumps the committed epoch outside a mutation bracket.
+// Load uses it after rebuilding the database under BlockPins, so stale
+// snapshot handles (epoch < current) are distinguishable from fresh ones.
+func (p *Pager) AdvanceEpoch() uint64 {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.init()
+	m.epoch++
+	m.mutActive = false
+	return m.epoch
+}
+
+// mvccReset drops all version and mutation state (crash recovery: the
+// in-memory chains died with the machine; replay re-brackets each
+// committed journal record, rebuilding a consistent latest epoch).
+func (p *Pager) mvccReset() {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.init()
+	m.versions = make(map[pageKey][]pageVersion)
+	m.mutActive = false
+	m.mutTarget = 0
+}
+
+// capture records a page's pre-image, superseded at the active mutation's
+// target epoch. First capture per page per target wins: a later write to
+// the same page in the same mutation must not overwrite the pre-image
+// with a half-mutated one. No-op outside a mutation bracket (bulk Load
+// runs under BlockPins instead — versioning it would pin the whole
+// database in memory). Callers hold p.mu; data must be an immutable
+// buffer (the replaced pool/disk buffer, or zeroPage).
+func (p *Pager) capture(key pageKey, data []byte) {
+	m := &p.mvcc
+	m.mu.Lock()
+	if !m.mutActive {
+		m.mu.Unlock()
+		return
+	}
+	if _, isNew := m.newPages[key]; isNew {
+		m.mu.Unlock()
+		return
+	}
+	vs := m.versions[key]
+	if n := len(vs); n > 0 && vs[n-1].supersededAt >= m.mutTarget {
+		m.mu.Unlock()
+		return
+	}
+	m.versions[key] = append(vs, pageVersion{supersededAt: m.mutTarget, data: data})
+	m.cCapture.Inc()
+	m.mu.Unlock()
+}
+
+// mutationActive reports whether a BeginMutation bracket is open.
+func (p *Pager) mutationActive() bool {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mutActive
+}
+
+// noteAppend records a page appended inside the active mutation, exempting
+// its writes from pre-image capture. Callers hold p.mu.
+func (p *Pager) noteAppend(key pageKey) {
+	m := &p.mvcc
+	m.mu.Lock()
+	if m.mutActive {
+		m.newPages[key] = struct{}{}
+	}
+	m.mu.Unlock()
+}
+
+// zeroPage backs pre-images of pages that were appended but never
+// written. It is shared and must never be mutated.
+var zeroPage = make([]byte, PageSize)
+
+// preImage resolves a page's current content for capture: the pool frame
+// if cached, else the disk image, else a zero page. Caller holds p.mu.
+func (p *Pager) preImage(f *file, key pageKey) []byte {
+	if i, ok := p.table[key]; ok {
+		return p.frames[i].data
+	}
+	if key.no < uint32(len(f.pages)) && f.pages[key.no] != nil {
+		return f.pages[key.no]
+	}
+	return zeroPage
+}
+
+// versionAt returns the content of the page as of epoch, or (nil, false)
+// when no retained version covers it and the live page is the answer.
+func (p *Pager) versionAt(key pageKey, epoch uint64) ([]byte, bool) {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs := m.versions[key]
+	// Oldest version superseded strictly after the snapshot epoch is the
+	// content that was current at that epoch.
+	for i := range vs {
+		if vs[i].supersededAt > epoch {
+			m.cVRead.Inc()
+			return vs[i].data, true
+		}
+	}
+	return nil, false
+}
+
+// ReadAt returns the content of a page as of a pinned snapshot epoch.
+// The caller must hold a Snap pinned at that epoch (otherwise GC may
+// have reclaimed the versions it needs). Like Read, the returned slice
+// is read-only and may alias shared buffers. ReadAt(fid, no, LiveEpoch)
+// degenerates to Read.
+func (p *Pager) ReadAt(fid FileID, no uint32, epoch uint64) ([]byte, error) {
+	if epoch == LiveEpoch {
+		return p.Read(fid, no)
+	}
+	key := pageKey{fid, no}
+	if data, ok := p.versionAt(key, epoch); ok {
+		return data, nil
+	}
+	// No version covered the epoch, so the live page looked like the
+	// answer — but that check races the writer: between versionAt and
+	// Read the mutation may capture this page's pre-image and overwrite
+	// (or truncate) it. The writer always captures before it mutates,
+	// both under the pool latch, so if our live read observed mutated
+	// state the capture is visible now: recheck and prefer the version.
+	// When the recheck finds nothing the live read was genuinely
+	// pre-mutation (or the page is unmutated) and both paths agree.
+	data, err := p.Read(fid, no)
+	if vdata, ok := p.versionAt(key, epoch); ok {
+		return vdata, nil
+	}
+	return data, err
+}
+
+// pruneLocked reclaims versions no pinned snapshot can reach: everything
+// superseded at or before the lowest pinned epoch. The bound is clamped
+// to the committed epoch: a version with supersededAt > epoch was
+// captured by the still-open mutation bracket, and a reader may pin the
+// committed epoch at any moment and need it — even when no pins are
+// held right now. Caller holds mvcc.mu.
+func (m *mvccState) pruneLocked() {
+	low := m.epoch
+	for e := range m.pins {
+		if e < low {
+			low = e
+		}
+	}
+	if len(m.versions) == 0 {
+		return
+	}
+	reclaimed := int64(0)
+	for key, vs := range m.versions {
+		i := 0
+		for i < len(vs) && vs[i].supersededAt <= low {
+			i++
+		}
+		if i == 0 {
+			continue
+		}
+		reclaimed += int64(i)
+		if i == len(vs) {
+			delete(m.versions, key)
+		} else {
+			m.versions[key] = append([]pageVersion(nil), vs[i:]...)
+		}
+	}
+	if reclaimed > 0 {
+		m.cGC.Add(reclaimed)
+	}
+}
+
+// GC runs one reclamation pass and returns the number of versions still
+// retained.
+func (p *Pager) GC() int {
+	m := &p.mvcc
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.init()
+	m.pruneLocked()
+	n := 0
+	for _, vs := range m.versions {
+		n += len(vs)
+	}
+	return n
+}
+
+// StartGC starts the background version reclaimer, pruning every
+// interval. It complements the inline pruning on unpin/commit: with a
+// long-pinned snapshot, versions that fall below a later, shorter pin
+// are reclaimed without waiting for the long reader. StopGC (or Close)
+// stops it. Starting twice restarts the ticker.
+func (p *Pager) StartGC(interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	p.StopGC()
+	m := &p.mvcc
+	m.mu.Lock()
+	m.init()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.gcStop, m.gcDone = stop, done
+	m.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.GC()
+			}
+		}
+	}()
+}
+
+// StopGC stops the background reclaimer, if running.
+func (p *Pager) StopGC() {
+	m := &p.mvcc
+	m.mu.Lock()
+	stop, done := m.gcStop, m.gcDone
+	m.gcStop, m.gcDone = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// setSnapMetrics binds the snapshot counters; called from SetMetrics
+// with p.mu held.
+func (p *Pager) setSnapMetrics(reg *metrics.Registry) {
+	m := &p.mvcc
+	m.mu.Lock()
+	m.cPin = reg.Counter("pager.snap.pin")
+	m.cCapture = reg.Counter("pager.snap.capture")
+	m.cVRead = reg.Counter("pager.snap.read.version")
+	m.cGC = reg.Counter("pager.snap.gc")
+	m.mu.Unlock()
+}

@@ -1,0 +1,264 @@
+package pager
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fillPage writes a whole page of the given byte value.
+func fillPage(t *testing.T, p *Pager, fid FileID, no uint32, b byte) {
+	t.Helper()
+	if err := p.Write(fid, no, bytes.Repeat([]byte{b}, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotReadSeesPreImage(t *testing.T) {
+	p := New(8)
+	fid := p.Create("t")
+	if _, err := p.Append(fid); err != nil {
+		t.Fatal(err)
+	}
+	fillPage(t, p, fid, 0, 'A')
+
+	snap := p.PinSnapshot()
+	defer snap.Release()
+
+	p.BeginMutation()
+	fillPage(t, p, fid, 0, 'B')
+	e := p.EndMutation()
+
+	got, err := p.ReadAt(fid, 0, snap.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'A' {
+		t.Fatalf("snapshot read saw %q, want pre-image 'A'", got[0])
+	}
+	after := p.PinSnapshot()
+	defer after.Release()
+	if after.Epoch() != e {
+		t.Fatalf("new pin epoch %d, want committed %d", after.Epoch(), e)
+	}
+	got, err = p.ReadAt(fid, 0, after.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'B' {
+		t.Fatalf("post-commit read saw %q, want 'B'", got[0])
+	}
+}
+
+// TestOpenBracketVersionsSurviveZeroPinPrune is the regression test for
+// the prune clamp: with no pins outstanding, GC must NOT reclaim
+// pre-images captured by a still-open mutation bracket. A reader pinning
+// the committed epoch mid-bracket depends on them.
+func TestOpenBracketVersionsSurviveZeroPinPrune(t *testing.T) {
+	p := New(8)
+	fid := p.Create("t")
+	if _, err := p.Append(fid); err != nil {
+		t.Fatal(err)
+	}
+	fillPage(t, p, fid, 0, 'A')
+
+	p.BeginMutation()
+	fillPage(t, p, fid, 0, 'B') // captures pre-image 'A' at the open target
+
+	// No pins are held. Before the clamp this pruned the open bracket's
+	// version and the pinned read below returned the half-mutated 'B'.
+	if n := p.GC(); n != 1 {
+		t.Fatalf("GC retained %d versions, want 1 (open bracket pre-image)", n)
+	}
+
+	snap := p.PinSnapshot() // pins the committed (pre-bracket) epoch
+	got, err := p.ReadAt(fid, 0, snap.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'A' {
+		t.Fatalf("mid-bracket snapshot read saw %q, want pre-image 'A'", got[0])
+	}
+	snap.Release()
+	p.EndMutation()
+
+	// With the bracket committed and no pins, everything is reclaimable.
+	if n := p.GC(); n != 0 {
+		t.Fatalf("GC retained %d versions after commit with no pins, want 0", n)
+	}
+}
+
+// TestSnapshotReadDuringTruncateRewrite stresses the ReadAt recheck: a
+// writer repeatedly truncates and rewrites a file inside mutation
+// brackets (the heap DeleteWhere pattern) while readers pin snapshots
+// and demand a page image consistent with their epoch. Without the
+// post-read version recheck, a reader racing the truncate observes the
+// half-rebuilt live page.
+func TestSnapshotReadDuringTruncateRewrite(t *testing.T) {
+	p := New(8)
+	fid := p.Create("t")
+	if _, err := p.Append(fid); err != nil {
+		t.Fatal(err)
+	}
+	fillPage(t, p, fid, 0, 'a')
+
+	// epochByte records the page content committed at each epoch.
+	var mu sync.Mutex
+	epochByte := map[uint64]byte{p.SnapshotEpoch(): 'a'}
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap := p.PinSnapshot()
+				mu.Lock()
+				want := epochByte[snap.Epoch()]
+				mu.Unlock()
+				got, err := p.ReadAt(fid, 0, snap.Epoch())
+				if err != nil || got[0] != want || got[PageSize-1] != want {
+					torn.Add(1)
+				}
+				snap.Release()
+			}
+		}()
+	}
+
+	for i := 0; i < 200; i++ {
+		b := byte('a' + (i+1)%26)
+		p.BeginMutation()
+		if err := p.Truncate(fid); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Append(fid); err != nil {
+			t.Fatal(err)
+		}
+		fillPage(t, p, fid, 0, b)
+		mu.Lock()
+		epochByte[p.EndMutation()] = b
+		mu.Unlock()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := torn.Load(); n > 0 {
+		t.Fatalf("%d torn snapshot reads during truncate/rewrite", n)
+	}
+}
+
+// TestColdResetWaitsForPinnedSnapshots pins down the quiesce contract:
+// ColdReset (and Load, which uses the same BlockPins primitive) must
+// wait for outstanding pins instead of racing them, and new pins issued
+// during the reset must wait until it finishes.
+func TestColdResetWaitsForPinnedSnapshots(t *testing.T) {
+	p := New(8)
+	fid := p.Create("t")
+	if _, err := p.Append(fid); err != nil {
+		t.Fatal(err)
+	}
+	fillPage(t, p, fid, 0, 'A')
+
+	snap := p.PinSnapshot()
+	resetDone := make(chan struct{})
+	go func() {
+		p.ColdReset()
+		close(resetDone)
+	}()
+
+	select {
+	case <-resetDone:
+		t.Fatal("ColdReset finished while a snapshot was pinned")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// A pin issued while the reset is draining must not sneak in before
+	// it: it blocks until UnblockPins.
+	pinDone := make(chan struct{})
+	go func() {
+		p.PinSnapshot().Release()
+		close(pinDone)
+	}()
+	select {
+	case <-pinDone:
+		t.Fatal("PinSnapshot succeeded while ColdReset was draining pins")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	snap.Release()
+	select {
+	case <-resetDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ColdReset did not finish after the pin was released")
+	}
+	select {
+	case <-pinDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked PinSnapshot did not resume after ColdReset")
+	}
+	if n := p.PinnedSnapshots(); n != 0 {
+		t.Fatalf("%d pins outstanding after quiesce, want 0", n)
+	}
+}
+
+// TestHeapViewFrozenDuringRewrite exercises the layer engines actually
+// read through: a HeapView built at a commit epoch must keep serving the
+// records frozen at that epoch while the live heap is reset and
+// rebuilt (the relational DeleteWhere rewrite) in later brackets.
+func TestHeapViewFrozenDuringRewrite(t *testing.T) {
+	ctx := context.Background()
+	p := New(16)
+	h := NewHeap(p, "heap")
+
+	write := func(gen, n int) []string {
+		recs := make([]string, n)
+		p.BeginMutation()
+		if err := h.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			recs[i] = fmt.Sprintf("gen%d-rec%d-%s", gen, i, bytes.Repeat([]byte{'x'}, 100))
+			if _, err := h.Insert([]byte(recs[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := h.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		p.EndMutation()
+		return recs
+	}
+
+	gen0 := write(0, 50)
+	snap := p.PinSnapshot()
+	defer snap.Release()
+	v, err := h.View(snap.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the heap twice more; the view must not notice.
+	write(1, 37)
+	write(2, 61)
+
+	var got []string
+	if err := v.Scan(ctx, func(_ RID, rec []byte) bool {
+		got = append(got, string(rec))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(gen0) {
+		t.Fatalf("snapshot scan saw %d records, want %d", len(got), len(gen0))
+	}
+	for i := range got {
+		if got[i] != gen0[i] {
+			t.Fatalf("record %d: snapshot saw %q, want %q", i, got[i][:20], gen0[i][:20])
+		}
+	}
+}

@@ -142,6 +142,10 @@ type Pager struct {
 	cReadFault  *metrics.Counter // pager.read.fault: injected transient faults
 	cReadRetry  *metrics.Counter // pager.read.retry: retry attempts
 	cTornWrite  *metrics.Counter // pager.write.torn: torn in-place writes
+
+	// mvcc is the snapshot layer (mvcc.go): commit epochs, pinned
+	// snapshots, copy-on-write page versions and their GC.
+	mvcc mvccState
 }
 
 type pageKey struct {
@@ -260,6 +264,7 @@ func (p *Pager) SetMetrics(reg *metrics.Registry) {
 	p.cReadFault = reg.Counter("pager.read.fault")
 	p.cReadRetry = reg.Counter("pager.read.retry")
 	p.cTornWrite = reg.Counter("pager.write.torn")
+	p.setSnapMetrics(reg)
 }
 
 // Metrics returns the attached registry (nil, and safe to use, when
@@ -292,6 +297,7 @@ func (p *Pager) Create(name string) FileID {
 // crashed pager simply drops them). Double-Close is safe; any file
 // operation after Close fails with ErrClosed.
 func (p *Pager) Close() error {
+	p.StopGC()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -335,6 +341,14 @@ func (p *Pager) Truncate(fid FileID) error {
 	if err := p.walAppend(walKindTruncate, pageKey{fid: fid}, nil); err != nil {
 		return err
 	}
+	// Inside a mutation bracket, every discarded page is a pre-image a
+	// pinned snapshot may still need (heap rewrites Truncate + reinsert).
+	if p.mutationActive() {
+		for no := uint32(0); no < uint32(len(f.pages)); no++ {
+			key := pageKey{fid, no}
+			p.capture(key, p.preImage(f, key))
+		}
+	}
 	f.pages = nil
 	for i := range p.frames {
 		if p.frames[i].valid && p.frames[i].key.fid == fid {
@@ -377,6 +391,7 @@ func (p *Pager) Append(fid FileID) (uint32, error) {
 	if err := p.install(pageKey{fid, no}, make([]byte, PageSize), true); err != nil {
 		return 0, err
 	}
+	p.noteAppend(pageKey{fid, no})
 	return no, nil
 }
 
@@ -523,9 +538,13 @@ func (p *Pager) Write(fid FileID, no uint32, data []byte) error {
 	if p.fault != nil && p.fault.crashed {
 		return ErrCrashed
 	}
+	key := pageKey{fid, no}
+	if p.mutationActive() {
+		p.capture(key, p.preImage(f, key))
+	}
 	pg := make([]byte, PageSize)
 	copy(pg, data)
-	return p.install(pageKey{fid, no}, pg, true)
+	return p.install(key, pg, true)
 }
 
 // install places a page into the buffer pool, evicting with GCLOCK and
@@ -801,7 +820,12 @@ func (p *Pager) SyncAll() error {
 //
 // ColdReset takes the exclusive latch, so it quiesces: page reads in
 // flight complete first, and reads issued during the reset wait for it.
+// With MVCC snapshots it additionally drains pinned snapshots first
+// (BlockPins): a pinned reader's page versions must not disappear under
+// it, and a reader pinning mid-reset must observe the post-reset state.
 func (p *Pager) ColdReset() {
+	p.BlockPins()
+	defer p.UnblockPins()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i := range p.frames {

@@ -165,6 +165,10 @@ func (p *Pager) Recover() (int, error) {
 	fs.wal = fs.wal[:0] // checkpoint: all images are now in place
 	fs.crashed = false
 	fs.ops = 0
+	// The in-memory MVCC version chains died with the machine; the update
+	// journal replay re-brackets each committed record, rebuilding a
+	// consistent latest epoch from scratch.
+	p.mvccReset()
 	return replayed, nil
 }
 

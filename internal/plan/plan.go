@@ -59,6 +59,10 @@ type StatValues struct {
 	// Indexes maps available value-index targets (Table 3 notation:
 	// "hw", "item/@id", "date_of_release") to their btree height.
 	Indexes map[string]int
+	// RangeSelectivity holds observed per-target range selectivities
+	// fed back from execution (see Feedback). Targets without an entry
+	// are costed with DefaultRangeSelectivity.
+	RangeSelectivity map[string]float64
 }
 
 // FixtureStats returns the canonical statistics used for golden plans
@@ -94,6 +98,12 @@ type Physical struct {
 	// Limit is the pushed-down row cap (positional [k] access), 0 if
 	// none.
 	Limit int
+	// FeedbackTarget is the index target of the primary source's range
+	// candidate, set whether or not the probe won the cost race. The
+	// execution layer keys observed-selectivity feedback by it, so a
+	// probe the model demoted to a scan keeps reporting and can be
+	// re-promoted when the data shifts back.
+	FeedbackTarget string
 	// EstCost and EstRows are the cost model's numbers for the chosen
 	// primary access path.
 	EstCost float64
@@ -166,6 +176,9 @@ func chooseAccess(ph *Physical, prim *xquery.Source, st StatValues) {
 	cands := findCandidates(prim, st)
 	best, bestCost := (*candidate)(nil), scanCost(st)
 	for i := range cands {
+		if cands[i].eq == nil && ph.FeedbackTarget == "" {
+			ph.FeedbackTarget = cands[i].target
+		}
 		if c := probeCost(&cands[i], st); c < bestCost {
 			best, bestCost = &cands[i], c
 		}
@@ -252,10 +265,24 @@ func plainParam(p string) bool {
 
 func paramName(p string) string { return strings.TrimPrefix(p, "$") }
 
-// rangeSelectivity is the assumed fraction of rows a range predicate
-// keeps. The benchmark's date ranges select narrow windows; 0.25 is
-// deliberately pessimistic so range probes only win against real scans.
-const rangeSelectivity = 0.25
+// DefaultRangeSelectivity is the assumed fraction of rows a range
+// predicate keeps when execution has not yet observed the real
+// fraction. The benchmark's date ranges select narrow windows; 0.25 is
+// deliberately pessimistic so range probes only win against real
+// scans. It is a prior, not a constant: engines feed observed
+// selectivities back through Feedback into
+// StatValues.RangeSelectivity, and rangeSel prefers those.
+const DefaultRangeSelectivity = 0.25
+
+// rangeSel is the selectivity used to cost a range probe on target:
+// the observed estimate when execution has fed one back, the
+// pessimistic default prior otherwise.
+func (st StatValues) rangeSel(target string) float64 {
+	if s, ok := st.RangeSelectivity[target]; ok {
+		return s
+	}
+	return DefaultRangeSelectivity
+}
 
 // scanCost is the page count of a sequential scan.
 func scanCost(st StatValues) float64 {
@@ -267,8 +294,8 @@ func scanCost(st StatValues) float64 {
 
 // probeCost models an index probe: descend the btree (height pages),
 // then fetch the estimated matches. Equality on a value index is
-// unique-ish (1 row); ranges keep rangeSelectivity of the rows, each
-// costing its share of the heap pages.
+// unique-ish (1 row); ranges keep the target's selectivity of the
+// rows, each costing its share of the heap pages.
 func probeCost(c *candidate, st StatValues) float64 {
 	h := float64(c.height)
 	if h < 1 {
@@ -277,14 +304,14 @@ func probeCost(c *candidate, st StatValues) float64 {
 	if c.eq != nil {
 		return h + 1
 	}
-	return h + rangeSelectivity*scanCost(st)
+	return h + st.rangeSel(c.target)*scanCost(st)
 }
 
 func estRows(c *candidate, st StatValues) float64 {
 	if c.eq != nil {
 		return 1
 	}
-	r := rangeSelectivity * float64(st.DataRows)
+	r := st.rangeSel(c.target) * float64(st.DataRows)
 	if r < 1 {
 		r = 1
 	}

@@ -63,6 +63,11 @@ type Table struct {
 	mu      sync.RWMutex
 	indexes map[string]*btree.Tree
 	rids    []pager.RID // insertion order, for stable scans
+
+	// snap, when non-nil, marks this table as an immutable epoch-pinned
+	// snapshot (snapshot.go): reads serve the frozen heap view and index
+	// views, mutations fail with ErrSnapshotWrite.
+	snap *tableSnap
 }
 
 // Create makes a new empty table. It panics if the name is taken (schema
@@ -128,10 +133,18 @@ func (t *Table) Col(name string) int {
 }
 
 // Count returns the number of rows.
-func (t *Table) Count() int { return t.heap.Count() }
+func (t *Table) Count() int {
+	if t.snap != nil {
+		return t.snap.heap.Count()
+	}
+	return t.heap.Count()
+}
 
 // Insert appends a row and maintains any existing indexes.
 func (t *Table) Insert(row Row) error {
+	if t.snap != nil {
+		return ErrSnapshotWrite
+	}
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("relational: %s: row has %d values, want %d", t.Name, len(row), len(t.Cols))
 	}
@@ -166,6 +179,9 @@ func (t *Table) Flush() error { return t.heap.Flush() }
 // the caller's concern (the engines journal the update before applying
 // it and replay from scratch after a crash).
 func (t *Table) DeleteWhere(ctx context.Context, col, val string) (int, error) {
+	if t.snap != nil {
+		return 0, ErrSnapshotWrite
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ci := t.Col(col)
@@ -217,6 +233,9 @@ func (t *Table) DeleteWhere(ctx context.Context, col, val string) (int, error) {
 // CreateIndex builds a B+tree on col over existing rows. Creating the same
 // index twice is a no-op.
 func (t *Table) CreateIndex(col string) error {
+	if t.snap != nil {
+		return ErrSnapshotWrite
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.createIndexLocked(col)
@@ -259,8 +278,14 @@ func (t *Table) HasIndex(col string) bool {
 	return ok
 }
 
-// index fetches an index pointer under the shared latch.
-func (t *Table) index(col string) (*btree.Tree, bool) {
+// index fetches an index reader: the live tree under the shared latch,
+// or the epoch-pinned view of a snapshot table (no latch — the snap map
+// is immutable).
+func (t *Table) index(col string) (btree.Reader, bool) {
+	if t.snap != nil {
+		ix, ok := t.snap.indexes[col]
+		return ix, ok
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ix, ok := t.indexes[col]
@@ -277,7 +302,7 @@ func (t *Table) Scan(ctx context.Context, fn func(Row) bool) error {
 	reg := t.reg()
 	reg.Counter("relational.scan").Inc()
 	defer reg.StartSpan(metrics.PhaseScan).End()
-	return t.heap.Scan(ctx, func(_ pager.RID, rec []byte) bool {
+	return t.scanRecords(ctx, func(_ pager.RID, rec []byte) bool {
 		reg.Counter("relational.scan.row").Inc()
 		return fn(decodeRow(rec))
 	})
@@ -285,7 +310,7 @@ func (t *Table) Scan(ctx context.Context, fn func(Row) bool) error {
 
 // Get fetches one row by RID.
 func (t *Table) Get(ctx context.Context, rid pager.RID) (Row, error) {
-	rec, err := t.heap.Get(ctx, rid)
+	rec, err := t.getRecord(ctx, rid)
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +454,12 @@ func (t *Table) ScanRange(ctx context.Context, col, lo, hi string) ([]Row, error
 
 // HeapPages returns the page count of the table's record heap, the
 // planner's sequential-scan cost.
-func (t *Table) HeapPages() int64 { return t.heap.Pages() }
+func (t *Table) HeapPages() int64 {
+	if t.snap != nil {
+		return t.snap.heap.Pages()
+	}
+	return t.heap.Pages()
+}
 
 // IndexHeight returns the btree height of col's index, 0 when the
 // column is unindexed.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"xbench/internal/core"
+	"xbench/internal/plan"
 	"xbench/internal/relational"
 	"xbench/internal/xmldom"
 )
@@ -51,11 +52,30 @@ type Store struct {
 	Rows int
 	// SkippedMixed counts mixed-content elements whose text was dropped.
 	SkippedMixed int
+	// Feedback accumulates observed range-probe selectivities for the
+	// cost model. Shared (by pointer) with every Snapshot clone, so
+	// queries running against pinned snapshot views still teach the
+	// live planner.
+	Feedback *plan.Feedback
+}
+
+// Snapshot clones the store as an immutable view of its tables at the
+// given commit epoch (relational.DB.Snapshot): the query path the
+// shredding engines publish per committed update so readers never take
+// the engine write lock. Must be called under writer exclusion at a
+// commit boundary; readers must hold a pager.Snap pinned at epoch.
+func (s *Store) Snapshot(epoch uint64) (*Store, error) {
+	db, err := s.DB.Snapshot(epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Class: s.Class, DB: db, Opts: s.Opts, Rows: s.Rows,
+		SkippedMixed: s.SkippedMixed, Feedback: s.Feedback}, nil
 }
 
 // NewStore creates the per-class table schema in db.
 func NewStore(class core.Class, db *relational.DB, opts Options) *Store {
-	s := &Store{Class: class, DB: db, Opts: opts}
+	s := &Store{Class: class, DB: db, Opts: opts, Feedback: &plan.Feedback{}}
 	switch class {
 	case core.DCSD:
 		db.Create("item_tab", "id", "title", "date_of_release", "subject",

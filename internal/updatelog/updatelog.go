@@ -26,6 +26,15 @@
 // order through the engine's public update methods, which re-journal
 // them. Replay is idempotent because each update was validated against
 // the very prefix state replay reconstructs.
+//
+// The commit point is also where MVCC epochs come from (DESIGN.md §15):
+// engines wrap each update in a pager mutation bracket
+// (BeginMutation before the append, EndMutation after the apply), so
+// the journal record at position k corresponds exactly to commit epoch
+// base+k. A reader pinned at an epoch sees the database as of that
+// journal prefix — all of record k's pages or none — and replay after
+// a crash re-commits the surviving prefix one epoch per record,
+// landing on a consistent latest epoch.
 package updatelog
 
 import (

@@ -59,6 +59,28 @@ func TestNewOptions(t *testing.T) {
 	}
 }
 
+// TestWithSnapshots: snapshot reads default on for every engine; the
+// option turns them off (the write-lock baseline) and back on.
+func TestWithSnapshots(t *testing.T) {
+	type snapper interface{ SnapshotsEnabled() bool }
+	for _, name := range []string{"native", "xcolumn", "xcollection", "sqlserver"} {
+		e, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.(snapper).SnapshotsEnabled() {
+			t.Errorf("%s: snapshots not on by default", name)
+		}
+		off, err := New(name, WithSnapshots(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.(snapper).SnapshotsEnabled() {
+			t.Errorf("%s: WithSnapshots(false) left snapshots on", name)
+		}
+	}
+}
+
 // TestDeprecatedConstructorsStillWork pins the compatibility satellite:
 // the old constructors and the options API coexist.
 func TestDeprecatedConstructorsStillWork(t *testing.T) {

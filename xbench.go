@@ -186,6 +186,7 @@ type engineOptions struct {
 	rowLimit  int
 	fault     *pager.FaultPolicy
 	metrics   *metrics.Registry
+	snapshots *bool
 }
 
 // WithPoolPages sizes the engine's buffer pool in pages; <= 0 selects the
@@ -206,6 +207,16 @@ func WithFaultPolicy(fp FaultPolicy) Option {
 // operator and phase counters accumulate there.
 func WithMetrics(reg *MetricsRegistry) Option {
 	return func(o *engineOptions) { o.metrics = reg }
+}
+
+// WithSnapshots toggles MVCC snapshot reads (DESIGN.md §15). They are on
+// by default: a query pins a commit epoch and runs against an immutable
+// published state without taking the engine write lock, so U1-U3 updates
+// never stall readers. WithSnapshots(false) reverts to the pre-MVCC
+// behavior — queries serialize against updates under the engine latch —
+// which is the baseline the update-fraction sweep compares against.
+func WithSnapshots(on bool) Option {
+	return func(o *engineOptions) { o.snapshots = &on }
 }
 
 // New constructs an engine by name with functional options. Recognized
@@ -239,6 +250,9 @@ func New(name string, opts ...Option) (Engine, error) {
 		if o.metrics != nil {
 			p.SetMetrics(o.metrics)
 		}
+	}
+	if o.snapshots != nil {
+		e.(interface{ SetSnapshots(bool) }).SetSnapshots(*o.snapshots)
 	}
 	return e, nil
 }
