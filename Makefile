@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos chaos-updates torture smoke bench-baseline perf-check plan-check plan-golden mvcc-sweep verify
+.PHONY: build test vet race chaos chaos-updates torture smoke shard-smoke bench-baseline perf-check plan-check plan-golden mvcc-sweep verify
 
 build:
 	$(GO) build ./...
@@ -31,15 +31,25 @@ chaos-updates: build
 # Process-kill torture: a real `xbench serve --journal` child is
 # SIGKILLed and restarted 20 times at seeded points during a mixed
 # read/write storm; the journal must afterwards hold exactly the set of
-# acknowledged updates (no lost ack, no double-apply).
+# acknowledged updates (no lost ack, no double-apply). The shard-kill
+# variant runs the same drill against a 3-shard router with a read
+# replica, SIGKILLing a whole shard: cluster-wide exactly-once, and reads
+# keep answering through every dead-primary window.
 torture:
-	$(GO) test -run 'TestProcessKillTorture|TestSupervisorKill' -v ./internal/chaos/
+	$(GO) test -run 'TestProcessKillTorture|TestShardKillTorture|TestSupervisorKill' -v ./internal/chaos/
 
 # Serving-layer smoke: xbench serve on loopback, remote 2-client sweep +
 # remote updates, kill -9 + journal-recovery restart, SIGTERM, require a
 # graceful exit 0.
 smoke:
 	bash scripts/serve_smoke.sh
+
+# Sharded serving-tier smoke: 3 `serve --shard` primaries + 1 journal-fed
+# replica behind `xbench route`; mixed sweep, kill -9 one whole shard
+# mid-run (reads must keep answering via the replica), journal-recovery
+# restart, graceful router drain with the per-shard metrics report.
+shard-smoke:
+	bash scripts/shard_smoke.sh
 
 # Regenerate the archived hot-path perf baselines (full-size cells; see
 # EXPERIMENTS.md "performance regression protocol"). Commit the updated
@@ -76,4 +86,4 @@ plan-golden:
 	$(GO) test -run TestGoldenPlans -update-plans ./internal/plan/
 
 # The PR gate: everything that must be green before a change lands.
-verify: build vet test race chaos-updates torture smoke plan-check
+verify: build vet test race chaos-updates torture smoke shard-smoke plan-check

@@ -19,9 +19,11 @@
 //	xbench query     --engine=x-hive --class=dcmd --size=small --q=5 [--show]
 //	xbench explain   --engine=x-hive --class=dcsd --size=small --query=5 [--remote=ADDR]
 //	xbench workload  --engine=x-hive --class=dcmd --size=small
-//	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--remote=ADDR] [--repeat=N] [--format=table|json|csv]
-//	xbench throughput --engine=x-hive --class=dcmd --size=small [--remote=ADDR] [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--update-fraction=F] [--format=table|json|csv]
-//	xbench serve     --engine=x-hive --class=dcmd --size=small [--addr=HOST:PORT] [--max-inflight=N] [--queue-wait=D] [--request-timeout=D] [--drain-timeout=D] [--no-load]
+//	xbench updates   [--class=dcmd|tcmd] [--size=S] [--engine=NAME] [--remote=ADDR] [--repeat=N] [--format=table|json|csv] [--gen-seed=N] [--scale=N]
+//	xbench throughput --engine=x-hive --class=dcmd --size=small [--remote=ADDR | --shards=LIST] [--skip-load] [--clients=1,2,4,8] [--ops=N|--duration=D] [--think=D] [--seed=N] [--update-fraction=F] [--update-seq-base=N] [--read-pref=primary|replica] [--partial=failfast|degraded] [--fanout=N] [--vnodes=N] [--format=table|json|csv] [--gen-seed=N] [--scale=N]
+//	xbench mvcc-sweep [--class=dcmd] [--size=S] [--engine=NAME] [--fractions=0,0.1,...] [--clients=N] [--ops=N] [--seed=N] [--baseline] [--check] [--out=FILE] [--gen-seed=N]
+//	xbench serve     --engine=x-hive --class=dcmd --size=small [--addr=HOST:PORT] [--shard=I/N] [--vnodes=N] [--replica-of=ADDR] [--poll=D] [--journal=FILE] [--max-inflight=N] [--queue-wait=D] [--request-timeout=D] [--drain-timeout=D] [--no-load] [--gen-seed=N] [--scale=N]
+//	xbench route     --shards=P1[+R1],P2,... [--class=dcmd] [--size=S] [--addr=HOST:PORT] [--read-pref=primary|replica] [--partial=failfast|degraded] [--fanout=N] [--vnodes=N] [--max-inflight=N] [--queue-wait=D] [--request-timeout=D] [--drain-timeout=D] [--no-load] [--gen-seed=N] [--scale=N]
 //	xbench perf      [--cell=pager|wire|journal|all] [--short] [--check] [--tolerance=F] [--out=FILE] [--baseline-dir=DIR] [--label=S]
 package main
 
@@ -34,6 +36,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"xbench/internal/analyze"
 	"xbench/internal/bench"
@@ -41,6 +44,7 @@ import (
 	"xbench/internal/core"
 	"xbench/internal/driver"
 	"xbench/internal/gen"
+	"xbench/internal/router"
 	"xbench/internal/workload"
 	"xbench/internal/xmldom"
 	"xbench/internal/xmlschema"
@@ -75,6 +79,7 @@ var commands = []command{
 	{"throughput", "closed-loop multi-client driver: qps + per-query percentiles", cmdThroughput},
 	{"mvcc-sweep", "read p99 vs update fraction, MVCC snapshots vs write-lock baseline", cmdMVCCSweep},
 	{"serve", "serve one engine over TCP for remote throughput/updates runs", cmdServe},
+	{"route", "front a shard cluster: hash-partitioned scatter-gather router over TCP", cmdRoute},
 	{"perf", "hot-path before/after perf cells with archived baselines", cmdPerf},
 }
 
@@ -623,40 +628,53 @@ func cmdWorkload(args []string) error {
 	return nil
 }
 
+type updatesOpts struct {
+	class, size, engine, remote, format *string
+	repeat, scale                       *int
+	genSeed                             *uint64
+}
+
+func updatesFlags(fs *flag.FlagSet) *updatesOpts {
+	return &updatesOpts{
+		class:   classFlag(fs),
+		size:    sizeFlag(fs),
+		engine:  fs.String("engine", "", "engine name (empty = every engine)"),
+		remote:  fs.String("remote", "", "address of an 'xbench serve' instance; measures that one engine over TCP"),
+		repeat:  fs.Int("repeat", 5, "measured runs per update op (percentiles need several)"),
+		format:  fs.String("format", "table", "output format: table, json or csv"),
+		genSeed: fs.Uint64("gen-seed", 0, "generation seed"),
+		scale:   fs.Int("scale", 1, "extra size multiplier"),
+	}
+}
+
 func cmdUpdates(args []string) error {
 	fs := flag.NewFlagSet("updates", flag.ExitOnError)
-	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
-	engineStr := fs.String("engine", "", "engine name (empty = every engine)")
-	remote := fs.String("remote", "", "address of an 'xbench serve' instance; measures that one engine over TCP")
-	repeat := fs.Int("repeat", 5, "measured runs per update op (percentiles need several)")
-	format := fs.String("format", "table", "output format: table, json or csv")
-	seed := fs.Uint64("gen-seed", 0, "generation seed")
-	scale := fs.Int("scale", 1, "extra size multiplier")
+	o := updatesFlags(fs)
 	fs.Parse(args)
-	class, size, err := parseClassSize(*classStr, *sizeStr)
+	class, size, err := parseClassSize(*o.class, *o.size)
 	if err != nil {
 		return err
 	}
 	var engines []string
-	if *engineStr != "" {
-		label, err := engineNameByFlag(*engineStr)
+	if *o.engine != "" {
+		label, err := engineNameByFlag(*o.engine)
 		if err != nil {
 			return err
 		}
 		engines = []string{label}
 	}
-	r := bench.NewRunner(gen.Config{Seed: *seed, SizeMultiplier: *scale}, []core.Size{size}, os.Stdout)
-	if *remote != "" {
+	r := bench.NewRunner(gen.Config{Seed: *o.genSeed, SizeMultiplier: *o.scale}, []core.Size{size}, os.Stdout)
+	if *o.remote != "" {
 		// One remote row: the grid dials a fresh client per row (loads
 		// travel over the wire; closing a client leaves the server up).
-		probe, err := dialRemote(*remote)
+		probe, err := dialRemote(*o.remote)
 		if err != nil {
 			return err
 		}
 		probe.Close()
 		engines = []string{probe.Name()}
 		r.EngineList = engines
-		addr := *remote
+		addr := *o.remote
 		r.NewEngineFn = func(string) core.Engine {
 			cl, err := dialRemote(addr)
 			if err != nil {
@@ -667,8 +685,8 @@ func cmdUpdates(args []string) error {
 	}
 	return r.UpdatesReport(bench.UpdatesOptions{
 		Class:   class,
-		Repeat:  *repeat,
-		Format:  *format,
+		Repeat:  *o.repeat,
+		Format:  *o.format,
 		Engines: engines,
 	})
 }
@@ -686,46 +704,75 @@ func parseClients(s string) ([]int, error) {
 	return out, nil
 }
 
+type throughputOpts struct {
+	class, size, engine, remote, clients, format *string
+	skipLoad                                     *bool
+	ops, scale, updateSeqBase                    *int
+	duration, think                              *time.Duration
+	seed, genSeed                                *uint64
+	updateFraction                               *float64
+	router                                       *routerOpts
+}
+
+func throughputFlags(fs *flag.FlagSet) *throughputOpts {
+	return &throughputOpts{
+		class:          classFlag(fs),
+		size:           sizeFlag(fs),
+		engine:         fs.String("engine", "x-hive", "engine name (ignored with --remote/--shards: the servers picked it)"),
+		remote:         fs.String("remote", "", "address of an 'xbench serve' instance; drives it over TCP instead of in-process"),
+		skipLoad:       fs.Bool("skip-load", false, "with --remote/--shards: assume the server(s) already loaded, skip the wire load"),
+		clients:        fs.String("clients", "1,2,4,8", "comma-separated client counts to sweep"),
+		ops:            fs.Int("ops", 0, "queries per client (0 = use --duration)"),
+		duration:       fs.Duration("duration", 0, "wall-clock bound per step (used when --ops=0; 0 selects 50 ops/client)"),
+		think:          fs.Duration("think", 0, "closed-loop think time between queries (0 = 2ms default, negative disables)"),
+		seed:           fs.Uint64("seed", 1, "query-mix seed (same seed + clients => same per-client op sequence)"),
+		updateFraction: fs.Float64("update-fraction", 0, "per-op probability of a document update instead of a query (mixed read/write mode; needs a multi-document class)"),
+		updateSeqBase:  fs.Int("update-seq-base", 0, "first update-document sequence number; raise it when re-running a mixed sweep against a server that already consumed earlier sequences"),
+		format:         fs.String("format", "table", "output format: table, json or csv"),
+		genSeed:        fs.Uint64("gen-seed", 0, "generation seed"),
+		scale:          fs.Int("scale", 1, "extra size multiplier"),
+		router:         routerFlagSet(fs),
+	}
+}
+
 func cmdThroughput(args []string) error {
 	ctx := context.Background()
 	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
-	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
-	engineStr := fs.String("engine", "x-hive", "engine name (ignored with --remote: the server picked it)")
-	remote := fs.String("remote", "", "address of an 'xbench serve' instance; drives it over TCP instead of in-process")
-	skipLoad := fs.Bool("skip-load", false, "with --remote: assume the server is already loaded, skip the wire load")
-	clientsStr := fs.String("clients", "1,2,4,8", "comma-separated client counts to sweep")
-	ops := fs.Int("ops", 0, "queries per client (0 = use --duration)")
-	duration := fs.Duration("duration", 0, "wall-clock bound per step (used when --ops=0; 0 selects 50 ops/client)")
-	think := fs.Duration("think", 0, "closed-loop think time between queries (0 = 2ms default, negative disables)")
-	seed := fs.Uint64("seed", 1, "query-mix seed (same seed + clients => same per-client op sequence)")
-	updateFraction := fs.Float64("update-fraction", 0, "per-op probability of a document update instead of a query (mixed read/write mode; needs a multi-document class)")
-	format := fs.String("format", "table", "output format: table, json or csv")
-	genSeed := fs.Uint64("gen-seed", 0, "generation seed")
-	scale := fs.Int("scale", 1, "extra size multiplier")
+	o := throughputFlags(fs)
 	fs.Parse(args)
-	class, size, err := parseClassSize(*classStr, *sizeStr)
+	class, size, err := parseClassSize(*o.class, *o.size)
 	if err != nil {
 		return err
 	}
-	clients, err := parseClients(*clientsStr)
+	clients, err := parseClients(*o.clients)
 	if err != nil {
 		return err
 	}
 	var e core.Engine
-	if *remote != "" {
-		cl, err := dialRemote(*remote)
+	var rt *router.Router
+	switch {
+	case *o.remote != "" && *o.router.shards != "":
+		return fmt.Errorf("--remote and --shards are mutually exclusive")
+	case *o.remote != "":
+		cl, err := dialRemote(*o.remote)
 		if err != nil {
 			return err
 		}
 		defer cl.Close()
 		e = cl
-	} else {
-		if e, err = engineByFlag(*engineStr); err != nil {
+	case *o.router.shards != "":
+		if rt, err = o.router.dial(); err != nil {
+			return err
+		}
+		defer rt.Close()
+		e = rt
+	default:
+		if e, err = engineByFlag(*o.engine); err != nil {
 			return err
 		}
 	}
-	if *remote == "" || !*skipLoad {
-		db, err := gen.Config{Seed: *genSeed, SizeMultiplier: *scale}.Generate(class, size)
+	if (*o.remote == "" && rt == nil) || !*o.skipLoad {
+		db, err := gen.Config{Seed: *o.genSeed, SizeMultiplier: *o.scale}.Generate(class, size)
 		if err != nil {
 			return err
 		}
@@ -734,24 +781,42 @@ func cmdThroughput(args []string) error {
 		}
 	}
 	reports, err := driver.Sweep(ctx, e, class, clients, driver.Config{
-		OpsPerClient:   *ops,
-		Duration:       *duration,
-		Seed:           *seed,
-		Think:          *think,
-		UpdateFraction: *updateFraction,
+		OpsPerClient:   *o.ops,
+		Duration:       *o.duration,
+		Seed:           *o.seed,
+		Think:          *o.think,
+		UpdateFraction: *o.updateFraction,
+		UpdateSeqBase:  *o.updateSeqBase,
 	})
 	if err != nil {
 		return err
 	}
-	switch *format {
+	// With --shards, append the per-shard routing counters to the report
+	// (on stderr for the machine formats, so their output stays parseable).
+	shardReport := func() {
+		if rt == nil {
+			return
+		}
+		w := os.Stdout
+		if *o.format != "table" {
+			w = os.Stderr
+		}
+		printShardMetrics(w, rt.Metrics())
+	}
+	switch *o.format {
 	case "table":
 		driver.WriteTable(os.Stdout, reports)
+		shardReport()
 		return nil
 	case "json":
-		return driver.WriteJSON(os.Stdout, reports)
+		err = driver.WriteJSON(os.Stdout, reports)
+		shardReport()
+		return err
 	case "csv":
-		return driver.WriteCSV(os.Stdout, reports)
+		err = driver.WriteCSV(os.Stdout, reports)
+		shardReport()
+		return err
 	default:
-		return fmt.Errorf("unknown format %q (want table, json or csv)", *format)
+		return fmt.Errorf("unknown format %q (want table, json or csv)", *o.format)
 	}
 }

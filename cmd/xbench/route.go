@@ -1,0 +1,205 @@
+// `xbench route` fronts a shard cluster: it dials every shard of a
+// sharded serving tier (each an `xbench serve --shard=i/n` process, plus
+// optional `--replica-of` replicas), wraps them in the hash-partitioned
+// scatter-gather router, and serves the router itself over TCP — so any
+// wire client (`throughput --remote`, `updates --remote`) drives the
+// whole cluster through one address. The server attaches each request's
+// idempotency key to its context and the router's shard clients reuse it,
+// so an update retried against the front end stays exactly-once on the
+// owning shard.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xbench/internal/client"
+	"xbench/internal/gen"
+	"xbench/internal/metrics"
+	"xbench/internal/router"
+	"xbench/internal/server"
+	"xbench/internal/workload"
+)
+
+// routerOpts are the flags shared by every command that fronts a shard
+// cluster (`route`, `throughput --shards`).
+type routerOpts struct {
+	shards   *string
+	readPref *string
+	partial  *string
+	fanout   *int
+	vnodes   *int
+}
+
+func routerFlagSet(fs *flag.FlagSet) *routerOpts {
+	return &routerOpts{
+		shards:   fs.String("shards", "", "comma-separated shard list, each PRIMARY[+REPLICA[+REPLICA...]] (e.g. :9411+:9421,:9412)"),
+		readPref: fs.String("read-pref", "primary", "read preference: primary (always fresh) or replica (offloaded, may lag by the journal-shipping interval)"),
+		partial:  fs.String("partial", "failfast", "scatter partial-failure policy: failfast or degraded (answered shards' union + shard-error count)"),
+		fanout:   fs.Int("fanout", 0, "concurrent shard legs per scatter (0 = default)"),
+		vnodes:   fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring; must match the shards' --vnodes (0 = default)"),
+	}
+}
+
+// parseShards parses the --shards list into shard specs.
+func parseShards(s string) ([]router.Shard, error) {
+	var shards []router.Shard
+	for _, part := range strings.Split(s, ",") {
+		members := strings.Split(strings.TrimSpace(part), "+")
+		sh := router.Shard{Primary: strings.TrimSpace(members[0])}
+		if sh.Primary == "" {
+			return nil, fmt.Errorf("empty shard entry in --shards=%q", s)
+		}
+		for _, rep := range members[1:] {
+			if rep = strings.TrimSpace(rep); rep == "" {
+				return nil, fmt.Errorf("empty replica address in --shards entry %q", part)
+			}
+			sh.Replicas = append(sh.Replicas, rep)
+		}
+		shards = append(shards, sh)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("--shards needs at least one shard address")
+	}
+	return shards, nil
+}
+
+// dial builds the router the flags describe.
+func (o *routerOpts) dial() (*router.Router, error) {
+	shards, err := parseShards(*o.shards)
+	if err != nil {
+		return nil, err
+	}
+	cfg := router.Config{
+		Vnodes: *o.vnodes,
+		Fanout: *o.fanout,
+		Client: client.Config{Pipeline: true},
+	}
+	switch *o.readPref {
+	case "primary":
+		cfg.ReadPref = router.ReadPrimary
+	case "replica":
+		cfg.ReadPref = router.ReadReplica
+	default:
+		return nil, fmt.Errorf("unknown --read-pref %q (want primary or replica)", *o.readPref)
+	}
+	switch *o.partial {
+	case "failfast":
+	case "degraded":
+		cfg.Degraded = true
+	default:
+		return nil, fmt.Errorf("unknown --partial %q (want failfast or degraded)", *o.partial)
+	}
+	return router.Dial(shards, cfg)
+}
+
+// printShardMetrics renders the router.shard.<i>.* counters and the
+// gather histogram: the per-shard view of where routed ops, scatter legs,
+// errors and read failovers went. Sync the failover counters first by
+// snapshotting via Router.Metrics().
+func printShardMetrics(w io.Writer, reg *metrics.Registry) {
+	snap := reg.Snapshot()
+	fmt.Fprintf(w, "%-6s %8s %8s %8s %10s\n", "shard", "routed", "scatter", "errors", "failovers")
+	for i := 0; ; i++ {
+		pfx := fmt.Sprintf("router.shard.%d.", i)
+		if _, ok := snap.Counters[pfx+"routed"]; !ok {
+			break
+		}
+		fmt.Fprintf(w, "%-6d %8d %8d %8d %10d\n", i,
+			snap.Counters[pfx+"routed"], snap.Counters[pfx+"scatter"],
+			snap.Counters[pfx+"errors"], snap.Counters[pfx+"failovers"])
+	}
+	if g := reg.Histogram("router.gather"); g.Count() > 0 {
+		fmt.Fprintf(w, "gather: n=%d p50=%v p95=%v p99=%v\n", g.Count(), g.P50(), g.P95(), g.P99())
+	}
+}
+
+type routeOpts struct {
+	class, size, addr                       *string
+	maxInflight, scale                      *int
+	queueWait, requestTimeout, drainTimeout *time.Duration
+	noLoad                                  *bool
+	genSeed                                 *uint64
+	router                                  *routerOpts
+}
+
+func routeFlags(fs *flag.FlagSet) *routeOpts {
+	return &routeOpts{
+		class:          classFlag(fs),
+		size:           sizeFlag(fs),
+		addr:           fs.String("addr", "127.0.0.1:9410", "listen address (port 0 picks a free port, printed on stdout)"),
+		maxInflight:    fs.Int("max-inflight", 0, "admission-control slots; above this requests queue, then shed (0 = default)"),
+		queueWait:      fs.Duration("queue-wait", 0, "longest a request waits for a slot before the overload rejection (0 = default)"),
+		requestTimeout: fs.Duration("request-timeout", 0, "server-side cap on one request's context deadline (0 = default)"),
+		drainTimeout:   fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM"),
+		noLoad:         fs.Bool("no-load", false, "skip the partitioned bulk load; the shards are already loaded (e.g. by `serve --shard`)"),
+		genSeed:        fs.Uint64("gen-seed", 0, "generation seed"),
+		scale:          fs.Int("scale", 1, "extra size multiplier"),
+		router:         routerFlagSet(fs),
+	}
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	o := routeFlags(fs)
+	fs.Parse(args)
+	class, size, err := parseClassSize(*o.class, *o.size)
+	if err != nil {
+		return err
+	}
+	if *o.router.shards == "" {
+		return fmt.Errorf("route: --shards is required (start them with `xbench serve --shard=i/n`)")
+	}
+	r, err := o.router.dial()
+	if err != nil {
+		return err
+	}
+	if !*o.noLoad {
+		db, err := gen.Config{Seed: *o.genSeed, SizeMultiplier: *o.scale}.Generate(class, size)
+		if err != nil {
+			r.Close()
+			return err
+		}
+		st, dur, err := workload.LoadAndIndex(context.Background(), r, db)
+		if err != nil {
+			r.Close()
+			return err
+		}
+		fmt.Printf("loaded %s across %d shard(s) (%d docs, %d bytes) in %v\n",
+			db.Instance(), r.Shards(), st.Documents, st.Bytes, dur)
+	}
+	srv := server.New(r, server.Config{
+		Addr:           *o.addr,
+		MaxInflight:    *o.maxInflight,
+		QueueWait:      *o.queueWait,
+		RequestTimeout: *o.requestTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("routing %s on %s (drive with: xbench throughput --remote=%s --skip-load --class=%s)\n",
+		r.Name(), srv.Addr(), srv.Addr(), class.Code())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	signal.Stop(sigc) // a second signal kills the process the default way
+	fmt.Printf("%s: draining (up to %v) ...\n", sig, *o.drainTimeout)
+
+	reg := r.Metrics() // sync failover counters while the shards are still dialed
+	ctx, cancel := context.WithTimeout(context.Background(), *o.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil { // closes the router with it
+		return err
+	}
+	printShardMetrics(os.Stdout, reg)
+	fmt.Println("drained; bye")
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"xbench/internal/client"
 	"xbench/internal/core"
 	"xbench/internal/gen"
+	"xbench/internal/router"
 	"xbench/internal/server"
 	"xbench/internal/workload"
 )
@@ -50,58 +51,119 @@ func (u unreachableEngine) InsertDocument(context.Context, string, []byte) error
 func (u unreachableEngine) ReplaceDocument(context.Context, string, []byte) error { return u.err }
 func (u unreachableEngine) DeleteDocument(context.Context, string) error          { return u.err }
 
+type serveOpts struct {
+	class, size, engine, addr, journal, shard, replicaOf *string
+	maxInflight, scale, vnodes                           *int
+	queueWait, requestTimeout, drainTimeout, poll        *time.Duration
+	noLoad                                               *bool
+	genSeed                                              *uint64
+}
+
+func serveFlags(fs *flag.FlagSet) *serveOpts {
+	return &serveOpts{
+		class:          classFlag(fs),
+		size:           sizeFlag(fs),
+		engine:         fs.String("engine", "x-hive", "engine to serve"),
+		addr:           fs.String("addr", "127.0.0.1:9410", "listen address (port 0 picks a free port, printed on stdout)"),
+		maxInflight:    fs.Int("max-inflight", 0, "admission-control slots; above this requests queue, then shed (0 = default)"),
+		queueWait:      fs.Duration("queue-wait", 0, "longest a request waits for a slot before the overload rejection (0 = default)"),
+		requestTimeout: fs.Duration("request-timeout", 0, "server-side cap on one request's context deadline (0 = default)"),
+		drainTimeout:   fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM"),
+		noLoad:         fs.Bool("no-load", false, "serve the engine empty; a remote client loads it over the wire"),
+		journal:        fs.String("journal", "", "durable update journal path; recovered before serving, so acknowledged updates survive a process kill"),
+		shard:          fs.String("shard", "", "serve one partition of the generated database, as I/N (e.g. 0/3); ownership follows the router's hash ring"),
+		vnodes:         fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring; must match the router's --vnodes (0 = default)"),
+		replicaOf:      fs.String("replica-of", "", "run as a read-only replica of the primary at this address, continuously replaying its shipped journal"),
+		poll:           fs.Duration("poll", 0, "replica journal poll interval (0 = default)"),
+		genSeed:        fs.Uint64("gen-seed", 0, "generation seed"),
+		scale:          fs.Int("scale", 1, "extra size multiplier"),
+	}
+}
+
+// parseShardSpec parses a --shard=I/N partition coordinate.
+func parseShardSpec(s string) (int, int, error) {
+	var idx, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad --shard %q (want I/N, e.g. 0/3)", s)
+	}
+	if n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("bad --shard %q: index must be in [0,%d)", s, n)
+	}
+	return idx, n, nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	classStr, sizeStr := classFlag(fs), sizeFlag(fs)
-	engineStr := fs.String("engine", "x-hive", "engine to serve")
-	addr := fs.String("addr", "127.0.0.1:9410", "listen address (port 0 picks a free port, printed on stdout)")
-	maxInflight := fs.Int("max-inflight", 0, "admission-control slots; above this requests queue, then shed (0 = default)")
-	queueWait := fs.Duration("queue-wait", 0, "longest a request waits for a slot before the overload rejection (0 = default)")
-	requestTimeout := fs.Duration("request-timeout", 0, "server-side cap on one request's context deadline (0 = default)")
-	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on SIGTERM")
-	noLoad := fs.Bool("no-load", false, "serve the engine empty; a remote client loads it over the wire")
-	journal := fs.String("journal", "", "durable update journal path; recovered before serving, so acknowledged updates survive a process kill")
-	seed := fs.Uint64("gen-seed", 0, "generation seed")
-	scale := fs.Int("scale", 1, "extra size multiplier")
+	o := serveFlags(fs)
 	fs.Parse(args)
-	class, size, err := parseClassSize(*classStr, *sizeStr)
+	class, size, err := parseClassSize(*o.class, *o.size)
 	if err != nil {
 		return err
 	}
-	e, err := engineByFlag(*engineStr)
+	e, err := engineByFlag(*o.engine)
 	if err != nil {
 		return err
 	}
 	cfg := server.Config{
-		Addr:           *addr,
-		MaxInflight:    *maxInflight,
-		QueueWait:      *queueWait,
-		RequestTimeout: *requestTimeout,
+		Addr:           *o.addr,
+		MaxInflight:    *o.maxInflight,
+		QueueWait:      *o.queueWait,
+		RequestTimeout: *o.requestTimeout,
 	}
+
+	shardIdx, shardN := 0, 0
+	if *o.shard != "" {
+		if *o.noLoad {
+			return fmt.Errorf("serve: --shard partitions the generated base database (drop --no-load)")
+		}
+		if shardIdx, shardN, err = parseShardSpec(*o.shard); err != nil {
+			return err
+		}
+	}
+	// genBase regenerates the deterministic base database — sliced down to
+	// this process's ring partition under --shard, so a shard (or its
+	// replica) reconstructs what it owns without asking the router.
+	genBase := func() (*core.Database, error) {
+		db, err := gen.Config{Seed: *o.genSeed, SizeMultiplier: *o.scale}.Generate(class, size)
+		if err != nil {
+			return nil, err
+		}
+		if shardN > 0 {
+			full := len(db.Docs)
+			db = router.NewRing(shardN, *o.vnodes).Partition(db, shardIdx)
+			fmt.Printf("shard %d/%d owns %d of %d documents\n", shardIdx, shardN, len(db.Docs), full)
+		}
+		return db, nil
+	}
+
+	if *o.replicaOf != "" {
+		return serveReplica(o, e, cfg, genBase)
+	}
+
 	var srv *server.Server
-	if *journal != "" {
+	if *o.journal != "" {
 		// Crash-safe path: regenerate the base database deterministically,
 		// then Reopen loads it, replays the journal's acknowledged updates
 		// and rebuilds the idempotency dedup table before the listener
 		// opens — a killed-and-restarted server answers a client's retry
 		// with the original outcome instead of re-applying it.
-		if *noLoad {
+		if *o.noLoad {
 			return fmt.Errorf("serve: --journal needs the base database (drop --no-load)")
 		}
-		db, err := gen.Config{Seed: *seed, SizeMultiplier: *scale}.Generate(class, size)
+		db, err := genBase()
 		if err != nil {
 			return err
 		}
 		var replayed int
-		srv, replayed, err = server.Reopen(e, db, workload.Indexes(db.Class), *journal, cfg)
+		srv, replayed, err = server.Reopen(e, db, workload.Indexes(db.Class), *o.journal, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("recovered %s into %s: %d journaled updates replayed from %s\n",
-			db.Instance(), e.Name(), replayed, *journal)
+			db.Instance(), e.Name(), replayed, *o.journal)
 	} else {
-		if !*noLoad {
-			db, err := gen.Config{Seed: *seed, SizeMultiplier: *scale}.Generate(class, size)
+		if !*o.noLoad {
+			db, err := genBase()
 			if err != nil {
 				return err
 			}
@@ -124,13 +186,49 @@ func cmdServe(args []string) error {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigc
 	signal.Stop(sigc) // a second signal kills the process the default way
-	fmt.Printf("%s: draining (up to %v) ...\n", sig, *drainTimeout)
+	fmt.Printf("%s: draining (up to %v) ...\n", sig, *o.drainTimeout)
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *o.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
 	fmt.Println("drained; bye")
 	return nil
+}
+
+// serveReplica is `xbench serve --replica-of=ADDR`: load the same base
+// partition the primary serves, then ship the primary's durable journal
+// into it forever, answering reads (and rejecting writes) on --addr.
+func serveReplica(o *serveOpts, e core.Engine, cfg server.Config, genBase func() (*core.Database, error)) error {
+	if *o.journal != "" {
+		return fmt.Errorf("serve: a replica replays its primary's journal; drop --journal")
+	}
+	if *o.noLoad {
+		return fmt.Errorf("serve: --replica-of needs the base database (drop --no-load)")
+	}
+	db, err := genBase()
+	if err != nil {
+		return err
+	}
+	rep, err := router.StartReplica(context.Background(), e, db, workload.Indexes(db.Class), *o.replicaOf, router.ReplicaConfig{
+		Server: cfg,
+		Client: client.Config{Pipeline: true},
+		Poll:   *o.poll,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replica of %s: serving %s read-only on %s\n", *o.replicaOf, e.Name(), rep.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	signal.Stop(sigc)
+	fmt.Printf("%s: replica stopping after %d applied journal records\n", sig, rep.Applied())
+	if aerr := rep.Err(); aerr != nil {
+		rep.Close()
+		return aerr
+	}
+	return rep.Close()
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestUsageMatchesFlags pins the package doc comment's usage lines to the
+// flags the commands actually register, in both directions: every --flag
+// on a command's usage line must be registered, and every registered flag
+// must appear on the line. The audited set is the serving/driver commands,
+// whose flag lists have historically drifted from the doc comment.
+func TestUsageMatchesFlags(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagRe := regexp.MustCompile(`--([a-z][a-z0-9-]*)`)
+	cases := []struct {
+		name     string
+		register func(fs *flag.FlagSet)
+	}{
+		{"updates", func(fs *flag.FlagSet) { updatesFlags(fs) }},
+		{"throughput", func(fs *flag.FlagSet) { throughputFlags(fs) }},
+		{"serve", func(fs *flag.FlagSet) { serveFlags(fs) }},
+		{"route", func(fs *flag.FlagSet) { routeFlags(fs) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lineRe := regexp.MustCompile(`(?m)^//\txbench ` + tc.name + `\s+(.*)$`)
+			m := lineRe.FindSubmatch(src)
+			if m == nil {
+				t.Fatalf("no usage line for %q in main.go's package doc comment", tc.name)
+			}
+			doc := map[string]bool{}
+			for _, f := range flagRe.FindAllSubmatch(m[1], -1) {
+				doc[string(f[1])] = true
+			}
+			fs := flag.NewFlagSet(tc.name, flag.ContinueOnError)
+			tc.register(fs)
+			fs.VisitAll(func(f *flag.Flag) {
+				if !doc[f.Name] {
+					t.Errorf("flag --%s is registered but missing from the usage line", f.Name)
+				}
+				delete(doc, f.Name)
+			})
+			for name := range doc {
+				t.Errorf("usage line mentions --%s but the command does not register it", name)
+			}
+		})
+	}
+}
+
+// TestUsageCoversEveryCommand checks each entry of the dispatch table has
+// a usage line in the doc comment — mvcc-sweep once went missing there.
+func TestUsageCoversEveryCommand(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range commands {
+		re := regexp.MustCompile(`(?m)^//\txbench ` + regexp.QuoteMeta(c.name) + `\s`)
+		if !re.Match(src) {
+			t.Errorf("command %q has no usage line in the package doc comment", c.name)
+		}
+	}
+}

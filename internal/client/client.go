@@ -180,6 +180,11 @@ type Client struct {
 	nextID atomic.Uint64
 	seq    atomic.Uint64 // idempotency-key sequence
 
+	// failovers counts requests answered by an endpoint other than the
+	// preferred (first) address — each one is a read or update the breaker
+	// machinery steered around a dead or draining server.
+	failovers atomic.Uint64
+
 	jmu    sync.Mutex
 	jitter *stats.RNG
 
@@ -254,6 +259,10 @@ func (c *Client) Addrs() []string {
 // ClientID returns the identity stamped into this client's idempotency
 // keys.
 func (c *Client) ClientID() uint64 { return c.id }
+
+// Failovers returns how many successful requests were answered by an
+// endpoint other than the preferred (first) address.
+func (c *Client) Failovers() uint64 { return c.failovers.Load() }
 
 // nextKey mints the idempotency key of one logical update.
 func (c *Client) nextKey() wire.IdemKey {
@@ -400,6 +409,9 @@ func (c *Client) roundTrip(ctx context.Context, op wire.Op, build func(remaining
 		switch {
 		case err == nil && wire.Status(resp.Kind) == wire.StatusOK:
 			c.epSuccess(ep)
+			if ep != c.eps[0] {
+				c.failovers.Add(1)
+			}
 			return resp.Payload, nil
 		case err == nil:
 			status := wire.Status(resp.Kind)
@@ -606,9 +618,16 @@ func (c *Client) PageIO() int64 {
 
 // update performs one keyed update op: the idempotency key is minted once
 // and re-sent verbatim on every retry leg, so the server can dedup a
-// retry whose original was applied but whose response was lost.
+// retry whose original was applied but whose response was lost. When the
+// context already carries a key (wire.WithIdemKey — a router forwarding
+// an update it received over the wire), that key is sent instead of a
+// fresh one, so the shard dedups on the identity the original client
+// acknowledged rather than on the forwarding hop's.
 func (c *Client) update(ctx context.Context, op wire.Op, name string, data []byte) error {
-	key := c.nextKey()
+	key := wire.ContextIdemKey(ctx)
+	if !key.Valid() {
+		key = c.nextKey()
+	}
 	bp := wire.GetBuf()
 	defer wire.PutBuf(bp)
 	_, err := c.roundTrip(ctx, op, func(remaining time.Duration) []byte {
@@ -632,6 +651,19 @@ func (c *Client) ReplaceDocument(ctx context.Context, name string, data []byte) 
 // DeleteDocument applies update workload U3 remotely, exactly once.
 func (c *Client) DeleteDocument(ctx context.Context, name string) error {
 	return c.update(ctx, wire.OpDelete, name, nil)
+}
+
+// JournalPull fetches one window of the server's committed update journal
+// starting at record index since (see wire.OpJournal). Replicas call it in
+// a loop: apply the records, poll again from Next. A server without a
+// journal — or predating the op — answers wire.ErrBadRequest.
+func (c *Client) JournalPull(ctx context.Context, since uint64) (wire.JournalPullResponse, error) {
+	payload := wire.EncodeJournalPullRequest(wire.JournalPullRequest{Since: since})
+	resp, err := c.roundTrip(ctx, wire.OpJournal, func(time.Duration) []byte { return payload }, true)
+	if err != nil {
+		return wire.JournalPullResponse{}, err
+	}
+	return wire.DecodeJournalPullResponse(resp)
 }
 
 var _ core.Engine = (*Client)(nil)

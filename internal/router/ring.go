@@ -1,0 +1,136 @@
+// Package router is the sharded serving tier: a coordinator that
+// hash-partitions documents across N engine shards — each an independent
+// wire server, typically `xbench serve` processes — and satisfies
+// core.Engine itself, so the driver, facade and CLI run against a cluster
+// exactly as they run against one engine.
+//
+// Placement is a consistent-hash ring (this file): every shard projects
+// Vnodes virtual points onto a 64-bit circle and a document belongs to
+// the shard owning the first point at or clockwise from the document
+// name's hash. Adding a shard therefore steals only the key ranges its
+// own points carve out of existing arcs — no document ever moves between
+// two old shards, which is what keeps rebalancing proportional to 1/N
+// instead of reshuffling everything (router.go, AddShard).
+//
+// The same ring function runs on both sides of the wire: the router uses
+// it to route, and `xbench serve --shard=i/n` uses Partition to load only
+// its slice of a deterministically generated database, so a SIGKILLed
+// shard can recover its partition from scratch (base generation + its own
+// journal) without asking the router what it owned.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"xbench/internal/core"
+)
+
+// DefaultVnodes is the virtual-node count per shard when Config.Vnodes is
+// zero. 64 points per shard keeps the expected imbalance between shards
+// in the low single-digit percent range while construction and lookup
+// stay trivially cheap.
+const DefaultVnodes = 64
+
+// point is one virtual node on the circle.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash ring over shard indices 0..N-1.
+// Build a new one to change the topology; Router swaps rings atomically
+// under its topology lock.
+type Ring struct {
+	shards int
+	vnodes int
+	points []point // sorted by hash
+}
+
+// NewRing builds the ring for shard indices 0..shards-1 with vnodes
+// virtual points each (<= 0 selects DefaultVnodes). Construction is fully
+// deterministic: every process that agrees on (shards, vnodes) agrees on
+// ownership of every name.
+func NewRing(shards, vnodes int) *Ring {
+	if shards < 1 {
+		panic("router: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{shards: shards, vnodes: vnodes, points: make([]point, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hashName(fmt.Sprintf("shard-%d/vnode-%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Vnodes returns the virtual-node count per shard.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Owner returns the shard index owning a document name.
+func (r *Ring) Owner(name string) int {
+	return r.points[r.slot(hashName(name))].shard
+}
+
+// RangeOf returns the index of the virtual-node arc a name falls in —
+// names sharing an arc form one migration range. The index is only
+// meaningful relative to this ring.
+func (r *Ring) RangeOf(name string) int {
+	return r.slot(hashName(name))
+}
+
+// slot locates the first point at or clockwise from h (wrapping at the
+// top of the circle).
+func (r *Ring) slot(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hashName hashes a document name onto the circle: FNV-64a (stable across
+// processes and Go releases, unlike maphash) through a splitmix64
+// finalizer. The finalizer matters — FNV barely avalanches on inputs that
+// differ only in a trailing digit, which is exactly what vnode labels and
+// generated document names look like, and without it a 4-shard ring gave
+// one shard 1.8× its fair share.
+func hashName(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Partition returns a shallow copy of db holding only the documents the
+// ring assigns to shard. `xbench serve --shard=i/n` loads exactly this
+// slice, so the union of all shards' partitions is the whole database and
+// the intersection of any two is empty.
+func (r *Ring) Partition(db *core.Database, shard int) *core.Database {
+	part := *db
+	part.Docs = nil
+	for _, d := range db.Docs {
+		if r.Owner(d.Name) == shard {
+			part.Docs = append(part.Docs, d)
+		}
+	}
+	return &part
+}

@@ -1,0 +1,101 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"xbench/internal/core"
+)
+
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc-%04d.xml", i)
+	}
+	return names
+}
+
+// TestRingDeterministic pins cross-process agreement: two rings built
+// from the same (shards, vnodes) assign every name identically. The
+// router and `xbench serve --shard` depend on this to agree on ownership
+// without talking to each other.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(5, 0), NewRing(5, 0)
+	for _, name := range ringNames(1000) {
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("rings disagree on %s", name)
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes keep the partition sizes sane: no
+// shard owns more than twice (or less than a third of) its fair share
+// over a 3000-name corpus.
+func TestRingBalance(t *testing.T) {
+	const shards, names = 4, 3000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for _, name := range ringNames(names) {
+		counts[r.Owner(name)]++
+	}
+	fair := names / shards
+	for s, c := range counts {
+		if c > 2*fair || c < fair/3 {
+			t.Fatalf("shard %d owns %d names, fair share is %d: %v", s, c, fair, counts)
+		}
+	}
+}
+
+// TestRingGrowMovesOnlyToNewShard pins the consistent-hashing contract
+// rebalancing relies on: growing n -> n+1 changes a name's owner only
+// when the NEW shard takes it. A migration therefore never moves a
+// document between two old shards.
+func TestRingGrowMovesOnlyToNewShard(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		old, grown := NewRing(n, 0), NewRing(n+1, 0)
+		moved := 0
+		for _, name := range ringNames(2000) {
+			if o, g := old.Owner(name), grown.Owner(name); o != g {
+				if g != n {
+					t.Fatalf("grow %d->%d moved %s from shard %d to OLD shard %d", n, n+1, name, o, g)
+				}
+				moved++
+			}
+		}
+		// The new shard should take roughly 1/(n+1) of the corpus — and
+		// certainly not nothing or everything.
+		if moved == 0 || moved > 2*2000/(n+1) {
+			t.Fatalf("grow %d->%d moved %d of 2000 names", n, n+1, moved)
+		}
+	}
+}
+
+// TestRingPartition checks Partition slices a database into disjoint,
+// exhaustive shard slices.
+func TestRingPartition(t *testing.T) {
+	db := &core.Database{Class: core.DCMD, Size: core.Small}
+	for _, name := range ringNames(200) {
+		db.Docs = append(db.Docs, core.Doc{Name: name, Data: []byte("<d/>")})
+	}
+	r := NewRing(3, 0)
+	seen := map[string]int{}
+	total := 0
+	for s := 0; s < 3; s++ {
+		part := r.Partition(db, s)
+		if part.Class != db.Class || part.Size != db.Size {
+			t.Fatal("partition lost database identity")
+		}
+		for _, d := range part.Docs {
+			seen[d.Name]++
+			total++
+		}
+	}
+	if total != len(db.Docs) {
+		t.Fatalf("partitions cover %d of %d docs", total, len(db.Docs))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s appears in %d partitions", name, n)
+		}
+	}
+}

@@ -1,0 +1,665 @@
+// The Router: a core.Engine whose "storage" is N remote shards.
+//
+// Routing: single-document operations — the U1-U3 updates and any query
+// the RouteKey function can pin to one document — go to the owning shard
+// alone; every other query scatters to all shards and gathers the union
+// (documents are partitioned, so a cross-document query's result is
+// exactly the concatenation of its per-shard results). Updates ride the
+// shard's primary; reads ride a failover client ordered by the read
+// preference, so they survive a dead primary by falling over to its
+// journal-fed replicas (replica.go).
+//
+// Consistency of topology changes: a topology RWMutex covers every
+// engine call for its whole duration. Rebalancing (AddShard) flips the
+// ring first — brand-new documents immediately land on the new shard —
+// then migrates each moved vnode arc under short exclusive sections:
+// copy to the target, flip the catalog, delete from the source. Readers
+// hold the read lock across route + execute, so at every observable
+// instant a document lives on exactly one shard; no scatter can see a
+// document twice or lose it mid-move.
+//
+// Partial failure: fail-fast (default) cancels the scatter on the first
+// shard error and returns it. Degraded mode returns the union of the
+// shards that answered, with core.Result.ShardErrors counting those that
+// did not — the serving tier's "stale is better than down" option.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/metrics"
+)
+
+// ReadPref selects which member of a shard serves reads.
+type ReadPref int
+
+const (
+	// ReadPrimary prefers the shard primary, falling over to replicas only
+	// when the primary's breaker condemns it. Reads are always fresh.
+	ReadPrimary ReadPref = iota
+	// ReadReplica prefers the replicas (in declaration order), keeping the
+	// primary as the last resort. Reads may trail the primary by the
+	// journal-shipping lag; updates still see their own writes only via
+	// the primary.
+	ReadReplica
+)
+
+// Shard declares one shard's members: the primary every update goes to
+// and the replicas its journal feeds.
+type Shard struct {
+	Primary  string
+	Replicas []string
+}
+
+// RouteKeyFunc maps a query instance to the single document that fully
+// answers it. Returning ok=false scatters the query to every shard.
+type RouteKeyFunc func(q core.QueryID, p core.Params) (doc string, ok bool)
+
+// DefaultRouteKey recognizes the two query shapes a single document fully
+// answers. Q16 is doc($DOC) — retrieval of one named document — so it
+// routes to the DOC param's owner; scattered to a partitioned corpus it
+// would fail on every shard but the owner with "document not found". Q1
+// probing an update target id ("OU<seq>"/"aU<seq>") is answered entirely
+// by the corresponding update document. Everything else scatters — for a
+// partitioned corpus the union of per-shard answers is the correct result
+// of any cross-document query.
+func DefaultRouteKey(q core.QueryID, p core.Params) (string, bool) {
+	switch q {
+	case core.Q16:
+		if doc := p.Get("DOC"); doc != "" {
+			return doc, true
+		}
+	case core.Q1:
+		x := p.Get("X")
+		switch {
+		case strings.HasPrefix(x, "OU") && len(x) > 2:
+			return "order-update-" + x[2:] + ".xml", true
+		case strings.HasPrefix(x, "aU") && len(x) > 2:
+			return "article-update-" + x[2:] + ".xml", true
+		}
+	}
+	return "", false
+}
+
+// Config controls a Router.
+type Config struct {
+	// Vnodes is the virtual-node count per shard; <= 0 selects
+	// DefaultVnodes. Shard servers loading their own partition
+	// (`xbench serve --shard`) must agree on it.
+	Vnodes int
+	// Fanout bounds concurrent per-shard legs of one scatter; <= 0
+	// selects 8.
+	Fanout int
+	// Degraded switches the partial-failure policy from fail-fast to
+	// degraded results: scatters return the union of the shards that
+	// answered, with Result.ShardErrors counting those that did not.
+	Degraded bool
+	// ReadPref selects primary-preferred (fresh) or replica-preferred
+	// (offloaded, possibly stale) reads.
+	ReadPref ReadPref
+	// RouteKey pins queries to single documents; nil selects
+	// DefaultRouteKey.
+	RouteKey RouteKeyFunc
+	// Metrics receives the router's per-shard counters and gather
+	// histogram; nil creates a private registry (readable via Metrics()).
+	Metrics *metrics.Registry
+	// Client is the template for every per-shard connection (pooling,
+	// retries, breakers, pipelining). Zero values select the client
+	// package defaults.
+	Client client.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 8
+	}
+	if c.RouteKey == nil {
+		c.RouteKey = DefaultRouteKey
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// catEntry is one document's placement. Data is the document's bytes —
+// the router is the placement authority, and holding the bytes is what
+// makes rebalancing self-contained: migration replays the document onto
+// its new owner without needing a document-fetch op on the shards.
+type catEntry struct {
+	shard int
+	data  []byte
+}
+
+// shardConn is one shard's connections and counters.
+type shardConn struct {
+	spec  Shard
+	write *client.Client // primary only: updates, loads, index builds
+	read  *client.Client // failover list ordered by the read preference
+
+	routed  *metrics.Counter // router.shard.<i>.routed
+	scatter *metrics.Counter // router.shard.<i>.scatter
+	errs    *metrics.Counter // router.shard.<i>.errors
+	fo      *metrics.Counter // router.shard.<i>.failovers (synced lazily)
+}
+
+func (sc *shardConn) close() error {
+	err := sc.write.Close()
+	if sc.read != sc.write {
+		err = errors.Join(err, sc.read.Close())
+	}
+	return err
+}
+
+// Router is the scatter-gather coordinator. It satisfies core.Engine.
+type Router struct {
+	cfg  Config
+	reg  *metrics.Registry
+	gath *metrics.Histogram // router.gather: scatter wall time
+	name string
+
+	// mu is the topology lock: every engine call holds it shared for its
+	// whole duration; AddShard's migration sections hold it exclusive.
+	mu     sync.RWMutex
+	ring   *Ring
+	shards []*shardConn
+
+	// catalog maps every document placed through this router to its
+	// current shard (authoritative over the ring, which only places names
+	// the catalog has never seen). Guarded by catMu, always acquired
+	// under mu — never the other way around.
+	catMu   sync.RWMutex
+	catalog map[string]catEntry
+}
+
+// Dial connects to every shard and builds the router. All shards must be
+// up; a partial cluster is a configuration error at construction time
+// (at runtime it is what the partial-failure policy is for).
+func Dial(shards []Shard, cfg Config) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("router: no shards")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		gath:    cfg.Metrics.Histogram("router.gather"),
+		ring:    NewRing(len(shards), cfg.Vnodes),
+		catalog: map[string]catEntry{},
+	}
+	for i, spec := range shards {
+		sc, err := r.dialShard(i, spec)
+		if err != nil {
+			for _, prev := range r.shards {
+				prev.close()
+			}
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, sc)
+	}
+	r.name = fmt.Sprintf("router(%d×%s)", len(shards), r.shards[0].write.Name())
+	return r, nil
+}
+
+// dialShard opens one shard's write and read connections and registers
+// its counters.
+func (r *Router) dialShard(i int, spec Shard) (*shardConn, error) {
+	write, err := client.Dial(spec.Primary, r.cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	read := write
+	if len(spec.Replicas) > 0 {
+		var addrs []string
+		if r.cfg.ReadPref == ReadReplica {
+			addrs = append(append(addrs, spec.Replicas...), spec.Primary)
+		} else {
+			addrs = append(append(addrs, spec.Primary), spec.Replicas...)
+		}
+		if read, err = client.DialAddrs(addrs, r.cfg.Client); err != nil {
+			write.Close()
+			return nil, err
+		}
+	}
+	pfx := fmt.Sprintf("router.shard.%d.", i)
+	return &shardConn{
+		spec: spec, write: write, read: read,
+		routed:  r.reg.Counter(pfx + "routed"),
+		scatter: r.reg.Counter(pfx + "scatter"),
+		errs:    r.reg.Counter(pfx + "errors"),
+		fo:      r.reg.Counter(pfx + "failovers"),
+	}, nil
+}
+
+// Metrics returns the router's registry after syncing the per-shard
+// failover counters from the underlying clients.
+func (r *Router) Metrics() *metrics.Registry {
+	r.mu.RLock()
+	for _, sc := range r.shards {
+		n := sc.read.Failovers()
+		if sc.read != sc.write {
+			n += sc.write.Failovers()
+		}
+		sc.fo.Set(int64(n))
+	}
+	r.mu.RUnlock()
+	return r.reg
+}
+
+// Shards returns the current shard count.
+func (r *Router) Shards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// ownerLocked resolves a document's shard: the catalog is authoritative
+// for every name placed through this router; the ring places names the
+// catalog has never seen. Caller holds mu (shared or exclusive).
+func (r *Router) ownerLocked(name string) int {
+	r.catMu.RLock()
+	ent, ok := r.catalog[name]
+	r.catMu.RUnlock()
+	if ok {
+		return ent.shard
+	}
+	return r.ring.Owner(name)
+}
+
+func (r *Router) setCat(name string, shard int, data []byte) {
+	r.catMu.Lock()
+	r.catalog[name] = catEntry{shard: shard, data: data}
+	r.catMu.Unlock()
+}
+
+func (r *Router) delCat(name string) {
+	r.catMu.Lock()
+	delete(r.catalog, name)
+	r.catMu.Unlock()
+}
+
+// --- core.Engine ---
+
+// Name labels the cluster after its shards' engine.
+func (r *Router) Name() string { return r.name }
+
+// Supports asks the first shard: shards are homogeneous by construction
+// (the same engine binary serving partitions of the same database).
+func (r *Router) Supports(c core.Class, s core.Size) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[0].write.Supports(c, s)
+}
+
+// Load partitions the database by the ring and bulk-loads every shard's
+// slice concurrently. The catalog is rebuilt to cover exactly db's
+// documents.
+func (r *Router) Load(ctx context.Context, db *core.Database) (core.LoadStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	parts := make([]*core.Database, len(r.shards))
+	for i := range r.shards {
+		parts[i] = r.ring.Partition(db, i)
+	}
+	stats := make([]core.LoadStats, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			stats[i], errs[i] = sc.write.Load(ctx, parts[i])
+			if errs[i] != nil {
+				sc.errs.Inc()
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return core.LoadStats{}, err
+	}
+	r.catMu.Lock()
+	r.catalog = make(map[string]catEntry, len(db.Docs))
+	for i := range parts {
+		for _, d := range parts[i].Docs {
+			r.catalog[d.Name] = catEntry{shard: i, data: d.Data}
+		}
+	}
+	r.catMu.Unlock()
+	var total core.LoadStats
+	for _, st := range stats {
+		total.Documents += st.Documents
+		total.Rows += st.Rows
+		total.Nodes += st.Nodes
+		total.Bytes += st.Bytes
+		total.PageIO += st.PageIO
+		total.SkippedMixed += st.SkippedMixed
+	}
+	return total, nil
+}
+
+// BuildIndexes builds the Table 3 indexes on every shard.
+func (r *Router) BuildIndexes(specs []core.IndexSpec) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			errs[i] = sc.write.BuildIndexes(specs)
+		}(i, sc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Execute routes or scatters one query. A query the RouteKey pins to a
+// document runs on that document's owner alone; everything else runs on
+// every shard and returns the union.
+func (r *Router) Execute(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name, ok := r.cfg.RouteKey(q, p); ok {
+		sc := r.shards[r.ownerLocked(name)]
+		sc.routed.Inc()
+		res, err := sc.read.Execute(ctx, q, p)
+		if err != nil {
+			sc.errs.Inc()
+		}
+		return res, err
+	}
+	return r.scatterLocked(ctx, q, p)
+}
+
+// scatterLocked fans one query out to every shard (bounded by Fanout)
+// and merges the answers. Caller holds mu shared.
+func (r *Router) scatterLocked(ctx context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type legResult struct {
+		res core.Result
+		err error
+	}
+	legs := make([]legResult, len(r.shards))
+	sem := make(chan struct{}, r.cfg.Fanout)
+	var wg sync.WaitGroup
+	var once sync.Once
+	var abortErr error
+	for i, sc := range r.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				legs[i].err = ctx.Err()
+				return
+			}
+			sc.scatter.Inc()
+			legs[i].res, legs[i].err = sc.read.Execute(ctx, q, p)
+			if err := legs[i].err; err != nil {
+				sc.errs.Inc()
+				// Semantic declines (query undefined, combination
+				// unsupported) are deterministic and identical on every
+				// shard; infrastructure failures trip fail-fast.
+				if !r.cfg.Degraded && !core.IsNotAnswered(err) {
+					once.Do(func() { abortErr = err; cancel() })
+				}
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	r.gath.Observe(time.Since(start))
+
+	var out core.Result
+	answered, failed := 0, 0
+	var firstErr error
+	for i := range legs {
+		err := legs[i].err
+		if err == nil {
+			out.Items = append(out.Items, legs[i].res.Items...)
+			out.PageIO += legs[i].res.PageIO
+			out.MixedContentLost = out.MixedContentLost || legs[i].res.MixedContentLost
+			if answered == 0 {
+				out.OrderGuaranteed = legs[i].res.OrderGuaranteed
+			}
+			answered++
+			continue
+		}
+		if core.IsNotAnswered(err) {
+			return core.Result{}, err
+		}
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if abortErr != nil {
+		return core.Result{}, abortErr
+	}
+	if failed > 0 && !r.cfg.Degraded {
+		return core.Result{}, firstErr
+	}
+	if answered == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("router: no shards")
+		}
+		return core.Result{}, fmt.Errorf("router: all %d shards failed: %w", failed, firstErr)
+	}
+	// A union over more than one shard interleaves per-shard sequences,
+	// so global document order is guaranteed only when one shard answered
+	// everything.
+	out.OrderGuaranteed = out.OrderGuaranteed && answered == 1 && failed == 0
+	out.ShardErrors = failed
+	return out, nil
+}
+
+// ColdReset drops every shard primary's caches (replicas keep theirs:
+// cold-run measurements read the primaries, and the journal puller's
+// steady trickle would re-warm replicas immediately anyway).
+func (r *Router) ColdReset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, sc := range r.shards {
+		wg.Add(1)
+		go func(sc *shardConn) {
+			defer wg.Done()
+			sc.write.ColdReset()
+		}(sc)
+	}
+	wg.Wait()
+}
+
+// PageIO sums the shard primaries' cumulative page I/O.
+func (r *Router) PageIO() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, sc := range r.shards {
+		total += sc.write.PageIO()
+	}
+	return total
+}
+
+// InsertDocument routes U1 to the owning shard's primary. The context's
+// idempotency key (wire.WithIdemKey, attached by a front-end server) — or
+// the shard client's own key when there is none — makes the hop
+// exactly-once.
+func (r *Router) InsertDocument(ctx context.Context, name string, data []byte) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner := r.ownerLocked(name)
+	sc := r.shards[owner]
+	sc.routed.Inc()
+	if err := sc.write.InsertDocument(ctx, name, data); err != nil {
+		sc.errs.Inc()
+		return err
+	}
+	r.setCat(name, owner, data)
+	return nil
+}
+
+// ReplaceDocument routes U2 to the owning shard's primary.
+func (r *Router) ReplaceDocument(ctx context.Context, name string, data []byte) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner := r.ownerLocked(name)
+	sc := r.shards[owner]
+	sc.routed.Inc()
+	if err := sc.write.ReplaceDocument(ctx, name, data); err != nil {
+		sc.errs.Inc()
+		return err
+	}
+	r.setCat(name, owner, data)
+	return nil
+}
+
+// DeleteDocument routes U3 to the owning shard's primary.
+func (r *Router) DeleteDocument(ctx context.Context, name string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner := r.ownerLocked(name)
+	sc := r.shards[owner]
+	sc.routed.Inc()
+	if err := sc.write.DeleteDocument(ctx, name); err != nil {
+		sc.errs.Inc()
+		return err
+	}
+	r.delCat(name)
+	return nil
+}
+
+// Close releases every shard connection. The shard servers keep running —
+// like client.Close, this closes the coordinator's handle only.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var err error
+	for _, sc := range r.shards {
+		err = errors.Join(err, sc.close())
+	}
+	r.shards = nil
+	return err
+}
+
+var _ core.Engine = (*Router)(nil)
+
+// Rebalance reports one AddShard migration.
+type Rebalance struct {
+	Shard  int // index the new shard joined as
+	Moved  int // documents migrated onto it
+	Ranges int // vnode arcs they were migrated in
+}
+
+// AddShard joins a new shard and rebalances: the ring is regrown first —
+// consistent hashing guarantees the new ring takes ranges only FROM
+// existing shards TO the new one — and every catalog document whose
+// ownership moved is migrated arc by arc. Each arc migrates under the
+// exclusive topology lock (copy to target, flip catalog, delete from
+// source), so concurrent queries and updates — which hold the shared
+// lock for their whole call — observe every document on exactly one
+// shard at every instant; they interleave with the migration only
+// between arcs.
+//
+// A migration error aborts the remaining arcs and is returned with the
+// partial report; re-invoking rebalancing is safe because the catalog
+// already reflects everything that moved.
+func (r *Router) AddShard(ctx context.Context, spec Shard) (Rebalance, error) {
+	r.mu.Lock()
+	if len(r.shards) == 0 {
+		r.mu.Unlock()
+		return Rebalance{}, errors.New("router: closed")
+	}
+	newIdx := len(r.shards)
+	r.mu.Unlock()
+
+	// Dial outside the lock: a slow or dead new shard must not stall
+	// serving.
+	sc, err := r.dialShard(newIdx, spec)
+	if err != nil {
+		return Rebalance{}, fmt.Errorf("router: add shard %d: %w", newIdx, err)
+	}
+
+	r.mu.Lock()
+	if len(r.shards) != newIdx {
+		r.mu.Unlock()
+		sc.close()
+		return Rebalance{}, errors.New("router: concurrent AddShard")
+	}
+	newRing := NewRing(newIdx+1, r.cfg.Vnodes)
+	r.shards = append(r.shards, sc)
+	r.ring = newRing // new document names place onto the new topology now
+	r.name = fmt.Sprintf("router(%d×%s)", len(r.shards), r.shards[0].write.Name())
+
+	// Snapshot the moved set: catalog documents whose new-ring owner
+	// differs from their current placement. Consistent hashing makes
+	// every one of them move TO the new shard (ring_test pins this).
+	type moved struct {
+		name string
+		arc  int
+	}
+	var movedDocs []moved
+	r.catMu.RLock()
+	for name, ent := range r.catalog {
+		if newRing.Owner(name) != ent.shard {
+			movedDocs = append(movedDocs, moved{name: name, arc: newRing.RangeOf(name)})
+		}
+	}
+	r.catMu.RUnlock()
+	r.mu.Unlock()
+
+	sort.Slice(movedDocs, func(i, j int) bool {
+		if movedDocs[i].arc != movedDocs[j].arc {
+			return movedDocs[i].arc < movedDocs[j].arc
+		}
+		return movedDocs[i].name < movedDocs[j].name
+	})
+
+	rep := Rebalance{Shard: newIdx}
+	for lo := 0; lo < len(movedDocs); {
+		hi := lo
+		for hi < len(movedDocs) && movedDocs[hi].arc == movedDocs[lo].arc {
+			hi++
+		}
+		r.mu.Lock()
+		for _, m := range movedDocs[lo:hi] {
+			r.catMu.RLock()
+			ent, ok := r.catalog[m.name]
+			r.catMu.RUnlock()
+			if !ok || ent.shard == newIdx {
+				continue // deleted or re-placed by a concurrent update
+			}
+			if err := sc.write.ReplaceDocument(ctx, m.name, ent.data); err != nil {
+				r.mu.Unlock()
+				return rep, fmt.Errorf("router: migrate %s to shard %d: %w", m.name, newIdx, err)
+			}
+			r.setCat(m.name, newIdx, ent.data)
+			if err := r.shards[ent.shard].write.DeleteDocument(ctx, m.name); err != nil {
+				r.mu.Unlock()
+				return rep, fmt.Errorf("router: migrate %s off shard %d: %w", m.name, ent.shard, err)
+			}
+			rep.Moved++
+		}
+		r.mu.Unlock()
+		rep.Ranges++
+		lo = hi
+	}
+	return rep, nil
+}

@@ -1,0 +1,434 @@
+package router_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/router"
+	"xbench/internal/server"
+)
+
+// stubEngine is an in-memory engine for router tests: Q1 with an update
+// target id answers from the document map (update verification), Q8
+// scatters — it returns one item per stored document — so a cross-shard
+// union is countable and duplicates are detectable.
+type stubEngine struct {
+	mu   sync.Mutex
+	docs map[string][]byte
+}
+
+func newStub() *stubEngine { return &stubEngine{docs: map[string][]byte{}} }
+
+func (s *stubEngine) Name() string                         { return "stub" }
+func (s *stubEngine) Supports(core.Class, core.Size) error { return nil }
+func (s *stubEngine) BuildIndexes([]core.IndexSpec) error  { return nil }
+func (s *stubEngine) PageIO() int64                        { return 1 }
+func (s *stubEngine) ColdReset()                           {}
+func (s *stubEngine) Close() error                         { return nil }
+
+func (s *stubEngine) Load(_ context.Context, db *core.Database) (core.LoadStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs = map[string][]byte{}
+	for _, d := range db.Docs {
+		s.docs[d.Name] = d.Data
+	}
+	return core.LoadStats{Documents: len(db.Docs), Bytes: db.Bytes()}, nil
+}
+
+func (s *stubEngine) Execute(_ context.Context, q core.QueryID, p core.Params) (core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case q == core.Q20:
+		return core.Result{}, core.ErrNoQuery
+	case q == core.Q16:
+		// doc($DOC) semantics, like the real engines: only the owner can
+		// answer; everyone else hard-errors. A scatter would fail fail-fast.
+		if doc, ok := s.docs[p.Get("DOC")]; ok {
+			return core.Result{Items: []string{string(doc)}, OrderGuaranteed: true, PageIO: 1}, nil
+		}
+		return core.Result{}, fmt.Errorf("stub: document %q not found", p.Get("DOC"))
+	case q == core.Q1:
+		x := p.Get("X")
+		if len(x) > 2 && (strings.HasPrefix(x, "OU") || strings.HasPrefix(x, "aU")) {
+			for _, name := range []string{"order-update-" + x[2:] + ".xml", "article-update-" + x[2:] + ".xml"} {
+				if doc, ok := s.docs[name]; ok {
+					return core.Result{Items: []string{string(doc)}, OrderGuaranteed: true, PageIO: 1}, nil
+				}
+			}
+			return core.Result{}, nil
+		}
+	}
+	// Scatter probe: one item per stored document.
+	names := make([]string, 0, len(s.docs))
+	for name := range s.docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return core.Result{Items: names, OrderGuaranteed: true, PageIO: int64(len(names))}, nil
+}
+
+func (s *stubEngine) InsertDocument(_ context.Context, name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[name]; ok {
+		return fmt.Errorf("stub: document %s exists", name)
+	}
+	s.docs[name] = data
+	return nil
+}
+
+func (s *stubEngine) ReplaceDocument(_ context.Context, name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[name] = data
+	return nil
+}
+
+func (s *stubEngine) DeleteDocument(_ context.Context, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[name]; !ok {
+		return fmt.Errorf("stub: document %s does not exist", name)
+	}
+	delete(s.docs, name)
+	return nil
+}
+
+// testDB builds a database of n one-element documents.
+func testDB(n int) *core.Database {
+	db := &core.Database{Class: core.DCMD, Size: core.Small}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("doc-%03d.xml", i)
+		db.Docs = append(db.Docs, core.Doc{Name: name, Data: []byte("<d n=\"" + name + "\"/>")})
+	}
+	return db
+}
+
+// startShard boots one stub shard server; cleanup closes it.
+func startShard(t *testing.T) *server.Server {
+	t.Helper()
+	srv := server.New(newStub(), server.Config{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// startCluster boots n shards and a router over them, loaded with db.
+func startCluster(t *testing.T, n int, db *core.Database, cfg router.Config) (*router.Router, []*server.Server) {
+	t.Helper()
+	srvs := make([]*server.Server, n)
+	shards := make([]router.Shard, n)
+	for i := range srvs {
+		srvs[i] = startShard(t)
+		shards[i] = router.Shard{Primary: srvs[i].Addr().String()}
+	}
+	r, err := router.Dial(shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	if db != nil {
+		st, err := r.Load(context.Background(), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Documents != len(db.Docs) {
+			t.Fatalf("loaded %d documents, want %d", st.Documents, len(db.Docs))
+		}
+	}
+	return r, srvs
+}
+
+// scatterNames runs the scatter probe and returns the document-name union.
+func scatterNames(t *testing.T, r *router.Router) []string {
+	t.Helper()
+	res, err := r.Execute(context.Background(), core.Q8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Items
+}
+
+// TestRouterLoadPartitionsAndScatters loads a 3-shard cluster and checks
+// the partitioning invariants: every shard holds a non-empty slice, the
+// scatter union is exactly the corpus, and no document appears twice.
+func TestRouterLoadPartitionsAndScatters(t *testing.T) {
+	db := testDB(60)
+	r, _ := startCluster(t, 3, db, router.Config{})
+
+	if got, want := r.Name(), "router(3×stub)"; got != want {
+		t.Fatalf("name %q, want %q", got, want)
+	}
+	items := scatterNames(t, r)
+	if len(items) != 60 {
+		t.Fatalf("scatter union has %d items, want 60", len(items))
+	}
+	seen := map[string]bool{}
+	for _, it := range items {
+		if seen[it] {
+			t.Fatalf("document %s appears on more than one shard", it)
+		}
+		seen[it] = true
+	}
+	// Multi-shard unions cannot promise document order.
+	res, _ := r.Execute(context.Background(), core.Q8, nil)
+	if res.OrderGuaranteed {
+		t.Fatal("multi-shard scatter claims OrderGuaranteed")
+	}
+	// Per-shard balance: with 60 docs on 3 shards nobody should be empty.
+	m := r.Metrics().Snapshot()
+	for i := 0; i < 3; i++ {
+		if m.Counters[fmt.Sprintf("router.shard.%d.scatter", i)] == 0 {
+			t.Fatalf("shard %d saw no scatter leg", i)
+		}
+	}
+}
+
+// TestRouterRoutesSingleDocOps drives the update cycle (insert, verify
+// via routed Q1, replace, delete) and checks the routed ops pinned to one
+// shard instead of scattering.
+func TestRouterRoutesSingleDocOps(t *testing.T) {
+	r, _ := startCluster(t, 3, testDB(12), router.Config{})
+	ctx := context.Background()
+
+	if err := r.InsertDocument(ctx, "order-update-5.xml", []byte("<order id=\"OU5\"/>")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Execute(ctx, core.Q1, core.Params{"X": "OU5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 || !strings.Contains(res.Items[0], "OU5") {
+		t.Fatalf("routed verification read: %+v", res)
+	}
+	if err := r.ReplaceDocument(ctx, "order-update-5.xml", []byte("<order id=\"OU5\" v=\"2\"/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DeleteDocument(ctx, "order-update-5.xml"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.Execute(ctx, core.Q1, core.Params{"X": "OU5"})
+	if err != nil || len(res.Items) != 0 {
+		t.Fatalf("read after delete: %+v, %v", res, err)
+	}
+
+	// All five ops routed: exactly one shard's routed counter moved per op
+	// and no scatter legs were sent.
+	m := r.Metrics().Snapshot()
+	var routed, scatter int64
+	for i := 0; i < 3; i++ {
+		routed += m.Counters[fmt.Sprintf("router.shard.%d.routed", i)]
+		scatter += m.Counters[fmt.Sprintf("router.shard.%d.scatter", i)]
+	}
+	if routed != 5 || scatter != 0 {
+		t.Fatalf("routed=%d scatter=%d, want 5 routed and 0 scatter", routed, scatter)
+	}
+}
+
+// TestRouterRoutesDocQueries pins the Q16 route: doc($DOC) is answered
+// only by the document's owner (every other shard hard-errors "not
+// found"), so the router must send it to that one shard. Every corpus
+// document must round-trip under the default fail-fast policy — if Q16
+// scattered, the non-owner errors would fail it.
+func TestRouterRoutesDocQueries(t *testing.T) {
+	db := testDB(30)
+	r, _ := startCluster(t, 3, db, router.Config{})
+	ctx := context.Background()
+
+	for _, d := range db.Docs {
+		res, err := r.Execute(ctx, core.Q16, core.Params{"DOC": d.Name})
+		if err != nil {
+			t.Fatalf("Q16 %s: %v", d.Name, err)
+		}
+		if len(res.Items) != 1 || res.Items[0] != string(d.Data) {
+			t.Fatalf("Q16 %s: %+v", d.Name, res)
+		}
+	}
+	m := r.Metrics().Snapshot()
+	var routed, scatter int64
+	for i := 0; i < 3; i++ {
+		routed += m.Counters[fmt.Sprintf("router.shard.%d.routed", i)]
+		scatter += m.Counters[fmt.Sprintf("router.shard.%d.scatter", i)]
+	}
+	if routed != 30 || scatter != 0 {
+		t.Fatalf("routed=%d scatter=%d, want 30 routed and 0 scatter", routed, scatter)
+	}
+}
+
+// TestScatterPartialFailure kills one shard and checks both policies:
+// fail-fast surfaces the error, degraded returns the surviving union with
+// the shard-error count.
+func TestScatterPartialFailure(t *testing.T) {
+	db := testDB(30)
+
+	t.Run("fail-fast", func(t *testing.T) {
+		r, srvs := startCluster(t, 3, db, router.Config{
+			Client: client.Config{Retries: -1, DialTimeout: 500 * time.Millisecond},
+		})
+		srvs[1].Close()
+		if _, err := r.Execute(context.Background(), core.Q8, nil); err == nil {
+			t.Fatal("scatter with a dead shard succeeded under fail-fast")
+		}
+	})
+
+	t.Run("degraded", func(t *testing.T) {
+		r, srvs := startCluster(t, 3, db, router.Config{
+			Degraded: true,
+			Client:   client.Config{Retries: -1, DialTimeout: 500 * time.Millisecond},
+		})
+		srvs[1].Close()
+		res, err := r.Execute(context.Background(), core.Q8, nil)
+		if err != nil {
+			t.Fatalf("degraded scatter: %v", err)
+		}
+		if res.ShardErrors != 1 {
+			t.Fatalf("ShardErrors=%d, want 1", res.ShardErrors)
+		}
+		if len(res.Items) == 0 || len(res.Items) >= 30 {
+			t.Fatalf("degraded union has %d items, want a proper subset of 30", len(res.Items))
+		}
+
+		// Semantic declines are not "degraded": every shard answers
+		// ErrNoQuery deterministically, so the router must return it, not
+		// an empty union.
+		if _, err := r.Execute(context.Background(), core.Q20, nil); !errors.Is(err, core.ErrNoQuery) {
+			t.Fatalf("Q20: %v, want ErrNoQuery", err)
+		}
+	})
+}
+
+// TestRoutedReadFailsOverToReplica runs a primary+replica shard, kills
+// the primary, and checks routed reads keep answering via the replica.
+func TestRoutedReadFailsOverToReplica(t *testing.T) {
+	ctx := context.Background()
+
+	// Journaled primary (replicas ship its journal).
+	jp := filepath.Join(t.TempDir(), "journal.log")
+	prim, _, err := server.Reopen(newStub(), testDB(1), nil, jp, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { prim.Close() })
+
+	rep, err := router.StartReplica(ctx, newStub(), testDB(1), nil, prim.Addr().String(),
+		router.ReplicaConfig{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Close() })
+
+	r, err := router.Dial(
+		[]router.Shard{{Primary: prim.Addr().String(), Replicas: []string{rep.Addr().String()}}},
+		router.Config{Client: client.Config{FailThreshold: 1, Backoff: time.Millisecond}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	// Write through the router, wait for the replica to apply it.
+	if err := r.InsertDocument(ctx, "order-update-9.xml", []byte("<order id=\"OU9\"/>")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Applied() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never applied the journaled insert (applied=%d, err=%v)", rep.Applied(), rep.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the primary. The routed read must fail over to the replica.
+	prim.Close()
+	res, err := r.Execute(ctx, core.Q1, core.Params{"X": "OU9"})
+	if err != nil {
+		t.Fatalf("routed read with dead primary: %v", err)
+	}
+	if len(res.Items) != 1 || !strings.Contains(res.Items[0], "OU9") {
+		t.Fatalf("failover read answered %+v", res)
+	}
+
+	// Updates cannot fail over — the replica is read-only. The router
+	// must surface an error, not silently fork the replica.
+	uctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := r.InsertDocument(uctx, "order-update-10.xml", []byte("<order/>")); err == nil {
+		t.Fatal("update succeeded with the primary dead")
+	}
+}
+
+// TestReplicaShipsJournal checks the shipping pipeline end to end: keyed
+// updates on the primary appear on the replica in order, reads on the
+// replica see them, and writes to the replica are rejected.
+func TestReplicaShipsJournal(t *testing.T) {
+	ctx := context.Background()
+	jp := filepath.Join(t.TempDir(), "journal.log")
+	prim, _, err := server.Reopen(newStub(), testDB(0), nil, jp, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { prim.Close() })
+
+	rep, err := router.StartReplica(ctx, newStub(), testDB(0), nil, prim.Addr().String(),
+		router.ReplicaConfig{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep.Close() })
+
+	pc, err := client.Dial(prim.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+
+	const updates = 20
+	for i := 0; i < updates; i++ {
+		name := fmt.Sprintf("order-update-%d.xml", i)
+		if err := pc.InsertDocument(ctx, name, []byte(fmt.Sprintf("<order id=\"OU%d\"/>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Applied() < updates {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica applied %d/%d (err=%v)", rep.Applied(), updates, rep.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rc, err := client.Dial(rep.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	res, err := rc.Execute(ctx, core.Q1, core.Params{"X": "OU7"})
+	if err != nil || len(res.Items) != 1 {
+		t.Fatalf("replica read: %+v, %v", res, err)
+	}
+	if err := rc.InsertDocument(ctx, "x.xml", []byte("<x/>")); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("replica write: %v, want ErrReadOnly", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("replica apply error: %v", err)
+	}
+}

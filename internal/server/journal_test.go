@@ -1,0 +1,179 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"xbench/internal/client"
+	"xbench/internal/core"
+	"xbench/internal/server"
+	"xbench/internal/updatelog"
+	"xbench/internal/wire"
+)
+
+// tinyDB is a minimal database for Reopen-based tests.
+func tinyDB() *core.Database {
+	return &core.Database{
+		Class: core.DCMD,
+		Size:  core.Small,
+		Docs:  []core.Doc{{Name: "seed.xml", Data: []byte("<seed/>")}},
+	}
+}
+
+// startJournaled boots a crash-recoverable server (Reopen) on a fresh
+// journal and returns it with a connected client.
+func startJournaled(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	jp := filepath.Join(t.TempDir(), "journal.log")
+	srv, _, err := server.Reopen(newStub(), tinyDB(), nil, jp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(srv.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// TestJournalPullShipsCommittedUpdates drives keyed updates through a
+// journaled server and pulls them back over OpJournal: the shipped window
+// reproduces the updates in commit order, carries their idempotency keys,
+// and an up-to-date poller gets an empty window.
+func TestJournalPullShipsCommittedUpdates(t *testing.T) {
+	_, c := startJournaled(t, server.Config{})
+	ctx := context.Background()
+
+	if err := c.InsertDocument(ctx, "a.xml", []byte("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceDocument(ctx, "a.xml", []byte("<a v=\"2\"/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteDocument(ctx, "a.xml"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.JournalPull(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Next != 3 || len(resp.Records) != 3 {
+		t.Fatalf("pull: next=%d records=%d, want 3/3", resp.Next, len(resp.Records))
+	}
+	wantKinds := []updatelog.Kind{updatelog.KindInsert, updatelog.KindReplace, updatelog.KindDelete}
+	for i, rec := range resp.Records {
+		if rec.Kind != wantKinds[i] || rec.Name != "a.xml" {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+		if rec.Client != c.ClientID() || rec.Seq == 0 {
+			t.Fatalf("record %d lost its idempotency key: %+v", i, rec)
+		}
+	}
+
+	// Caught up: polling from Next returns an empty window, same Next.
+	resp, err = c.JournalPull(ctx, resp.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Next != 3 || len(resp.Records) != 0 {
+		t.Fatalf("caught-up pull: %+v", resp)
+	}
+
+	// Replaying the shipped window against a fresh engine reproduces the
+	// primary's state transitions (this is exactly what a replica does).
+	resp, _ = c.JournalPull(ctx, 0)
+	replica := newStub()
+	if err := updatelog.Apply(ctx, replica, resp.Records); err != nil {
+		t.Fatalf("replica apply: %v", err)
+	}
+}
+
+// TestJournalPullWithoutJournal pins the feature-probe contract: a server
+// running without a journal answers OpJournal with wire.ErrBadRequest.
+func TestJournalPullWithoutJournal(t *testing.T) {
+	_, c := startServer(t, newStub(), server.Config{})
+	if _, err := c.JournalPull(context.Background(), 0); !errors.Is(err, wire.ErrBadRequest) {
+		t.Fatalf("journal pull on journal-less server: %v, want ErrBadRequest", err)
+	}
+}
+
+// TestReadOnlyServer verifies a replica-mode server: queries answer,
+// every mutating op is rejected with core.ErrReadOnly.
+func TestReadOnlyServer(t *testing.T) {
+	eng := newStub()
+	if _, err := eng.Load(context.Background(), tinyDB()); err != nil {
+		t.Fatal(err)
+	}
+	_, c := startServer(t, eng, server.Config{ReadOnly: true})
+	ctx := context.Background()
+
+	if _, err := c.Execute(ctx, core.Q1, nil); err != nil {
+		t.Fatalf("read on read-only server: %v", err)
+	}
+	if err := c.InsertDocument(ctx, "x.xml", []byte("<x/>")); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("insert: %v, want ErrReadOnly", err)
+	}
+	if err := c.ReplaceDocument(ctx, "x.xml", []byte("<x/>")); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("replace: %v, want ErrReadOnly", err)
+	}
+	if err := c.DeleteDocument(ctx, "x.xml"); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("delete: %v, want ErrReadOnly", err)
+	}
+	if _, err := c.Load(ctx, tinyDB()); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("load: %v, want ErrReadOnly", err)
+	}
+	if err := c.BuildIndexes(nil); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("indexes: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestIdemKeyPassesThroughProxy builds a two-hop chain — client → front
+// server whose engine is a wire client → journaled backend — and asserts
+// the backend journals the ORIGINAL client's idempotency key, not one
+// minted by the forwarding hop. This is the property that makes
+// exactly-once hold end-to-end through a router tier.
+func TestIdemKeyPassesThroughProxy(t *testing.T) {
+	backendSrv, backendC := startJournaled(t, server.Config{})
+	_ = backendSrv
+
+	// The front server serves the backend's client as its "engine".
+	proxyEng, err := client.Dial(backendC.Addr(), client.Config{ClientID: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := server.New(proxyEng, server.Config{})
+	if err := front.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { front.Close() })
+
+	const originID = 424242
+	c, err := client.Dial(front.Addr().String(), client.Config{ClientID: originID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ctx := context.Background()
+	if err := c.InsertDocument(ctx, "routed.xml", []byte("<r/>")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := backendC.JournalPull(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Records) != 1 {
+		t.Fatalf("backend journaled %d records, want 1", len(resp.Records))
+	}
+	if got := resp.Records[0].Client; got != originID {
+		t.Fatalf("backend journaled client %d, want the origin's %d (key minted by proxy instead of passed through)", got, originID)
+	}
+}

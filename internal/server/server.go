@@ -67,6 +67,11 @@ type Config struct {
 	// DedupPerClient bounds the idempotency dedup window kept per client
 	// (see dedup.go); <= 0 selects 4096.
 	DedupPerClient int
+	// ReadOnly rejects every mutating op (updates, load, index builds)
+	// with core.ErrReadOnly. It is how a read replica serves: queries
+	// answer normally, while writes are turned away at the wire so the
+	// replica's state advances only through journal shipping.
+	ReadOnly bool
 }
 
 // withDefaults resolves zero-value fields.
@@ -119,6 +124,17 @@ type Server struct {
 	journal  *updatelog.FileLog
 	updMu    sync.Mutex
 	inflight map[wire.IdemKey]*pendingUpdate
+
+	// Journal shipping (OpJournal): jtail mirrors the journal file's
+	// records in commit order (seeded from the replay in Reopen, appended
+	// at enqueue time under updMu), and jdurable is the count of leading
+	// records whose group commit has fsynced. Replicas may only be shown
+	// durable records — a record that is applied but not yet synced could
+	// still be lost with the primary, and a replica must never get ahead
+	// of what a primary restart would recover.
+	jmu      sync.Mutex
+	jtail    []updatelog.Record
+	jdurable uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -187,6 +203,8 @@ func Reopen(e core.Engine, db *core.Database, specs []core.IndexSpec, journalPat
 	}
 	s := New(e, cfg)
 	s.journal = jl
+	s.jtail = append(s.jtail, recs...)
+	s.jdurable = uint64(len(recs)) // OpenFile returns only committed records
 	for _, r := range recs {
 		if r.Keyed() {
 			s.dedup.record(wire.IdemKey{Client: r.Client, Seq: r.Seq}, okFrame(nil))
@@ -435,6 +453,9 @@ func (s *Server) execute(op wire.Op, payload []byte, scratch *[]byte) wire.Frame
 		return okFrame(wire.EncodePlanNode(node))
 
 	case wire.OpLoad:
+		if s.cfg.ReadOnly {
+			return errFrame(fmt.Errorf("server: replica: %w", core.ErrReadOnly))
+		}
 		req, err := wire.DecodeLoadRequest(payload)
 		if err != nil {
 			return badRequest(err)
@@ -448,6 +469,9 @@ func (s *Server) execute(op wire.Op, payload []byte, scratch *[]byte) wire.Frame
 		return okFrame(wire.EncodeLoadStats(st))
 
 	case wire.OpIndexes:
+		if s.cfg.ReadOnly {
+			return errFrame(fmt.Errorf("server: replica: %w", core.ErrReadOnly))
+		}
 		specs, err := wire.DecodeIndexSpecs(payload)
 		if err != nil {
 			return badRequest(err)
@@ -459,15 +483,52 @@ func (s *Server) execute(op wire.Op, payload []byte, scratch *[]byte) wire.Frame
 		return okFrame(nil)
 
 	case wire.OpInsert, wire.OpReplace, wire.OpDelete:
+		if s.cfg.ReadOnly {
+			return errFrame(fmt.Errorf("server: replica: %w", core.ErrReadOnly))
+		}
 		req, err := wire.DecodeUpdateRequest(payload)
 		if err != nil {
 			return badRequest(err)
 		}
 		return s.executeUpdate(op, req)
 
+	case wire.OpJournal:
+		req, err := wire.DecodeJournalPullRequest(payload)
+		if err != nil {
+			return badRequest(err)
+		}
+		return s.executeJournalPull(req)
+
 	default:
 		return badRequest(fmt.Errorf("unknown op %d", byte(op)))
 	}
+}
+
+// executeJournalPull answers one OpJournal window from the in-memory
+// mirror of the durable journal. Only committed (fsynced) records are
+// shown: a replica must never apply a record a primary crash could still
+// take back. Servers running without a journal have nothing to ship and
+// answer StatusBadRequest, which clients surface as wire.ErrBadRequest —
+// the same "feature absent" signal old servers give for the whole op.
+func (s *Server) executeJournalPull(req wire.JournalPullRequest) wire.Frame {
+	if s.journal == nil {
+		return badRequest(errors.New("server: no journal attached (start with --journal to ship one)"))
+	}
+	max := req.Max
+	if max == 0 || max > wire.MaxJournalBatch {
+		max = wire.MaxJournalBatch
+	}
+	s.jmu.Lock()
+	durable := s.jdurable
+	lo := req.Since
+	if lo > durable {
+		lo = durable
+	}
+	hi := min(durable, lo+max)
+	recs := make([]updatelog.Record, hi-lo)
+	copy(recs, s.jtail[lo:hi])
+	s.jmu.Unlock()
+	return okFrame(wire.EncodeJournalPullResponse(wire.JournalPullResponse{Next: hi, Records: recs}))
 }
 
 // pendingUpdate is a keyed update that applied but whose acknowledgment
@@ -513,6 +574,11 @@ func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
 	}
 	ctx, cancel := s.reqCtx(req.Timeout)
 	defer cancel()
+	// Attach the request's idempotency key to the engine call: when the
+	// "engine" is itself a wire client (a router front-end forwarding to a
+	// shard), the shard then dedups on the original client's identity, not
+	// on a key the forwarding hop minted — exactly-once stays end-to-end.
+	ctx = wire.WithIdemKey(ctx, req.Key)
 
 	s.updMu.Lock()
 	if req.Key.Valid() {
@@ -545,16 +611,24 @@ func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
 		err = s.eng.DeleteDocument(ctx, req.Name)
 	}
 	var batch *updatelog.Batch
+	var jidx uint64 // this record's journal index, valid when batch != nil
 	if err == nil && s.journal != nil {
-		var jerr error
-		batch, jerr = s.journal.Enqueue(updatelog.Record{
+		rec := updatelog.Record{
 			Kind: kind, Name: req.Name, Data: req.Data,
 			Client: req.Key.Client, Seq: req.Key.Seq,
-		})
+		}
+		var jerr error
+		batch, jerr = s.journal.Enqueue(rec)
 		if jerr != nil {
 			s.updMu.Unlock()
 			return errFrame(fmt.Errorf("update applied but journal append failed (outcome not durable): %w", jerr))
 		}
+		// Mirror the record into the shipping tail. Still under updMu, so
+		// tail order is enqueue order is journal-file order.
+		s.jmu.Lock()
+		jidx = uint64(len(s.jtail))
+		s.jtail = append(s.jtail, rec)
+		s.jmu.Unlock()
 	}
 	var p *pendingUpdate
 	if err == nil && req.Key.Valid() {
@@ -566,6 +640,15 @@ func (s *Server) executeUpdate(op wire.Op, req wire.UpdateRequest) wire.Frame {
 	if batch != nil {
 		if jerr := s.journal.WaitDurable(batch); jerr != nil {
 			err = fmt.Errorf("update applied but journal append failed (outcome not durable): %w", jerr)
+		} else {
+			// Group commits complete in enqueue order, so this record being
+			// durable means every record before it is too: the shipping
+			// watermark advances monotonically past it.
+			s.jmu.Lock()
+			if jidx+1 > s.jdurable {
+				s.jdurable = jidx + 1
+			}
+			s.jmu.Unlock()
 		}
 	}
 	f := errFrame(err)

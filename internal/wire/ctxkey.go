@@ -1,0 +1,28 @@
+package wire
+
+import "context"
+
+// ctxKeyIdem is the context key carrying an IdemKey through an engine call
+// chain. It lets an update's identity survive a proxy hop: the server puts
+// the request's key into the context before invoking its engine, and a
+// client used *as* that engine (a router shard connection) sends the
+// caller's key instead of minting a fresh one. The shard's durable journal
+// then dedups on the identity the original client acknowledged, keeping
+// exactly-once end-to-end through any number of forwarding tiers.
+type ctxKeyIdem struct{}
+
+// WithIdemKey returns a context carrying the update's idempotency key.
+// Invalid (zero-client) keys are not attached.
+func WithIdemKey(ctx context.Context, key IdemKey) context.Context {
+	if !key.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyIdem{}, key)
+}
+
+// ContextIdemKey returns the idempotency key attached by WithIdemKey, or a
+// zero (invalid) key when none is attached.
+func ContextIdemKey(ctx context.Context) IdemKey {
+	key, _ := ctx.Value(ctxKeyIdem{}).(IdemKey)
+	return key
+}

@@ -180,6 +180,14 @@ func AppendResult(dst []byte, r core.Result) []byte {
 	e.bool(r.OrderGuaranteed)
 	e.bool(r.MixedContentLost)
 	e.varint(r.PageIO)
+	if r.ShardErrors > 0 {
+		// Self-delimiting optional tail, like the update idempotency key:
+		// a zero count encodes nothing, so single-engine results stay
+		// byte-identical to the pre-router encoding and old peers decode
+		// them unchanged (old readers ignore the tail, old writers never
+		// produce one).
+		e.varint(int64(r.ShardErrors))
+	}
 	return e.b
 }
 
@@ -207,6 +215,13 @@ func DecodeResult(b []byte) (core.Result, error) {
 	}
 	if r.PageIO, err = d.varint(); err != nil {
 		return r, err
+	}
+	if len(d.b) > 0 { // degraded scatter-gather tail (see AppendResult)
+		v, err := d.varint()
+		if err != nil {
+			return r, err
+		}
+		r.ShardErrors = int(v)
 	}
 	return r, nil
 }

@@ -93,6 +93,12 @@ const (
 	// Servers predating this op answer StatusBadRequest, which the client
 	// maps back to core.ErrNoExplain.
 	OpExplain
+	// OpJournal pulls a window of committed update-journal records
+	// (payload: JournalPullRequest; response JournalPullResponse). It is
+	// how read replicas ship the primary's durable journal: poll, apply,
+	// advance. Servers without a journal — and servers predating the op —
+	// answer StatusBadRequest.
+	OpJournal
 )
 
 // String returns the metric-friendly lowercase op name.
@@ -120,6 +126,8 @@ func (o Op) String() string {
 		return "u3"
 	case OpExplain:
 		return "explain"
+	case OpJournal:
+		return "journal"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }

@@ -42,6 +42,7 @@ import (
 	"xbench/internal/gen"
 	"xbench/internal/metrics"
 	"xbench/internal/pager"
+	"xbench/internal/router"
 	"xbench/internal/server"
 	"xbench/internal/workload"
 	"xbench/internal/xmldom"
@@ -103,6 +104,22 @@ type (
 	Client = client.Client
 	// ClientConfig tunes the client's pool, dial timeout and retry policy.
 	ClientConfig = client.Config
+	// Router coordinates a sharded serving tier: a hash-partitioned
+	// scatter-gather Engine over N served shards (see ConnectShards,
+	// DESIGN.md §16).
+	Router = router.Router
+	// RouterShard declares one shard of a sharded cluster: a primary
+	// address plus the read replicas its journal feeds.
+	RouterShard = router.Shard
+	// RouterConfig tunes the router's partitioning, scatter fan-out,
+	// partial-failure policy and read preference.
+	RouterConfig = router.Config
+)
+
+// Read preferences for RouterConfig.ReadPref.
+const (
+	ReadPrimary = router.ReadPrimary
+	ReadReplica = router.ReadReplica
 )
 
 // The four classes (paper Table 1).
@@ -337,6 +354,15 @@ func NewServer(e Engine, cfg ServerConfig) *Server { return server.New(e, cfg) }
 // returns a remote Engine. Closing it releases the client's connections
 // only; the server and its engine keep running.
 func Connect(addr string, cfg ClientConfig) (*Client, error) { return client.Dial(addr, cfg) }
+
+// ConnectShards dials every shard of a served cluster and returns the
+// coordinating Router: an Engine that hash-partitions documents across
+// the shards, routes single-document queries and the U1-U3 updates to the
+// owning shard, and scatter-gathers everything else. Closing it releases
+// the coordinator's connections only; the shard servers keep running.
+func ConnectShards(shards []RouterShard, cfg RouterConfig) (*Router, error) {
+	return router.Dial(shards, cfg)
+}
 
 // WorkloadQueries returns the query types instantiated for a class.
 func WorkloadQueries(class Class) []QueryID { return workload.QueryIDs(class) }
